@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the rows/series it reports.  By default the experiments run at a
+reduced "quick" scale so ``pytest benchmarks/ --benchmark-only``
+completes in minutes; set ``REPRO_FULL_SCALE=1`` to run the paper-scale
+configurations (18 slots, 400-800 s intervals).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    if full_scale():
+        return ExperimentConfig.paper()
+    return ExperimentConfig(slots=10, interval=120.0, seed=101)
+
+
+@pytest.fixture(scope="session")
+def fairness_config() -> ExperimentConfig:
+    if full_scale():
+        return ExperimentConfig.fairness_paper()
+    return ExperimentConfig(slots=10, interval=160.0, seed=101)

@@ -1,0 +1,112 @@
+"""Ablation benches for DESIGN.md's modelling decisions.
+
+Each ablation flips one of the interpretive or physical choices the
+design document calls out and shows what it buys:
+
+* ``cycle_metric``: reference (TSC-style) vs core-clock IPC;
+* ``tie_policy``: free vs literal-Algorithm-2 noise pinning;
+* ``pollution_beta``: shared-L2 pollution on vs off;
+* ``contention_alpha``: L2 bandwidth contention on vs off.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import make_workload
+from repro.metrics import fairness_report, throughput_improvement
+from repro.tuning import PhaseTuningRuntime
+from repro.workloads import WorkloadRun
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(slots=10, interval=120.0, seed=101)
+
+
+def _comparison(config, runtime_kwargs=None, executor_kwargs=None):
+    machine = config.resolved_machine()
+    workload = make_workload(config)
+    executor_kwargs = executor_kwargs or {}
+    base = WorkloadRun(workload, machine).run(config.interval, **executor_kwargs)
+    runtime = PhaseTuningRuntime(
+        machine, config.ipc_threshold, **(runtime_kwargs or {})
+    )
+    tuned = WorkloadRun(workload, machine, config.strategy("Loop[45]")).run(
+        config.interval, runtime=runtime, **executor_kwargs
+    )
+    thr = throughput_improvement(base, tuned, config.interval)
+    fb = fairness_report(base.completed)
+    ft = fairness_report(tuned.completed)
+    return thr, ft.versus(fb)
+
+
+def test_ablation_cycle_metric(benchmark, config):
+    def run():
+        reference = _comparison(config, {"cycle_metric": "reference"})
+        core = _comparison(config, {"cycle_metric": "core"})
+        return reference, core
+
+    (ref_thr, ref_cmp), (core_thr, core_cmp) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print()
+    print(f"reference-cycle IPC: throughput {ref_thr:+.2f}%")
+    print(f"core-cycle IPC     : throughput {core_thr:+.2f}%")
+    # The reference metric is the design's load-bearing choice: it must
+    # not do worse than the core metric.
+    assert ref_thr >= core_thr - 1.0
+
+
+def test_ablation_tie_policy(benchmark, config):
+    def run():
+        free = _comparison(config, {"tie_policy": "free"})
+        literal = _comparison(config, {"tie_policy": "algorithm"})
+        return free, literal
+
+    (free_thr, _), (literal_thr, _) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print()
+    print(f"tie policy free     : throughput {free_thr:+.2f}%")
+    print(f"tie policy algorithm: throughput {literal_thr:+.2f}%")
+    # Noise-pinning every core-insensitive phase restricts the balancer:
+    # it must not beat the free policy by a meaningful margin.
+    assert free_thr >= literal_thr - 1.0
+
+
+def test_ablation_pollution(benchmark, config):
+    def run():
+        with_pollution = _comparison(
+            config, executor_kwargs={"pollution_beta": 0.6}
+        )
+        without = _comparison(config, executor_kwargs={"pollution_beta": 0.0})
+        return with_pollution, without
+
+    (with_thr, _), (without_thr, _) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print()
+    print(f"pollution on : tuned throughput {with_thr:+.2f}%")
+    print(f"pollution off: tuned throughput {without_thr:+.2f}%")
+    # Pollution is a benefit channel for tuning (segregation pays);
+    # removing it must not *increase* the tuned advantage much.
+    assert with_thr >= without_thr - 1.5
+
+
+def test_ablation_contention(benchmark, config):
+    def run():
+        with_contention = _comparison(
+            config, executor_kwargs={"contention_alpha": 0.4}
+        )
+        without = _comparison(
+            config, executor_kwargs={"contention_alpha": 0.0}
+        )
+        return with_contention, without
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    (with_thr, _), (without_thr, _) = results
+    print()
+    print(f"contention on : tuned throughput {with_thr:+.2f}%")
+    print(f"contention off: tuned throughput {without_thr:+.2f}%")
+    # Both configurations must stay functional (no collapse).
+    assert with_thr > -5.0 and without_thr > -5.0

@@ -1,0 +1,58 @@
+"""Benches for the Section VI discussion features.
+
+VI-A multi-threaded applications, VI-B feedback adaptation, VI-C
+many-core scalability — the paper's "future directions" that the library
+implements in full.
+"""
+
+from repro.experiments import ExperimentConfig, extras
+
+
+def test_multithreaded_application(benchmark):
+    result = benchmark.pedantic(
+        extras.multithreaded_comparison, kwargs={"threads": 2},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        f"2-thread 172.mgrid + background streamers: makespan "
+        f"{result.baseline_makespan:.2f}s stock vs "
+        f"{result.tuned_makespan:.2f}s tuned "
+        f"({result.makespan_decrease:+.1f}%), "
+        f"{result.total_switches:.0f} switches"
+    )
+    # VI-A's claim is transparency: threads share the marks' tuning
+    # state and the app runs unmodified.
+    assert result.decisions_shared
+    assert result.makespan_decrease > -25.0  # No pathological collapse.
+
+
+def test_feedback_adaptation(benchmark):
+    result = benchmark.pedantic(
+        extras.feedback_adaptation, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"post-shock instructions: one-shot {result.standard_instructions:.3e} "
+        f"vs feedback {result.feedback_instructions:.3e} "
+        f"({result.feedback_gain:+.1f}%, {result.resamples} re-samples)"
+    )
+    # The feedback runtime escapes the polluted fast pair; the one-shot
+    # runtime cannot.
+    assert result.feedback_gain > 10.0
+
+
+def test_many_core_scalability(benchmark, bench_config):
+    config = bench_config.with_(slots=max(bench_config.slots, 16))
+
+    def run():
+        return extras.many_core_speedup(config, fast_cores=4, slow_cores=4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"8-core AMP (4 fast, 4 slow): avg {result.average_time_decrease:+.2f}%, "
+        f"throughput {result.throughput_improvement:+.2f}%, "
+        f"max-stretch {result.max_stretch_decrease:+.2f}%"
+    )
+    assert result.throughput_improvement > -5.0

@@ -1,0 +1,21 @@
+"""Figure 3 bench: space overhead box plots per technique variant."""
+
+from repro.experiments import fig3
+from repro.experiments.config import TABLE2_VARIANTS
+
+
+def test_fig3_space_overhead(benchmark):
+    result = benchmark.pedantic(
+        fig3.run, args=(TABLE2_VARIANTS,), rounds=1, iterations=1
+    )
+    print()
+    print(fig3.format_result(result))
+
+    # Shape assertions against the paper's Figure 3 trends.
+    medians = {n: r.summary.median for n, r in result.reports.items()}
+    assert medians["Loop[45]"] < medians["Int[45]"] < medians["BB[15,0]"]
+    assert medians["BB[20,0]"] <= medians["BB[10,0]"]
+    assert medians["Loop[60]"] <= medians["Loop[30]"]
+    # Best technique: under 10%, with every mark at most 78 bytes.
+    assert medians["Loop[45]"] < 0.10
+    assert max(r.max_mark_bytes for r in result.reports.values()) <= 78

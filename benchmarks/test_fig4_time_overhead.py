@@ -1,0 +1,29 @@
+"""Figure 4 bench: time overhead via switch-to-all-cores marks.
+
+The paper measured workloads of size 84; the quick scale uses the bench
+config's slot count (set REPRO_FULL_SCALE=1 and this runs at 84 slots).
+"""
+
+from benchmarks.conftest import full_scale
+from repro.experiments import fig4
+from repro.experiments.config import ExperimentConfig
+
+
+def test_fig4_time_overhead(benchmark, bench_config):
+    if full_scale():
+        config = ExperimentConfig(slots=84, interval=400.0, seed=101)
+    else:
+        config = bench_config
+    result = benchmark.pedantic(
+        fig4.run, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(fig4.format_result(result))
+
+    # Overheads are small (paper: as little as 0.14%); the loop
+    # technique executes marks least often.
+    assert all(v < 0.15 for v in result.overheads.values())
+    assert (
+        result.overheads["Loop[45]"]
+        <= result.overheads["BB[15,0]"] + 1e-9
+    )

@@ -1,0 +1,28 @@
+"""Figure 5 bench: average cycles per core switch (log scale)."""
+
+import math
+
+from repro.experiments import fig5
+
+
+def test_fig5_cycles_per_switch(benchmark):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    print()
+    print(fig5.format_result(result))
+
+    switching_rows = [
+        row for row in result.table1.rows if row.switches > 0
+    ]
+    assert switching_rows
+
+    # Every switching benchmark amortizes the ~1000-cycle switch by at
+    # least three orders of magnitude (the paper: most are ~10^10
+    # cycles/switch against a 10^3-cycle cost).
+    for row in switching_rows:
+        assert result.amortization(row.name) > 1e3
+
+    # equake sits at the cheap end of the log-scale plot, the long
+    # memory codes at the expensive end — the paper's Figure 5 shape.
+    cps = {row.name: row.cycles_per_switch for row in switching_rows}
+    assert cps["183.equake"] == min(cps.values())
+    assert max(cps.values()) / cps["183.equake"] > 10

@@ -1,0 +1,32 @@
+"""Figure 6 bench: throughput vs the IPC threshold δ.
+
+The paper's claim: "Extreme thresholds may show a degradation in
+throughput because the entire workload eventually migrates away from one
+core type.  Between these extremes lies an optimal value."
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_ipc_threshold(benchmark, bench_config):
+    deltas = (0.005, 0.05, 0.12, 0.25, 0.6)
+    result = benchmark.pedantic(
+        fig6.run,
+        args=(bench_config, deltas),
+        kwargs={"strategy": "Loop[45]"},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig6.format_result(result))
+
+    improvements = dict(zip(result.deltas, result.improvements))
+    # The extreme-low threshold pins everything to the fast pair: clear
+    # degradation relative to the interior.
+    interior_best = max(improvements[d] for d in (0.05, 0.12, 0.25))
+    assert improvements[0.005] < interior_best - 2.0
+    # Very high thresholds decide nothing: close to the baseline.
+    assert abs(improvements[0.6]) < interior_best + 3.0
+    # The interior beats both extremes (the paper's optimum shape).
+    assert interior_best >= improvements[0.005]
+    assert interior_best >= improvements[0.6] - 0.5

@@ -1,0 +1,29 @@
+"""Figure 7 bench: throughput with injected clustering error.
+
+The paper: "With a 10% error we see almost no loss in performance and
+with 20% error we still see a significant performance increase.  At 30%
+error we see little performance improvement."
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_clustering_error(benchmark, bench_config):
+    errors = (0.0, 0.1, 0.2, 0.3)
+    result = benchmark.pedantic(
+        fig7.run,
+        args=(bench_config, errors),
+        kwargs={"strategy": "Loop[45]"},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig7.format_result(result))
+
+    by_error = dict(zip(result.errors, result.improvements))
+    # 10% error costs almost nothing relative to perfect typing.
+    assert by_error[0.1] > by_error[0.0] - 2.0
+    # Heavy error degrades relative to the best observed level; the
+    # technique must not *gain* from wrong types.
+    best = max(by_error.values())
+    assert by_error[0.3] <= best + 0.5

@@ -1,0 +1,32 @@
+"""Figure 8 bench: the speedup vs fairness trade-off scatter."""
+
+from repro.experiments import fig8, table2
+
+
+def test_fig8_tradeoff(benchmark, fairness_config):
+    variants = (
+        "BB[10,0]", "BB[15,0]", "BB[15,2]",
+        "Int[45]", "Loop[45]", "Loop[60]",
+    )
+
+    def run():
+        return fig8.run(table2=table2.run(fairness_config, variants))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig8.format_result(result))
+
+    assert len(result.points) == len(variants)
+    by_name = {p.technique: p for p in result.points}
+
+    # The paper: "our interval and loop techniques perform quite well at
+    # balancing these two metrics" — their combined score is at least
+    # the naive BB variants'.
+    def balance(p):
+        return p.speedup + p.fairness
+
+    structured = max(
+        balance(by_name[n]) for n in ("Int[45]", "Loop[45]", "Loop[60]")
+    )
+    naive = max(balance(by_name[n]) for n in ("BB[10,0]", "BB[15,0]"))
+    assert structured >= naive - 1.0

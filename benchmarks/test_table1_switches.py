@@ -1,0 +1,37 @@
+"""Table 1 bench: switches and isolated runtime per benchmark."""
+
+from repro.experiments import table1
+from repro.workloads.spec import TABLE1_REFERENCE
+
+
+def test_table1_switches(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print()
+    print(table1.format_result(result))
+
+    rows = {row.name: row for row in result.rows}
+    assert len(rows) == 15
+
+    # Table 1's zero rows: GemsFDTD (single phase type) and astar (no
+    # phases at all) never switch.
+    assert rows["459.GemsFDTD"].switches == 0
+    assert rows["473.astar"].switches == 0
+    assert rows["473.astar"].marks == 0
+
+    # equake's switch *rate* tops the suite, as in the paper.
+    rates = {
+        name: row.switches / row.runtime_seconds
+        for name, row in rows.items()
+    }
+    assert rates["183.equake"] == max(rates.values()) > 0
+
+    # Runtimes preserve the paper's relative ordering among uncapped rows.
+    def paper_runtime(name):
+        return TABLE1_REFERENCE[name][1]
+
+    uncapped = ["183.equake", "172.mgrid", "401.bzip2"]
+    ours = [rows[n].runtime_seconds for n in uncapped]
+    paper = [paper_runtime(n) for n in uncapped]
+    assert sorted(range(3), key=lambda i: ours[i]) == sorted(
+        range(3), key=lambda i: paper[i]
+    )

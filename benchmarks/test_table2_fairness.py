@@ -1,0 +1,45 @@
+"""Table 2 bench: fairness comparison, all eighteen variants."""
+
+from benchmarks.conftest import full_scale
+from repro.experiments import table2
+from repro.experiments.config import TABLE2_VARIANTS
+
+
+def test_table2_fairness(benchmark, fairness_config):
+    variants = TABLE2_VARIANTS if full_scale() else (
+        "BB[10,0]", "BB[15,0]", "BB[15,2]", "BB[20,3]",
+        "Int[30]", "Int[45]", "Int[60]",
+        "Loop[30]", "Loop[45]", "Loop[60]",
+    )
+    result = benchmark.pedantic(
+        table2.run, args=(fairness_config, variants), rounds=1, iterations=1
+    )
+    print()
+    print(table2.format_result(result))
+
+    by_name = {row.technique: row.comparison for row in result.rows}
+
+    # The naive basic-block technique's frequent marks cost throughput
+    # and fairness (the paper's motivation for intervals and loops): it
+    # never beats the loop technique's balance.
+    bb_naive = by_name["BB[15,0]"]
+    loop45 = by_name["Loop[45]"]
+    assert (
+        loop45.max_stretch_decrease + loop45.average_time_decrease
+        >= bb_naive.max_stretch_decrease + bb_naive.average_time_decrease - 1.0
+    )
+
+    # Interval/loop techniques keep fairness within a few percent of the
+    # stock scheduler (the paper: their best rows improve it).
+    for name in ("Int[45]", "Loop[45]"):
+        assert by_name[name].max_stretch_decrease > -20.0
+
+    # Loop[60] typically marks nothing at quick scale: all-zero row is
+    # acceptable; at least one interval/loop variant must improve some
+    # fairness metric.
+    gains = [
+        max(c.max_flow_decrease, c.max_stretch_decrease)
+        for n, c in by_name.items()
+        if n.startswith(("Int", "Loop"))
+    ]
+    assert max(gains) > 0.0

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Tune once, run anywhere: one binary, three different AMPs.
+
+The paper's portability claim: the static analysis makes no assumption
+about the target machine, so the *same instrumented binary* adapts to
+whatever asymmetry it lands on.  This example builds a phased program
+with the programmatic builder, instruments it once, and runs that one
+artifact on (a) the paper's 4-core AMP, (b) the Section VII 3-core AMP,
+and (c) a custom machine with a third "medium" core type — the runtime
+re-measures and re-decides on each.
+"""
+
+from repro import (
+    LoopStrategy,
+    PhaseTuningRuntime,
+    ProgramBuilder,
+    Simulation,
+    SimProcess,
+    TraceGenerator,
+    core2quad_amp,
+    instrument,
+    three_core_amp,
+)
+from repro.sim import BehaviorSpec
+from repro.sim.core import Core, CoreType
+from repro.sim.machine import MachineConfig
+from repro.sim.process import Trace
+
+
+def build_program():
+    pb = ProgramBuilder("custom-phased")
+    pb.region("heap", 32 << 20)
+    with pb.proc("main") as b:
+        b.movi("r1", 0)
+        b.movi("r2", 30)
+        b.label("epoch")
+        # Compute phase: FP-dense.
+        b.movi("r3", 0)
+        b.label("crunch")
+        for _ in range(24):
+            b.fmul("f1", "f1", "f2")
+            b.fadd("f2", "f2", "f1")
+        b.add("r3", "r3", 1)
+        b.cmp("r3", 300_000)
+        b.br("lt", "crunch")
+        # Memory phase: streaming scan.
+        b.movi("r4", 0)
+        b.label("scan")
+        for _ in range(20):
+            b.load("r5", "heap", index="r4", stride=4)
+            b.add("r6", "r6", "r5")
+        b.add("r4", "r4", 1)
+        b.cmp("r4", 150_000)
+        b.br("lt", "scan")
+        b.add("r1", "r1", 1)
+        b.cmp("r1", "r2")
+        b.br("lt", "epoch")
+        b.ret()
+    spec = BehaviorSpec(
+        trip_counts={
+            ("main", "epoch"): 30,
+            ("main", "crunch"): 300_000,
+            ("main", "scan"): 150_000,
+        }
+    )
+    return pb.build(), spec
+
+
+def tri_speed_machine() -> MachineConfig:
+    """A machine the binary has never seen: three core types."""
+    fast = CoreType("fast", 2.8)
+    medium = CoreType("medium", 2.0)
+    slow = CoreType("slow", 1.2)
+    return MachineConfig(
+        "tri-speed",
+        (
+            Core(0, fast, l2_group=0),
+            Core(1, medium, l2_group=0),
+            Core(2, slow, l2_group=1),
+        ),
+    )
+
+
+def run_on(machine, instrumented, spec) -> None:
+    generator = TraceGenerator(machine)
+    trace = generator.generate(instrumented, spec)
+    baseline_trace = generator.generate(instrumented.program, spec)
+
+    def once(runtime, use_trace):
+        sim = Simulation(machine, runtime=runtime)
+        proc = SimProcess(
+            1, "custom", Trace(use_trace.nodes), machine.all_cores_mask,
+            isolated_time=1.0,
+        )
+        competitor = SimProcess(
+            2, "noise", Trace(baseline_trace.nodes), machine.all_cores_mask,
+            isolated_time=1.0,
+        )
+        sim.add_process(proc, 0.0)
+        sim.add_process(competitor, 0.0)
+        sim.run(10_000.0)
+        return proc
+
+    stock = once(None, baseline_trace)
+    tuned = once(PhaseTuningRuntime(machine, 0.12), trace)
+    decided = {
+        pt: getattr(st.decided, "name", st.decided)
+        for pt, st in tuned.tuner_state.items()
+        if st.decided is not None
+    }
+    gain = 100 * (stock.completion - tuned.completion) / stock.completion
+    print(f"{machine}")
+    print(
+        f"  stock {stock.completion:7.2f} s | tuned {tuned.completion:7.2f} s "
+        f"({gain:+.1f}%) | assignments {decided} | "
+        f"switches {tuned.stats.switches:.0f}"
+    )
+
+
+def main() -> None:
+    program, spec = build_program()
+    instrumented = instrument(program, LoopStrategy(45))
+    print(f"one binary: {instrumented}\n")
+    for machine in (core2quad_amp(), three_core_amp(), tri_speed_machine()):
+        run_on(machine, instrumented, spec)
+
+
+if __name__ == "__main__":
+    main()

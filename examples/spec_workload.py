@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment, end to end.
+
+Builds an 18-slot workload of randomly drawn SPEC-like benchmarks
+(Section IV-A2), runs it under the stock O(1)-style scheduler and under
+phase-based tuning with Loop[45], and prints the Table 2 metrics:
+max-flow, max-stretch, and average process time, plus throughput.
+
+Run with ``--quick`` for a reduced configuration.
+"""
+
+import argparse
+
+from repro import (
+    LoopStrategy,
+    PhaseTuningRuntime,
+    Workload,
+    WorkloadRun,
+    core2quad_amp,
+    fairness_report,
+    throughput_improvement,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=18)
+    parser.add_argument("--interval", type=float, default=400.0)
+    parser.add_argument("--seed", type=int, default=101)
+    parser.add_argument("--delta", type=float, default=0.12)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    if args.quick:
+        args.slots, args.interval = 8, 90.0
+
+    machine = core2quad_amp()
+    workload = Workload.random(args.slots, seed=args.seed)
+    print(
+        f"workload: {args.slots} slots, {args.interval:.0f} s interval, "
+        f"seed {args.seed}"
+    )
+
+    baseline = WorkloadRun(workload, machine).run(args.interval)
+    base_fair = fairness_report(baseline.completed)
+    print(
+        f"\nstock scheduler : {base_fair.completed} completed, "
+        f"avg {base_fair.average_time:.2f} s, "
+        f"max-flow {base_fair.max_flow:.2f} s, "
+        f"max-stretch {base_fair.max_stretch:.2f}"
+    )
+
+    tuned_run = WorkloadRun(workload, machine, LoopStrategy(45))
+    tuned = tuned_run.run(
+        args.interval, runtime=PhaseTuningRuntime(machine, args.delta)
+    )
+    tuned_fair = fairness_report(tuned.completed)
+    print(
+        f"phase-based tune: {tuned_fair.completed} completed, "
+        f"avg {tuned_fair.average_time:.2f} s, "
+        f"max-flow {tuned_fair.max_flow:.2f} s, "
+        f"max-stretch {tuned_fair.max_stretch:.2f}, "
+        f"{tuned.total_switches():.0f} switches"
+    )
+
+    comparison = tuned_fair.versus(base_fair)
+    print(
+        f"\n% decrease over stock (positive = better):\n"
+        f"  max-flow    {comparison.max_flow_decrease:+.2f}%\n"
+        f"  max-stretch {comparison.max_stretch_decrease:+.2f}%\n"
+        f"  avg time    {comparison.average_time_decrease:+.2f}%\n"
+        f"  throughput  "
+        f"{throughput_improvement(baseline, tuned, args.interval):+.2f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

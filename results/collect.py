@@ -1,0 +1,47 @@
+"""Collect full-scale results for EXPERIMENTS.md."""
+import time
+from repro.experiments import (extras, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2)
+from repro.experiments.config import ExperimentConfig, TABLE2_VARIANTS
+
+def log(msg):
+    print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
+
+log("fig3...")
+r3 = fig3.run()
+print(fig3.format_result(r3), flush=True)
+
+log("table1...")
+r1 = table1.run()
+print(table1.format_result(r1), flush=True)
+print(fig5.format_result(fig5.run(r1)), flush=True)
+
+log("fig4 (84 slots)...")
+r4 = fig4.run(ExperimentConfig(slots=84, interval=400.0, seed=101))
+print(fig4.format_result(r4), flush=True)
+
+log("fig6...")
+r6 = fig6.run(ExperimentConfig.paper(), strategy="Loop[45]")
+print(fig6.format_result(r6), flush=True)
+r6b = fig6.run(ExperimentConfig.paper(), strategy="BB[15,0]")
+print(fig6.format_result(r6b), flush=True)
+
+log("fig7...")
+r7 = fig7.run(ExperimentConfig.paper(), strategy="Loop[45]")
+print(fig7.format_result(r7), flush=True)
+
+log("table2 (800s, all 18 variants)...")
+r2 = table2.run(ExperimentConfig.fairness_paper())
+print(table2.format_result(r2), flush=True)
+print(fig8.format_result(fig8.run(table2=r2)), flush=True)
+
+log("extras...")
+print(extras.format_atom(extras.atom_comparison()), flush=True)
+acc = extras.typing_accuracy()
+print(f"typing accuracy: {acc.misclassified}/{acc.total_loops} = {acc.error_rate:.1%}", flush=True)
+look = extras.lookahead_sweep(ExperimentConfig.paper())
+print(extras.format_sweep(look), flush=True)
+size = extras.min_size_sweep(ExperimentConfig.paper())
+print(extras.format_sweep(size), flush=True)
+tc = extras.three_core_speedup(ExperimentConfig.paper())
+print(f"3-core AMP: avg {tc.average_time_decrease:+.2f}% thr {tc.throughput_improvement:+.2f}% ms {tc.max_stretch_decrease:+.2f}%", flush=True)
+log("done")

@@ -1,0 +1,96 @@
+"""Phase-based tuning for performance-asymmetric multicore processors.
+
+A complete, self-contained reproduction of Sondag & Rajan (CGO 2011):
+the static phase-transition analysis (basic-block, interval, and
+inter-procedural loop techniques), the phase-mark binary rewriter, the
+dynamic IPC-monitoring runtime with Algorithm 2 core assignment — plus
+everything the paper's evaluation rested on, rebuilt as simulation: a
+synthetic ISA, SPEC-like phased benchmarks, a 4-core AMP with an
+O(1)-scheduler baseline, hardware counters, and the fairness/throughput
+metrics.
+
+Quickstart::
+
+    from repro import tune_program, LoopStrategy, core2quad_amp
+    from repro.workloads import spec_benchmark
+
+    bench = spec_benchmark("183.equake")
+    tuned = tune_program(bench.program, LoopStrategy(45), spec=bench.spec)
+    print(tuned.instrumented)          # marks + space overhead
+    print(tuned.isolated_seconds)      # baseline wall time, alone
+
+See ``examples/`` for runnable end-to-end scenarios and
+``repro.experiments`` for the paper's tables and figures.
+"""
+
+from repro.errors import ReproError
+from repro.isa import assemble, disassemble, ProgramBuilder
+from repro.program import Program, validate_program
+from repro.analysis import (
+    StaticBlockTyper,
+    ProfileBlockTyper,
+    annotate_program,
+    inject_clustering_error,
+)
+from repro.instrument import (
+    BBStrategy,
+    IntervalStrategy,
+    LoopStrategy,
+    instrument,
+    parse_strategy,
+)
+from repro.sim import (
+    BehaviorSpec,
+    MachineConfig,
+    Simulation,
+    SimProcess,
+    TraceGenerator,
+    core2quad_amp,
+    three_core_amp,
+)
+from repro.tuning import (
+    PhaseTuningRuntime,
+    select_core,
+    standard_runtime,
+    tune_program,
+)
+from repro.workloads import Workload, WorkloadRun, spec_benchmark, spec_suite
+from repro.metrics import fairness_report, throughput_improvement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "assemble",
+    "disassemble",
+    "ProgramBuilder",
+    "Program",
+    "validate_program",
+    "StaticBlockTyper",
+    "ProfileBlockTyper",
+    "annotate_program",
+    "inject_clustering_error",
+    "BBStrategy",
+    "IntervalStrategy",
+    "LoopStrategy",
+    "instrument",
+    "parse_strategy",
+    "BehaviorSpec",
+    "MachineConfig",
+    "Simulation",
+    "SimProcess",
+    "TraceGenerator",
+    "core2quad_amp",
+    "three_core_amp",
+    "PhaseTuningRuntime",
+    "select_core",
+    "standard_runtime",
+    "tune_program",
+    "Workload",
+    "WorkloadRun",
+    "spec_benchmark",
+    "spec_suite",
+    "fairness_report",
+    "throughput_improvement",
+    "__version__",
+]

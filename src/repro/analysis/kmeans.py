@@ -1,0 +1,123 @@
+"""k-means clustering (MacQueen), implemented from scratch.
+
+The paper cites MacQueen's 1967 k-means for grouping blocks in the 2-D
+feature space.  This implementation is deliberately small and fully
+deterministic: k-means++ seeding driven by an explicit ``random.Random``,
+Lloyd iterations to convergence, and empty clusters re-seeded from the
+point farthest from its centroid.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes:
+        labels: cluster index of each input point.
+        centroids: cluster centers, shape (k, dims).
+        inertia: sum of squared distances of points to their centroids.
+        iterations: Lloyd iterations executed.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _seed_plusplus(points: np.ndarray, k: int, rng: random.Random) -> np.ndarray:
+    """k-means++ initial centroids."""
+    n = len(points)
+    first = rng.randrange(n)
+    centroids = [points[first]]
+    for _ in range(1, k):
+        dists = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = float(dists.sum())
+        if total <= 0.0:
+            # All remaining points coincide with a centroid; pick any.
+            centroids.append(points[rng.randrange(n)])
+            continue
+        threshold = rng.random() * total
+        cumulative = np.cumsum(dists)
+        idx = int(np.searchsorted(cumulative, threshold))
+        centroids.append(points[min(idx, n - 1)])
+    return np.array(centroids, dtype=float)
+
+
+def kmeans(
+    points,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+) -> KMeansResult:
+    """Cluster *points* into *k* groups.
+
+    Args:
+        points: array-like of shape (n, dims).
+        k: number of clusters; must satisfy ``1 <= k <= n``.
+        seed: seed for the deterministic k-means++ initialisation.
+        max_iterations: Lloyd iteration cap.
+
+    Raises:
+        AnalysisError: if *k* is out of range or *points* is empty.
+    """
+    data = np.asarray(points, dtype=float)
+    if data.ndim == 1:
+        data = data.reshape(-1, 1)
+    n = len(data)
+    if n == 0:
+        raise AnalysisError("kmeans: no points to cluster")
+    if not 1 <= k <= n:
+        raise AnalysisError(f"kmeans: k={k} out of range for {n} points")
+
+    rng = random.Random(seed)
+    centroids = _seed_plusplus(data, k, rng)
+    labels = np.zeros(n, dtype=int)
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = np.stack(
+            [np.sum((data - c) ** 2, axis=1) for c in centroids], axis=1
+        )
+        new_labels = np.argmin(distances, axis=1)
+
+        # Re-seed empty clusters from the worst-fit points.  Each empty
+        # cluster takes a *distinct* point (otherwise two empty clusters
+        # could claim the same point and one would stay empty).
+        own_distance = distances[np.arange(n), new_labels].copy()
+        for cluster in range(k):
+            if not np.any(new_labels == cluster):
+                worst = int(np.argmax(own_distance))
+                new_labels[worst] = cluster
+                own_distance[worst] = -np.inf
+
+        moved = bool(np.any(new_labels != labels)) or iterations == 1
+        labels = new_labels
+        new_centroids = np.array(
+            [
+                data[labels == cluster].mean(axis=0)
+                if np.any(labels == cluster)
+                else centroids[cluster]
+                for cluster in range(k)
+            ]
+        )
+        converged = np.allclose(new_centroids, centroids) and not moved
+        centroids = new_centroids
+        if converged:
+            break
+
+    inertia = float(
+        np.sum((data - centroids[labels]) ** 2)
+    )
+    return KMeansResult(labels, centroids, inertia, iterations)

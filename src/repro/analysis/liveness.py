@@ -1,0 +1,147 @@
+"""Live-register analysis.
+
+Section III credits the instrumentation framework's low overhead to
+"code specialization, live register analysis, and instruction motion":
+a phase mark need only save the registers it clobbers that are *live*
+at its insertion point.  This module provides the classic backward
+may-liveness dataflow over a CFG, and the per-edge query the rewriter
+uses to shrink trampolines.
+
+Conservatism: at procedure exits every register in ``live_at_exit`` is
+assumed live (callers may read anything unless a calling convention says
+otherwise); calls are assumed to use and define every register (callees
+are opaque at this level); indirect jumps leak everything.  With the
+default ``live_at_exit="all"`` the analysis is sound for arbitrary
+callers, which the interpreter-based semantic-preservation tests verify
+end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import FPR, GPR, SP, Register
+from repro.program.cfg import CFG
+
+#: Pseudo-register modelling the comparison flags.
+FLAGS = "flags"
+
+#: Every architectural location the analysis tracks.
+ALL_LOCATIONS = frozenset(
+    [r.name for r in GPR] + [r.name for r in FPR] + [SP.name, FLAGS]
+)
+
+
+def def_use(instr: Instruction) -> tuple:
+    """Return (defs, uses) register-name sets of one instruction."""
+    opcode = instr.opcode
+    regs = [op for op in instr.operands if isinstance(op, Register)]
+
+    if opcode in (
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SHL, Opcode.SHR, Opcode.MUL, Opcode.DIV,
+        Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    ):
+        defs = {regs[0].name}
+        uses = {r.name for r in regs[1:]}
+    elif opcode in (Opcode.MOV, Opcode.MOVI, Opcode.FMOV):
+        defs = {regs[0].name}
+        uses = {r.name for r in regs[1:]}
+    elif opcode is Opcode.CMP:
+        defs = {FLAGS}
+        uses = {r.name for r in regs}
+    elif opcode is Opcode.LOAD:
+        defs = {regs[0].name}
+        uses = set()
+    elif opcode is Opcode.STORE:
+        defs = set()
+        uses = {regs[0].name}
+    elif opcode is Opcode.PUSH:
+        defs = {SP.name}
+        uses = {regs[0].name, SP.name}
+    elif opcode is Opcode.POP:
+        defs = {regs[0].name, SP.name}
+        uses = {SP.name}
+    elif opcode is Opcode.BR:
+        defs = set()
+        uses = {FLAGS}
+    elif opcode in (Opcode.JMPI, Opcode.CALLI):
+        defs = set(ALL_LOCATIONS)  # Opaque target: clobber everything.
+        uses = set(ALL_LOCATIONS)
+    elif opcode is Opcode.CALL:
+        defs = set(ALL_LOCATIONS)  # Callee is opaque at this level.
+        uses = set(ALL_LOCATIONS)
+    elif opcode is Opcode.SYS:
+        # The syscall ABI clobbers the scratch registers r0-r2.
+        defs = {GPR[0].name, GPR[1].name, GPR[2].name}
+        uses = {GPR[0].name, GPR[1].name}
+    else:  # RET, JMP, NOP
+        defs = set()
+        uses = set()
+
+    if instr.mem is not None and instr.mem.index is not None:
+        uses.add(instr.mem.index.name)
+    return defs, uses
+
+
+@dataclass
+class LivenessResult:
+    """Block-boundary liveness of one procedure.
+
+    Attributes:
+        live_in: register-name set live at each block's entry.
+        live_out: register-name set live at each block's exit.
+    """
+
+    live_in: list
+    live_out: list
+
+    def live_at_block_entry(self, block_index: int) -> frozenset:
+        return frozenset(self.live_in[block_index])
+
+
+def compute_liveness(cfg: CFG, live_at_exit="all") -> LivenessResult:
+    """Backward may-liveness over *cfg*.
+
+    Args:
+        live_at_exit: registers assumed live when the procedure returns:
+            ``"all"`` (sound for arbitrary callers) or an iterable of
+            register names (a calling convention).
+    """
+    if live_at_exit == "all":
+        exit_live = set(ALL_LOCATIONS)
+    else:
+        exit_live = set(live_at_exit)
+
+    n = len(cfg)
+    gen = [set() for _ in range(n)]
+    kill = [set() for _ in range(n)]
+    for block in cfg:
+        seen_defs: set = set()
+        for instr in block.instrs:
+            defs, uses = def_use(instr)
+            gen[block.index] |= uses - seen_defs
+            seen_defs |= defs
+        kill[block.index] = seen_defs
+
+    live_in = [set() for _ in range(n)]
+    live_out = [set() for _ in range(n)]
+    is_exit = [
+        not cfg.succs(b) for b in range(n)
+    ]
+
+    changed = True
+    while changed:
+        changed = False
+        for b in reversed(range(n)):
+            out = set(exit_live) if is_exit[b] else set()
+            for succ in cfg.succs(b):
+                out |= live_in[succ]
+            new_in = gen[b] | (out - kill[b])
+            if out != live_out[b] or new_in != live_in[b]:
+                live_out[b] = out
+                live_in[b] = new_in
+                changed = True
+
+    return LivenessResult(live_in, live_out)

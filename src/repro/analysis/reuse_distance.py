@@ -1,0 +1,165 @@
+"""Static reuse-distance estimation (after Beyls & D'Hollander).
+
+The paper's block typer uses "a rough estimate of cache behavior
+(computation based on reuse distances)".  Working from the synthetic
+ISA's symbolic memory accesses, this module estimates, per basic block,
+how many distinct cache lines are touched between consecutive accesses to
+the same line, and turns that into a miss probability against a *nominal*
+cache.  The nominal cache is deliberately not the target machine's — the
+static analysis makes no assumption about the AMP it will run on ("tune
+once, run anywhere"); it only needs a consistent yardstick for
+clustering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.isa.instructions import InstrClass, MemAccess
+from repro.program.basic_block import BasicBlock
+from repro.program.module import Program, STACK_REGION
+
+
+@dataclass(frozen=True)
+class NominalCache:
+    """Reference cache used as the static yardstick.
+
+    Attributes:
+        line_size: cache line size in bytes.
+        capacity_lines: number of lines the cache holds.
+    """
+
+    line_size: int = 64
+    capacity_lines: int = 65536  # 4 MiB with 64-byte lines: a typical
+    # last-level cache of the paper's era; working sets under ~2 MiB are
+    # treated as cache-resident, beyond ~8 MiB as streaming.
+
+
+#: Default yardstick shared by all static analyses.
+DEFAULT_NOMINAL_CACHE = NominalCache()
+
+
+def access_lines_per_iteration(
+    mem: MemAccess, program: Program, cache: NominalCache
+) -> float:
+    """Expected number of *new* cache lines one execution of this access
+    touches.
+
+    A scalar access (stride 0) touches the same line every time: ~0 new
+    lines after the first touch.  A strided access touches a new line
+    every ``line_size / stride`` executions (at most one per execution).
+    """
+    if mem.stride == 0:
+        return 0.0
+    return min(1.0, mem.stride / cache.line_size)
+
+
+def access_reuse_distance(
+    mem: MemAccess,
+    block: BasicBlock,
+    program: Program,
+    cache: NominalCache = DEFAULT_NOMINAL_CACHE,
+) -> float:
+    """Estimated reuse distance (in cache lines) for one access in *block*.
+
+    The block is assumed to execute repeatedly (loop context), which is
+    when its cache behaviour matters.  Two cases:
+
+    * Strided access: the line is revisited only after the access sweeps
+      its region's working set, so the reuse distance is the working-set
+      size in lines.
+    * Scalar access: the line is revisited on the next iteration of the
+      block, so the reuse distance is the number of distinct lines the
+      whole block touches in one iteration (other scalars plus the new
+      lines of every strided access).
+    """
+    region = program.region(mem.region)
+    ws_lines = max(1.0, region.working_set / cache.line_size)
+    if mem.stride != 0:
+        return min(ws_lines, region.size / cache.line_size)
+
+    distinct = 0.0
+    seen_scalars = set()
+    for instr in block.instrs:
+        other = instr.mem
+        if other is None:
+            if instr.iclass is InstrClass.STACK:
+                # push/pop touch the top-of-stack line.
+                key = (STACK_REGION, 0)
+                if key not in seen_scalars:
+                    seen_scalars.add(key)
+                    distinct += 1.0
+            continue
+        if other.stride == 0:
+            key = (other.region, other.offset // cache.line_size)
+            if key not in seen_scalars:
+                seen_scalars.add(key)
+                distinct += 1.0
+        else:
+            other_ws = program.region(other.region).working_set / cache.line_size
+            distinct += min(
+                access_lines_per_iteration(other, program, cache), other_ws
+            )
+    return max(1.0, distinct)
+
+
+def miss_probability(reuse_distance_lines: float, cache: NominalCache) -> float:
+    """Probability an access with the given reuse distance misses *cache*.
+
+    A smooth ramp in log-space: distances below half the capacity hit,
+    distances beyond twice the capacity miss, with a linear transition in
+    between.  The smoothness keeps k-means from seeing artificial cliffs.
+    """
+    if reuse_distance_lines <= 0:
+        return 0.0
+    low = cache.capacity_lines / 2.0
+    high = cache.capacity_lines * 2.0
+    if reuse_distance_lines <= low:
+        return 0.0
+    if reuse_distance_lines >= high:
+        return 1.0
+    return (math.log2(reuse_distance_lines) - math.log2(low)) / (
+        math.log2(high) - math.log2(low)
+    )
+
+
+@dataclass(frozen=True)
+class BlockReuseProfile:
+    """Cache-behaviour summary of one block.
+
+    Attributes:
+        accesses: number of memory-touching executions per block run.
+        expected_misses: expected misses per block run against the
+            nominal cache.
+        miss_fraction: misses per instruction (the clustering feature).
+    """
+
+    accesses: int
+    expected_misses: float
+    miss_fraction: float
+
+
+def block_reuse_profile(
+    block: BasicBlock,
+    program: Program,
+    cache: NominalCache = DEFAULT_NOMINAL_CACHE,
+) -> BlockReuseProfile:
+    """Summarize the cache behaviour of *block* against *cache*."""
+    accesses = 0
+    expected_misses = 0.0
+    for instr in block.instrs:
+        if instr.mem is not None:
+            accesses += 1
+            rd = access_reuse_distance(instr.mem, block, program, cache)
+            # A strided access only risks a miss when it enters a new
+            # line; scalars risk it on every (post-sweep) revisit.
+            if instr.mem.stride != 0:
+                rate = access_lines_per_iteration(instr.mem, program, cache)
+            else:
+                rate = 1.0
+            expected_misses += rate * miss_probability(rd, cache)
+        elif instr.iclass is InstrClass.STACK:
+            accesses += 1  # Stack lines are hot: no expected misses.
+    instrs = max(1, len(block.instrs))
+    return BlockReuseProfile(accesses, expected_misses, expected_misses / instrs)

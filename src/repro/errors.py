@@ -1,0 +1,58 @@
+"""Exception hierarchy for the phase-based tuning library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblyError(ReproError):
+    """Raised when textual assembly cannot be parsed or encoded."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ProgramStructureError(ReproError):
+    """Raised when a program representation violates a structural invariant.
+
+    Examples: a branch targeting a label that does not exist, a basic block
+    with a jump in its interior, or a CFG edge pointing outside the graph.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised when a static analysis is given inputs it cannot handle."""
+
+
+class InstrumentationError(ReproError):
+    """Raised when binary rewriting cannot place a phase mark safely."""
+
+
+class SimulationError(ReproError):
+    """Raised when the AMP simulator reaches an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """Raised by schedulers, e.g. an affinity mask excluding every core."""
+
+
+class CounterError(SimulationError):
+    """Raised by the performance-counter subsystem for invalid usage."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload specification is invalid (e.g. empty queue)."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is inconsistent."""

@@ -1,0 +1,107 @@
+"""Run every experiment at full scale and print the paper-style output.
+
+Usage::
+
+    python -m repro.experiments            # everything (a few minutes)
+    python -m repro.experiments fig3 table2  # just the named ones
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import extras, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2
+from repro.experiments.config import ExperimentConfig
+
+
+def _run_fig3():
+    print(fig3.format_result(fig3.run()))
+
+
+def _run_table1():
+    result = table1.run()
+    print(table1.format_result(result))
+    print()
+    print(fig5.format_result(fig5.run(result)))
+
+
+def _run_fig4():
+    config = ExperimentConfig(slots=84, interval=400.0, seed=101)
+    print(fig4.format_result(fig4.run(config)))
+
+
+def _run_fig6():
+    print(fig6.format_result(fig6.run(ExperimentConfig.paper(), strategy="Loop[45]")))
+
+
+def _run_fig7():
+    print(fig7.format_result(fig7.run(ExperimentConfig.paper(), strategy="Loop[45]")))
+
+
+def _run_table2():
+    result = table2.run(ExperimentConfig.fairness_paper())
+    print(table2.format_result(result))
+    print()
+    print(fig8.format_result(fig8.run(table2=result)))
+
+
+def _run_extras():
+    print(extras.format_atom(extras.atom_comparison()))
+    accuracy = extras.typing_accuracy()
+    print(
+        f"\ntyping accuracy: {accuracy.misclassified}/{accuracy.total_loops} "
+        f"loops misclassified ({accuracy.error_rate:.1%}; paper ~15%)"
+    )
+    print()
+    print(extras.format_sweep(extras.lookahead_sweep(ExperimentConfig.paper())))
+    print()
+    print(extras.format_sweep(extras.min_size_sweep(ExperimentConfig.paper())))
+    three = extras.three_core_speedup(ExperimentConfig.paper())
+    print(
+        f"\n3-core AMP: avg {three.average_time_decrease:+.2f}%, "
+        f"throughput {three.throughput_improvement:+.2f}%, "
+        f"max-stretch {three.max_stretch_decrease:+.2f}%"
+    )
+    many = extras.many_core_speedup()
+    print(
+        f"8-core AMP: avg {many.average_time_decrease:+.2f}%, "
+        f"throughput {many.throughput_improvement:+.2f}%, "
+        f"max-stretch {many.max_stretch_decrease:+.2f}%"
+    )
+    threads = extras.multithreaded_comparison()
+    print(
+        f"multi-threaded app: makespan {threads.makespan_decrease:+.1f}%, "
+        f"decisions shared: {threads.decisions_shared}"
+    )
+    feedback = extras.feedback_adaptation()
+    print(
+        f"feedback adaptation: {feedback.feedback_gain:+.1f}% more "
+        f"post-shock progress ({feedback.resamples} re-samples)"
+    )
+
+
+_EXPERIMENTS = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "table1": _run_table1,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "table2": _run_table2,
+    "extras": _run_extras,
+}
+
+
+def main(names) -> None:
+    chosen = names or list(_EXPERIMENTS)
+    for name in chosen:
+        if name not in _EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
+            )
+        print(f"===== {name} =====")
+        _EXPERIMENTS[name]()
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

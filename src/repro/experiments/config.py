@@ -1,0 +1,87 @@
+"""Shared experiment configuration.
+
+:class:`ExperimentConfig` bundles everything a run needs — workload
+size, interval, seed, Algorithm 2's δ, the machine, executor knobs — so
+experiments differ only in what they sweep.  ``quick()`` shrinks the
+workload for test/benchmark runs; ``paper()`` is the full-scale setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.instrument.marker import MarkingStrategy, parse_strategy
+from repro.sim.machine import MachineConfig, core2quad_amp
+from repro.tuning.runtime import PhaseTuningRuntime
+
+#: The eighteen technique variants of Table 2.
+TABLE2_VARIANTS = (
+    "BB[10,0]", "BB[10,1]", "BB[10,2]", "BB[10,3]",
+    "BB[15,0]", "BB[15,1]", "BB[15,2]", "BB[15,3]",
+    "BB[20,0]", "BB[20,1]", "BB[20,2]", "BB[20,3]",
+    "Int[30]", "Int[45]", "Int[60]",
+    "Loop[30]", "Loop[45]", "Loop[60]",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one experimental run.
+
+    Attributes:
+        slots: workload size (paper: 18-84 simultaneous jobs).
+        interval: measured interval in simulated seconds (paper: 400 s
+            for throughput, 800 s for fairness).
+        seed: workload queue seed; fixed per experiment so all technique
+            variants see identical queues.
+        ipc_threshold: Algorithm 2's δ.  The paper's best fairness run
+            used 0.15 (its IPC scale); 0.12 is the calibrated analogue
+            on this simulator's IPC scale.
+        machine: the AMP (defaults to the paper's 4-core setup).
+        contention_alpha: L2 bandwidth-contention strength.
+        pollution_beta: shared-L2 pollution strength.
+        tie_policy: tie handling in Algorithm 2 decisions.
+    """
+
+    slots: int = 18
+    interval: float = 400.0
+    seed: int = 101
+    ipc_threshold: float = 0.12
+    machine: Optional[MachineConfig] = None
+    contention_alpha: float = 0.4
+    pollution_beta: float = 0.6
+    tie_policy: str = "free"
+
+    def resolved_machine(self) -> MachineConfig:
+        return self.machine or core2quad_amp()
+
+    def make_runtime(self, delta: Optional[float] = None) -> PhaseTuningRuntime:
+        """A fresh tuning runtime for one run."""
+        return PhaseTuningRuntime(
+            self.resolved_machine(),
+            delta if delta is not None else self.ipc_threshold,
+            tie_policy=self.tie_policy,
+        )
+
+    def strategy(self, name: str) -> MarkingStrategy:
+        return parse_strategy(name)
+
+    def with_(self, **changes) -> "ExperimentConfig":
+        """Copy with fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Small configuration for tests and CI benchmarks."""
+        return cls(slots=8, interval=90.0)
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """Full-scale configuration mirroring the paper's setup."""
+        return cls(slots=18, interval=400.0)
+
+    @classmethod
+    def fairness_paper(cls) -> "ExperimentConfig":
+        """Table 2 used an 800-second interval."""
+        return cls(slots=18, interval=800.0)

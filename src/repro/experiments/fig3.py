@@ -1,0 +1,64 @@
+"""Figure 3: space overhead per technique variant.
+
+"To measure space overhead, we compared the sizes of the original and
+modified binaries for variations of our technique ... As the minimum
+size increases, space overhead decreases.  Similarly, as lookahead depth
+increases, space overhead generally decreases ... For our best technique
+(loop technique with minimum size of 45), we have less than 4% space
+overhead ... an average of 20.24 phase marks per benchmark where each
+phase mark is at most 78 bytes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument.marker import parse_strategy
+from repro.metrics.overhead import SpaceOverheadReport, space_overhead_report
+from repro.workloads.spec import spec_suite
+from repro.experiments.config import TABLE2_VARIANTS
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Fig3Result:
+    """Box-plot data per technique variant."""
+
+    reports: dict  # variant name -> SpaceOverheadReport
+
+
+def run(variants=TABLE2_VARIANTS) -> Fig3Result:
+    """Instrument the whole suite with every variant."""
+    suite = spec_suite()
+    reports = {
+        name: space_overhead_report(suite, parse_strategy(name))
+        for name in variants
+    }
+    return Fig3Result(reports)
+
+
+def format_result(result: Fig3Result) -> str:
+    rows = []
+    for name, report in result.reports.items():
+        box = report.summary
+        rows.append(
+            (
+                name,
+                f"{box.minimum:.2%}",
+                f"{box.q1:.2%}",
+                f"{box.median:.2%}",
+                f"{box.q3:.2%}",
+                f"{box.maximum:.2%}",
+                f"{report.mean_marks:.1f}",
+                f"{report.max_mark_bytes}",
+            )
+        )
+    return format_table(
+        ("technique", "min", "q1", "median", "q3", "max", "marks/bench", "max mark B"),
+        rows,
+        title="Figure 3: space overhead (fraction of original binary)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

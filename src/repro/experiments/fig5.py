@@ -1,0 +1,55 @@
+"""Figure 5: average cycles per core switch (log scale).
+
+"Most benchmarks fall in the range of tens of billions of cycles per
+core switch which is clearly enough to amortize the switching cost"
+(~1000 cycles per switch).  Our benchmarks are time-scaled by ~1/50, so
+the amortization ratios — cycles-per-switch over switch cost — are the
+comparable quantity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.scheduler.affinity import MIGRATION_CYCLES
+from repro.experiments.table1 import Table1Result, run as run_table1
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Fig5Result:
+    table1: Table1Result
+
+    def amortization(self, name: str) -> float:
+        """Cycles-per-switch over the switch cost for one benchmark."""
+        for row in self.table1.rows:
+            if row.name == name:
+                return row.cycles_per_switch / MIGRATION_CYCLES
+        raise KeyError(name)
+
+
+def run(table1: Table1Result = None) -> Fig5Result:
+    return Fig5Result(table1 or run_table1())
+
+
+def format_result(result: Fig5Result) -> str:
+    rows = []
+    for row in result.table1.rows:
+        cps = row.cycles_per_switch
+        if math.isinf(cps):
+            rendered = "inf (no switches)"
+            log10 = "-"
+        else:
+            rendered = f"{cps:.3e}"
+            log10 = f"{math.log10(cps):.1f}"
+        rows.append((row.name, rendered, log10))
+    return format_table(
+        ("benchmark", "cycles/switch", "log10"),
+        rows,
+        title="Figure 5: average cycles per core switch (log scale)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,67 @@
+"""Figure 6: throughput vs the IPC threshold δ.
+
+"Figure 6 shows how different threshold values affect throughput when
+all other variables are fixed (basic block strategy, min. block size 15,
+lookahead depth 0) ... Extreme thresholds may show a degradation in
+throughput because the entire workload eventually migrates away from one
+core type.  Between these extremes lies an optimal value."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.throughput import throughput_improvement
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import make_workload, run_baseline, run_technique
+from repro.experiments.report import format_series
+
+#: δ values swept (the simulator's IPC scale; reference-cycle metric).
+DEFAULT_DELTAS = (0.005, 0.02, 0.05, 0.08, 0.12, 0.18, 0.25, 0.35, 0.5)
+
+#: Figure 6's fixed technique.
+FIG6_STRATEGY = "BB[15,0]"
+
+
+@dataclass
+class Fig6Result:
+    deltas: tuple
+    improvements: list  # % throughput improvement per delta
+    strategy: str
+    config: ExperimentConfig
+
+
+def run(
+    config: ExperimentConfig = None,
+    deltas=DEFAULT_DELTAS,
+    strategy: str = FIG6_STRATEGY,
+) -> Fig6Result:
+    config = config or ExperimentConfig.paper()
+    workload = make_workload(config)
+    baseline = run_baseline(config, workload)
+    improvements = []
+    for delta in deltas:
+        tuned = run_technique(config, strategy, workload=workload, delta=delta)
+        improvements.append(
+            throughput_improvement(
+                baseline.result, tuned.result, config.interval
+            )
+        )
+    return Fig6Result(tuple(deltas), improvements, strategy, config)
+
+
+def format_result(result: Fig6Result) -> str:
+    return format_series(
+        result.deltas,
+        result.improvements,
+        "IPC threshold",
+        "throughput improvement %",
+        title=(
+            f"Figure 6: throughput vs IPC threshold "
+            f"({result.strategy}, slots={result.config.slots})"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

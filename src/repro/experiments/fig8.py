@@ -1,0 +1,68 @@
+"""Figure 8: speedup vs fairness trade-off.
+
+"Here we examine the trade-off between speedup and fairness.  Speedup
+refers to the decrease in average process runtime.  Max-stretch is used
+for fairness ... Our interval and loop techniques perform quite well at
+balancing these two metrics.  Many variations show significant increases
+in speedup, but at a loss of fairness."
+
+The scatter's points are Table 2's rows, so this module just reshapes a
+:class:`~repro.experiments.table2.Table2Result`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table2 import Table2Result, run as run_table2
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Fig8Point:
+    technique: str
+    speedup: float       # avg-time decrease, %
+    fairness: float      # max-stretch decrease, %
+
+
+@dataclass
+class Fig8Result:
+    points: list
+
+    def balanced(self) -> list:
+        """Points improving (or holding) both axes."""
+        return [
+            p for p in self.points if p.speedup >= 0 and p.fairness >= -1.0
+        ]
+
+
+def run(
+    config: ExperimentConfig = None, table2: Table2Result = None
+) -> Fig8Result:
+    table2 = table2 or run_table2(config)
+    points = [
+        Fig8Point(
+            row.technique,
+            row.comparison.average_time_decrease,
+            row.comparison.max_stretch_decrease,
+        )
+        for row in table2.rows
+    ]
+    return Fig8Result(points)
+
+
+def format_result(result: Fig8Result) -> str:
+    rows = [
+        (p.technique, f"{p.speedup:+.2f}", f"{p.fairness:+.2f}")
+        for p in sorted(result.points, key=lambda p: -p.speedup)
+    ]
+    return format_table(
+        ("technique", "speedup (avg time %)", "fairness (max-stretch %)"),
+        rows,
+        title="Figure 8: speedup vs fairness (scatter data)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,31 @@
+"""Plain-text rendering of experiment results, paper-style."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(map(str, headers), widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(xs, ys, x_label: str, y_label: str, title: str = "") -> str:
+    """Render an (x, y) series as the rows a figure would plot."""
+    rows = [(f"{x}", f"{y:+.2f}") for x, y in zip(xs, ys)]
+    return format_table((x_label, y_label), rows, title)
+
+
+def pct(value: float) -> str:
+    """Render a percentage with Table 2's sign convention."""
+    return f"{value:+.2f}"

@@ -1,0 +1,104 @@
+"""Shared run machinery for the experiments.
+
+All experiments compare runs over *identical workload queues* — the
+paper's methodology ("when comparing two techniques, the same queues
+were used for each experiment").  :func:`run_baseline` executes the
+stock-scheduler run, :func:`run_technique` a tuned run, and both return
+a :class:`TechniqueOutcome` carrying the simulation result plus the
+derived metrics the tables/figures consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.fairness import FairnessReport, fairness_report
+from repro.metrics.throughput import throughput
+from repro.sim.executor import SimulationResult
+from repro.workloads.workload import Workload, WorkloadRun
+from repro.experiments.config import ExperimentConfig
+
+
+@dataclass
+class TechniqueOutcome:
+    """One run's results.
+
+    Attributes:
+        name: technique name, or ``"linux"`` for the stock baseline.
+        result: the raw simulation result.
+        fairness: Table 2's metrics over completed processes.
+        instructions: committed instructions within the interval.
+        switches: total core switches across all processes.
+    """
+
+    name: str
+    result: SimulationResult
+    fairness: FairnessReport
+    instructions: float
+    switches: float
+
+    @property
+    def completed(self) -> int:
+        return self.fairness.completed
+
+
+def _outcome(name: str, result: SimulationResult, interval: float) -> TechniqueOutcome:
+    return TechniqueOutcome(
+        name,
+        result,
+        fairness_report(result.completed),
+        throughput(result, interval),
+        result.total_switches(),
+    )
+
+
+def make_workload(config: ExperimentConfig) -> Workload:
+    """The experiment's workload (same seed -> same queues)."""
+    return Workload.random(config.slots, seed=config.seed)
+
+
+def run_baseline(
+    config: ExperimentConfig, workload: Optional[Workload] = None
+) -> TechniqueOutcome:
+    """Run the stock-Linux-scheduler baseline."""
+    workload = workload or make_workload(config)
+    run = WorkloadRun(workload, config.resolved_machine())
+    result = run.run(
+        config.interval,
+        contention_alpha=config.contention_alpha,
+        pollution_beta=config.pollution_beta,
+    )
+    return _outcome("linux", result, config.interval)
+
+
+def run_technique(
+    config: ExperimentConfig,
+    strategy_name: str,
+    workload: Optional[Workload] = None,
+    delta: Optional[float] = None,
+    typing_overrides: Optional[dict] = None,
+    runtime=None,
+) -> TechniqueOutcome:
+    """Run one phase-based-tuning variant.
+
+    Args:
+        strategy_name: e.g. ``"Loop[45]"``.
+        delta: override the config's IPC threshold.
+        typing_overrides: per-benchmark typings (error injection).
+        runtime: override the runtime entirely (e.g. switch-to-all).
+    """
+    workload = workload or make_workload(config)
+    run = WorkloadRun(
+        workload,
+        config.resolved_machine(),
+        config.strategy(strategy_name),
+        typing_overrides=typing_overrides,
+    )
+    result = run.run(
+        config.interval,
+        runtime=runtime if runtime is not None else config.make_runtime(delta),
+        contention_alpha=config.contention_alpha,
+        pollution_beta=config.pollution_beta,
+    )
+    return _outcome(strategy_name, result, config.interval)

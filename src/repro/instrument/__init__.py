@@ -1,0 +1,50 @@
+"""Binary instrumentation: phase marks and the rewriter (Sections II-A2, III).
+
+Phase transition points become *phase marks*: small code-and-data
+fragments spliced into the binary.  Following the paper's implementation
+notes, the inline footprint is a single unconditional jump to an
+out-of-line trampoline that saves a few registers, invokes the runtime
+(type id + mark id), restores, and jumps to the section entry; branches
+that target a marked edge are simply retargeted to the trampoline at zero
+inline cost.  No compiler or OS cooperation is required.
+
+:class:`~repro.instrument.marker.MarkingStrategy` names the paper's
+technique variants (``BB[min,look]``, ``Int[min]``, ``Loop[min]``);
+:func:`~repro.instrument.rewriter.instrument` runs typing, transition
+analysis and mark construction in one call and accounts the exact byte
+overhead; ``materialize()`` produces a physically rewritten
+:class:`~repro.program.module.Program`.  :mod:`atom_baseline` provides
+the every-block ATOM-style instrumenter used for the overhead comparison
+of Section III.
+"""
+
+from repro.instrument.phase_mark import (
+    PhaseMark,
+    SYS_PHASE_MARK,
+    MARK_DATA_BYTES,
+    mark_trampoline,
+)
+from repro.instrument.marker import (
+    BBStrategy,
+    IntervalStrategy,
+    LoopStrategy,
+    MarkingStrategy,
+    parse_strategy,
+)
+from repro.instrument.rewriter import InstrumentedProgram, instrument
+from repro.instrument.atom_baseline import AtomInstrumenter
+
+__all__ = [
+    "PhaseMark",
+    "SYS_PHASE_MARK",
+    "MARK_DATA_BYTES",
+    "mark_trampoline",
+    "BBStrategy",
+    "IntervalStrategy",
+    "LoopStrategy",
+    "MarkingStrategy",
+    "parse_strategy",
+    "InstrumentedProgram",
+    "instrument",
+    "AtomInstrumenter",
+]

@@ -1,0 +1,140 @@
+"""Phase marks: the code-and-data fragments inserted at transitions.
+
+A phase mark "contains information about the phase type for the current
+section, code for dynamic performance analysis, and code for making core
+switching decisions".  Its physical shape follows Section III: the
+instrumentation is finely tuned so the inline cost is "an unconditional
+jump and a relatively small number of pushes"; the body lives in an
+out-of-line trampoline.
+
+Byte budget (matching the paper's "each phase mark is at most 78 bytes"):
+
+=====================  =====
+component              bytes
+=====================  =====
+trampoline code           31
+descriptor data           40
+inline jump (only on       5
+fall-through edges;
+branch edges retarget
+for free)
+=====================  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.isa.encoding import code_size
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import GPR, Register
+from repro.analysis.transitions import TransitionPoint
+
+#: Synthetic syscall number through which mark code reaches the runtime.
+SYS_PHASE_MARK = 0x20
+
+#: Per-mark descriptor data: phase type (4), mark id (4), runtime state
+#: pointer (8), monitoring scratch (16), cached target core mask (8).
+MARK_DATA_BYTES = 40
+
+#: Cycles one mark firing costs when no switch happens (executing the
+#: trampoline: jump, saves, runtime check, restores, jump back — about
+#: thirteen specialized instructions on a superscalar pipeline).
+MARK_FIRE_CYCLES = 15
+
+#: Extra cycles when monitoring code runs (counter reads/bookkeeping).
+MARK_MONITOR_CYCLES = 120
+
+
+#: Registers the mark body clobbers (the syscall ABI's scratch set).
+CLOBBERED_REGISTERS = ("r0", "r1", "r2")
+
+
+def mark_trampoline(
+    mark_id: int,
+    phase_type: int,
+    back_label: str,
+    saves: tuple = CLOBBERED_REGISTERS,
+) -> list[Instruction]:
+    """Build the out-of-line trampoline for one mark.
+
+    Saves the clobbered registers that are live at the insertion point
+    (Section III's live-register analysis: the default saves all three
+    scratch registers; the rewriter passes a smaller set where liveness
+    allows), passes the phase type and mark id to the runtime via the
+    ``SYS_PHASE_MARK`` syscall, restores, and jumps back to the marked
+    section's entry.
+    """
+    save_regs = [Register.get(name) for name in saves]
+    body = [Instruction(Opcode.PUSH, (r,)) for r in save_regs]
+    body += [
+        Instruction(Opcode.MOVI, (GPR[0], phase_type)),
+        Instruction(Opcode.MOVI, (GPR[1], mark_id)),
+        Instruction(Opcode.SYS, (SYS_PHASE_MARK,)),
+    ]
+    body += [Instruction(Opcode.POP, (r,)) for r in reversed(save_regs)]
+    body.append(Instruction(Opcode.JMP, (back_label,)))
+    return body
+
+
+#: Size in bytes of one inline jump stub (fall-through edges only).
+INLINE_JUMP_BYTES = 5
+
+
+@dataclass(frozen=True)
+class PhaseMark:
+    """One phase mark placed at a transition point.
+
+    Attributes:
+        mark_id: program-wide unique id, passed to the runtime.
+        point: the transition point this mark instruments.
+        fallthrough_edges: how many trigger edges were fall-through and
+            needed an inline jump stub.
+        saves: names of the clobbered registers that are live at the
+            insertion point and therefore saved/restored.
+    """
+
+    mark_id: int
+    point: TransitionPoint
+    fallthrough_edges: int = 0
+    saves: tuple = CLOBBERED_REGISTERS
+
+    @property
+    def phase_type(self) -> int:
+        return self.point.phase_type
+
+    @cached_property
+    def trampoline_bytes(self) -> int:
+        return code_size(
+            mark_trampoline(self.mark_id, self.phase_type, "x", self.saves)
+        )
+
+    @cached_property
+    def entry_inline_bytes(self) -> int:
+        """Inline body of a procedure-entry mark (trampoline minus the
+        back jump, spliced straight into the entry block)."""
+        return code_size(
+            mark_trampoline(self.mark_id, self.phase_type, "x", self.saves)[:-1]
+        )
+
+    @property
+    def data_bytes(self) -> int:
+        return MARK_DATA_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        """Everything this mark adds to the binary, exactly matching
+        what :meth:`InstrumentedProgram.materialize` splices in."""
+        total = self.data_bytes + self.fallthrough_edges * INLINE_JUMP_BYTES
+        if self.point.trigger_edges:
+            total += self.trampoline_bytes
+        if self.point.at_proc_entry:
+            total += self.entry_inline_bytes
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseMark(#{self.mark_id}, type={self.phase_type}, "
+            f"at={self.point.uid}, {self.total_bytes}B)"
+        )

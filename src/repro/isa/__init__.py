@@ -1,0 +1,55 @@
+"""Synthetic RISC-like instruction set.
+
+The paper operates on x86 binaries of SPEC CPU benchmarks.  Real x86
+binaries are unavailable here, so this package defines a small, explicit
+instruction set with everything phase-based tuning actually consumes:
+
+* instruction *classes* (integer ALU, multiply/divide, floating point,
+  loads/stores, branches, calls, ...) that drive both the static
+  instruction-mix features (Section II-A3) and the per-core cycle cost
+  model,
+* symbolic *memory accesses* (named region + stride) from which static
+  reuse distances and dynamic cache miss rates are derived, and
+* a byte-size *encoding* model so binary rewriting can account space
+  overhead exactly (Figure 3).
+
+The package provides a textual assembler/disassembler and a programmatic
+builder; programs assemble into :class:`repro.program.Program` objects.
+"""
+
+from repro.isa.instructions import (
+    CondCode,
+    Instruction,
+    InstrClass,
+    MemAccess,
+    Opcode,
+    OPCODE_CLASS,
+)
+from repro.isa.registers import Register, GPR, FPR, SP
+from repro.isa.encoding import instruction_size, code_size
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.builder import ProcedureBuilder, ProgramBuilder
+from repro.isa.interpreter import InterpreterError, MachineState, run_program
+
+__all__ = [
+    "CondCode",
+    "Instruction",
+    "InstrClass",
+    "MemAccess",
+    "Opcode",
+    "OPCODE_CLASS",
+    "Register",
+    "GPR",
+    "FPR",
+    "SP",
+    "instruction_size",
+    "code_size",
+    "assemble",
+    "disassemble",
+    "ProcedureBuilder",
+    "ProgramBuilder",
+    "InterpreterError",
+    "MachineState",
+    "run_program",
+]

@@ -1,0 +1,266 @@
+"""Textual assembler for the synthetic ISA.
+
+Grammar (one statement per line, ``;`` starts a comment)::
+
+    .program NAME                ; optional, names the binary
+    .region NAME SIZE [hot=F]    ; declare a data region (bytes)
+    .entry NAME                  ; optional, default "main"
+    .proc NAME
+    label:
+        add   r1, r2, r3         ; dst, src, src  (src may be a literal)
+        movi  r1, 42
+        load  r3, A[r1]:8        ; dst, region[index]:stride
+        load  r4, G@16           ; scalar slot at offset 16 (stride 0)
+        store A[r1]:8, r3        ; region, src
+        push  r1
+        br    lt, label
+        jmp   label
+        call  helper
+        sys   1
+        ret
+    .endproc
+
+Memory operands name a declared region; ``[rN]:S`` gives the index
+register and byte stride, ``@OFF`` names a scalar slot.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    CondCode,
+    Instruction,
+    MemAccess,
+    Opcode,
+)
+from repro.isa.registers import Register
+from repro.program.module import MemoryRegion, Procedure, Program
+
+_MEM_RE = re.compile(
+    r"^(?P<region>[A-Za-z_][\w.]*)"
+    r"(?:\[(?P<index>\w+)\])?"
+    r"(?:@(?P<offset>\d+))?"
+    r"(?::(?P<stride>\d+))?$"
+)
+
+_LABEL_RE = re.compile(r"^(\.?[A-Za-z_][\w.]*):$")
+
+#: Opcodes whose operands are ``dst, src, src``.
+_THREE_OP = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SHL, Opcode.SHR, Opcode.MUL, Opcode.DIV,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+}
+_TWO_REG = {Opcode.CMP, Opcode.MOV, Opcode.FMOV}
+
+
+def _parse_mem(text: str, line: int) -> MemAccess:
+    match = _MEM_RE.match(text)
+    if match is None:
+        raise AssemblyError(f"malformed memory operand {text!r}", line)
+    index_name = match.group("index")
+    index: Optional[Register] = None
+    if index_name is not None:
+        if not Register.exists(index_name):
+            raise AssemblyError(f"unknown index register {index_name!r}", line)
+        index = Register.get(index_name)
+    stride = int(match.group("stride") or 0)
+    offset = int(match.group("offset") or 0)
+    return MemAccess(match.group("region"), stride, index, offset)
+
+
+def _parse_value(text: str, line: int):
+    """Parse a register or an integer literal."""
+    if Register.exists(text):
+        return Register.get(text)
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"expected register or literal, got {text!r}", line)
+
+
+def _parse_reg(text: str, line: int) -> Register:
+    if not Register.exists(text):
+        raise AssemblyError(f"expected register, got {text!r}", line)
+    return Register.get(text)
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def _parse_instruction(mnemonic: str, rest: str, line: int) -> Instruction:
+    try:
+        opcode = Opcode(mnemonic)
+    except ValueError:
+        raise AssemblyError(f"unknown opcode {mnemonic!r}", line)
+
+    ops = _split_operands(rest)
+
+    def arity(expected: int) -> None:
+        if len(ops) != expected:
+            raise AssemblyError(
+                f"{mnemonic} expects {expected} operand(s), got {len(ops)}", line
+            )
+
+    if opcode in _THREE_OP:
+        arity(3)
+        return Instruction(
+            opcode,
+            (
+                _parse_reg(ops[0], line),
+                _parse_value(ops[1], line),
+                _parse_value(ops[2], line),
+            ),
+        )
+    if opcode in _TWO_REG:
+        arity(2)
+        return Instruction(
+            opcode, (_parse_reg(ops[0], line), _parse_value(ops[1], line))
+        )
+    if opcode is Opcode.MOVI:
+        arity(2)
+        try:
+            imm = int(ops[1], 0)
+        except ValueError:
+            raise AssemblyError(f"movi needs an integer, got {ops[1]!r}", line)
+        return Instruction(opcode, (_parse_reg(ops[0], line), imm))
+    if opcode is Opcode.LOAD:
+        arity(2)
+        mem = _parse_mem(ops[1], line)
+        return Instruction(opcode, (_parse_reg(ops[0], line),), mem=mem)
+    if opcode is Opcode.STORE:
+        arity(2)
+        mem = _parse_mem(ops[0], line)
+        return Instruction(opcode, (_parse_reg(ops[1], line),), mem=mem)
+    if opcode in (Opcode.PUSH, Opcode.POP):
+        arity(1)
+        return Instruction(opcode, (_parse_reg(ops[0], line),))
+    if opcode is Opcode.BR:
+        arity(2)
+        try:
+            cond = CondCode(ops[0])
+        except ValueError:
+            raise AssemblyError(f"unknown condition code {ops[0]!r}", line)
+        return Instruction(opcode, (cond, ops[1]))
+    if opcode is Opcode.JMP:
+        arity(1)
+        return Instruction(opcode, (ops[0],))
+    if opcode in (Opcode.JMPI, Opcode.CALLI):
+        arity(1)
+        return Instruction(opcode, (_parse_reg(ops[0], line),))
+    if opcode is Opcode.CALL:
+        arity(1)
+        return Instruction(opcode, (ops[0],))
+    if opcode is Opcode.RET:
+        arity(0)
+        return Instruction(opcode)
+    if opcode is Opcode.SYS:
+        arity(1)
+        try:
+            num = int(ops[0], 0)
+        except ValueError:
+            raise AssemblyError(f"sys needs an integer, got {ops[0]!r}", line)
+        return Instruction(opcode, (num,))
+    if opcode is Opcode.NOP:
+        arity(0)
+        return Instruction(opcode)
+    raise AssemblyError(f"unhandled opcode {mnemonic!r}", line)  # pragma: no cover
+
+
+def assemble(source: str, name: str = "a.out") -> Program:
+    """Assemble *source* text into a :class:`Program`.
+
+    Raises:
+        AssemblyError: on any syntax or structural problem, with the
+            offending line number.
+    """
+    procedures: dict[str, Procedure] = {}
+    regions: dict[str, MemoryRegion] = {}
+    entry = "main"
+    program_name = name
+
+    current_proc: Optional[str] = None
+    code: list[Instruction] = []
+    labels: dict[str, int] = {}
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        if not text:
+            continue
+
+        label_match = _LABEL_RE.match(text)
+        if label_match:
+            if current_proc is None:
+                raise AssemblyError("label outside a procedure", lineno)
+            label = label_match.group(1)
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", lineno)
+            labels[label] = len(code)
+            continue
+
+        if text.startswith("."):
+            parts = text.split()
+            directive = parts[0]
+            if directive == ".program":
+                if len(parts) != 2:
+                    raise AssemblyError(".program expects a name", lineno)
+                program_name = parts[1]
+            elif directive == ".region":
+                if len(parts) not in (3, 4):
+                    raise AssemblyError(".region expects NAME SIZE [hot=F]", lineno)
+                hot = 1.0
+                if len(parts) == 4:
+                    if not parts[3].startswith("hot="):
+                        raise AssemblyError(
+                            f"unknown region option {parts[3]!r}", lineno
+                        )
+                    hot = float(parts[3][4:])
+                try:
+                    size = int(parts[2], 0)
+                except ValueError:
+                    raise AssemblyError(f"bad region size {parts[2]!r}", lineno)
+                regions[parts[1]] = MemoryRegion(parts[1], size, hot)
+            elif directive == ".entry":
+                if len(parts) != 2:
+                    raise AssemblyError(".entry expects a name", lineno)
+                entry = parts[1]
+            elif directive == ".proc":
+                if current_proc is not None:
+                    raise AssemblyError(
+                        f"nested .proc (still inside {current_proc!r})", lineno
+                    )
+                if len(parts) != 2:
+                    raise AssemblyError(".proc expects a name", lineno)
+                current_proc = parts[1]
+                code = []
+                labels = {}
+            elif directive == ".endproc":
+                if current_proc is None:
+                    raise AssemblyError(".endproc outside a procedure", lineno)
+                if not code:
+                    raise AssemblyError(
+                        f"procedure {current_proc!r} is empty", lineno
+                    )
+                procedures[current_proc] = Procedure(current_proc, code, labels)
+                current_proc = None
+            else:
+                raise AssemblyError(f"unknown directive {directive!r}", lineno)
+            continue
+
+        if current_proc is None:
+            raise AssemblyError("instruction outside a procedure", lineno)
+        head, _, rest = text.partition(" ")
+        code.append(_parse_instruction(head, rest, lineno))
+
+    if current_proc is not None:
+        raise AssemblyError(f"unterminated procedure {current_proc!r}")
+    if not procedures:
+        raise AssemblyError("no procedures defined")
+    if entry not in procedures:
+        raise AssemblyError(f"entry procedure {entry!r} not defined")
+
+    return Program(procedures, entry=entry, regions=regions, name=program_name)

@@ -1,0 +1,284 @@
+"""Programmatic program construction.
+
+The workload generators build hundreds of synthetic procedures; writing
+textual assembly for them would be slow and error prone.
+:class:`ProcedureBuilder` offers one fluent method per opcode plus label
+management; :class:`ProgramBuilder` collects procedures and regions.
+
+Example::
+
+    pb = ProgramBuilder("kernel")
+    pb.region("A", 1 << 20)
+    with pb.proc("main") as b:
+        b.movi("r1", 0)
+        b.movi("r2", 1000)
+        b.label("loop")
+        b.load("r3", "A", index="r1", stride=8)
+        b.add("r4", "r4", "r3")
+        b.add("r1", "r1", 1)
+        b.cmp("r1", "r2")
+        b.br("lt", "loop")
+        b.ret()
+    program = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ProgramStructureError
+from repro.isa.instructions import (
+    CondCode,
+    Instruction,
+    MemAccess,
+    Opcode,
+)
+from repro.isa.registers import Register
+from repro.program.module import MemoryRegion, Procedure, Program
+
+RegLike = Union[Register, str]
+ValueLike = Union[Register, str, int]
+
+
+def _reg(value: RegLike) -> Register:
+    if isinstance(value, Register):
+        return value
+    return Register.get(value)
+
+
+def _value(value: ValueLike):
+    if isinstance(value, int):
+        return value
+    return _reg(value)
+
+
+class ProcedureBuilder:
+    """Fluent builder for one procedure.  All emitters return ``self``."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._code: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fresh = 0
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name: str) -> "ProcedureBuilder":
+        """Place *name* at the current position."""
+        if name in self._labels:
+            raise ProgramStructureError(
+                f"duplicate label {name!r} in procedure {self.name!r}"
+            )
+        self._labels[name] = len(self._code)
+        return self
+
+    def fresh_label(self, prefix: str = "L") -> str:
+        """Return a label name unused so far (does not place it)."""
+        while True:
+            name = f".{prefix}{self._fresh}"
+            self._fresh += 1
+            if name not in self._labels:
+                return name
+
+    def emit(self, instr: Instruction) -> "ProcedureBuilder":
+        """Append a pre-built instruction."""
+        self._code.append(instr)
+        return self
+
+    @property
+    def position(self) -> int:
+        """Index the next instruction will occupy."""
+        return len(self._code)
+
+    # -- integer ALU -------------------------------------------------------
+
+    def _alu3(self, opcode: Opcode, dst: RegLike, a: ValueLike, b: ValueLike):
+        self._code.append(Instruction(opcode, (_reg(dst), _value(a), _value(b))))
+        return self
+
+    def add(self, dst, a, b):
+        return self._alu3(Opcode.ADD, dst, a, b)
+
+    def sub(self, dst, a, b):
+        return self._alu3(Opcode.SUB, dst, a, b)
+
+    def and_(self, dst, a, b):
+        return self._alu3(Opcode.AND, dst, a, b)
+
+    def or_(self, dst, a, b):
+        return self._alu3(Opcode.OR, dst, a, b)
+
+    def xor(self, dst, a, b):
+        return self._alu3(Opcode.XOR, dst, a, b)
+
+    def shl(self, dst, a, b):
+        return self._alu3(Opcode.SHL, dst, a, b)
+
+    def shr(self, dst, a, b):
+        return self._alu3(Opcode.SHR, dst, a, b)
+
+    def mul(self, dst, a, b):
+        return self._alu3(Opcode.MUL, dst, a, b)
+
+    def div(self, dst, a, b):
+        return self._alu3(Opcode.DIV, dst, a, b)
+
+    def cmp(self, a: RegLike, b: ValueLike):
+        self._code.append(Instruction(Opcode.CMP, (_reg(a), _value(b))))
+        return self
+
+    def mov(self, dst: RegLike, src: ValueLike):
+        self._code.append(Instruction(Opcode.MOV, (_reg(dst), _value(src))))
+        return self
+
+    def movi(self, dst: RegLike, imm: int):
+        self._code.append(Instruction(Opcode.MOVI, (_reg(dst), imm)))
+        return self
+
+    # -- floating point ----------------------------------------------------
+
+    def fadd(self, dst, a, b):
+        return self._alu3(Opcode.FADD, dst, a, b)
+
+    def fsub(self, dst, a, b):
+        return self._alu3(Opcode.FSUB, dst, a, b)
+
+    def fmul(self, dst, a, b):
+        return self._alu3(Opcode.FMUL, dst, a, b)
+
+    def fdiv(self, dst, a, b):
+        return self._alu3(Opcode.FDIV, dst, a, b)
+
+    def fmov(self, dst: RegLike, src: ValueLike):
+        self._code.append(Instruction(Opcode.FMOV, (_reg(dst), _value(src))))
+        return self
+
+    # -- memory ------------------------------------------------------------
+
+    def load(
+        self,
+        dst: RegLike,
+        region: str,
+        index: Optional[RegLike] = None,
+        stride: int = 0,
+        offset: int = 0,
+    ):
+        mem = MemAccess(
+            region, stride, _reg(index) if index is not None else None, offset
+        )
+        self._code.append(Instruction(Opcode.LOAD, (_reg(dst),), mem=mem))
+        return self
+
+    def store(
+        self,
+        region: str,
+        src: RegLike,
+        index: Optional[RegLike] = None,
+        stride: int = 0,
+        offset: int = 0,
+    ):
+        mem = MemAccess(
+            region, stride, _reg(index) if index is not None else None, offset
+        )
+        self._code.append(Instruction(Opcode.STORE, (_reg(src),), mem=mem))
+        return self
+
+    def push(self, src: RegLike):
+        self._code.append(Instruction(Opcode.PUSH, (_reg(src),)))
+        return self
+
+    def pop(self, dst: RegLike):
+        self._code.append(Instruction(Opcode.POP, (_reg(dst),)))
+        return self
+
+    # -- control flow ------------------------------------------------------
+
+    def br(self, cond: Union[CondCode, str], target: str):
+        if isinstance(cond, str):
+            cond = CondCode(cond)
+        self._code.append(Instruction(Opcode.BR, (cond, target)))
+        return self
+
+    def jmp(self, target: str):
+        self._code.append(Instruction(Opcode.JMP, (target,)))
+        return self
+
+    def jmpi(self, reg: RegLike):
+        self._code.append(Instruction(Opcode.JMPI, (_reg(reg),)))
+        return self
+
+    def call(self, proc_name: str):
+        self._code.append(Instruction(Opcode.CALL, (proc_name,)))
+        return self
+
+    def calli(self, reg: RegLike):
+        self._code.append(Instruction(Opcode.CALLI, (_reg(reg),)))
+        return self
+
+    def ret(self):
+        self._code.append(Instruction(Opcode.RET))
+        return self
+
+    def sys(self, number: int):
+        self._code.append(Instruction(Opcode.SYS, (number,)))
+        return self
+
+    def nop(self):
+        self._code.append(Instruction(Opcode.NOP))
+        return self
+
+    def build(self) -> Procedure:
+        """Finish and return the procedure."""
+        return Procedure(self.name, self._code, self._labels)
+
+
+class ProgramBuilder:
+    """Collects procedures and regions into a :class:`Program`."""
+
+    def __init__(self, name: str = "a.out", entry: str = "main"):
+        self.name = name
+        self.entry = entry
+        self._procedures: dict[str, Procedure] = {}
+        self._regions: dict[str, MemoryRegion] = {}
+        self._open: Optional[ProcedureBuilder] = None
+
+    def region(
+        self, name: str, size: int, hot_fraction: float = 1.0
+    ) -> "ProgramBuilder":
+        """Declare a memory region of *size* bytes."""
+        self._regions[name] = MemoryRegion(name, size, hot_fraction)
+        return self
+
+    def proc(self, name: str) -> "_ProcContext":
+        """Open a procedure; usable as a context manager."""
+        if name in self._procedures:
+            raise ProgramStructureError(f"duplicate procedure {name!r}")
+        return _ProcContext(self, name)
+
+    def add_procedure(self, proc: Procedure) -> "ProgramBuilder":
+        """Add an already-built procedure."""
+        if proc.name in self._procedures:
+            raise ProgramStructureError(f"duplicate procedure {proc.name!r}")
+        self._procedures[proc.name] = proc
+        return self
+
+    def build(self) -> Program:
+        """Finish and return the program."""
+        return Program(
+            self._procedures, entry=self.entry, regions=self._regions, name=self.name
+        )
+
+
+class _ProcContext:
+    """Context manager that registers the built procedure on exit."""
+
+    def __init__(self, program_builder: ProgramBuilder, name: str):
+        self._pb = program_builder
+        self._builder = ProcedureBuilder(name)
+
+    def __enter__(self) -> ProcedureBuilder:
+        return self._builder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._pb.add_procedure(self._builder.build())

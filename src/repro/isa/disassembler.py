@@ -1,0 +1,71 @@
+"""Disassembler: render a :class:`~repro.program.module.Program` back to
+the textual assembly accepted by :func:`repro.isa.assembler.assemble`.
+
+``assemble(disassemble(p))`` round-trips: the result is structurally
+identical to ``p`` (same procedures, labels at the same indices, same
+instruction streams and regions).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import CondCode, Instruction, MemAccess, Opcode
+from repro.isa.registers import Register
+from repro.program.module import STACK_REGION, Program
+
+
+def _render_mem(mem: MemAccess) -> str:
+    text = mem.region
+    if mem.index is not None:
+        text += f"[{mem.index.name}]"
+    if mem.offset:
+        text += f"@{mem.offset}"
+    if mem.stride:
+        text += f":{mem.stride}"
+    return text
+
+
+def _render_operand(op) -> str:
+    if isinstance(op, Register):
+        return op.name
+    if isinstance(op, CondCode):
+        return op.value
+    return str(op)
+
+
+def render_instruction(instr: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    ops = [_render_operand(op) for op in instr.operands]
+    if instr.opcode is Opcode.LOAD:
+        ops.append(_render_mem(instr.mem))
+    elif instr.opcode is Opcode.STORE:
+        ops.insert(0, _render_mem(instr.mem))
+    body = instr.opcode.value
+    if ops:
+        body += " " + ", ".join(ops)
+    return body
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* as assembler text."""
+    lines = [f".program {program.name}"]
+    for region in program.regions.values():
+        if region.name == STACK_REGION:
+            continue
+        hot = f" hot={region.hot_fraction}" if region.hot_fraction != 1.0 else ""
+        lines.append(f".region {region.name} {region.size}{hot}")
+    lines.append(f".entry {program.entry}")
+
+    for proc in program:
+        lines.append(f".proc {proc.name}")
+        labels_at: dict[int, list[str]] = {}
+        for label, idx in sorted(proc.labels.items()):
+            labels_at.setdefault(idx, []).append(label)
+        for i, instr in enumerate(proc.code):
+            for label in labels_at.get(i, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {render_instruction(instr)}")
+        for label in labels_at.get(len(proc.code), ()):
+            lines.append(f"{label}:")
+        lines.append(".endproc")
+
+    return "\n".join(lines) + "\n"

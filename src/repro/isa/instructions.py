@@ -1,0 +1,257 @@
+"""Instructions of the synthetic ISA.
+
+An :class:`Instruction` is immutable.  Its :class:`Opcode` determines its
+:class:`InstrClass`, which is what the static analysis (instruction-mix
+features), the cost model (base cycles) and the encoder (byte size) key on.
+
+Memory-touching instructions carry a :class:`MemAccess` describing *which*
+named memory region they touch and with what stride.  This symbolic view is
+what makes static reuse-distance estimation (Section II-A3 of the paper,
+after Beyls & D'Hollander) and the analytic cache-miss model possible
+without concrete addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.isa.registers import Register
+
+
+class InstrClass(enum.Enum):
+    """Coarse behavioural class of an instruction.
+
+    These classes are the axes of the instruction-mix feature vector used
+    for static block typing and the keys of the per-core cycle cost table.
+    """
+
+    IALU = "ialu"          # integer add/sub/logic/shift/compare/move
+    IMUL = "imul"          # integer multiply
+    IDIV = "idiv"          # integer divide
+    FALU = "falu"          # fp add/sub/move
+    FMUL = "fmul"          # fp multiply
+    FDIV = "fdiv"          # fp divide
+    LOAD = "load"          # memory read
+    STORE = "store"        # memory write
+    STACK = "stack"        # push/pop
+    BRANCH = "branch"      # conditional branch
+    JUMP = "jump"          # unconditional direct jump
+    IJUMP = "ijump"        # indirect jump (unknown static target)
+    CALL = "call"          # direct call
+    ICALL = "icall"        # indirect call
+    RET = "ret"            # return
+    SYSCALL = "syscall"    # system call
+    NOP = "nop"            # no-op
+
+
+class Opcode(enum.Enum):
+    """Concrete opcodes.  Each maps to exactly one :class:`InstrClass`."""
+
+    # Integer ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMP = "cmp"
+    MOV = "mov"
+    MOVI = "movi"
+    # Integer multiply / divide.
+    MUL = "mul"
+    DIV = "div"
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMOV = "fmov"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+    PUSH = "push"
+    POP = "pop"
+    # Control flow.
+    BR = "br"
+    JMP = "jmp"
+    JMPI = "jmpi"
+    CALL = "call"
+    CALLI = "calli"
+    RET = "ret"
+    # Misc.
+    SYS = "sys"
+    NOP = "nop"
+
+
+#: Opcode -> instruction class.
+OPCODE_CLASS: dict[Opcode, InstrClass] = {
+    Opcode.ADD: InstrClass.IALU,
+    Opcode.SUB: InstrClass.IALU,
+    Opcode.AND: InstrClass.IALU,
+    Opcode.OR: InstrClass.IALU,
+    Opcode.XOR: InstrClass.IALU,
+    Opcode.SHL: InstrClass.IALU,
+    Opcode.SHR: InstrClass.IALU,
+    Opcode.CMP: InstrClass.IALU,
+    Opcode.MOV: InstrClass.IALU,
+    Opcode.MOVI: InstrClass.IALU,
+    Opcode.MUL: InstrClass.IMUL,
+    Opcode.DIV: InstrClass.IDIV,
+    Opcode.FADD: InstrClass.FALU,
+    Opcode.FSUB: InstrClass.FALU,
+    Opcode.FMOV: InstrClass.FALU,
+    Opcode.FMUL: InstrClass.FMUL,
+    Opcode.FDIV: InstrClass.FDIV,
+    Opcode.LOAD: InstrClass.LOAD,
+    Opcode.STORE: InstrClass.STORE,
+    Opcode.PUSH: InstrClass.STACK,
+    Opcode.POP: InstrClass.STACK,
+    Opcode.BR: InstrClass.BRANCH,
+    Opcode.JMP: InstrClass.JUMP,
+    Opcode.JMPI: InstrClass.IJUMP,
+    Opcode.CALL: InstrClass.CALL,
+    Opcode.CALLI: InstrClass.ICALL,
+    Opcode.RET: InstrClass.RET,
+    Opcode.SYS: InstrClass.SYSCALL,
+    Opcode.NOP: InstrClass.NOP,
+}
+
+
+class CondCode(enum.Enum):
+    """Condition codes for conditional branches."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """Symbolic description of one memory access.
+
+    Attributes:
+        region: name of the memory region declared in the program
+            (``.region`` directive); region sizes live on the program.
+        stride: byte distance between successive dynamic accesses made by
+            this instruction (0 means the same address every time, e.g. a
+            scalar; a value >= the cache line size means every access may
+            touch a new line).
+        index: optional register used as the index expression, for display
+            and liveness purposes only.
+        offset: constant byte offset into the region; together with
+            ``stride == 0`` this identifies a scalar slot, which the static
+            reuse-distance estimator treats as a distinct location.
+    """
+
+    region: str
+    stride: int = 0
+    index: Optional[Register] = None
+    offset: int = 0
+
+    def __str__(self) -> str:
+        idx = f"+{self.index}" if self.index is not None else ""
+        off = f"@{self.offset}" if self.offset else ""
+        return f"{self.region}{idx}{off}:{self.stride}"
+
+
+Operand = Union[Register, int, CondCode, MemAccess, str]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    Attributes:
+        opcode: the concrete opcode.
+        operands: opcode-specific operand tuple.  Branch/jump/call targets
+            are label or procedure-name strings; indirect control flow
+            takes a register.
+        mem: the symbolic memory access for LOAD/STORE (``None`` elsewhere;
+            PUSH/POP implicitly access the stack region).
+    """
+
+    opcode: Opcode
+    operands: tuple[Operand, ...] = ()
+    mem: Optional[MemAccess] = field(default=None)
+
+    @property
+    def iclass(self) -> InstrClass:
+        """The behavioural class of this instruction."""
+        return OPCODE_CLASS[self.opcode]
+
+    # -- control-flow predicates ------------------------------------------
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode is Opcode.BR
+
+    @property
+    def is_jump(self) -> bool:
+        return self.opcode in (Opcode.JMP, Opcode.JMPI)
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode in (Opcode.CALL, Opcode.CALLI)
+
+    @property
+    def is_ret(self) -> bool:
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_terminator(self) -> bool:
+        """True if control cannot fall through past this instruction.
+
+        Conditional branches are *not* terminators in this sense (they
+        have a fall-through edge); they still end a basic block.
+        """
+        return self.opcode in (Opcode.JMP, Opcode.JMPI, Opcode.RET)
+
+    @property
+    def ends_block(self) -> bool:
+        """True if this instruction must be the last one in a basic block."""
+        return self.opcode in (
+            Opcode.BR,
+            Opcode.JMP,
+            Opcode.JMPI,
+            Opcode.RET,
+        )
+
+    @property
+    def label_target(self) -> Optional[str]:
+        """The static label target of a direct branch/jump, else ``None``."""
+        if self.opcode is Opcode.JMP:
+            return self.operands[0]  # type: ignore[return-value]
+        if self.opcode is Opcode.BR:
+            return self.operands[1]  # type: ignore[return-value]
+        return None
+
+    @property
+    def call_target(self) -> Optional[str]:
+        """The procedure name targeted by a direct call, else ``None``."""
+        if self.opcode is Opcode.CALL:
+            return self.operands[0]  # type: ignore[return-value]
+        return None
+
+    @property
+    def touches_memory(self) -> bool:
+        return self.iclass in (InstrClass.LOAD, InstrClass.STORE, InstrClass.STACK)
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        rendered = []
+        for op in self.operands:
+            if isinstance(op, CondCode):
+                rendered.append(op.value)
+            else:
+                rendered.append(str(op))
+        if self.mem is not None:
+            rendered.append(str(self.mem))
+        if rendered:
+            parts.append(", ".join(rendered))
+        return " ".join(parts)

@@ -1,0 +1,280 @@
+"""A reference interpreter for the synthetic ISA.
+
+The simulator never executes instructions — it consumes precomputed
+block costs — so this interpreter exists as the *semantic ground truth*:
+
+* the binary rewriter's output must be observationally equivalent to its
+  input (same final registers and memory, same non-mark syscall
+  sequence) — phase marks may only add ``SYS_PHASE_MARK`` events;
+* the trace generator's expected execution frequencies can be validated
+  against real dynamic block counts.
+
+Semantics: 64-bit two's-complement integer registers, IEEE floats,
+a flags register written by ``cmp``, a value stack for ``push``/``pop``,
+and sparse per-region memory where uninitialised cells read a
+deterministic hash of their address (so runs are reproducible without
+modelling loaders).  Indirect jumps/calls are rejected — the synthetic
+programs under test never need them, and refusing is safer than guessing
+a target.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.isa.instructions import CondCode, Instruction, Opcode
+from repro.isa.registers import GPR, Register
+from repro.program.cfg import build_cfg
+from repro.program.module import Program
+
+_MASK = (1 << 64) - 1
+
+
+class InterpreterError(ReproError):
+    """Raised on invalid execution (bad target, div by zero, limits)."""
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 64) if value >> 63 else value
+
+
+@dataclass
+class MachineState:
+    """Architectural state plus observation records."""
+
+    iregs: dict = field(default_factory=dict)
+    fregs: dict = field(default_factory=dict)
+    flags: int = 0  # Sign of (a - b) from the last cmp.
+    stack: list = field(default_factory=list)
+    memory: dict = field(default_factory=dict)  # (region, offset) -> int
+    syscalls: list = field(default_factory=list)  # (number, r0, r1)
+    steps: int = 0
+    block_counts: Counter = field(default_factory=Counter)
+
+    def read_int(self, reg: Register) -> int:
+        return self.iregs.get(reg.name, 0)
+
+    def read_int_by_name(self, name: str) -> int:
+        """Convenience accessor for tests and tools."""
+        return self.iregs.get(name, 0)
+
+    def write_int(self, reg: Register, value: int) -> None:
+        self.iregs[reg.name] = value & _MASK
+
+    def read_float(self, reg: Register) -> float:
+        return self.fregs.get(reg.name, 1.0)
+
+    def write_float(self, reg: Register, value: float) -> None:
+        self.fregs[reg.name] = float(value)
+
+    def observable(self) -> dict:
+        """The state used for equivalence checks.
+
+        Phase marks are push/pop balanced and restore every register
+        they touch, so *all* architectural state must agree; only the
+        SYS_PHASE_MARK syscall events are filtered out.
+        """
+        from repro.instrument.phase_mark import SYS_PHASE_MARK
+
+        return {
+            "iregs": {k: v for k, v in self.iregs.items() if v != 0},
+            "fregs": dict(self.fregs),
+            "flags": self.flags,
+            "stack": list(self.stack),
+            "memory": {k: v for k, v in self.memory.items() if v != 0},
+            "syscalls": [
+                s for s in self.syscalls if s[0] != SYS_PHASE_MARK
+            ],
+        }
+
+
+def _default_cell(region: str, offset: int) -> int:
+    """Deterministic content of an uninitialised memory cell."""
+    return zlib.crc32(f"{region}:{offset}".encode()) & 0xFF
+
+
+def _value_of(state: MachineState, operand) -> int:
+    if isinstance(operand, Register):
+        return state.read_int(operand)
+    return int(operand)
+
+
+def _fvalue_of(state: MachineState, operand) -> float:
+    if isinstance(operand, Register):
+        return state.read_float(operand)
+    return float(operand)
+
+
+def _effective_offset(state: MachineState, instr: Instruction, region_size: int) -> int:
+    mem = instr.mem
+    index = state.read_int(mem.index) if mem.index is not None else 0
+    return (mem.offset + index * mem.stride) % max(1, region_size)
+
+
+_COND = {
+    CondCode.EQ: lambda s: s == 0,
+    CondCode.NE: lambda s: s != 0,
+    CondCode.LT: lambda s: s < 0,
+    CondCode.LE: lambda s: s <= 0,
+    CondCode.GT: lambda s: s > 0,
+    CondCode.GE: lambda s: s >= 0,
+}
+
+_IALU = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: (a & _MASK) >> (b & 63),
+    Opcode.MUL: lambda a, b: a * b,
+}
+
+_FALU = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+}
+
+
+def run_program(
+    program: Program,
+    max_steps: int = 2_000_000,
+    state: MachineState = None,
+) -> MachineState:
+    """Execute *program* from its entry procedure to completion.
+
+    Args:
+        max_steps: instruction budget; exceeding it raises.
+        state: optional pre-initialised machine state.
+
+    Raises:
+        InterpreterError: on indirect control flow, division by zero,
+            stack underflow, call-depth overflow, or step exhaustion.
+    """
+    state = state or MachineState()
+    call_stack: list = []  # (proc_name, return_pc)
+    # Static block leaders per procedure, so dynamic block counts line
+    # up with the CFG's basic blocks (fall-through boundaries included).
+    leaders = {
+        p.name: {b.start for b in build_cfg(p).blocks} for p in program
+    }
+    proc = program[program.entry]
+    pc = 0
+
+    while True:
+        if pc >= len(proc.code):
+            raise InterpreterError(
+                f"fell off the end of {proc.name!r} at pc={pc}"
+            )
+        if state.steps >= max_steps:
+            raise InterpreterError(f"step budget {max_steps} exhausted")
+        state.steps += 1
+        if pc in leaders[proc.name]:
+            state.block_counts[(proc.name, pc)] += 1
+
+        instr = proc.code[pc]
+        opcode = instr.opcode
+
+        if opcode in _IALU:
+            a = _value_of(state, instr.operands[1])
+            b = _value_of(state, instr.operands[2])
+            state.write_int(instr.operands[0], _IALU[opcode](a, b))
+        elif opcode is Opcode.DIV:
+            a = _value_of(state, instr.operands[1])
+            b = _value_of(state, instr.operands[2])
+            if b == 0:
+                raise InterpreterError(
+                    f"division by zero in {proc.name!r} at pc={pc}"
+                )
+            state.write_int(instr.operands[0], a // b)
+        elif opcode is Opcode.CMP:
+            a = _to_signed(_value_of(state, instr.operands[0]))
+            b = _to_signed(_value_of(state, instr.operands[1]))
+            state.flags = (a > b) - (a < b)
+        elif opcode in (Opcode.MOV, Opcode.MOVI):
+            state.write_int(instr.operands[0], _value_of(state, instr.operands[1]))
+        elif opcode in _FALU:
+            a = _fvalue_of(state, instr.operands[1])
+            b = _fvalue_of(state, instr.operands[2])
+            state.write_float(instr.operands[0], _FALU[opcode](a, b))
+        elif opcode is Opcode.FDIV:
+            a = _fvalue_of(state, instr.operands[1])
+            b = _fvalue_of(state, instr.operands[2])
+            state.write_float(instr.operands[0], a / b if b else 0.0)
+        elif opcode is Opcode.FMOV:
+            state.write_float(instr.operands[0], _fvalue_of(state, instr.operands[1]))
+        elif opcode is Opcode.LOAD:
+            region = program.region(instr.mem.region)
+            offset = _effective_offset(state, instr, region.size)
+            key = (region.name, offset)
+            value = state.memory.get(key)
+            if value is None:
+                value = _default_cell(region.name, offset)
+            state.write_int(instr.operands[0], value)
+        elif opcode is Opcode.STORE:
+            region = program.region(instr.mem.region)
+            offset = _effective_offset(state, instr, region.size)
+            state.memory[(region.name, offset)] = state.read_int(
+                instr.operands[0]
+            )
+        elif opcode is Opcode.PUSH:
+            state.stack.append(state.read_int(instr.operands[0]))
+        elif opcode is Opcode.POP:
+            if not state.stack:
+                raise InterpreterError(
+                    f"stack underflow in {proc.name!r} at pc={pc}"
+                )
+            state.write_int(instr.operands[0], state.stack.pop())
+        elif opcode is Opcode.BR:
+            cond, target = instr.operands
+            if _COND[cond](state.flags):
+                pc = proc.resolve(target)
+                continue
+        elif opcode is Opcode.JMP:
+            pc = proc.resolve(instr.operands[0])
+            continue
+        elif opcode in (Opcode.JMPI, Opcode.CALLI):
+            raise InterpreterError(
+                f"indirect control flow ({opcode.value}) is not "
+                f"interpretable ({proc.name!r} pc={pc})"
+            )
+        elif opcode is Opcode.CALL:
+            callee = instr.operands[0]
+            if callee not in program:
+                raise InterpreterError(f"call to undefined {callee!r}")
+            if len(call_stack) >= 512:
+                raise InterpreterError("call depth exceeded")
+            call_stack.append((proc.name, pc + 1))
+            proc = program[callee]
+            pc = 0
+            continue
+        elif opcode is Opcode.RET:
+            if not call_stack:
+                return state  # Entry procedure returned: done.
+            caller, return_pc = call_stack.pop()
+            proc = program[caller]
+            pc = return_pc
+            continue
+        elif opcode is Opcode.SYS:
+            number = instr.operands[0]
+            state.syscalls.append(
+                (number, state.read_int(GPR[0]), state.read_int(GPR[1]))
+            )
+            # The syscall ABI clobbers the scratch registers r0-r2
+            # (deterministically, so liveness bugs surface as state
+            # divergence in the equivalence tests).
+            state.write_int(GPR[0], 0)
+            state.write_int(GPR[1], 0)
+            state.write_int(GPR[2], 0)
+        elif opcode is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise InterpreterError(f"unhandled opcode {opcode}")
+
+        pc += 1

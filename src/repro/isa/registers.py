@@ -1,0 +1,61 @@
+"""Register file of the synthetic ISA.
+
+Sixteen general-purpose integer registers (``r0``-``r15``), sixteen
+floating-point registers (``f0``-``f15``) and a stack pointer (``sp``).
+Registers are interned: two registers with the same name are the same
+object, so identity comparison is safe and cheap.
+"""
+
+from __future__ import annotations
+
+
+class Register:
+    """A named machine register.
+
+    Instances are interned via :meth:`get`; the module-level tables
+    :data:`GPR`, :data:`FPR` and :data:`SP` cover the whole register file.
+    """
+
+    __slots__ = ("name", "is_float")
+
+    _interned: dict[str, "Register"] = {}
+
+    def __init__(self, name: str, is_float: bool = False):
+        self.name = name
+        self.is_float = is_float
+
+    @classmethod
+    def get(cls, name: str) -> "Register":
+        """Return the interned register called *name*.
+
+        Raises:
+            KeyError: if *name* does not denote a register.
+        """
+        return cls._interned[name]
+
+    @classmethod
+    def exists(cls, name: str) -> bool:
+        """Return True if *name* denotes a register."""
+        return name in cls._interned
+
+    def __repr__(self) -> str:
+        return f"Register({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _intern(name: str, is_float: bool = False) -> Register:
+    reg = Register(name, is_float)
+    Register._interned[name] = reg
+    return reg
+
+
+#: General-purpose integer registers r0..r15.
+GPR: tuple[Register, ...] = tuple(_intern(f"r{i}") for i in range(16))
+
+#: Floating-point registers f0..f15.
+FPR: tuple[Register, ...] = tuple(_intern(f"f{i}", is_float=True) for i in range(16))
+
+#: The stack pointer.
+SP: Register = _intern("sp")

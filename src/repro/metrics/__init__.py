@@ -1,0 +1,46 @@
+"""Metrics: throughput, fairness (Bender et al.), and overheads.
+
+The paper evaluates with instructions-committed throughput over a time
+interval (Section IV-C), the max-flow / max-stretch fairness metrics of
+Bender, Chakrabarti & Muthukrishnan plus average process time
+(Section IV-D), and space/time overheads (Section IV-B).  This package
+computes all of them from simulation results.
+"""
+
+from repro.metrics.stats import BoxPlot, box_plot, geometric_mean
+from repro.metrics.throughput import (
+    throughput,
+    throughput_improvement,
+    throughput_series,
+)
+from repro.metrics.fairness import (
+    FairnessReport,
+    average_process_time,
+    fairness_report,
+    max_flow,
+    max_stretch,
+    percent_decrease,
+)
+from repro.metrics.overhead import (
+    SpaceOverheadReport,
+    space_overhead_report,
+    time_overhead,
+)
+
+__all__ = [
+    "BoxPlot",
+    "box_plot",
+    "geometric_mean",
+    "throughput",
+    "throughput_improvement",
+    "throughput_series",
+    "FairnessReport",
+    "average_process_time",
+    "fairness_report",
+    "max_flow",
+    "max_stretch",
+    "percent_decrease",
+    "SpaceOverheadReport",
+    "space_overhead_report",
+    "time_overhead",
+]

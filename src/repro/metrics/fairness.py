@@ -1,0 +1,103 @@
+"""Fairness metrics (Section IV-D).
+
+For each completed process: arrival ``a_i``, completion ``C_i``, and
+isolated processing time ``t_i``.  Then
+
+* flow time ``F_j = C_j − a_j``,
+* **max-flow** ``max_j F_j`` — "if even one process is starving, this
+  number will increase significantly",
+* **max-stretch** ``max_j F_j / t_j`` — "the largest slowdown of a job",
+* **average process time** — mean flow time of completed processes.
+
+(Max-flow and max-stretch are from Bender, Chakrabarti & Muthukrishnan's
+work on fairness for continuous job streams.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.metrics.stats import mean
+
+
+def _completed(processes) -> list:
+    done = [p for p in processes if p.completion is not None]
+    if not done:
+        raise ReproError("no completed processes to evaluate")
+    return done
+
+
+def max_flow(processes) -> float:
+    """max_j (C_j - a_j) over completed processes."""
+    return max(p.flow_time for p in _completed(processes))
+
+
+def max_stretch(processes) -> float:
+    """max_j (C_j - a_j) / t_j over completed processes.
+
+    Raises:
+        ReproError: if a completed process has no isolated time.
+    """
+    done = _completed(processes)
+    stretches = []
+    for p in done:
+        if p.isolated_time <= 0:
+            raise ReproError(
+                f"process {p.pid} ({p.name}) has no isolated processing time"
+            )
+        stretches.append(p.flow_time / p.isolated_time)
+    return max(stretches)
+
+
+def average_process_time(processes) -> float:
+    """Mean flow time of completed processes."""
+    return mean(p.flow_time for p in _completed(processes))
+
+
+def percent_decrease(baseline: float, tuned: float) -> float:
+    """Percent decrease of *tuned* relative to *baseline*.
+
+    Positive = improvement, matching Table 2's sign convention.
+    """
+    if baseline == 0:
+        raise ReproError("percent_decrease with zero baseline")
+    return 100.0 * (baseline - tuned) / baseline
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """The three Table 2 columns for one run."""
+
+    max_flow: float
+    max_stretch: float
+    average_time: float
+    completed: int
+
+    def versus(self, baseline: "FairnessReport") -> "FairnessComparison":
+        """Percent decreases relative to *baseline* (Table 2 rows)."""
+        return FairnessComparison(
+            percent_decrease(baseline.max_flow, self.max_flow),
+            percent_decrease(baseline.max_stretch, self.max_stretch),
+            percent_decrease(baseline.average_time, self.average_time),
+        )
+
+
+@dataclass(frozen=True)
+class FairnessComparison:
+    """Percent decreases over the stock-scheduler baseline."""
+
+    max_flow_decrease: float
+    max_stretch_decrease: float
+    average_time_decrease: float
+
+
+def fairness_report(processes) -> FairnessReport:
+    """Compute all fairness metrics for one run's processes."""
+    done = _completed(processes)
+    return FairnessReport(
+        max_flow(done),
+        max_stretch(done),
+        average_process_time(done),
+        len(done),
+    )

@@ -1,0 +1,83 @@
+"""Small statistics helpers (box plots, geometric means)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BoxPlot:
+    """Five-number summary, as drawn in the paper's Figure 3.
+
+    "The box represents the two inner quartiles and the line extends to
+    the minimum and maximum points."
+    """
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    def as_tuple(self) -> tuple:
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+
+def _quantile(sorted_values: list, q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data."""
+    if not sorted_values:
+        raise ReproError("quantile of empty data")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def box_plot(values) -> BoxPlot:
+    """Five-number summary of *values*.
+
+    Raises:
+        ReproError: on empty input.
+    """
+    data = sorted(values)
+    if not data:
+        raise ReproError("box_plot of empty data")
+    return BoxPlot(
+        data[0],
+        _quantile(data, 0.25),
+        _quantile(data, 0.5),
+        _quantile(data, 0.75),
+        data[-1],
+    )
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean; values must be positive.
+
+    Raises:
+        ReproError: on empty input or non-positive values.
+    """
+    data = list(values)
+    if not data:
+        raise ReproError("geometric_mean of empty data")
+    if any(v <= 0 for v in data):
+        raise ReproError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))
+
+
+def mean(values) -> float:
+    """Arithmetic mean.
+
+    Raises:
+        ReproError: on empty input.
+    """
+    data = list(values)
+    if not data:
+        raise ReproError("mean of empty data")
+    return sum(data) / len(data)

@@ -1,0 +1,56 @@
+"""Program representation and control-flow substrates.
+
+The paper's static analysis works on binaries: it divides a program into
+procedures and basic blocks, builds attributed control-flow graphs, then
+partitions them into intervals (Allen) and natural loops (Muchnick).  This
+package provides each of those structures for the synthetic ISA:
+
+* :class:`Program` / :class:`Procedure` — the linear binary view,
+* :class:`BasicBlock` and :class:`CFG` — leader-based basic block
+  discovery and control-flow graphs whose edges are tagged forward or
+  backward, with special nodes for calls and system calls as in the
+  paper's definition,
+* :mod:`~repro.program.dominators` — iterative dominator computation,
+* :mod:`~repro.program.intervals` — Allen's interval partitioning,
+* :mod:`~repro.program.loops` — natural loops and the loop nesting forest,
+* :mod:`~repro.program.callgraph` — call graph with SCCs for the
+  bottom-up inter-procedural loop analysis.
+"""
+
+from repro.program.module import MemoryRegion, Procedure, Program
+from repro.program.basic_block import BasicBlock, NodeKind
+from repro.program.cfg import CFG, Edge, build_cfg
+from repro.program.dominators import compute_dominators, dominates
+from repro.program.intervals import (
+    Interval,
+    derived_sequence,
+    interval_graph,
+    is_reducible,
+    partition_intervals,
+)
+from repro.program.loops import Loop, find_loops
+from repro.program.callgraph import CallGraph, build_callgraph
+from repro.program.validate import validate_program
+
+__all__ = [
+    "MemoryRegion",
+    "Procedure",
+    "Program",
+    "BasicBlock",
+    "NodeKind",
+    "CFG",
+    "Edge",
+    "build_cfg",
+    "compute_dominators",
+    "dominates",
+    "Interval",
+    "derived_sequence",
+    "interval_graph",
+    "is_reducible",
+    "partition_intervals",
+    "Loop",
+    "find_loops",
+    "CallGraph",
+    "build_callgraph",
+    "validate_program",
+]

@@ -1,0 +1,104 @@
+"""Basic blocks and CFG node kinds.
+
+The paper uses the classic definition: a basic block has one entry point
+and one exit point with no jumps in between (Allen).  Its CFG node set is
+``B̄ ∪ S`` where ``S`` ranges over *special nodes* representing system
+calls and procedure invocations; we realise those as single-instruction
+blocks with a distinguishing :class:`NodeKind`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from functools import cached_property
+from typing import Optional
+
+from repro.isa.encoding import code_size
+from repro.isa.instructions import Instruction, InstrClass
+
+
+class NodeKind(enum.Enum):
+    """Kind of a CFG node."""
+
+    BLOCK = "block"        # ordinary straight-line code
+    CALL = "call"          # special node: procedure invocation
+    SYSCALL = "syscall"    # special node: system call
+
+
+class BasicBlock:
+    """A maximal straight-line code sequence within one procedure.
+
+    Attributes:
+        proc: name of the owning procedure.
+        index: position of this block in the procedure's block list.
+        start: index of the first instruction in the procedure's code.
+        instrs: the instructions, in order.
+        kind: ordinary block, call node or syscall node.
+    """
+
+    def __init__(
+        self,
+        proc: str,
+        index: int,
+        start: int,
+        instrs: list[Instruction],
+        kind: NodeKind = NodeKind.BLOCK,
+    ):
+        self.proc = proc
+        self.index = index
+        self.start = start
+        self.instrs = list(instrs)
+        self.kind = kind
+
+    @property
+    def uid(self) -> str:
+        """Program-wide unique identifier, e.g. ``"main#3"``."""
+        return f"{self.proc}#{self.index}"
+
+    @property
+    def end(self) -> int:
+        """Index one past the last instruction (exclusive)."""
+        return self.start + len(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The last instruction if it ends the block, else ``None``."""
+        if self.instrs and self.instrs[-1].ends_block:
+            return self.instrs[-1]
+        return None
+
+    @cached_property
+    def size_bytes(self) -> int:
+        """Encoded size of the block in bytes."""
+        return code_size(self.instrs)
+
+    @cached_property
+    def class_counts(self) -> Counter:
+        """Histogram of instruction classes in the block."""
+        return Counter(i.iclass for i in self.instrs)
+
+    @cached_property
+    def load_count(self) -> int:
+        return self.class_counts[InstrClass.LOAD]
+
+    @cached_property
+    def store_count(self) -> int:
+        return self.class_counts[InstrClass.STORE]
+
+    @property
+    def call_target(self) -> Optional[str]:
+        """For CALL special nodes, the direct callee name (``None`` if
+        indirect)."""
+        if self.kind is not NodeKind.CALL:
+            return None
+        return self.instrs[0].call_target
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock({self.uid}, {self.kind.value}, "
+            f"[{self.start}:{self.end}), {len(self.instrs)} instrs)"
+        )

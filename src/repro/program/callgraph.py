@@ -1,0 +1,123 @@
+"""Call graphs and the bottom-up analysis order.
+
+The inter-procedural loop analysis of the paper types procedures
+"bottom-up ... with respect to the call graph", handling indirect
+recursion by picking one procedure of a cycle first and iterating to a
+fixpoint.  This module provides the call graph, Tarjan SCCs, and the
+callees-first SCC order that :mod:`repro.analysis.loop_summary` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.program.basic_block import NodeKind
+from repro.program.cfg import CFG, build_cfg
+from repro.program.module import Program
+
+
+class CallGraph:
+    """Direct-call graph over procedure names.
+
+    Indirect calls have unknown targets and contribute no edges, matching
+    the paper's "we currently ignore typing unknown targets" policy.
+    """
+
+    def __init__(self, nodes: list[str], edges: set):
+        self.nodes = list(nodes)
+        self.edges = set(edges)
+        self._succs: dict[str, set] = {n: set() for n in nodes}
+        self._preds: dict[str, set] = {n: set() for n in nodes}
+        for caller, callee in edges:
+            self._succs[caller].add(callee)
+            self._preds[callee].add(caller)
+
+    def callees(self, proc: str) -> set:
+        return set(self._succs[proc])
+
+    def callers(self, proc: str) -> set:
+        return set(self._preds[proc])
+
+    def sccs(self) -> list[list[str]]:
+        """Tarjan strongly connected components, iterative."""
+        index_of: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: dict[str, bool] = {}
+        stack: list[str] = []
+        result: list[list[str]] = []
+        counter = [0]
+
+        for root in self.nodes:
+            if root in index_of:
+                continue
+            work: list[tuple[str, Iterator[str]]] = [
+                (root, iter(sorted(self._succs[root])))
+            ]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index_of:
+                        index_of[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack[succ] = True
+                        work.append((succ, iter(sorted(self._succs[succ]))))
+                        advanced = True
+                        break
+                    if on_stack.get(succ):
+                        lowlink[node] = min(lowlink[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(component)
+        return result
+
+    def bottom_up_sccs(self) -> list[list[str]]:
+        """SCCs ordered callees-first (Tarjan already emits this order)."""
+        return self.sccs()
+
+    def is_recursive(self, scc: list[str]) -> bool:
+        """True if the SCC contains a cycle (self-loop or size > 1)."""
+        if len(scc) > 1:
+            return True
+        proc = scc[0]
+        return proc in self._succs[proc]
+
+    def __repr__(self) -> str:
+        return f"CallGraph({len(self.nodes)} procs, {len(self.edges)} edges)"
+
+
+def build_callgraph(program: Program, cfgs: dict[str, CFG] = None) -> CallGraph:
+    """Build the direct call graph of *program*.
+
+    Args:
+        cfgs: optional pre-built CFGs to reuse; missing ones are built.
+    """
+    cfgs = dict(cfgs or {})
+    edges = set()
+    for proc in program:
+        cfg = cfgs.get(proc.name)
+        if cfg is None:
+            cfg = build_cfg(proc)
+        for block in cfg:
+            if block.kind is NodeKind.CALL:
+                target = block.call_target
+                if target is not None and target in program:
+                    edges.add((proc.name, target))
+    return CallGraph(sorted(program.procedures), edges)

@@ -1,0 +1,193 @@
+"""Allen's interval partitioning.
+
+The paper quotes Allen directly: "An interval i(η) corresponding to a node
+η ∈ N is the maximal, single entry subgraph for which η is the entry node
+and in which all closed paths contain η."  The classic worklist algorithm
+below partitions the reachable blocks of a CFG into such intervals; the
+interval-based phase marking of Section II-A operates on the first-order
+interval graph this produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.cfg import CFG
+
+
+@dataclass
+class Interval:
+    """One interval: a header and its member blocks (header first)."""
+
+    header: int
+    nodes: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.nodes or self.nodes[0] != self.header:
+            # Normalise: header is always the first member.
+            self.nodes = [self.header] + [n for n in self.nodes if n != self.header]
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._member_set
+
+    @property
+    def _member_set(self) -> frozenset:
+        return frozenset(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"Interval(header={self.header}, nodes={self.nodes})"
+
+
+def partition_intervals(cfg: CFG) -> list[Interval]:
+    """Partition the reachable blocks of *cfg* into intervals.
+
+    Returns intervals in discovery order; the first interval's header is
+    the CFG entry.  Every reachable block belongs to exactly one interval.
+    """
+    reachable = set(cfg.reverse_postorder())
+    header_worklist = [0]
+    queued = {0}
+    placed: set[int] = set()
+    intervals: list[Interval] = []
+
+    while header_worklist:
+        header = header_worklist.pop(0)
+        if header in placed:
+            continue
+        members = {header}
+        order = [header]
+
+        grew = True
+        while grew:
+            grew = False
+            # Grow: absorb any node all of whose predecessors are inside.
+            for node in sorted(reachable - members - placed):
+                preds = cfg.preds(node)
+                if preds and all(p in members for p in preds):
+                    members.add(node)
+                    order.append(node)
+                    grew = True
+
+        placed.update(members)
+        intervals.append(Interval(header, order))
+
+        # New headers: unplaced nodes with at least one predecessor inside
+        # some already-built interval.
+        for node in sorted(reachable - placed):
+            if node in queued:
+                continue
+            if any(p in placed for p in cfg.preds(node)):
+                header_worklist.append(node)
+                queued.add(node)
+
+    return intervals
+
+
+def interval_graph(cfg: CFG, intervals: list[Interval]) -> dict[int, set[int]]:
+    """Return the derived (second-order) graph over interval indices.
+
+    There is an edge from interval ``i`` to interval ``j`` (``i != j``)
+    iff some block of ``i`` has a CFG edge into the header of ``j``.
+    """
+    owner: dict[int, int] = {}
+    for ii, interval in enumerate(intervals):
+        for block in interval.nodes:
+            owner[block] = ii
+
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(intervals))}
+    for edge in cfg.edges:
+        src_int = owner.get(edge.src)
+        dst_int = owner.get(edge.dst)
+        if src_int is None or dst_int is None or src_int == dst_int:
+            continue
+        adjacency[src_int].add(dst_int)
+    return adjacency
+
+
+def derived_sequence(cfg: CFG, max_order: int = 32) -> list:
+    """The derived sequence of interval graphs (Allen).
+
+    Starting from the first-order partition, each round collapses every
+    interval into a node and re-partitions the derived graph, until the
+    graph stops shrinking.  A CFG is *reducible* iff the sequence ends in
+    a single node (the limit graph); the paper's interval technique uses
+    only the first order, but the sequence is the classic completeness
+    check for the partitioning machinery.
+
+    Returns the list of graphs as ``(nodes, adjacency)`` pairs, first
+    order first.
+    """
+    # Order 1: from the CFG itself.
+    intervals = partition_intervals(cfg)
+    nodes = list(range(len(intervals)))
+    adjacency = interval_graph(cfg, intervals)
+    sequence = [(nodes, adjacency)]
+
+    for _ in range(max_order):
+        if len(nodes) <= 1:
+            break
+        headers, body = _partition_abstract(nodes, adjacency)
+        if len(headers) == len(nodes):
+            break  # Irreducible: no further reduction possible.
+        new_nodes = list(range(len(headers)))
+        owner = {}
+        for i, members in enumerate(body):
+            for member in members:
+                owner[member] = i
+        new_adjacency = {i: set() for i in new_nodes}
+        for src, dsts in adjacency.items():
+            for dst in dsts:
+                if owner[src] != owner[dst]:
+                    new_adjacency[owner[src]].add(owner[dst])
+        nodes, adjacency = new_nodes, new_adjacency
+        sequence.append((nodes, adjacency))
+
+    return sequence
+
+
+def is_reducible(cfg: CFG) -> bool:
+    """True iff the derived sequence collapses to a single node."""
+    sequence = derived_sequence(cfg)
+    return len(sequence[-1][0]) <= 1
+
+
+def _partition_abstract(nodes: list, adjacency: dict):
+    """Interval partitioning over an abstract graph (entry = nodes[0])."""
+    preds: dict = {n: set() for n in nodes}
+    for src, dsts in adjacency.items():
+        for dst in dsts:
+            preds[dst].add(src)
+
+    entry = nodes[0]
+    placed: set = set()
+    queued = {entry}
+    worklist = [entry]
+    headers = []
+    bodies = []
+    while worklist:
+        header = worklist.pop(0)
+        if header in placed:
+            continue
+        members = {header}
+        grew = True
+        while grew:
+            grew = False
+            for node in nodes:
+                if node in members or node in placed:
+                    continue
+                if preds[node] and preds[node] <= members:
+                    members.add(node)
+                    grew = True
+        placed |= members
+        headers.append(header)
+        bodies.append(members)
+        for node in nodes:
+            if node in placed or node in queued:
+                continue
+            if preds[node] & placed:
+                worklist.append(node)
+                queued.add(node)
+    return headers, bodies

@@ -1,0 +1,122 @@
+"""Natural-loop detection and the loop nesting forest.
+
+Loops are found from back edges (edges whose target dominates their
+source, already tagged by the CFG builder) using the standard natural-loop
+construction from Muchnick.  Loops sharing a header are merged.  The
+nesting forest (parent / children / depth) is what Algorithm 1's
+nesting-level weights ``wn(λ)`` and its nested-loop rules consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.program.cfg import CFG
+
+
+@dataclass
+class Loop:
+    """A natural loop in one procedure's CFG.
+
+    Attributes:
+        header: block index of the loop header (single entry).
+        body: all block indices in the loop, header included.
+        parent: immediately enclosing loop, if any.
+        children: loops immediately nested inside this one.
+        depth: nesting depth; outermost loops have depth 0.
+    """
+
+    proc: str
+    header: int
+    body: frozenset
+    parent: Optional["Loop"] = None
+    children: list["Loop"] = field(default_factory=list)
+    depth: int = 0
+
+    @property
+    def uid(self) -> str:
+        """Program-wide unique identifier, e.g. ``"main@loop4"``."""
+        return f"{self.proc}@loop{self.header}"
+
+    def contains(self, other: "Loop") -> bool:
+        """True if *other* is strictly nested inside this loop."""
+        return other is not self and other.body <= self.body
+
+    def properly_contains_block(self, block: int) -> bool:
+        return block in self.body
+
+    def nesting_of(self, block: int) -> int:
+        """How many of this loop's descendants (including itself) contain
+        *block*; used as the nesting level λ in Algorithm 1."""
+        count = 0
+        stack: list[Loop] = [self]
+        while stack:
+            loop = stack.pop()
+            if block in loop.body:
+                count += 1
+                stack.extend(loop.children)
+        return count
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    def __repr__(self) -> str:
+        return f"Loop({self.uid}, depth={self.depth}, |body|={len(self.body)})"
+
+
+def find_loops(cfg: CFG) -> list[Loop]:
+    """Return all natural loops of *cfg* with nesting links filled in.
+
+    Loops are returned sorted innermost-first (deepest nesting first,
+    smaller bodies before larger), the order Algorithm 1 wants.
+    """
+    # Natural loop of each back edge t -> h: h plus every node that can
+    # reach t without passing through h.
+    bodies: dict[int, set[int]] = {}
+    for edge in cfg.back_edges():
+        header, tail = edge.dst, edge.src
+        body = bodies.setdefault(header, {header})
+        if tail in body:
+            continue
+        stack = [tail]
+        body.add(tail)
+        while stack:
+            node = stack.pop()
+            for pred in cfg.preds(node):
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+
+    loops = [
+        Loop(cfg.proc_name, header, frozenset(body))
+        for header, body in sorted(bodies.items())
+    ]
+
+    # Nesting: parent of L is the smallest loop strictly containing it.
+    for loop in loops:
+        candidates = [other for other in loops if other.contains(loop)]
+        if candidates:
+            loop.parent = min(candidates, key=lambda l: len(l.body))
+            loop.parent.children.append(loop)
+
+    def assign_depth(loop: Loop, depth: int) -> None:
+        loop.depth = depth
+        for child in loop.children:
+            assign_depth(child, depth + 1)
+
+    for loop in loops:
+        if loop.parent is None:
+            assign_depth(loop, 0)
+
+    loops.sort(key=lambda l: (-l.depth, len(l.body), l.header))
+    return loops
+
+
+def block_nesting_levels(cfg: CFG, loops: list[Loop]) -> dict[int, int]:
+    """Map each block index to the number of loops containing it."""
+    levels = {b: 0 for b in range(len(cfg))}
+    for loop in loops:
+        for block in loop.body:
+            levels[block] += 1
+    return levels

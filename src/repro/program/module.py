@@ -1,0 +1,172 @@
+"""Linear (binary-level) program representation.
+
+A :class:`Program` is the analogue of an executable: named memory regions
+(the data segment), a table of :class:`Procedure` objects (the text
+segment) and an entry point.  Procedures hold a flat instruction list with
+labels, exactly what a disassembler would recover; all graph structure is
+derived lazily by :mod:`repro.program.cfg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ProgramStructureError
+from repro.isa.encoding import code_size
+from repro.isa.instructions import Instruction
+
+#: Name of the implicit stack region every program owns.
+STACK_REGION = "__stack"
+
+#: Default stack size in bytes.
+DEFAULT_STACK_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A named region of the data segment.
+
+    Attributes:
+        name: region identifier referenced by ``MemAccess.region``.
+        size: size in bytes; the analytic cache model compares this
+            footprint against cache capacities.
+        hot_fraction: fraction of the region that accounts for most
+            dynamic accesses (1.0 = uniform).  Lets synthetic benchmarks
+            model working sets smaller than their address span.
+    """
+
+    name: str
+    size: int
+    hot_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ProgramStructureError(f"region {self.name!r} has size {self.size}")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ProgramStructureError(
+                f"region {self.name!r} hot_fraction must be in (0, 1], "
+                f"got {self.hot_fraction}"
+            )
+
+    @property
+    def working_set(self) -> int:
+        """Effective working-set size in bytes."""
+        return max(1, int(self.size * self.hot_fraction))
+
+
+class Procedure:
+    """A procedure: a flat instruction list plus a label table.
+
+    Labels map to the index of the instruction they precede.  A label at
+    ``len(code)`` is permitted and denotes the procedure end (useful as a
+    branch target for loop exits placed at the very end).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        code: list[Instruction],
+        labels: Optional[dict[str, int]] = None,
+    ):
+        if not code:
+            raise ProgramStructureError(f"procedure {name!r} has no instructions")
+        self.name = name
+        self.code = list(code)
+        self.labels = dict(labels or {})
+        for label, idx in self.labels.items():
+            if not 0 <= idx <= len(self.code):
+                raise ProgramStructureError(
+                    f"label {label!r} in {name!r} points at {idx}, "
+                    f"but the procedure has {len(self.code)} instructions"
+                )
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.code)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size of the procedure body in bytes."""
+        return code_size(self.code)
+
+    def label_at(self, index: int) -> Optional[str]:
+        """Return a label pointing at *index*, if any."""
+        for label, idx in self.labels.items():
+            if idx == index:
+                return label
+        return None
+
+    def resolve(self, label: str) -> int:
+        """Return the instruction index *label* points at.
+
+        Raises:
+            ProgramStructureError: if the label is unknown.
+        """
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramStructureError(
+                f"unknown label {label!r} in procedure {self.name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"Procedure({self.name!r}, {len(self.code)} instructions)"
+
+
+class Program:
+    """An executable: procedures, memory regions and an entry point."""
+
+    def __init__(
+        self,
+        procedures: dict[str, Procedure],
+        entry: str = "main",
+        regions: Optional[dict[str, MemoryRegion]] = None,
+        name: str = "a.out",
+    ):
+        if entry not in procedures:
+            raise ProgramStructureError(
+                f"entry procedure {entry!r} not defined (have: "
+                f"{sorted(procedures)})"
+            )
+        self.name = name
+        self.procedures = dict(procedures)
+        self.entry = entry
+        self.regions = dict(regions or {})
+        if STACK_REGION not in self.regions:
+            self.regions[STACK_REGION] = MemoryRegion(STACK_REGION, DEFAULT_STACK_SIZE)
+
+    def __contains__(self, proc_name: str) -> bool:
+        return proc_name in self.procedures
+
+    def __getitem__(self, proc_name: str) -> Procedure:
+        return self.procedures[proc_name]
+
+    def __iter__(self) -> Iterator[Procedure]:
+        return iter(self.procedures.values())
+
+    @property
+    def size_bytes(self) -> int:
+        """Total encoded text-segment size in bytes."""
+        return sum(p.size_bytes for p in self.procedures.values())
+
+    def region(self, name: str) -> MemoryRegion:
+        """Return the region called *name*.
+
+        Raises:
+            ProgramStructureError: if the region was never declared.
+        """
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise ProgramStructureError(
+                f"unknown memory region {name!r} in program {self.name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}, {len(self.procedures)} procedures, "
+            f"{self.size_bytes} bytes)"
+        )

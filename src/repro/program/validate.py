@@ -1,0 +1,78 @@
+"""Structural validation of programs.
+
+Run before analysis or simulation to fail fast with a precise message
+instead of deep inside a traversal.  Checks:
+
+* every direct branch/jump label resolves inside its procedure,
+* every direct call targets a defined procedure,
+* every memory access names a declared region with a stride that fits,
+* control cannot fall off the end of a procedure,
+* the CFG of every procedure builds and its entry reaches every block
+  that has instructions (unreachable code is reported, not fatal).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramStructureError
+from repro.isa.instructions import Opcode
+from repro.program.cfg import build_cfg
+from repro.program.module import Program
+
+
+def validate_program(program: Program, strict_reachability: bool = False) -> list[str]:
+    """Validate *program*; return a list of non-fatal warnings.
+
+    Args:
+        strict_reachability: treat unreachable blocks as errors.
+
+    Raises:
+        ProgramStructureError: on any fatal structural problem.
+    """
+    warnings: list[str] = []
+
+    for proc in program:
+        last = proc.code[-1]
+        if not last.is_terminator:
+            raise ProgramStructureError(
+                f"procedure {proc.name!r} can fall off its end "
+                f"(last instruction is {last})"
+            )
+
+        for i, instr in enumerate(proc.code):
+            target = instr.label_target
+            if target is not None and target not in proc.labels:
+                raise ProgramStructureError(
+                    f"{proc.name!r}[{i}]: branch to unknown label {target!r}"
+                )
+            callee = instr.call_target
+            if callee is not None and callee not in program:
+                raise ProgramStructureError(
+                    f"{proc.name!r}[{i}]: call to undefined procedure {callee!r}"
+                )
+            if instr.mem is not None:
+                region = program.region(instr.mem.region)
+                if instr.mem.stride < 0:
+                    raise ProgramStructureError(
+                        f"{proc.name!r}[{i}]: negative stride {instr.mem.stride}"
+                    )
+                if instr.mem.stride > region.size:
+                    raise ProgramStructureError(
+                        f"{proc.name!r}[{i}]: stride {instr.mem.stride} exceeds "
+                        f"region {region.name!r} size {region.size}"
+                    )
+            if instr.opcode in (Opcode.LOAD, Opcode.STORE) and instr.mem is None:
+                raise ProgramStructureError(
+                    f"{proc.name!r}[{i}]: {instr.opcode.value} without a "
+                    f"memory access descriptor"
+                )
+
+        cfg = build_cfg(proc)
+        reachable = set(cfg.reverse_postorder())
+        unreachable = [b.uid for b in cfg if b.index not in reachable]
+        if unreachable:
+            message = f"unreachable blocks in {proc.name!r}: {unreachable}"
+            if strict_reachability:
+                raise ProgramStructureError(message)
+            warnings.append(message)
+
+    return warnings

@@ -1,0 +1,131 @@
+"""Set-associative LRU cache simulator.
+
+The fast path of the AMP simulator uses an analytic miss model
+(:mod:`repro.sim.memory`); this detailed simulator exists to *validate*
+that model — the calibration tests stream crafted address sequences
+through both and require agreement — and as a reusable substrate for
+finer-grained studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class SetAssociativeCache:
+    """A classic set-associative cache with true-LRU replacement.
+
+    Args:
+        capacity_bytes: total capacity; must be divisible by
+            ``associativity * line_size``.
+        associativity: ways per set.
+        line_size: line size in bytes (power of two).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        associativity: int = 8,
+        line_size: int = 64,
+    ):
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise SimulationError(f"line size {line_size} not a power of two")
+        if capacity_bytes <= 0 or associativity <= 0:
+            raise SimulationError(
+                f"cache needs positive capacity and associativity, got "
+                f"{capacity_bytes}B x {associativity}-way"
+            )
+        if capacity_bytes % (associativity * line_size) != 0:
+            raise SimulationError(
+                f"capacity {capacity_bytes} not divisible by "
+                f"{associativity} ways x {line_size}B lines"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.num_sets = capacity_bytes // (associativity * line_size)
+        # Each set is an OrderedDict tag -> None, LRU at the front.
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Access *address*; return True on hit.  Misses allocate."""
+        line = address // self.line_size
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways[tag] = None
+        if len(ways) > self.associativity:
+            ways.popitem(last=False)  # Evict LRU.
+        return False
+
+    def access_stream(self, addresses) -> CacheStats:
+        """Access a whole stream; return stats for just this stream."""
+        before_hits, before_misses = self.stats.hits, self.stats.misses
+        for address in addresses:
+            self.access(address)
+        return CacheStats(
+            self.stats.hits - before_hits, self.stats.misses - before_misses
+        )
+
+    def flush(self) -> None:
+        """Invalidate all lines (stats are kept)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.capacity_bytes}B, "
+            f"{self.associativity}-way, {self.line_size}B lines)"
+        )
+
+
+@dataclass
+class CacheHierarchy:
+    """A two-level hierarchy for detailed studies."""
+
+    l1: SetAssociativeCache
+    l2: SetAssociativeCache
+    l1_stats: CacheStats = field(default_factory=CacheStats)
+    l2_stats: CacheStats = field(default_factory=CacheStats)
+
+    def access(self, address: int) -> str:
+        """Access *address*; return ``"l1"``, ``"l2"`` or ``"mem"``."""
+        if self.l1.access(address):
+            self.l1_stats.hits += 1
+            return "l1"
+        self.l1_stats.misses += 1
+        if self.l2.access(address):
+            self.l2_stats.hits += 1
+            return "l2"
+        self.l2_stats.misses += 1
+        return "mem"

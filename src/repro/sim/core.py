@@ -1,0 +1,65 @@
+"""Cores and core types.
+
+A single-ISA AMP's cores "differ in terms of performance characteristics
+such as clock frequency, cache size".  A :class:`CoreType` captures those
+characteristics; a :class:`Core` is one physical core of some type plus
+its L2 sharing group (the paper's machine shares one L2 between each pair
+of same-frequency cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """Performance characteristics shared by all cores of one type.
+
+    Attributes:
+        name: display name, e.g. ``"fast"``.
+        freq_ghz: clock frequency in GHz.
+        l1_kb: private L1 data cache size in KiB.
+        l2_kb: (shared) L2 cache size in KiB.
+        line_size: cache line size in bytes.
+    """
+
+    name: str
+    freq_ghz: float
+    l1_kb: int = 32
+    l2_kb: int = 4096
+    line_size: int = 64
+
+    @property
+    def freq_hz(self) -> float:
+        return self.freq_ghz * 1e9
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1_kb * 1024
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kb * 1024
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.freq_ghz}GHz"
+
+
+@dataclass(frozen=True)
+class Core:
+    """One physical core.
+
+    Attributes:
+        cid: core id (dense, 0-based).
+        ctype: the core's type.
+        l2_group: id of the L2 cache this core shares; cores with equal
+            ``l2_group`` contend for the same L2.
+    """
+
+    cid: int
+    ctype: CoreType
+    l2_group: int
+
+    def __str__(self) -> str:
+        return f"core{self.cid}({self.ctype})"

@@ -1,0 +1,85 @@
+"""PAPI-like hardware performance counters.
+
+Section III: "To deal with limitations that may be imposed by the number
+of counters or APIs, we require programs to wait for access to the
+counters.  Since our approach requires very little dynamic monitoring,
+processes seldom have to wait."
+
+Each core exposes a bounded number of counter slots.  A monitoring
+session acquires one slot on its core; if none is free the acquisition
+fails and the caller retries at its next phase mark (the deferred-retry
+realisation of "waiting").  Contention statistics are kept so the
+negligible-wait claim can be checked experimentally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CounterError
+
+
+@dataclass
+class CounterSession:
+    """An open measurement of one code section on one core.
+
+    Attributes:
+        core_id: core the counters belong to.
+        owner_pid: process that acquired the session.
+        start_instrs / start_cycles: snapshot at acquisition.
+    """
+
+    core_id: int
+    owner_pid: int
+    start_instrs: float = 0.0
+    start_cycles: float = 0.0
+    closed: bool = False
+
+
+@dataclass
+class CounterBank:
+    """All counter slots of one machine.
+
+    Attributes:
+        n_cores: number of cores.
+        slots_per_core: concurrent sessions a core supports.
+    """
+
+    n_cores: int
+    slots_per_core: int = 2
+    acquisitions: int = 0
+    rejections: int = 0
+    _open: dict = field(default_factory=dict)  # core_id -> count
+
+    def try_acquire(
+        self, core_id: int, pid: int, instrs: float, cycles: float
+    ) -> Optional[CounterSession]:
+        """Acquire a slot on *core_id*; ``None`` when all are busy."""
+        if not 0 <= core_id < self.n_cores:
+            raise CounterError(f"core id {core_id} out of range")
+        in_use = self._open.get(core_id, 0)
+        if in_use >= self.slots_per_core:
+            self.rejections += 1
+            return None
+        self._open[core_id] = in_use + 1
+        self.acquisitions += 1
+        return CounterSession(core_id, pid, instrs, cycles)
+
+    def release(self, session: CounterSession) -> None:
+        """Release *session*'s slot.
+
+        Raises:
+            CounterError: on double release.
+        """
+        if session.closed:
+            raise CounterError("counter session already released")
+        session.closed = True
+        self._open[session.core_id] -= 1
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.acquisitions + self.rejections
+        if total == 0:
+            return 0.0
+        return self.rejections / total

@@ -1,0 +1,39 @@
+"""A tiny deterministic discrete-event queue.
+
+Events at equal times are delivered in insertion order (a monotonically
+increasing sequence number breaks ties), which keeps whole simulations
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+
+class EventQueue:
+    """Priority queue of (time, payload) events."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, time: float, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple:
+        """Pop the earliest event as (time, payload)."""
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

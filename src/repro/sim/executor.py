@@ -1,0 +1,380 @@
+"""The discrete-event execution engine.
+
+Runs a set of :class:`~repro.sim.process.SimProcess` jobs on a
+:class:`~repro.sim.machine.MachineConfig` under a scheduler, optionally
+with a tuning runtime attached (the dynamic half of phase-based tuning).
+
+Execution is quantum-at-a-time per core.  Within a quantum the core
+consumes trace segments: phase marks fire at segment entries (and, for
+marks embedded in collapsed bodies, at a per-iteration rate), the
+runtime may request an affinity change, and a change that excludes the
+current core preempts the process and charges the ~1000-cycle migration
+cost.  L2-sharing contention inflates the stall portion of a segment's
+cycles by a factor proportional to the co-runner's memory intensity.
+
+The runtime attached via ``runtime`` must provide::
+
+    on_mark(process, mark_id, phase_type, core, now) -> MarkAction
+    on_process_end(process, now) -> None
+    assignment_for(process, phase_type) -> Optional[CoreType]
+
+(See :mod:`repro.tuning.runtime`; ``None`` runs the stock baseline.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.instrument.phase_mark import MARK_FIRE_CYCLES
+from repro.sim.events import EventQueue
+from repro.sim.memory import MemoryModel
+from repro.sim.machine import MachineConfig
+from repro.sim.process import Segment, SimProcess
+from repro.sim.scheduler.affinity import MIGRATION_CYCLES, validate_affinity
+from repro.sim.scheduler.base import Scheduler
+from repro.sim.scheduler.linux_o1 import LinuxO1Scheduler
+
+#: Floor on simulated progress per scheduling decision, to keep the
+#: event count bounded even for pathological zero-cost segments.
+_MIN_STEP_S = 1e-9
+
+
+@dataclass(frozen=True)
+class MarkAction:
+    """What a runtime asked for after a mark fired."""
+
+    affinity: Optional[frozenset] = None
+    extra_cycles: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished (or stopped) simulation observed.
+
+    Attributes:
+        machine: the machine simulated.
+        time: simulation end time in seconds.
+        completed: processes that ran to completion, in completion order.
+        running: processes still live at the end.
+        throughput_buckets: instructions committed per 1-second bucket.
+        idle_time_by_core: seconds each core spent idle.
+    """
+
+    machine: MachineConfig
+    time: float
+    completed: list = field(default_factory=list)
+    running: list = field(default_factory=list)
+    throughput_buckets: dict = field(default_factory=dict)
+    idle_time_by_core: dict = field(default_factory=dict)
+
+    def instructions_before(self, horizon: float) -> float:
+        """Instructions committed in ``[0, horizon)``."""
+        return sum(
+            count
+            for bucket, count in self.throughput_buckets.items()
+            if bucket < horizon
+        )
+
+    @property
+    def all_processes(self) -> list:
+        return self.completed + self.running
+
+    def total_switches(self) -> float:
+        return sum(p.stats.switches for p in self.all_processes)
+
+
+class Simulation:
+    """One simulation run.
+
+    Args:
+        machine: the AMP to simulate.
+        scheduler: defaults to a fresh :class:`LinuxO1Scheduler`.
+        runtime: tuning runtime, or ``None`` for the stock baseline.
+        contention_alpha: strength of L2-sharing bandwidth contention
+            (0 disables): a memory-intensive co-runner inflates this
+            segment's stall cycles by up to this factor.
+        pollution_beta: strength of shared-L2 *pollution*: the fraction
+            of this segment's L2-resident accesses a fully streaming
+            co-runner turns into DRAM misses.  Pollution is what makes
+            random co-location (the stock scheduler) expensive for
+            cache-resident code and segregation (phase-based tuning)
+            valuable — on the paper's machine each core pair shares one
+            L2, so a streaming neighbour evicts a cache-resident
+            neighbour's working set.
+        on_complete: callback ``(process, now) -> Optional[SimProcess]``;
+            a returned process is admitted immediately (job queues).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        scheduler: Optional[Scheduler] = None,
+        runtime=None,
+        contention_alpha: float = 0.4,
+        pollution_beta: float = 0.6,
+        on_complete: Optional[Callable] = None,
+        memory: Optional[MemoryModel] = None,
+    ):
+        self.machine = machine
+        self.scheduler = scheduler or LinuxO1Scheduler()
+        self.scheduler.attach(machine, self._wake_core)
+        self.runtime = runtime
+        self.contention_alpha = contention_alpha
+        self.pollution_beta = pollution_beta
+        self.memory = memory or MemoryModel()
+        self.on_complete = on_complete
+
+        self._events = EventQueue()
+        self._now = 0.0
+        self._core_busy_until = {c.cid: 0.0 for c in machine.cores}
+        self._core_idle = {c.cid: True for c in machine.cores}
+        self._core_idle_since = {c.cid: 0.0 for c in machine.cores}
+        self._core_stall_frac = {c.cid: 0.0 for c in machine.cores}
+        self._result = SimulationResult(
+            machine,
+            0.0,
+            idle_time_by_core={c.cid: 0.0 for c in machine.cores},
+        )
+        self._live: set = set()
+
+    # -- admission -------------------------------------------------------------
+
+    def add_process(self, proc: SimProcess, at: float = 0.0) -> None:
+        """Admit *proc* at time *at*."""
+        validate_affinity(proc.affinity, len(self.machine))
+        self._events.push(at, ("arrive", proc))
+
+    def _wake_core(self, core_id: int, now: float) -> None:
+        if self._core_idle[core_id]:
+            self._core_idle[core_id] = False
+            self._result.idle_time_by_core[core_id] += max(
+                0.0, now - self._core_idle_since[core_id]
+            )
+            self._events.push(max(now, self._core_busy_until[core_id]),
+                              ("core", core_id))
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, until: float) -> SimulationResult:
+        """Run the simulation until time *until* (seconds)."""
+        while self._events:
+            time = self._events.peek_time()
+            if time is None or time > until:
+                break
+            time, payload = self._events.pop()
+            self._now = max(self._now, time)
+            kind = payload[0]
+            if kind == "arrive":
+                proc = payload[1]
+                proc.arrival = time
+                self._live.add(proc.pid)
+                self.scheduler.enqueue(proc, time)
+            elif kind == "core":
+                self._core_turn(payload[1], time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event {kind!r}")
+
+        # Close idle accounting at the horizon.
+        for cid, idle in self._core_idle.items():
+            if idle:
+                self._result.idle_time_by_core[cid] += max(
+                    0.0, until - self._core_idle_since[cid]
+                )
+                self._core_idle_since[cid] = until
+        self._now = max(self._now, until)
+        self._result.time = self._now
+        return self._result
+
+    def _core_turn(self, core_id: int, now: float) -> None:
+        proc = self.scheduler.pick(core_id, now)
+        if proc is None:
+            self._core_idle[core_id] = True
+            self._core_idle_since[core_id] = now
+            self._core_stall_frac[core_id] = 0.0
+            return
+        end = self._run_quantum(core_id, proc, now)
+        self._core_busy_until[core_id] = end
+        # _core_stall_frac keeps the last segment's memory intensity so
+        # neighbours sharing the L2 see this core's pressure until it
+        # idles or runs something else.
+        if proc.finished:
+            self._finish(proc, end)
+        elif core_id in proc.affinity:
+            self.scheduler.requeue(proc, core_id, end)
+        else:
+            self.scheduler.enqueue(proc, end)
+        self._events.push(end, ("core", core_id))
+
+    # -- quantum execution -------------------------------------------------------
+
+    def _run_quantum(self, core_id: int, proc: SimProcess, start: float) -> float:
+        core = self.machine.cores[core_id]
+        ctype = core.ctype
+        freq = ctype.freq_hz
+        budget = self.scheduler.timeslice
+        t = start
+        proc.current_core = core_id
+
+        while budget > 0 and not proc.finished:
+            seg = proc.cursor.current
+            if proc.cursor.at_entry:
+                action = self._fire_marks(proc, seg, core, t)
+                cost_s = action.extra_cycles / freq
+                t += cost_s
+                budget -= cost_s
+                proc.cursor.mark_entry_handled()
+                if action.affinity is not None and action.affinity != proc.affinity:
+                    proc.affinity = validate_affinity(
+                        action.affinity, len(self.machine)
+                    )
+                    if core_id not in proc.affinity:
+                        # Core switch: charge migration and preempt.
+                        switch_s = MIGRATION_CYCLES / freq
+                        proc.stats.switches += 1
+                        proc.stats.migrations += 1
+                        return t + switch_s
+                continue
+
+            per_iter_cycles, per_iter_overhead, switch_rate = (
+                self._segment_iteration_cost(proc, seg, core)
+            )
+            total_per_iter = per_iter_cycles + per_iter_overhead
+            per_iter_s = max(total_per_iter / freq, 1e-18)
+            remaining = proc.cursor.remaining_iterations
+            fit = budget / per_iter_s
+            n = min(remaining, fit)
+            if n <= 0:
+                n = min(remaining, 1e-9)
+            elapsed = n * per_iter_s
+            proc.stats.record(
+                ctype.name, n * seg.cost.instrs, n * total_per_iter
+            )
+            proc.stats.mark_overhead_cycles += n * per_iter_overhead
+            proc.stats.switches += n * switch_rate
+            proc.stats.cpu_time += elapsed
+            self._account_throughput(t, n * seg.cost.instrs)
+            self._core_stall_frac[core_id] = seg.cost.stall_fraction(ctype.name)
+            proc.cursor.consume(n)
+            t += elapsed
+            budget -= elapsed
+            if budget <= _MIN_STEP_S and not proc.finished:
+                break
+
+        return max(t, start + _MIN_STEP_S)
+
+    def _fire_marks(self, proc: SimProcess, seg: Segment, core, now) -> MarkAction:
+        """Fire the segment's entry marks (and give embedded marks their
+        once-per-entry runtime visit); return the combined action."""
+        fired = len(seg.entry_marks) + len(seg.embedded)
+        cycles = MARK_FIRE_CYCLES * len(seg.entry_marks)
+        proc.stats.mark_firings += len(seg.entry_marks)
+        proc.stats.mark_overhead_cycles += cycles
+        if self.runtime is None:
+            return MarkAction(extra_cycles=cycles) if fired else MarkAction()
+
+        affinity = None
+        extra = cycles
+        for ref in seg.entry_marks:
+            action = self.runtime.on_mark(proc, ref.mark_id, ref.phase_type, core, now)
+            extra += action.extra_cycles
+            if action.affinity is not None:
+                affinity = action.affinity
+        for emb in seg.embedded:
+            action = self.runtime.on_mark(proc, emb.mark_id, emb.phase_type, core, now)
+            extra += action.extra_cycles
+            if action.affinity is not None and affinity is None:
+                # Embedded marks may steer too, but an entry mark's
+                # request (the section actually being entered) wins.
+                affinity = action.affinity
+        return MarkAction(affinity=affinity, extra_cycles=extra)
+
+    def _segment_iteration_cost(self, proc: SimProcess, seg: Segment, core):
+        """(body cycles, mark overhead cycles, switch rate) per iteration
+        of *seg* on *core*, with L2 contention applied."""
+        ctype = core.ctype
+        compute = seg.cost.compute[ctype.name]
+        stall = seg.cost.stall[ctype.name]
+        neighbor = 0.0
+        for other in self.machine.l2_neighbors(core.cid):
+            if not self._core_idle[other]:
+                neighbor = max(neighbor, self._core_stall_frac[other])
+        if self.contention_alpha > 0 and stall > 0 and neighbor > 0:
+            # Bandwidth contention: two memory-intensive phases on one
+            # L2 (and one front-side bus) slow each other down.
+            stall *= 1.0 + self.contention_alpha * neighbor
+        l2_resident = seg.cost.l2hits[ctype.name]
+        if self.pollution_beta > 0 and l2_resident > 0 and neighbor > 0:
+            # Pollution: a streaming co-runner evicts this segment's
+            # L2-resident lines, turning L2 hits into DRAM misses.
+            evicted = self.pollution_beta * neighbor * l2_resident
+            stall += evicted * (
+                self.memory.dram_penalty_cycles(ctype) - self.memory.l2_hit_cycles
+            )
+        body = compute + stall
+
+        overhead = 0.0
+        switch_rate = 0.0
+        if seg.embedded:
+            total_rate = sum(e.rate for e in seg.embedded)
+            overhead += total_rate * MARK_FIRE_CYCLES
+            if self.runtime is not None:
+                targets = {}
+                for emb in seg.embedded:
+                    target = self.runtime.assignment_for(proc, emb.phase_type)
+                    if target is not None:
+                        targets[emb.phase_type] = (target.name, emb.rate)
+                names = {name for name, _ in targets.values()}
+                if len(names) >= 2:
+                    # Marks of differing decided targets thrash: every
+                    # firing of a minority-target mark is a switch.
+                    dominant = max(targets.values(), key=lambda tr: tr[1])[0]
+                    thrash = sum(
+                        rate for name, rate in targets.values() if name != dominant
+                    )
+                    switch_rate += thrash
+                    overhead += thrash * MIGRATION_CYCLES
+        return body, overhead, switch_rate
+
+    def _account_throughput(self, t: float, instrs: float) -> None:
+        bucket = int(t)
+        self._result.throughput_buckets[bucket] = (
+            self._result.throughput_buckets.get(bucket, 0.0) + instrs
+        )
+
+    def _finish(self, proc: SimProcess, now: float) -> None:
+        proc.completion = now
+        self._live.discard(proc.pid)
+        self._result.completed.append(proc)
+        if self.runtime is not None:
+            self.runtime.on_process_end(proc, now)
+        if self.on_complete is not None:
+            replacement = self.on_complete(proc, now)
+            if replacement is not None:
+                self.add_process(replacement, now)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def live_processes(self) -> int:
+        return len(self._live)
+
+    def snapshot_running(self) -> list:
+        """Collect still-running processes into the result (call after
+        :meth:`run`)."""
+        running = []
+        seen = {p.pid for p in self._result.completed}
+        for queue_proc in self._iter_queued():
+            if queue_proc.pid not in seen:
+                running.append(queue_proc)
+        self._result.running = running
+        return running
+
+    def _iter_queued(self):
+        scheduler = self.scheduler
+        for core in self.machine.cores:
+            queue = getattr(scheduler, "_queues", {}).get(core.cid, ())
+            for proc in queue:
+                yield proc

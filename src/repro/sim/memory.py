@@ -1,0 +1,90 @@
+"""Analytic memory-hierarchy model.
+
+Per symbolic access, the expected L1 and L2 misses per execution are
+derived from the accessed region's working set vs the core's cache
+capacities — the steady-state behaviour the detailed LRU simulator
+converges to for the access patterns the synthetic ISA can express
+(scalars and fixed-stride streams).  The calibration tests in
+``tests/sim/test_cache_calibration.py`` check this agreement.
+
+The asymmetry mechanism: L2 hit latency is charged in *cycles* (an
+on-chip L2 is clocked with the core, so underclocking scales its
+nanosecond latency along with everything else), while DRAM latency is
+fixed in *nanoseconds* — a 2.4 GHz core therefore wastes 1.5x the stall
+cycles of a 1.6 GHz core on every DRAM access.  That is exactly why
+"cores with a lower frequency will waste fewer cycles during stalls" and
+why memory-bound phases show higher IPC on slow cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import MemAccess
+from repro.program.module import Program
+from repro.sim.core import CoreType
+
+#: L2 hit latency in core cycles (frequency-invariant).
+L2_HIT_CYCLES = 12.0
+
+#: DRAM access latency in nanoseconds (frequency-invariant wall time).
+DRAM_LATENCY_NS = 50.0
+
+
+@dataclass(frozen=True)
+class MissProfile:
+    """Expected misses of one access, per execution.
+
+    Attributes:
+        l1_misses: expected L1 misses per execution (served by L2).
+        l2_misses: expected L2 misses per execution (served by DRAM);
+            always a subset of the L1 misses.
+    """
+
+    l1_misses: float
+    l2_misses: float
+
+    @property
+    def l2_hits(self) -> float:
+        return self.l1_misses - self.l2_misses
+
+
+class MemoryModel:
+    """Analytic steady-state miss model for symbolic accesses."""
+
+    def __init__(self, dram_latency_ns: float = DRAM_LATENCY_NS,
+                 l2_hit_cycles: float = L2_HIT_CYCLES):
+        self.dram_latency_ns = dram_latency_ns
+        self.l2_hit_cycles = l2_hit_cycles
+
+    def miss_profile(
+        self, mem: MemAccess, program: Program, ctype: CoreType
+    ) -> MissProfile:
+        """Expected misses per execution of *mem* on a *ctype* core.
+
+        Steady-state reasoning: a scalar (stride 0) stays resident; a
+        strided stream touches a new line every ``line/stride``
+        executions and, if its working set exceeds a level's capacity,
+        each new line misses that level (it was evicted during the
+        previous sweep).
+        """
+        if mem.stride == 0:
+            return MissProfile(0.0, 0.0)
+        region = program.region(mem.region)
+        lines_per_exec = min(1.0, mem.stride / ctype.line_size)
+        ws = region.working_set
+        l1 = lines_per_exec if ws > ctype.l1_bytes else 0.0
+        l2 = lines_per_exec if ws > ctype.l2_bytes else 0.0
+        return MissProfile(l1, l2)
+
+    def stall_cycles(
+        self, mem: MemAccess, program: Program, ctype: CoreType
+    ) -> float:
+        """Expected stall cycles per execution of *mem* on *ctype*."""
+        profile = self.miss_profile(mem, program, ctype)
+        dram_cycles = self.dram_latency_ns * ctype.freq_ghz
+        return profile.l2_hits * self.l2_hit_cycles + profile.l2_misses * dram_cycles
+
+    def dram_penalty_cycles(self, ctype: CoreType) -> float:
+        """Cycles one DRAM access stalls a *ctype* core."""
+        return self.dram_latency_ns * ctype.freq_ghz

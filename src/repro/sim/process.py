@@ -1,0 +1,328 @@
+"""Simulated processes and their execution traces.
+
+A process's dynamic behaviour is a compact hierarchical *trace*:
+a sequence of :class:`Segment` leaves (a code section — typically a
+loop — executed for some number of iterations at a precomputed
+per-iteration cost per core type) optionally nested under
+:class:`Repeat` nodes (an outer loop alternating between phases).  The
+executor walks traces with a :class:`TraceCursor`, so a benchmark that
+runs for 10^11 cycles costs only as many Python steps as it has phase
+changes — which is exactly the granularity phase-based tuning acts on.
+
+Phase marks appear in traces in two forms, mirroring where the static
+techniques place them:
+
+* ``entry_marks`` fire once each time the segment is entered (loop and
+  interval techniques put marks outside loops, so this is their shape);
+* ``embedded`` marks fire *inside* the body, ``rate`` times per
+  iteration (the naive basic-block technique's shape: marks within loop
+  bodies that fire every iteration and can thrash between core types).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import SimulationError
+from repro.sim.cost_model import CostVector
+
+
+@dataclass(frozen=True)
+class MarkRef:
+    """Reference to a phase mark attached to a trace segment.
+
+    Attributes:
+        mark_id: phase-mark id (unique within one program).
+        phase_type: the type the mark announces.
+    """
+
+    mark_id: int
+    phase_type: int
+
+
+@dataclass(frozen=True)
+class EmbeddedMark(MarkRef):
+    """A mark inside a segment body.
+
+    Attributes:
+        rate: expected firings per body iteration.
+    """
+
+    rate: float = 0.0
+
+
+@dataclass
+class Segment:
+    """A leaf trace node: one section executed ``iterations`` times.
+
+    Attributes:
+        uid: section id (e.g. the loop uid) for reporting.
+        phase_type: the section's static phase type, if any.
+        iterations: body executions per entry.
+        cost: per-iteration cost (instructions, compute and stall cycles
+            per core type).
+        entry_marks: mark ids fired on each entry to the segment.
+        embedded: marks firing within the body, per iteration.
+    """
+
+    uid: str
+    phase_type: Optional[int]
+    iterations: float
+    cost: CostVector
+    entry_marks: tuple = ()
+    embedded: tuple = ()
+
+    @property
+    def total_instrs(self) -> float:
+        return self.cost.instrs * self.iterations
+
+    def cycles_per_iter(self, ctype_name: str) -> float:
+        return self.cost.cycles(ctype_name)
+
+
+@dataclass
+class Repeat:
+    """An interior trace node: children executed in order, ``count`` times."""
+
+    children: tuple
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise SimulationError(f"negative repeat count {self.count}")
+
+
+TraceNode = Union[Segment, Repeat]
+
+
+@dataclass
+class Trace:
+    """A process's whole dynamic behaviour."""
+
+    nodes: tuple
+
+    def total_instrs(self) -> float:
+        return sum(_node_instrs(n) for n in self.nodes)
+
+    def total_cycles(self, ctype_name: str) -> float:
+        return sum(_node_cycles(n, ctype_name) for n in self.nodes)
+
+    def segments(self):
+        """Iterate all distinct Segment leaves (structure order)."""
+        stack = list(reversed(self.nodes))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Segment):
+                yield node
+            else:
+                stack.extend(reversed(node.children))
+
+
+def _node_instrs(node: TraceNode) -> float:
+    if isinstance(node, Segment):
+        return node.total_instrs
+    return node.count * sum(_node_instrs(c) for c in node.children)
+
+
+def _node_cycles(node: TraceNode, ctype_name: str) -> float:
+    if isinstance(node, Segment):
+        return node.cycles_per_iter(ctype_name) * node.iterations
+    return node.count * sum(_node_cycles(c, ctype_name) for c in node.children)
+
+
+class TraceCursor:
+    """Iterative walker over a trace's nested repeat structure."""
+
+    def __init__(self, trace: Trace):
+        self._stack: list[list] = []  # frames: [nodes, index, reps_left]
+        self._segment: Optional[Segment] = None
+        self._iters_done: float = 0.0
+        self.at_entry: bool = False
+        if trace.nodes:
+            self._stack.append([trace.nodes, 0, 1])
+            self._descend()
+
+    def _descend(self) -> None:
+        """Advance to the next Segment leaf, if any."""
+        self._segment = None
+        while self._stack:
+            nodes, index, reps = self._stack[-1]
+            if index >= len(nodes):
+                if reps > 1:
+                    self._stack[-1][1] = 0
+                    self._stack[-1][2] = reps - 1
+                    continue
+                self._stack.pop()
+                if self._stack:
+                    self._stack[-1][1] += 1
+                continue
+            node = nodes[index]
+            if isinstance(node, Segment):
+                if node.iterations <= 0:
+                    self._stack[-1][1] += 1
+                    continue
+                self._segment = node
+                self._iters_done = 0.0
+                self.at_entry = True
+                return
+            if node.count <= 0 or not node.children:
+                self._stack[-1][1] += 1
+                continue
+            self._stack.append([node.children, 0, node.count])
+
+    @property
+    def finished(self) -> bool:
+        return self._segment is None
+
+    @property
+    def current(self) -> Optional[Segment]:
+        return self._segment
+
+    @property
+    def remaining_iterations(self) -> float:
+        if self._segment is None:
+            return 0.0
+        return self._segment.iterations - self._iters_done
+
+    def consume(self, iterations: float) -> None:
+        """Consume *iterations* of the current segment.
+
+        Raises:
+            SimulationError: if more than the remainder is consumed or
+                the trace is finished.
+        """
+        if self._segment is None:
+            raise SimulationError("consume() on a finished trace")
+        if iterations < 0 or iterations > self.remaining_iterations + 1e-9:
+            raise SimulationError(
+                f"cannot consume {iterations} of "
+                f"{self.remaining_iterations} remaining iterations"
+            )
+        self.at_entry = False
+        self._iters_done += iterations
+        if self.remaining_iterations <= 1e-9:
+            self._stack[-1][1] += 1
+            self._descend()
+
+    def mark_entry_handled(self) -> None:
+        """Entry marks of the current segment were processed."""
+        self.at_entry = False
+
+
+@dataclass
+class ProcessStats:
+    """Accumulated execution statistics of one process."""
+
+    instructions: float = 0.0
+    cycles_by_type: dict = field(default_factory=dict)
+    instrs_by_type: dict = field(default_factory=dict)
+    cpu_time: float = 0.0
+    switches: float = 0.0
+    migrations: int = 0
+    mark_firings: float = 0.0
+    mark_overhead_cycles: float = 0.0
+
+    def record(self, ctype_name: str, instrs: float, cycles: float) -> None:
+        self.instructions += instrs
+        self.cycles_by_type[ctype_name] = (
+            self.cycles_by_type.get(ctype_name, 0.0) + cycles
+        )
+        self.instrs_by_type[ctype_name] = (
+            self.instrs_by_type.get(ctype_name, 0.0) + instrs
+        )
+
+
+class SimProcess:
+    """One running job: a trace plus scheduling state.
+
+    Attributes:
+        pid: unique process id.
+        name: benchmark name (for reporting).
+        trace: the dynamic behaviour.
+        affinity: allowed core ids (the ``sched_setaffinity`` mask).
+        arrival: arrival time in seconds.
+        slot: workload slot index the process occupies, if any.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        trace: Trace,
+        affinity: frozenset,
+        arrival: float = 0.0,
+        isolated_time: float = 0.0,
+        slot: Optional[int] = None,
+    ):
+        self.pid = pid
+        self.name = name
+        self.trace = trace
+        self.cursor = TraceCursor(trace)
+        self.affinity = affinity
+        self.arrival = arrival
+        self.completion: Optional[float] = None
+        self.isolated_time = isolated_time
+        self.slot = slot
+        self.stats = ProcessStats()
+        self.tuner_state: dict = {}
+        self.monitor_session = None
+        self.current_core: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.cursor.finished
+
+    @property
+    def flow_time(self) -> Optional[float]:
+        """F_j = C_j - a_j, once completed."""
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+    @property
+    def stretch(self) -> Optional[float]:
+        """F_j / t_j (Bender et al.), once completed."""
+        flow = self.flow_time
+        if flow is None or self.isolated_time <= 0:
+            return None
+        return flow / self.isolated_time
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"SimProcess(pid={self.pid}, {self.name}, {state})"
+
+
+def spawn_thread_group(
+    base_pid: int,
+    name: str,
+    traces,
+    affinity: frozenset,
+    isolated_time: float = 0.0,
+    slot=None,
+) -> list:
+    """Create the threads of one multi-threaded process (Section VI-A).
+
+    "When an application spawns multiple threads, it is essentially
+    running one or more copies of the same code ... each thread will
+    contain the necessary core switching and monitoring code present in
+    the phase marks."  The marks' descriptor data lives in the process
+    image, so all threads share one tuning state: a phase type decided
+    by any thread applies to its siblings, and exploration work is not
+    repeated per thread.  Each thread is its own schedulable entity with
+    its own trace cursor and statistics.
+    """
+    shared_tuner_state: dict = {}
+    threads = []
+    for i, trace in enumerate(traces):
+        thread = SimProcess(
+            base_pid + i,
+            f"{name}/t{i}",
+            trace,
+            affinity,
+            isolated_time=isolated_time,
+            slot=slot,
+        )
+        thread.tuner_state = shared_tuner_state
+        threads.append(thread)
+    return threads

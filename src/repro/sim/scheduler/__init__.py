@@ -1,0 +1,25 @@
+"""Schedulers for the AMP simulator.
+
+:class:`LinuxO1Scheduler` models the stock Linux 2.6.22 O(1) scheduler
+the paper compares against: per-core runqueues, fixed timeslices,
+work-stealing when a core idles and periodic balancing — all affinity-
+respecting but completely frequency-blind, which is precisely the
+inefficiency phase-based tuning exploits.  The affinity module is the
+``sched_setaffinity`` analogue phase marks call through.
+"""
+
+from repro.sim.scheduler.base import Scheduler
+from repro.sim.scheduler.linux_o1 import LinuxO1Scheduler
+from repro.sim.scheduler.affinity import (
+    MIGRATION_CYCLES,
+    pick_core,
+    validate_affinity,
+)
+
+__all__ = [
+    "Scheduler",
+    "LinuxO1Scheduler",
+    "MIGRATION_CYCLES",
+    "pick_core",
+    "validate_affinity",
+]

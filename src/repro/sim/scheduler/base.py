@@ -1,0 +1,49 @@
+"""Scheduler interface.
+
+The executor drives a scheduler through this small surface: ready
+processes are enqueued (respecting affinity), each free core asks for
+its next process, and preempted processes are requeued.  Idle cores may
+steal.  A ``waker`` callback lets the scheduler wake a sleeping core
+when work arrives for it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.sim.machine import MachineConfig
+from repro.sim.process import SimProcess
+
+
+class Scheduler(abc.ABC):
+    """Abstract scheduler over per-core runqueues."""
+
+    #: Timeslice in seconds; the executor runs quanta of this length.
+    timeslice: float = 0.05
+
+    def attach(self, machine: MachineConfig, waker: Callable) -> None:
+        """Bind to *machine*; *waker(core_id, now)* wakes an idle core."""
+        self.machine = machine
+        self.waker = waker
+
+    @abc.abstractmethod
+    def enqueue(self, proc: SimProcess, now: float) -> None:
+        """Place a ready process on some allowed core's queue."""
+
+    @abc.abstractmethod
+    def pick(self, core_id: int, now: float) -> Optional[SimProcess]:
+        """Pop the next process for *core_id* (stealing if allowed)."""
+
+    @abc.abstractmethod
+    def requeue(self, proc: SimProcess, core_id: int, now: float) -> None:
+        """Return a preempted process to a queue (it may have a new
+        affinity mask that excludes *core_id*)."""
+
+    @abc.abstractmethod
+    def queue_length(self, core_id: int) -> int:
+        """Ready processes currently queued on *core_id*."""
+
+    def load_map(self) -> dict:
+        """Queue length per core id."""
+        return {c.cid: self.queue_length(c.cid) for c in self.machine.cores}

@@ -1,0 +1,33 @@
+"""Dynamic analysis and tuning (Section II-B of the paper).
+
+The code inside phase marks: on a transition between phase types it
+switches cores to the assignment previously determined for the new type;
+until an assignment exists it monitors representative sections' IPC on
+each core type via the hardware counters, then decides with the paper's
+Algorithm 2 (:func:`~repro.tuning.assignment.select_core`).  Everything
+is per process and fully runtime — no knowledge of the program or the
+machine's asymmetry is assumed.
+"""
+
+from repro.tuning.assignment import select_core
+from repro.tuning.monitor import PhaseState, SectionMonitor
+from repro.tuning.runtime import (
+    AFFINITY_SYSCALL_CYCLES,
+    PhaseTuningRuntime,
+    SwitchToAllRuntime,
+)
+from repro.tuning.policies import feedback_runtime, standard_runtime
+from repro.tuning.pipeline import TunedBinary, tune_program
+
+__all__ = [
+    "select_core",
+    "PhaseState",
+    "SectionMonitor",
+    "AFFINITY_SYSCALL_CYCLES",
+    "PhaseTuningRuntime",
+    "SwitchToAllRuntime",
+    "feedback_runtime",
+    "standard_runtime",
+    "TunedBinary",
+    "tune_program",
+]

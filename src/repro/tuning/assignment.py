@@ -1,0 +1,109 @@
+"""Optimal core assignment — Algorithm 2 of the paper, verbatim.
+
+    select(π, δ): best core for phase type π, with threshold δ
+    Sort C s.t. i > j ⇒ f(ci, π) > f(cj, π)
+    d ← c0
+    for all ci ∈ C \\ {cn}:
+        θ = f(ci+1, π) − f(ci, π)
+        if θ > δ ∧ f(ci+1, π) > f(d, π): d ← ci+1
+    return d
+
+"The underlying intuition is that cores which execute code most
+efficiently will waste fewer clock cycles resulting in higher observed
+IPC.  Since such cores are more efficient, they will be in higher
+contention.  Thus, the algorithm picks a core that improves efficiency
+but does not overload the efficient cores."
+
+The sort is ascending by observed IPC.  The paper leaves IPC ties
+unspecified; we break them toward the *faster* core so that code whose
+IPC is core-insensitive (compute-bound code on a frequency-asymmetric
+machine) defaults to the fast cores — the behaviour the evaluation's
+threshold sweep (Figure 6) exhibits at its high-δ extreme, where "the
+entire workload eventually migrates away from one core type".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.sim.core import CoreType
+
+
+def select_core(
+    core_types: Sequence[CoreType],
+    observed_ipc: dict,
+    delta: float,
+) -> CoreType:
+    """Pick the core type for a phase type from its observed IPCs.
+
+    Args:
+        core_types: the candidate core types (the paper runs the
+            algorithm over cores; grouping cores into types is its own
+            Section VI-C scalability answer, which we adopt).
+        observed_ipc: measured IPC per core-type name.
+        delta: the IPC threshold δ.
+
+    Raises:
+        AnalysisError: if a core type has no observation.
+    """
+    if not core_types:
+        raise AnalysisError("select_core: no core types")
+    missing = [ct.name for ct in core_types if ct.name not in observed_ipc]
+    if missing:
+        raise AnalysisError(f"select_core: no IPC observed on {missing}")
+
+    order = sorted(
+        core_types,
+        key=lambda ct: (observed_ipc[ct.name], -ct.freq_ghz, ct.name),
+    )
+    best = order[0]
+    for i in range(len(order) - 1):
+        theta = observed_ipc[order[i + 1].name] - observed_ipc[order[i].name]
+        if theta > delta and observed_ipc[order[i + 1].name] > observed_ipc[best.name]:
+            best = order[i + 1]
+    return best
+
+
+@dataclass(frozen=True)
+class AssignmentDecision:
+    """Algorithm 2's pick plus whether any gap was significant.
+
+    When no adjacent IPC gap exceeds δ, the algorithm returns ``c0`` —
+    whichever core type measurement noise happened to rank lowest.  On
+    real hardware that pins the process roughly where the OS scheduler
+    already placed it; our affinity abstraction models that noise-pin as
+    *no constraint* (``significant == False``), leaving the stock
+    scheduler in charge of such phases.  Phases with a real gap
+    (``significant == True``) are pinned to ``core_type``.
+    """
+
+    core_type: CoreType
+    significant: bool
+
+
+def select_core_checked(
+    core_types: Sequence[CoreType],
+    observed_ipc: dict,
+    delta: float,
+) -> AssignmentDecision:
+    """Run Algorithm 2 and report whether the pick was signal or noise."""
+    if not core_types:
+        raise AnalysisError("select_core: no core types")
+    missing = [ct.name for ct in core_types if ct.name not in observed_ipc]
+    if missing:
+        raise AnalysisError(f"select_core: no IPC observed on {missing}")
+
+    order = sorted(
+        core_types,
+        key=lambda ct: (observed_ipc[ct.name], -ct.freq_ghz, ct.name),
+    )
+    best = order[0]
+    significant = False
+    for i in range(len(order) - 1):
+        theta = observed_ipc[order[i + 1].name] - observed_ipc[order[i].name]
+        if theta > delta and observed_ipc[order[i + 1].name] > observed_ipc[best.name]:
+            best = order[i + 1]
+            significant = True
+    return AssignmentDecision(best, significant)

@@ -1,0 +1,135 @@
+"""Representative-section IPC monitoring.
+
+"The decision about the optimal core for that phase type is made by
+monitoring representative sections from the cluster of sections that
+have the same phase type ... monitoring all sections will not be
+necessary."
+
+A :class:`SectionMonitor` opens at most one measurement per process: at
+a phase mark for an unsampled (phase type, core type) pair it acquires a
+PAPI-style counter slot and snapshots the process's retired-instruction
+and cycle counters for the current core type; the measurement closes at
+the process's next phase mark, yielding IPC = Δinstructions / Δcycles —
+exactly the paper's formula.  If no counter slot is free the measurement
+is simply retried at a later mark ("programs wait for access to the
+counters"; our deferred retry is the zero-cost realisation, and the
+bank's rejection statistics quantify how rarely it happens).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.core import CoreType
+from repro.sim.counters import CounterBank, CounterSession
+from repro.sim.process import SimProcess
+
+
+@dataclass
+class PhaseState:
+    """Per-process tuning state of one phase type.
+
+    Attributes:
+        samples: observed IPC per core-type name.
+        decided: the chosen core type once Algorithm 2 has run.
+        firings: marks of this type fired so far (drives the optional
+            feedback policy's re-sampling).
+    """
+
+    samples: dict = field(default_factory=dict)
+    decided: Optional[CoreType] = None
+    firings: int = 0
+
+    def reset(self) -> None:
+        """Forget everything (feedback adaptation)."""
+        self.samples.clear()
+        self.decided = None
+        self.firings = 0
+
+
+@dataclass
+class _OpenMeasurement:
+    session: CounterSession
+    phase_type: int
+    ctype_name: str
+
+
+class SectionMonitor:
+    """Opens and closes per-process section measurements.
+
+    Args:
+        counters: the machine's counter bank.
+        min_sample_cycles: measurements shorter than this are discarded
+            (not enough signal to trust the IPC).
+        noise: relative measurement noise (uniform, +/-).  Hardware
+            counters over short sections are never exact; the noise also
+            breaks the exact IPC ties core-insensitive code produces, so
+            its core choice is unbiased — as it is on real hardware.
+        seed: noise generator seed (determinism).
+    """
+
+    def __init__(
+        self,
+        counters: CounterBank,
+        min_sample_cycles: float = 10_000.0,
+        noise: float = 0.02,
+        seed: int = 0,
+    ):
+        self.counters = counters
+        self.min_sample_cycles = min_sample_cycles
+        self.noise = noise
+        self._rng = random.Random(seed)
+        self.completed_samples = 0
+        self.discarded_samples = 0
+
+    def try_open(self, proc: SimProcess, phase_type: int, core) -> bool:
+        """Start measuring *proc*'s upcoming section on *core*.
+
+        Returns False (and measures nothing) if the process already has
+        an open measurement or no counter slot is free.
+        """
+        if proc.monitor_session is not None:
+            return False
+        ctype: CoreType = core.ctype
+        session = self.counters.try_acquire(
+            core.cid,
+            proc.pid,
+            proc.stats.instrs_by_type.get(ctype.name, 0.0),
+            proc.stats.cycles_by_type.get(ctype.name, 0.0),
+        )
+        if session is None:
+            return False
+        proc.monitor_session = _OpenMeasurement(session, phase_type, ctype.name)
+        return True
+
+    def close(self, proc: SimProcess) -> Optional[tuple]:
+        """Close *proc*'s open measurement, if any.
+
+        Returns ``(phase_type, ctype_name, ipc)`` when the measurement
+        yielded a usable sample, else ``None``.
+        """
+        open_measurement: Optional[_OpenMeasurement] = proc.monitor_session
+        if open_measurement is None:
+            return None
+        proc.monitor_session = None
+        self.counters.release(open_measurement.session)
+
+        name = open_measurement.ctype_name
+        d_instrs = (
+            proc.stats.instrs_by_type.get(name, 0.0)
+            - open_measurement.session.start_instrs
+        )
+        d_cycles = (
+            proc.stats.cycles_by_type.get(name, 0.0)
+            - open_measurement.session.start_cycles
+        )
+        if d_cycles < self.min_sample_cycles or d_instrs <= 0:
+            self.discarded_samples += 1
+            return None
+        self.completed_samples += 1
+        ipc = d_instrs / d_cycles
+        if self.noise > 0:
+            ipc *= 1.0 + self._rng.uniform(-self.noise, self.noise)
+        return (open_measurement.phase_type, name, ipc)

@@ -1,0 +1,38 @@
+"""Named runtime configurations.
+
+Small factories so experiments and examples read declaratively:
+:func:`standard_runtime` is the paper's evaluated configuration;
+:func:`feedback_runtime` enables the Section VI-B feedback adaptation
+("simple feedback mechanisms can be added").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.counters import CounterBank
+from repro.sim.machine import MachineConfig
+from repro.tuning.runtime import PhaseTuningRuntime
+
+
+def standard_runtime(
+    machine: MachineConfig,
+    ipc_threshold: float = 0.15,
+    counters: Optional[CounterBank] = None,
+) -> PhaseTuningRuntime:
+    """The paper's runtime: monitor once per (phase type, core type),
+    decide with Algorithm 2, then switch-only forever."""
+    return PhaseTuningRuntime(machine, ipc_threshold, counters)
+
+
+def feedback_runtime(
+    machine: MachineConfig,
+    ipc_threshold: float = 0.15,
+    resample_after: int = 200,
+    counters: Optional[CounterBank] = None,
+) -> PhaseTuningRuntime:
+    """Feedback-adaptive runtime: re-explore a decided phase type every
+    *resample_after* firings so assignments track workload changes."""
+    return PhaseTuningRuntime(
+        machine, ipc_threshold, counters, resample_after=resample_after
+    )

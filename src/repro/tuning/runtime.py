@@ -1,0 +1,246 @@
+"""The phase-mark runtime: what executes when a mark fires.
+
+"The code in the phase mark either makes use of previous analysis to
+make its core choice or observes the behavior of the code section."
+
+Per process and phase type the state machine is:
+
+1. **explore** — no IPC sample for the current core type yet: open a
+   counter measurement over the upcoming section and stay put; with a
+   sample here but not on some other core type, switch affinity there so
+   the next representative section is measured on it.
+2. **decide** — samples exist for every core type: run Algorithm 2 and
+   fix the assignment.
+3. **steady** — "all future phase marks for that phase type reduce to
+   simply making appropriate core switching decisions": request the
+   decided core type's affinity mask (a no-op unless it differs).
+
+The optional ``resample_after`` implements the Section VI-B feedback
+adaptation: a decided phase type is re-explored after that many firings
+so changed core behaviour (other processes coming and going) is tracked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.instrument.phase_mark import MARK_MONITOR_CYCLES
+from repro.sim.counters import CounterBank
+from repro.sim.executor import MarkAction
+from repro.sim.machine import MachineConfig
+from repro.sim.process import SimProcess
+from repro.tuning.assignment import select_core_checked
+from repro.tuning.monitor import PhaseState, SectionMonitor
+
+#: Cycles one sched_setaffinity-style call costs (kernel entry + mask
+#: update), charged whenever a mark actually issues the call.
+AFFINITY_SYSCALL_CYCLES = 150.0
+
+#: Sentinel: Algorithm 2 found no significant gap, so the phase type is
+#: deliberately left unconstrained (see ``pin_ties``).
+FREE = "free"
+
+
+class PhaseTuningRuntime:
+    """The full phase-based tuning runtime.
+
+    Args:
+        machine: the AMP being run on (only used to enumerate core types
+            and build affinity masks — the runtime itself assumes
+            nothing about which type is "better").
+        ipc_threshold: Algorithm 2's δ.
+        counters: counter bank; a private one is created if omitted.
+        resample_after: if set, re-explore a decided phase type after
+            this many of its marks fire (feedback adaptation).
+        tie_policy: what to do when no adjacent IPC gap exceeds δ and
+            Algorithm 2's pick is therefore measurement noise:
+
+            * ``"free"`` (default) — leave the affinity unrestricted
+              and let the stock scheduler keep balancing this phase
+              type; statistically equivalent to the paper's per-core
+              pin landing wherever the process already was, and the
+              stablest choice under a closed workload.
+            * ``"current"`` — pin to the core type the process is
+              measuring on (a literal sticky reading of the per-core
+              pin).
+            * ``"algorithm"`` — take Algorithm 2's ``c0`` literally
+              (noise decides; reproduces the extreme-threshold
+              migration collapse of Figure 6 most sharply).
+        cycle_metric: what "cycles" means in IPC = instructions/cycles.
+            ``"reference"`` (default) counts constant-rate reference
+            cycles (TSC-style): a fast core then shows visibly higher
+            IPC on compute-bound code (it retires more instructions per
+            wall second), while memory-bound code shows near-equal IPC
+            on both types — so Algorithm 2 sends exactly the code that
+            "saves enough cycles to justify taking the space on the more
+            efficient core" to the fast cores and leaves memory-bound
+            phases for the slow ones.  ``"core"`` counts actual core
+            clock cycles (frequency-scaled); under it compute-bound IPC
+            is core-invariant and memory-bound code shows higher IPC on
+            slow cores.  Both are measurable with PAPI-era counters; the
+            reference metric reproduces the paper's reported behaviour.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        ipc_threshold: float = 0.15,
+        counters: Optional[CounterBank] = None,
+        resample_after: Optional[int] = None,
+        min_sample_cycles: float = 10_000.0,
+        tie_policy: str = "free",
+        monitor_noise: float = 0.02,
+        seed: int = 0,
+        cycle_metric: str = "reference",
+    ):
+        self.machine = machine
+        self.core_types = machine.core_types()
+        self.ipc_threshold = ipc_threshold
+        self.counters = counters or CounterBank(len(machine))
+        self.monitor = SectionMonitor(
+            self.counters, min_sample_cycles, noise=monitor_noise, seed=seed
+        )
+        self.resample_after = resample_after
+        if tie_policy not in ("current", "free", "algorithm"):
+            raise ValueError(f"unknown tie policy {tie_policy!r}")
+        self.tie_policy = tie_policy
+        if cycle_metric not in ("reference", "core"):
+            raise ValueError(f"unknown cycle metric {cycle_metric!r}")
+        self.cycle_metric = cycle_metric
+        self._ref_freq = max(ct.freq_ghz for ct in self.core_types)
+        self._freq_by_name = {ct.name: ct.freq_ghz for ct in self.core_types}
+        self.decisions = 0
+        self.resamples = 0
+
+    # -- state access ------------------------------------------------------
+
+    def _state(self, proc: SimProcess, phase_type: int) -> PhaseState:
+        state = proc.tuner_state.get(phase_type)
+        if state is None:
+            state = PhaseState()
+            proc.tuner_state[phase_type] = state
+        return state
+
+    def assignment_for(self, proc: SimProcess, phase_type: int):
+        """The decided core type for (proc, phase_type), if any.
+
+        Returns ``None`` while undecided and for unconstrained (tie)
+        decisions.
+        """
+        state = proc.tuner_state.get(phase_type)
+        if state is None or state.decided is FREE:
+            return None
+        return state.decided
+
+    # -- the mark entry point -------------------------------------------------
+
+    def on_mark(
+        self,
+        proc: SimProcess,
+        mark_id: int,
+        phase_type: Optional[int],
+        core,
+        now: float,
+    ) -> MarkAction:
+        """Handle one mark firing; return the requested action."""
+        self._absorb_sample(proc)
+        if phase_type is None:
+            return MarkAction()
+
+        state = self._state(proc, phase_type)
+        state.firings += 1
+
+        if (
+            state.decided is not None
+            and self.resample_after is not None
+            and state.firings % self.resample_after == 0
+        ):
+            state.reset()
+            state.firings = 1
+            self.resamples += 1
+
+        if state.decided is not None:
+            if state.decided is FREE:
+                mask = self.machine.all_cores_mask
+            else:
+                mask = self.machine.affinity_of_type(state.decided)
+            if mask != proc.affinity:
+                return MarkAction(
+                    affinity=mask, extra_cycles=AFFINITY_SYSCALL_CYCLES
+                )
+            return MarkAction()
+
+        # Exploring.
+        current = core.ctype
+        if current.name not in state.samples:
+            opened = self.monitor.try_open(proc, phase_type, core)
+            return MarkAction(
+                extra_cycles=MARK_MONITOR_CYCLES if opened else 0.0
+            )
+
+        missing = [ct for ct in self.core_types if ct.name not in state.samples]
+        if missing:
+            mask = self.machine.affinity_of_type(missing[0])
+            return MarkAction(affinity=mask, extra_cycles=AFFINITY_SYSCALL_CYCLES)
+
+        decision = select_core_checked(
+            self.core_types, state.samples, self.ipc_threshold
+        )
+        if decision.significant or self.tie_policy == "algorithm":
+            state.decided = decision.core_type
+            mask = self.machine.affinity_of_type(decision.core_type)
+        elif self.tie_policy == "current":
+            state.decided = core.ctype
+            mask = self.machine.affinity_of_type(core.ctype)
+        else:
+            state.decided = FREE
+            mask = self.machine.all_cores_mask
+        self.decisions += 1
+        if mask != proc.affinity:
+            return MarkAction(affinity=mask, extra_cycles=AFFINITY_SYSCALL_CYCLES)
+        return MarkAction()
+
+    def on_process_end(self, proc: SimProcess, now: float) -> None:
+        """Release any open measurement when a process exits."""
+        self._absorb_sample(proc)
+
+    # -- internals ----------------------------------------------------------
+
+    def _absorb_sample(self, proc: SimProcess) -> None:
+        sample = self.monitor.close(proc)
+        if sample is None:
+            return
+        phase_type, ctype_name, ipc = sample
+        if self.cycle_metric == "reference":
+            # Convert instructions-per-core-cycle into instructions per
+            # constant-rate reference cycle: wall-clock normalisation.
+            ipc *= self._freq_by_name[ctype_name] / self._ref_freq
+        state = self._state(proc, phase_type)
+        if state.decided is None and ctype_name not in state.samples:
+            state.samples[ctype_name] = ipc
+
+
+class SwitchToAllRuntime:
+    """The Figure 4 overhead-measurement runtime.
+
+    "Instead of switching to a specific core, we switch to 'all cores'
+    ... the same API calls are made that optimized programs make,
+    however ... we give all cores in the system.  Thus, the difference
+    in runtime between the unmodified binary and this instrumented
+    binary shows the cost of running our phase marks."
+    """
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+        self._all = machine.all_cores_mask
+
+    def on_mark(self, proc, mark_id, phase_type, core, now) -> MarkAction:
+        return MarkAction(
+            affinity=self._all, extra_cycles=AFFINITY_SYSCALL_CYCLES
+        )
+
+    def on_process_end(self, proc, now) -> None:  # noqa: D401 - trivial
+        """Nothing to clean up."""
+
+    def assignment_for(self, proc, phase_type):
+        return None

@@ -1,0 +1,43 @@
+"""Workloads: synthetic SPEC-like benchmarks and slot-based job streams.
+
+Real SPEC CPU 2000/2006 binaries are unavailable, so :mod:`synthetic`
+builds programs from parameterized loop kernels spanning the full
+memory-boundedness spectrum, and :mod:`spec` instantiates fifteen
+benchmarks named after Table 1's rows with phase structures shaped like
+their namesakes (single-phase codes, rapidly alternating codes,
+long-running streaming codes, tiny codes with no phases at all).
+
+:mod:`workload` reproduces Section IV-A2's construction: a workload has
+a fixed number of *slots*, each with its own queue of randomly selected
+benchmarks; on completion of any job the next one in that slot's queue
+starts immediately, keeping the multiprogramming level constant.  The
+same seed yields identical queues, so baseline and tuned runs compare
+like for like.
+"""
+
+from repro.workloads.synthetic import (
+    KernelSpec,
+    PhaseSpec,
+    SyntheticBenchmark,
+    build_benchmark,
+)
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    spec_benchmark,
+    spec_suite,
+)
+from repro.workloads.workload import Workload, WorkloadRun
+from repro.workloads.generator import random_program
+
+__all__ = [
+    "KernelSpec",
+    "PhaseSpec",
+    "SyntheticBenchmark",
+    "build_benchmark",
+    "SPEC_BENCHMARKS",
+    "spec_benchmark",
+    "spec_suite",
+    "Workload",
+    "WorkloadRun",
+    "random_program",
+]

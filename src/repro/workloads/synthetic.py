@@ -1,0 +1,307 @@
+"""Parameterized synthetic benchmarks.
+
+A benchmark is a ``main`` procedure whose outer loop walks through a
+sequence of *phases*; each phase is an inner loop generated from a
+:class:`KernelSpec` that fixes its position on the memory-boundedness
+spectrum:
+
+* ``fp_ops`` / ``int_ops`` — arithmetic per iteration (compute end),
+* ``table_loads`` — loads into an L2-resident table (cache-resident
+  code: frequency-sensitive *and* vulnerable to L2 pollution),
+* ``stream_ops`` — strided loads/stores into a DRAM-sized region
+  (memory-bound end: slow cores waste fewer cycles on it).
+
+The same description also yields the
+:class:`~repro.sim.tracegen.BehaviorSpec` (loop trip counts), so
+program text and dynamic behaviour always agree.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.isa.builder import ProcedureBuilder, ProgramBuilder
+from repro.program.module import Program
+from repro.sim.tracegen import BehaviorSpec
+
+#: Name and size of the DRAM-resident streaming region.
+STREAM_REGION = "heap"
+STREAM_REGION_BYTES = 32 << 20  # 32 MiB: far beyond any L2.
+
+#: Name and size of the L2-resident table region.
+TABLE_REGION = "table"
+TABLE_REGION_BYTES = 1536 << 10  # 1.5 MiB: fits L2, exceeds L1.
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One loop kernel's per-iteration instruction recipe.
+
+    Attributes:
+        fp_ops: floating-point multiply/add pairs per iteration.
+        int_ops: integer ALU operations per iteration.
+        table_loads: loads from the L2-resident table per iteration.
+        table_stride: byte stride of table loads.
+        stream_loads: strided loads from the DRAM region per iteration.
+        stream_stores: strided stores to the DRAM region per iteration.
+        stream_stride: byte stride of streaming accesses.
+        divides: integer divides per iteration (heavy compute end).
+        branchy: emit an if/else diamond mid-body.  Diamonds split the
+            body into several basic blocks, which is what makes the
+            basic-block, interval and loop techniques behave differently
+            (a single-block body would make them all equivalent).
+    """
+
+    fp_ops: int = 0
+    int_ops: int = 0
+    table_loads: int = 0
+    table_stride: int = 16
+    stream_loads: int = 0
+    stream_stores: int = 0
+    stream_stride: int = 4
+    divides: int = 0
+    branchy: bool = True
+
+    #: Instructions each side of the diamond adds (4 ops + jmp/landing).
+    _DIAMOND_INSTRS = 11
+
+    def instructions_per_iteration(self) -> int:
+        """Kernel body instructions, excluding the 3-instruction latch."""
+        return (
+            2 * self.fp_ops
+            + self.int_ops
+            + 2 * self.table_loads
+            + 2 * self.stream_loads
+            + 2 * self.stream_stores
+            + self.divides
+            + (self._DIAMOND_INSTRS if self.branchy else 0)
+        )
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase: a kernel run for a number of iterations per visit.
+
+    Attributes:
+        label: loop label in the generated code (must be unique within
+            the benchmark).
+        kernel: the per-iteration recipe.
+        trips: inner-loop iterations per visit of the phase.
+    """
+
+    label: str
+    kernel: KernelSpec
+    trips: int
+
+
+@dataclass
+class SyntheticBenchmark:
+    """A built benchmark: program plus behaviour specification."""
+
+    name: str
+    program: Program
+    spec: BehaviorSpec
+    phases: list = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"SyntheticBenchmark({self.name!r}, {len(self.phases)} phases)"
+
+
+def _emit_kernel_body(b: ProcedureBuilder, kernel: KernelSpec) -> None:
+    """Emit one iteration's worth of kernel instructions."""
+    for _ in range(kernel.table_loads):
+        b.load("r6", TABLE_REGION, index="r3", stride=kernel.table_stride)
+        b.add("r7", "r7", "r6")
+    for _ in range(kernel.stream_loads):
+        b.load("r8", STREAM_REGION, index="r5", stride=kernel.stream_stride)
+        b.add("r9", "r9", "r8")
+    for _ in range(kernel.stream_stores):
+        b.add("r9", "r9", 1)
+        b.store(STREAM_REGION, "r9", index="r5", stride=kernel.stream_stride)
+    if kernel.branchy:
+        # An if/else diamond: splits the body into multiple basic
+        # blocks, as real loop bodies have.
+        else_label = b.fresh_label("else")
+        join_label = b.fresh_label("join")
+        b.cmp("r9", 0)
+        b.br("ge", else_label)
+        b.add("r12", "r12", 1)
+        b.xor("r12", "r12", "r7")
+        b.shl("r13", "r12", 1)
+        b.add("r13", "r13", 3)
+        b.jmp(join_label)
+        b.label(else_label)
+        b.fmul("f3", "f3", "f1")
+        b.fadd("f4", "f4", "f3")
+        b.label(join_label)
+        b.or_("r14", "r13", "r12")
+    for _ in range(kernel.fp_ops):
+        b.fmul("f1", "f1", "f2")
+        b.fadd("f2", "f2", "f1")
+    for _ in range(kernel.int_ops):
+        b.xor("r10", "r10", "r7")
+    for _ in range(kernel.divides):
+        b.div("r11", "r10", 3)
+
+
+def _emit_phase(b: ProcedureBuilder, phase: PhaseSpec, counter: str) -> None:
+    """Emit one phase loop."""
+    b.movi(counter, 0)
+    b.label(phase.label)
+    _emit_kernel_body(b, phase.kernel)
+    b.add(counter, counter, 1)
+    b.cmp(counter, phase.trips)
+    b.br("lt", phase.label)
+
+
+def build_benchmark(
+    name: str,
+    phases: list,
+    outer_trips: int = 1,
+    helpers: Optional[dict] = None,
+    cold_procs: int = 10,
+) -> SyntheticBenchmark:
+    """Build a phased benchmark.
+
+    The ``main`` procedure visits every phase in order inside an outer
+    loop of ``outer_trips`` iterations, so phases recur — the behaviour
+    phase-based tuning exploits.
+
+    Args:
+        name: benchmark name.
+        phases: :class:`PhaseSpec` sequence (at least one).
+        outer_trips: how many times the phase sequence repeats.
+        helpers: optional ``{phase_label: proc_name}`` — listed phases
+            are emitted into their own procedure, called from the outer
+            loop, exercising the inter-procedural loop analysis.
+        cold_procs: number of cold setup/utility procedures to emit.
+            Real binaries are dominated by code that rarely runs
+            (initialisation, error paths, cold library calls); each cold
+            procedure here is called once at startup and gives the
+            binary realistic bulk — without them, a 78-byte phase mark
+            against a few-hundred-byte binary would inflate the space
+            overhead of Figure 3 by an order of magnitude.
+
+    Raises:
+        WorkloadError: on an empty phase list or duplicate labels.
+    """
+    if not phases:
+        raise WorkloadError(f"benchmark {name!r} needs at least one phase")
+    labels = [p.label for p in phases]
+    if len(set(labels)) != len(labels):
+        raise WorkloadError(f"benchmark {name!r} has duplicate phase labels")
+    helpers = helpers or {}
+
+    pb = ProgramBuilder(name)
+    pb.region(STREAM_REGION, STREAM_REGION_BYTES)
+    pb.region(TABLE_REGION, TABLE_REGION_BYTES)
+
+    trip_counts = {}
+    helper_bodies = {}
+    for phase in phases:
+        proc_name = helpers.get(phase.label)
+        owner = proc_name if proc_name else "main"
+        trip_counts[(owner, phase.label)] = phase.trips
+        if proc_name:
+            helper_bodies[phase.label] = proc_name
+
+    with pb.proc("main") as b:
+        for i in range(cold_procs):
+            b.call(f"__cold{i}")
+        if outer_trips > 1:
+            b.movi("r1", 0)
+            b.movi("r2", outer_trips)
+            b.label("outer")
+        for phase in phases:
+            if phase.label in helper_bodies:
+                b.call(helper_bodies[phase.label])
+            else:
+                _emit_phase(b, phase, "r3")
+        if outer_trips > 1:
+            b.add("r1", "r1", 1)
+            b.cmp("r1", "r2")
+            b.br("lt", "outer")
+        b.ret()
+
+    for phase in phases:
+        if phase.label not in helper_bodies:
+            continue
+        with pb.proc(helper_bodies[phase.label]) as hb:
+            _emit_phase(hb, phase, "r4")
+            hb.ret()
+
+    for i in range(cold_procs):
+        _emit_cold_proc(pb, name, i)
+        trip_counts[(f"__cold{i}", f"init{i}")] = 4
+
+    if outer_trips > 1:
+        trip_counts[("main", "outer")] = outer_trips
+
+    program = pb.build()
+    spec = BehaviorSpec(trip_counts=trip_counts)
+    return SyntheticBenchmark(name, program, spec, list(phases))
+
+
+# -- canonical kernels across the boundedness spectrum -----------------------
+
+def compute_kernel(fp_ops: int = 18, int_ops: int = 6) -> KernelSpec:
+    """Pure compute: IPC core-invariant, big wall-time win on fast cores."""
+    return KernelSpec(fp_ops=fp_ops, int_ops=int_ops)
+
+
+def cache_kernel(table_loads: int = 8, fp_ops: int = 9, int_ops: int = 4) -> KernelSpec:
+    """L2-resident: frequency-sensitive and pollution-vulnerable."""
+    return KernelSpec(table_loads=table_loads, fp_ops=fp_ops, int_ops=int_ops)
+
+
+def mixed_kernel(
+    stream_loads: int = 4, fp_ops: int = 12, int_ops: int = 6
+) -> KernelSpec:
+    """Middle of the spectrum: moderate stall fraction."""
+    return KernelSpec(
+        stream_loads=stream_loads, fp_ops=fp_ops, int_ops=int_ops
+    )
+
+
+def stream_kernel(
+    stream_loads: int = 12, stream_stores: int = 6, stride: int = 4,
+    int_ops: int = 6,
+) -> KernelSpec:
+    """Memory-bound streaming: slow cores waste far fewer stall cycles."""
+    return KernelSpec(
+        stream_loads=stream_loads,
+        stream_stores=stream_stores,
+        stream_stride=stride,
+        int_ops=int_ops,
+    )
+
+
+def _emit_cold_proc(pb: ProgramBuilder, benchmark_name: str, index: int) -> None:
+    """Emit one cold utility procedure (setup-style code, run once).
+
+    Content is deterministic in (benchmark name, index) so binaries are
+    reproducible; a short counted loop plus straight-line scalar code
+    mimics initialisation routines.
+    """
+    salt = (zlib.crc32(f"{benchmark_name}/{index}".encode()) & 0xFFFF) or 1
+    with pb.proc(f"__cold{index}") as b:
+        b.movi("r1", salt & 0xFF)
+        b.movi("r2", 4)
+        b.movi("r4", 0)
+        b.label(f"init{index}")
+        for j in range(6 + (salt % 7)):
+            if (salt >> j) & 1:
+                b.add("r1", "r1", j + 1)
+            else:
+                b.xor("r1", "r1", "r2")
+        b.store(TABLE_REGION, "r1", offset=64 * index)
+        b.add("r4", "r4", 1)
+        b.cmp("r4", "r2")
+        b.br("lt", f"init{index}")
+        for j in range(12 + (salt % 11)):
+            b.shl("r5", "r1", 1)
+            b.or_("r5", "r5", 3)
+        b.ret()

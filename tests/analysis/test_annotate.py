@@ -1,0 +1,48 @@
+"""Unit tests for attributed programs."""
+
+from repro.analysis import StaticBlockTyper, annotate_program
+
+
+def test_attributed_cfg_types(phased_program):
+    program, _ = phased_program
+    typing = StaticBlockTyper().type_blocks(program)
+    aprog = annotate_program(program, typing)
+    acfg = aprog["main"]
+    for block in acfg:
+        assert acfg.type_of(block.index) == typing.type_of(block)
+
+
+def test_lazy_intervals_and_loops(phased_program):
+    program, _ = phased_program
+    aprog = annotate_program(
+        program, StaticBlockTyper().type_blocks(program)
+    )
+    acfg = aprog["main"]
+    assert acfg.intervals  # Computed on demand.
+    assert acfg.loops
+    assert acfg.intervals is acfg.intervals  # Cached.
+
+
+def test_block_lookup_by_uid(call_program):
+    aprog = annotate_program(
+        call_program, StaticBlockTyper().type_blocks(call_program)
+    )
+    block = aprog.block("helper#0")
+    assert block.proc == "helper"
+    assert block.index == 0
+
+
+def test_callgraph_cached(call_program):
+    aprog = annotate_program(
+        call_program, StaticBlockTyper().type_blocks(call_program)
+    )
+    assert aprog.callgraph is aprog.callgraph
+    assert aprog.callgraph.callees("main") == {"helper"}
+
+
+def test_iteration_covers_all_procedures(call_program):
+    aprog = annotate_program(
+        call_program, StaticBlockTyper().type_blocks(call_program)
+    )
+    names = {acfg.cfg.proc_name for acfg in aprog}
+    assert names == {"main", "helper"}

@@ -1,0 +1,106 @@
+"""Unit tests for static and profile block typing plus error injection."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import (
+    ProfileBlockTyper,
+    StaticBlockTyper,
+    inject_clustering_error,
+)
+from repro.analysis.block_typing import BlockTyping
+from repro.sim import core2quad_amp, symmetric_machine
+
+
+def test_static_typing_separates_phases(phased_program):
+    program, _ = phased_program
+    typing = StaticBlockTyper(num_types=2).type_blocks(program)
+    assert typing.num_types == 2
+    # The compute body block and memory body block get different types.
+    types = set(typing.types.values())
+    assert types == {0, 1}
+
+
+def test_static_typing_deterministic(phased_program):
+    program, _ = phased_program
+    a = StaticBlockTyper(num_types=2, seed=3).type_blocks(program)
+    b = StaticBlockTyper(num_types=2, seed=3).type_blocks(program)
+    assert a.types == b.types
+
+
+def test_type_zero_is_memory_bound(phased_program):
+    """Cluster id 0 is normalised to the memory-bound cluster."""
+    program, _ = phased_program
+    typing = StaticBlockTyper(num_types=2).type_blocks(program)
+    machine = core2quad_amp()
+    profile = ProfileBlockTyper(machine, 0.05).type_blocks(program)
+    # Find the big streaming block (profile type 0) and check static
+    # agrees on the id convention.
+    memory_blocks = [u for u, t in profile.types.items() if t == 0]
+    assert memory_blocks
+    agreements = sum(1 for u in memory_blocks if typing.types.get(u) == 0)
+    assert agreements >= len(memory_blocks) / 2
+
+
+def test_profile_typing_memory_vs_compute(phased_program):
+    program, _ = phased_program
+    machine = core2quad_amp()
+    typing = ProfileBlockTyper(machine, 0.05).type_blocks(program)
+    assert 0 in typing.types.values()
+    assert 1 in typing.types.values()
+
+
+def test_profile_typing_needs_asymmetry(phased_program):
+    program, _ = phased_program
+    with pytest.raises(AnalysisError, match="two core types"):
+        ProfileBlockTyper(symmetric_machine(), 0.05).type_blocks(program)
+
+
+def test_error_injection_zero_is_identity(phased_program):
+    program, _ = phased_program
+    typing = StaticBlockTyper().type_blocks(program)
+    injected = inject_clustering_error(typing, 0.0)
+    assert injected.types == typing.types
+
+
+def test_error_injection_flips_exact_fraction(phased_program):
+    program, _ = phased_program
+    typing = StaticBlockTyper().type_blocks(program)
+    injected = inject_clustering_error(typing, 0.25, seed=9)
+    flipped = sum(
+        1 for u in typing.types if typing.types[u] != injected.types[u]
+    )
+    assert flipped == round(len(typing.types) * 0.25)
+
+
+def test_error_injection_full_flip(phased_program):
+    program, _ = phased_program
+    typing = StaticBlockTyper().type_blocks(program)
+    injected = inject_clustering_error(typing, 1.0)
+    assert all(
+        injected.types[u] == 1 - typing.types[u] for u in typing.types
+    )
+
+
+def test_error_injection_deterministic(phased_program):
+    program, _ = phased_program
+    typing = StaticBlockTyper().type_blocks(program)
+    a = inject_clustering_error(typing, 0.3, seed=4)
+    b = inject_clustering_error(typing, 0.3, seed=4)
+    assert a.types == b.types
+
+
+def test_error_injection_bad_fraction(phased_program):
+    program, _ = phased_program
+    typing = StaticBlockTyper().type_blocks(program)
+    with pytest.raises(AnalysisError):
+        inject_clustering_error(typing, 1.5)
+
+
+def test_type_of_untyped_block_is_none():
+    typing = BlockTyping({"main#0": 1}, 2)
+
+    class FakeBlock:
+        uid = "main#99"
+
+    assert typing.type_of(FakeBlock()) is None

@@ -1,0 +1,75 @@
+"""Unit tests for block feature extraction."""
+
+from repro.isa import ProgramBuilder
+from repro.program import build_cfg
+from repro.analysis.features import block_features
+
+
+def _first_block(build):
+    pb = ProgramBuilder("t")
+    pb.region("BIG", 64 << 20)
+    with pb.proc("main") as b:
+        build(b)
+        b.ret()
+    program = pb.build()
+    return build_cfg(program["main"]).blocks[0], program
+
+
+def test_compute_block_scores_high_compute_zero_memory():
+    def build(b):
+        for _ in range(4):
+            b.fmul("f1", "f1", "f2")
+            b.div("r1", "r1", 3)
+
+    block, program = _first_block(build)
+    features = block_features(block, program)
+    assert features.compute_intensity > 5.0
+    assert features.memory_boundedness == 0.0
+
+
+def test_streaming_block_scores_high_memory():
+    def build(b):
+        for _ in range(6):
+            b.load("r1", "BIG", index="r2", stride=64)
+
+    block, program = _first_block(build)
+    features = block_features(block, program)
+    assert features.memory_boundedness > features.compute_intensity
+
+
+def test_mov_heavy_block_scores_low_everywhere():
+    def build(b):
+        for _ in range(6):
+            b.mov("r1", "r2")
+
+    block, program = _first_block(build)
+    features = block_features(block, program)
+    assert features.compute_intensity <= 1.0
+    assert features.memory_boundedness == 0.0
+
+
+def test_features_are_per_instruction_normalised():
+    def ten(b):
+        for _ in range(10):
+            b.fmul("f1", "f1", "f2")
+
+    def twenty(b):
+        for _ in range(20):
+            b.fmul("f1", "f1", "f2")
+
+    block_a, program_a = _first_block(ten)
+    block_b, program_b = _first_block(twenty)
+    fa = block_features(block_a, program_a)
+    fb = block_features(block_b, program_b)
+    # Same mix per instruction -> similar intensity despite length (the
+    # trailing ret dilutes the shorter block slightly).
+    assert abs(fa.compute_intensity - fb.compute_intensity) < 0.5
+
+
+def test_as_tuple():
+    block, program = _first_block(lambda b: b.add("r1", "r1", 1))
+    features = block_features(block, program)
+    assert features.as_tuple() == (
+        features.compute_intensity,
+        features.memory_boundedness,
+    )

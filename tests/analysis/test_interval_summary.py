@@ -1,0 +1,74 @@
+"""Unit tests for interval summarization."""
+
+from repro.analysis import StaticBlockTyper, annotate_program, summarize_intervals
+from repro.analysis.block_typing import BlockTyping
+from repro.program import build_cfg
+
+
+def _annotated(program, typing=None):
+    typing = typing or StaticBlockTyper(num_types=2).type_blocks(program)
+    return annotate_program(program, typing)
+
+
+def test_every_block_owned_by_one_interval(phased_program):
+    program, _ = phased_program
+    aprog = _annotated(program)
+    acfg = aprog["main"]
+    summary = summarize_intervals(acfg)
+    reachable = set(acfg.cfg.reverse_postorder())
+    assert set(summary.owner) == reachable
+
+
+def test_dominant_type_matches_uniform_typing(loop_program):
+    # Type every block the same: all intervals must get that type.
+    cfg = build_cfg(loop_program["main"])
+    typing = BlockTyping(
+        {b.uid: 1 for b in cfg.blocks}, 2
+    )
+    aprog = annotate_program(loop_program, typing)
+    summary = summarize_intervals(aprog["main"])
+    for interval in summary.intervals:
+        assert interval.dominant_type == 1
+        assert interval.strength == 1.0
+
+
+def test_cycle_weight_boosts_loop_type(loop_program):
+    """A small loop body of type 0 outweighs larger straight-line type-1
+    code in the same interval because loop nodes are boosted."""
+    cfg = build_cfg(loop_program["main"])
+    loop_header = cfg.back_edges()[0].dst
+    types = {}
+    for block in cfg.blocks:
+        types[block.uid] = 0 if block.index == loop_header else 1
+    aprog = annotate_program(loop_program, BlockTyping(types, 2))
+    summary = summarize_intervals(aprog["main"], cycle_weight=10.0)
+    owner = summary.interval_of(loop_header)
+    assert summary.intervals[owner].dominant_type == 0
+
+
+def test_untyped_interval_has_none(straightline_program):
+    aprog = annotate_program(
+        straightline_program, BlockTyping({}, 2)
+    )
+    summary = summarize_intervals(aprog["main"])
+    assert all(i.dominant_type is None for i in summary.intervals)
+    assert all(i.strength == 0.0 for i in summary.intervals)
+
+
+def test_strength_between_zero_and_one(phased_program):
+    program, _ = phased_program
+    summary = summarize_intervals(_annotated(program)["main"])
+    for interval in summary.intervals:
+        assert 0.0 <= interval.strength <= 1.0
+
+
+def test_size_counts_instructions(phased_program):
+    program, _ = phased_program
+    acfg = _annotated(program)["main"]
+    summary = summarize_intervals(acfg)
+    total = sum(i.size_instrs for i in summary.intervals)
+    reachable = set(acfg.cfg.reverse_postorder())
+    expected = sum(
+        len(b) for b in acfg.cfg.blocks if b.index in reachable
+    )
+    assert total == expected

@@ -1,0 +1,73 @@
+"""Unit tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.kmeans import kmeans
+
+
+def test_two_obvious_clusters():
+    points = [(0.0, 0.0), (0.1, 0.1), (10.0, 10.0), (10.1, 9.9)]
+    result = kmeans(points, 2, seed=1)
+    assert result.labels[0] == result.labels[1]
+    assert result.labels[2] == result.labels[3]
+    assert result.labels[0] != result.labels[2]
+
+
+def test_deterministic_given_seed():
+    points = [(float(i % 7), float(i % 3)) for i in range(50)]
+    a = kmeans(points, 3, seed=42)
+    b = kmeans(points, 3, seed=42)
+    assert np.array_equal(a.labels, b.labels)
+    assert np.allclose(a.centroids, b.centroids)
+
+
+def test_k_equals_n():
+    points = [(0.0,), (5.0,), (10.0,)]
+    result = kmeans(points, 3, seed=0)
+    assert sorted(result.labels) == [0, 1, 2]
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_k_one_centroid_is_mean():
+    points = [(1.0, 2.0), (3.0, 4.0)]
+    result = kmeans(points, 1, seed=0)
+    assert np.allclose(result.centroids[0], [2.0, 3.0])
+
+
+def test_identical_points():
+    points = [(1.0, 1.0)] * 6
+    result = kmeans(points, 2, seed=0)
+    assert len(result.labels) == 6
+    assert np.isfinite(result.inertia)
+
+
+def test_no_empty_clusters():
+    # An outlier far from a tight cluster: both clusters stay populated.
+    points = [(0.0, 0.0)] * 9 + [(100.0, 100.0)]
+    result = kmeans(points, 2, seed=3)
+    assert set(result.labels) == {0, 1}
+
+
+def test_one_dimensional_input():
+    result = kmeans([0.0, 0.1, 9.9, 10.0], 2, seed=0)
+    assert result.labels[0] == result.labels[1]
+    assert result.labels[2] == result.labels[3]
+
+
+def test_inertia_nonincreasing_in_k():
+    points = [(float(i), float(i * i % 11)) for i in range(30)]
+    inertias = [kmeans(points, k, seed=5).inertia for k in (1, 2, 4, 8)]
+    assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+
+@pytest.mark.parametrize("k", [0, 5])
+def test_bad_k_rejected(k):
+    with pytest.raises(AnalysisError):
+        kmeans([(0.0,), (1.0,)], k)
+
+
+def test_empty_input_rejected():
+    with pytest.raises(AnalysisError):
+        kmeans([], 1)

@@ -1,0 +1,181 @@
+"""Unit tests for live-register analysis."""
+
+from repro.analysis.liveness import ALL_LOCATIONS, FLAGS, compute_liveness, def_use
+from repro.isa import assemble
+from repro.isa.instructions import Instruction, MemAccess, Opcode
+from repro.isa.registers import GPR, SP
+from repro.program import build_cfg
+
+
+def test_def_use_alu():
+    instr = Instruction(Opcode.ADD, (GPR[1], GPR[2], GPR[3]))
+    defs, uses = def_use(instr)
+    assert defs == {"r1"}
+    assert uses == {"r2", "r3"}
+
+
+def test_def_use_literals_not_used():
+    instr = Instruction(Opcode.ADD, (GPR[1], GPR[2], 7))
+    _, uses = def_use(instr)
+    assert uses == {"r2"}
+
+
+def test_def_use_cmp_and_branch_via_flags():
+    cmp_instr = Instruction(Opcode.CMP, (GPR[1], GPR[2]))
+    defs, uses = def_use(cmp_instr)
+    assert defs == {FLAGS}
+    assert uses == {"r1", "r2"}
+    from repro.isa.instructions import CondCode
+
+    br = Instruction(Opcode.BR, (CondCode.LT, "x"))
+    defs, uses = def_use(br)
+    assert uses == {FLAGS}
+
+
+def test_def_use_memory_index():
+    load = Instruction(Opcode.LOAD, (GPR[1],), mem=MemAccess("A", 8, GPR[4]))
+    defs, uses = def_use(load)
+    assert defs == {"r1"}
+    assert uses == {"r4"}
+    store = Instruction(Opcode.STORE, (GPR[1],), mem=MemAccess("A", 8, GPR[4]))
+    defs, uses = def_use(store)
+    assert defs == set()
+    assert uses == {"r1", "r4"}
+
+
+def test_def_use_stack():
+    push = Instruction(Opcode.PUSH, (GPR[1],))
+    defs, uses = def_use(push)
+    assert SP.name in defs and SP.name in uses and "r1" in uses
+
+
+def test_def_use_syscall_scratch_abi():
+    sys = Instruction(Opcode.SYS, (4,))
+    defs, uses = def_use(sys)
+    assert defs == {"r0", "r1", "r2"}
+    assert uses == {"r0", "r1"}
+
+
+def test_straightline_liveness():
+    program = assemble(
+        """
+        .proc main
+            movi r1, 1
+            add r2, r1, 1
+            add r3, r2, 1
+            ret
+        .endproc
+        """
+    )
+    cfg = build_cfg(program["main"])
+    result = compute_liveness(cfg, live_at_exit=())
+    # Nothing live on entry: r1 is defined before its only use.
+    assert "r1" not in result.live_in[0]
+    # With an empty exit convention, nothing is live at the end.
+    assert result.live_out[0] == set()
+
+
+def test_use_before_def_is_live_in():
+    program = assemble(
+        ".proc main\n    add r2, r1, 1\n    ret\n.endproc"
+    )
+    cfg = build_cfg(program["main"])
+    result = compute_liveness(cfg, live_at_exit=())
+    assert "r1" in result.live_in[0]
+
+
+def test_loop_keeps_counter_live():
+    program = assemble(
+        """
+        .proc main
+            movi r1, 0
+        loop:
+            add r1, r1, 1
+            cmp r1, 10
+            br lt, loop
+            ret
+        .endproc
+        """
+    )
+    cfg = build_cfg(program["main"])
+    result = compute_liveness(cfg, live_at_exit=())
+    header = cfg.back_edges()[0].dst
+    assert "r1" in result.live_in[header]
+
+
+def test_all_live_at_exit_default():
+    program = assemble(".proc main\n    movi r1, 1\n    ret\n.endproc")
+    cfg = build_cfg(program["main"])
+    result = compute_liveness(cfg)  # Default: everything live at ret.
+    assert result.live_out[0] == set(ALL_LOCATIONS)
+    # r1 is redefined before the exit, so it is NOT live on entry...
+    assert "r1" not in result.live_in[0]
+    # ...but an untouched register flows straight through.
+    assert "r9" in result.live_in[0]
+
+
+def test_diamond_merges_liveness(diamond_program):
+    cfg = build_cfg(diamond_program["main"])
+    result = compute_liveness(cfg, live_at_exit=())
+    # r2 is defined on both sides and used at the join: live into both
+    # sides' exits, not above its definitions.
+    join = 3
+    assert "r2" in result.live_in[join]
+
+
+def test_marks_save_fewer_registers_when_dead():
+    """A section entry where r0-r2 are all redefined before use lets the
+    mark skip saving them entirely."""
+    # loopa reads r0 (keeping it live at its entry); loopb redefines
+    # r0-r2 before any use, so they are dead at loopb's entry.
+    source = """
+    .region BIG 33554432
+    .proc main
+        movi r5, 0
+    loopa:
+        add r7, r7, r0
+    """ + "    fmul f1, f1, f2\n" * 12 + """
+        add r5, r5, 1
+        cmp r5, 9
+        br lt, loopa
+        movi r6, 0
+    loopb:
+        movi r0, 1
+        movi r1, 2
+        movi r2, 3
+    """ + "    load r4, BIG[r6]:8\n    add r4, r4, r0\n" * 6 + """
+        add r6, r6, 1
+        cmp r6, 9
+        br lt, loopb
+        ret
+    .endproc
+    """
+    from repro.analysis.block_typing import BlockTyping
+    from repro.instrument import LoopStrategy, instrument
+
+    program = assemble(source)
+    cfg = build_cfg(program["main"])
+    types = {}
+    for block in cfg.blocks:
+        has_load = any(i.mem is not None for i in block.instrs)
+        types[block.uid] = 0 if has_load else 1
+    inst = instrument(
+        program, LoopStrategy(10), typing=BlockTyping(types, 2)
+    )
+    by_entry = {m.point.entry_block: m for m in inst.marks}
+    loopb_header = next(
+        b.index for b in cfg.blocks
+        if b.start == program["main"].labels["loopb"]
+    )
+    # loopb redefines r0-r2 immediately: its mark saves nothing.
+    assert by_entry[loopb_header].saves == ()
+    # loopa reads r0, so its mark must save it — and is bigger for it.
+    loopa_header = next(
+        b.index for b in cfg.blocks
+        if b.start == program["main"].labels["loopa"]
+    )
+    assert "r0" in by_entry[loopa_header].saves
+    assert (
+        by_entry[loopb_header].total_bytes
+        < by_entry[loopa_header].total_bytes
+    )

@@ -1,0 +1,162 @@
+"""Unit tests for Algorithm 1 (inter-procedural loop summarization)."""
+
+from repro.isa import assemble
+from repro.analysis import StaticBlockTyper, annotate_program, summarize_loops
+from repro.analysis.block_typing import BlockTyping
+from repro.program import build_cfg
+
+
+def _uniform_typing(program, type_id=1, k=2):
+    types = {}
+    for proc in program:
+        for block in build_cfg(proc):
+            types[block.uid] = type_id
+    return BlockTyping(types, k)
+
+
+def _typing_by_header(program, header_types, default=1, k=2):
+    """Type loop-header blocks specially, everything else `default`."""
+    types = {}
+    for proc in program:
+        cfg = build_cfg(proc)
+        for block in cfg:
+            types[block.uid] = header_types.get(block.uid, default)
+    return BlockTyping(types, k)
+
+
+def test_same_type_nest_keeps_only_outer(nested_loop_program):
+    """Algorithm 1: an outer loop with a same-typed single inner loop
+    absorbs it (analysis moves outside the nest)."""
+    aprog = annotate_program(
+        nested_loop_program, _uniform_typing(nested_loop_program)
+    )
+    summary = summarize_loops(aprog)
+    assert len(summary.all_loops) == 2
+    assert len(summary.typed_loops) == 1
+    survivor = summary.typed_loops[0]
+    inner = min(summary.all_loops.values(), key=lambda tl: len(tl.loop.body))
+    assert survivor.loop.contains(inner.loop)
+
+
+def test_differently_typed_strong_inner_survives():
+    """If the inner loop's type differs from the outer's and the inner's
+    strength is at least the outer's, the outer loop is not added and
+    the inner keeps its mark (Algorithm 1's one-child rule)."""
+    # The outer body is large enough that its own type (1) dominates the
+    # nesting-boosted inner contribution (type 0), but with strength
+    # below the inner's perfect 1.0.
+    source = (
+        ".proc main\n    movi r1, 0\nouter:\n    movi r2, 0\ninner:\n"
+        + "    load r3, BIG[r2]:64\n" * 4
+        + "    add r2, r2, 1\n    cmp r2, 100\n    br lt, inner\n"
+        + "    fmul f1, f1, f2\n" * 200
+        + "    add r1, r1, 1\n    cmp r1, 10\n    br lt, outer\n"
+        + "    ret\n.endproc\n"
+    )
+    program = assemble(".region BIG 33554432\n" + source)
+    cfg = build_cfg(program["main"])
+    from repro.program import find_loops
+
+    loops = find_loops(cfg)
+    inner = next(l for l in loops if l.depth == 1)
+    outer = next(l for l in loops if l.depth == 0)
+    types = {}
+    for block in cfg.blocks:
+        has_load = any(i.mem is not None for i in block.instrs)
+        types[block.uid] = 0 if has_load else 1
+    aprog = annotate_program(program, BlockTyping(types, 2))
+    summary = summarize_loops(aprog)
+    assert summary.all_loops[inner.uid].dominant_type == 0
+    assert summary.all_loops[outer.uid].dominant_type == 1
+    assert summary.all_loops[inner.uid].strength >= summary.all_loops[outer.uid].strength
+    in_t = {tl.loop.uid for tl in summary.typed_loops}
+    assert inner.uid in in_t
+    assert outer.uid not in in_t
+
+
+def test_disjoint_same_type_children_absorbed():
+    program = assemble(
+        """
+        .proc main
+            movi r1, 0
+        outer:
+            movi r2, 0
+        a:
+            add r2, r2, 1
+            cmp r2, 3
+            br lt, a
+            movi r3, 0
+        b:
+            add r3, r3, 1
+            cmp r3, 3
+            br lt, b
+            add r1, r1, 1
+            cmp r1, 3
+            br lt, outer
+            ret
+        .endproc
+        """
+    )
+    aprog = annotate_program(program, _uniform_typing(program))
+    summary = summarize_loops(aprog)
+    assert len(summary.all_loops) == 3
+    # All three share one type: only the outer loop survives in T.
+    assert len(summary.typed_loops) == 1
+    assert summary.typed_loops[0].loop.depth == 0
+
+
+def test_interprocedural_callee_contributes(call_program):
+    """helper's memory-typed loop dominates main's outer loop type."""
+    # Type all of helper 0, all of main 1.
+    types = {}
+    for proc in call_program:
+        for block in build_cfg(proc):
+            types[block.uid] = 0 if proc.name == "helper" else 1
+    aprog = annotate_program(call_program, BlockTyping(types, 2))
+    summary = summarize_loops(aprog)
+    outer = summary.all_loops["main@loop1"]
+    # The callee's weight (inside the loop) dominates main's few blocks.
+    assert outer.dominant_type == 0
+
+
+def test_recursive_program_terminates():
+    program = assemble(
+        """
+        .proc main
+            call rec
+            ret
+        .endproc
+        .proc rec
+            movi r2, 0
+        l:
+            add r2, r2, 1
+            cmp r2, 4
+            br lt, l
+            cmp r1, 0
+            br le, out
+            call rec
+        out:
+            ret
+        .endproc
+        """
+    )
+    aprog = annotate_program(program, _uniform_typing(program))
+    summary = summarize_loops(aprog)
+    assert "rec@loop1" in summary.all_loops
+    assert summary.proc_summaries["rec"].dominant_type == 1
+
+
+def test_strength_sigma_definition(nested_loop_program):
+    aprog = annotate_program(
+        nested_loop_program, _uniform_typing(nested_loop_program)
+    )
+    summary = summarize_loops(aprog)
+    for typed in summary.all_loops.values():
+        assert 0.0 < typed.strength <= 1.0
+
+
+def test_proc_summaries_cover_all_procedures(call_program):
+    aprog = annotate_program(call_program, _uniform_typing(call_program))
+    summary = summarize_loops(aprog)
+    assert set(summary.proc_summaries) == {"main", "helper"}
+    assert summary.proc_summaries["main"].total_weight > 0

@@ -1,0 +1,103 @@
+"""Unit tests for static reuse-distance estimation."""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.program import build_cfg
+from repro.analysis.reuse_distance import (
+    NominalCache,
+    access_reuse_distance,
+    block_reuse_profile,
+    miss_probability,
+)
+
+
+def _block_with(build):
+    pb = ProgramBuilder("t")
+    pb.region("BIG", 64 << 20)
+    pb.region("SMALL", 4 << 10)
+    with pb.proc("main") as b:
+        build(b)
+        b.ret()
+    program = pb.build()
+    cfg = build_cfg(program["main"])
+    return cfg.blocks[0], program
+
+
+def test_scalar_reuse_distance_small():
+    block, program = _block_with(
+        lambda b: b.load("r1", "SMALL", offset=0).load("r2", "SMALL", offset=8)
+    )
+    cache = NominalCache()
+    rd = access_reuse_distance(block.instrs[0].mem, block, program, cache)
+    # Two scalars in the same line -> tiny reuse distance.
+    assert rd <= 2
+
+
+def test_streaming_reuse_distance_is_working_set():
+    block, program = _block_with(
+        lambda b: b.load("r1", "BIG", index="r2", stride=64)
+    )
+    cache = NominalCache()
+    rd = access_reuse_distance(block.instrs[0].mem, block, program, cache)
+    assert rd == pytest.approx((64 << 20) / cache.line_size)
+
+
+def test_hot_fraction_shrinks_reuse_distance():
+    pb = ProgramBuilder("t")
+    pb.region("H", 64 << 20, hot_fraction=0.001)
+    with pb.proc("main") as b:
+        b.load("r1", "H", index="r2", stride=64)
+        b.ret()
+    program = pb.build()
+    block = build_cfg(program["main"]).blocks[0]
+    cache = NominalCache()
+    rd = access_reuse_distance(block.instrs[0].mem, block, program, cache)
+    assert rd < cache.capacity_lines / 2  # Hot set fits: treated as hits.
+
+
+def test_miss_probability_monotone():
+    cache = NominalCache(capacity_lines=1024)
+    probabilities = [
+        miss_probability(rd, cache) for rd in (1, 256, 512, 1024, 2048, 8192)
+    ]
+    assert probabilities[0] == 0.0
+    assert probabilities[-1] == 1.0
+    assert all(a <= b + 1e-12 for a, b in zip(probabilities, probabilities[1:]))
+
+
+def test_miss_probability_edges():
+    cache = NominalCache(capacity_lines=1000)
+    assert miss_probability(0, cache) == 0.0
+    assert miss_probability(499, cache) == 0.0
+    assert miss_probability(2001, cache) == 1.0
+    mid = miss_probability(1000, cache)
+    assert 0.0 < mid < 1.0
+
+
+def test_block_profile_compute_only():
+    block, program = _block_with(
+        lambda b: [b.add("r1", "r1", 1) for _ in range(5)]
+    )
+    profile = block_reuse_profile(block, program)
+    assert profile.accesses == 0
+    assert profile.expected_misses == 0.0
+    assert profile.miss_fraction == 0.0
+
+
+def test_block_profile_streaming_has_misses():
+    def build(b):
+        for _ in range(4):
+            b.load("r1", "BIG", index="r2", stride=64)
+
+    block, program = _block_with(build)
+    profile = block_reuse_profile(block, program)
+    assert profile.accesses == 4
+    assert profile.expected_misses == pytest.approx(4.0)
+
+
+def test_stack_ops_count_as_hot_accesses():
+    block, program = _block_with(lambda b: b.push("r1").pop("r1"))
+    profile = block_reuse_profile(block, program)
+    assert profile.accesses == 2
+    assert profile.expected_misses == 0.0

@@ -1,0 +1,162 @@
+"""Unit tests for phase-transition point computation."""
+
+from repro.isa import assemble
+from repro.analysis import (
+    StaticBlockTyper,
+    annotate_program,
+    basic_block_transitions,
+    interval_transitions,
+    loop_transitions,
+)
+from repro.analysis.block_typing import BlockTyping
+from repro.program import build_cfg
+
+
+def _two_phase_source(body_a=20, body_b=20):
+    """Two sequential loops with hand-typed bodies."""
+    lines = [".region BIG 33554432", ".proc main", "    movi r1, 0", "loopa:"]
+    lines += ["    fmul f1, f1, f2"] * body_a
+    lines += [
+        "    add r1, r1, 1",
+        "    cmp r1, 100",
+        "    br lt, loopa",
+        "    movi r2, 0",
+        "loopb:",
+    ]
+    lines += ["    load r3, BIG[r2]:64"] * body_b
+    lines += [
+        "    add r2, r2, 1",
+        "    cmp r2, 100",
+        "    br lt, loopb",
+        "    ret",
+        ".endproc",
+    ]
+    return "\n".join(lines)
+
+
+def _hand_typed(program):
+    """Type loop-a's body 1 (compute), loop-b's body 0 (memory)."""
+    cfg = build_cfg(program["main"])
+    types = {}
+    for block in cfg.blocks:
+        has_load = any(i.mem is not None for i in block.instrs)
+        types[block.uid] = 0 if has_load else 1
+    return annotate_program(program, BlockTyping(types, 2))
+
+
+def test_bb_marks_differently_typed_big_blocks():
+    program = assemble(_two_phase_source())
+    aprog = _hand_typed(program)
+    points = basic_block_transitions(aprog, min_size=10, lookahead=0)
+    assert points
+    types = {p.phase_type for p in points}
+    assert types == {0, 1}
+    for p in points:
+        assert p.kind == "bb"
+        assert p.size_instrs >= 10
+
+
+def test_bb_min_size_filters_small_blocks():
+    program = assemble(_two_phase_source(body_a=5, body_b=5))
+    aprog = _hand_typed(program)
+    assert basic_block_transitions(aprog, min_size=30) == []
+
+
+def test_bb_uniform_typing_marks_only_entry_context():
+    program = assemble(_two_phase_source())
+    cfg = build_cfg(program["main"])
+    typing = BlockTyping({b.uid: 1 for b in cfg.blocks}, 2)
+    aprog = annotate_program(program, typing)
+    points = basic_block_transitions(aprog, min_size=10)
+    # With every block the same type, the only mark left guards the
+    # first sized section (the caller's phase type is unknown at entry);
+    # no marks appear between the equal-typed loops.
+    assert len(points) == 1
+    assert points[0].entry_block == 1
+
+
+def test_lookahead_requires_majority():
+    # A single big type-0 block whose successors are mostly type 1:
+    # lookahead > 0 must suppress the mark.
+    source = """
+    .region BIG 33554432
+    .proc main
+    head:
+    """ + "    load r1, BIG[r2]:64\n" * 12 + """
+        cmp r1, 0
+        br ge, other
+    """ + "    fmul f1, f1, f2\n" * 12 + """
+        ret
+    other:
+    """ + "    fadd f3, f3, f4\n" * 12 + """
+        ret
+    .endproc
+    """
+    program = assemble(source)
+    aprog = _hand_typed(program)
+    with_look = basic_block_transitions(aprog, min_size=10, lookahead=2)
+    without = basic_block_transitions(aprog, min_size=10, lookahead=0)
+    memory_marks_with = [p for p in with_look if p.phase_type == 0]
+    memory_marks_without = [p for p in without if p.phase_type == 0]
+    assert memory_marks_without
+    assert not memory_marks_with
+
+
+def test_interval_marks_cover_both_phases():
+    program = assemble(_two_phase_source())
+    aprog = _hand_typed(program)
+    points = interval_transitions(aprog, min_size=15)
+    assert {p.phase_type for p in points} == {0, 1}
+    for p in points:
+        assert p.kind == "interval"
+        # Sections are whole intervals: bigger than one block.
+        assert p.size_instrs >= 15
+
+
+def test_loop_marks_at_loop_entries():
+    program = assemble(_two_phase_source())
+    aprog = _hand_typed(program)
+    points = loop_transitions(aprog, min_size=15)
+    assert len(points) == 2
+    for p in points:
+        assert p.kind == "loop"
+        assert not p.at_proc_entry
+        # Trigger edges come from outside the loop body.
+        for src, dst in p.trigger_edges:
+            assert src not in p.section_blocks
+            assert dst == p.entry_block
+
+
+def test_loop_min_size_filters():
+    program = assemble(_two_phase_source(body_a=8, body_b=8))
+    aprog = _hand_typed(program)
+    assert loop_transitions(aprog, min_size=45) == []
+    assert loop_transitions(aprog, min_size=5)
+
+
+def test_callee_elimination(call_program):
+    """helper's loop marks are dropped when every call site sits in a
+    same-typed marked loop of the caller."""
+    types = {}
+    for proc in call_program:
+        for block in build_cfg(proc):
+            types[block.uid] = 0
+    aprog = annotate_program(call_program, BlockTyping(types, 2))
+    kept = loop_transitions(aprog, min_size=1, eliminate_same_type_callees=True)
+    raw = loop_transitions(aprog, min_size=1, eliminate_same_type_callees=False)
+    kept_procs = {p.proc for p in kept}
+    raw_procs = {p.proc for p in raw}
+    assert "helper" in raw_procs
+    assert "helper" not in kept_procs
+
+
+def test_transition_point_uid_unique():
+    program = assemble(_two_phase_source())
+    aprog = _hand_typed(program)
+    points = (
+        basic_block_transitions(aprog, 10)
+        + interval_transitions(aprog, 15)
+        + loop_transitions(aprog, 15)
+    )
+    uids = [p.uid for p in points]
+    assert len(uids) == len(set(uids))

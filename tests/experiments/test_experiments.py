@@ -1,0 +1,140 @@
+"""Quick-scale runs of every experiment driver.
+
+These check that each table/figure module runs end-to-end, produces
+structurally complete results, and that the paper's *directional* claims
+hold where they are cheap to check.  Full-scale numbers live in the
+benchmark harness and EXPERIMENTS.md.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import (
+    extras,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+)
+
+QUICK = ExperimentConfig(slots=6, interval=40.0, seed=101)
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1.run()
+
+
+def test_fig3_space_overhead_trends():
+    result = fig3.run(variants=("BB[10,0]", "BB[20,0]", "Int[45]", "Loop[45]"))
+    medians = {
+        name: report.summary.median for name, report in result.reports.items()
+    }
+    # Bigger min size -> less overhead; loop technique the leanest.
+    assert medians["BB[20,0]"] <= medians["BB[10,0]"]
+    assert medians["Loop[45]"] < medians["Int[45]"] < medians["BB[10,0]"]
+    # The paper's headline: loop technique under ~10% here, marks <= 78B.
+    assert medians["Loop[45]"] < 0.10
+    assert all(r.max_mark_bytes <= 78 for r in result.reports.values())
+    assert "Loop[45]" in fig3.format_result(result)
+
+
+def test_fig4_time_overhead_small_and_loop_best():
+    config = ExperimentConfig(slots=6, interval=40.0, seed=101)
+    result = fig4.run(config, variants=("BB[15,0]", "Int[45]", "Loop[45]"))
+    overheads = result.overheads
+    assert all(0.0 <= v < 0.2 for v in overheads.values())
+    # Loop marks execute the least often.
+    assert overheads["Loop[45]"] <= overheads["BB[15,0]"] + 1e-9
+    assert "Loop[45]" in fig4.format_result(result)
+
+
+def test_table1_shapes(table1_result):
+    rows = {row.name: row for row in table1_result.rows}
+    assert len(rows) == 15
+    # The two no-phase benchmarks never switch (Table 1's 0 rows).
+    assert rows["459.GemsFDTD"].switches == 0
+    assert rows["473.astar"].switches == 0
+    # equake has the highest switch *rate* of the suite.
+    rates = {
+        name: row.switches / row.runtime_seconds for name, row in rows.items()
+    }
+    assert rates["183.equake"] == max(rates.values())
+    assert rates["183.equake"] > 0
+    assert "183.equake" in table1.format_result(table1_result)
+
+
+def test_fig5_amortization(table1_result):
+    result = fig5.run(table1_result)
+    for row in table1_result.rows:
+        if row.switches > 0:
+            # Switching cost is amortized by orders of magnitude.
+            assert result.amortization(row.name) > 1e3
+    text = fig5.format_result(result)
+    assert "inf (no switches)" in text
+
+
+def test_fig6_interior_shape():
+    result = fig6.run(
+        QUICK, deltas=(0.005, 0.12, 0.6), strategy="Loop[45]"
+    )
+    low, mid, high = result.improvements
+    # The extreme-low threshold migrates the workload away from one core
+    # type and degrades; the middle does best (paper, IV-C1).
+    assert mid > low
+    assert mid >= high - 1.0
+    assert "0.12" in fig6.format_result(result)
+
+
+def test_fig7_error_injection_runs():
+    result = fig7.run(QUICK, errors=(0.0, 0.3), strategy="Loop[45]")
+    assert len(result.improvements) == 2
+    assert "30%" in fig7.format_result(result)
+
+
+def test_table2_and_fig8():
+    result = table2.run(QUICK, variants=("BB[15,0]", "Loop[45]"))
+    assert len(result.rows) == 2
+    assert result.baseline.fairness.completed > 0
+    text = table2.format_result(result)
+    assert "Loop[45]" in text
+    scatter = fig8.run(table2=result)
+    assert len(scatter.points) == 2
+    assert "speedup" in fig8.format_result(scatter)
+
+
+def test_extras_atom_comparison():
+    result = extras.atom_comparison()
+    assert result.mean_dynamic_ratio() >= 10.0
+    for row in result.rows:
+        if row.marks:
+            assert row.atom_probes > row.marks
+    assert "ATOM" in extras.format_atom(result)
+
+
+def test_extras_typing_accuracy():
+    accuracy = extras.typing_accuracy()
+    assert accuracy.total_loops > 100
+    # The paper reports ~15% loop misclassification; our static typer
+    # lands in the same band (under one third).
+    assert accuracy.error_rate < 1 / 3
+
+
+def test_extras_sweeps_run():
+    look = extras.lookahead_sweep(QUICK, depths=(0, 2))
+    assert len(look.throughput) == 2
+    size = extras.min_size_sweep(QUICK, sizes=(30, 60))
+    assert len(size.throughput) == 2
+    assert "lookahead" in extras.format_sweep(look)
+
+
+def test_extras_three_core():
+    result = extras.three_core_speedup(QUICK)
+    assert math.isfinite(result.average_time_decrease)
+    assert math.isfinite(result.throughput_improvement)

@@ -1,0 +1,62 @@
+"""Unit tests for report formatting and experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import TABLE2_VARIANTS, ExperimentConfig
+from repro.experiments.report import format_series, format_table, pct
+from repro.sim import three_core_amp
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ("name", "value"),
+        [("a", 1), ("long-name", 22)],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    # All data rows align under the header.
+    assert lines[3].startswith("a")
+    assert lines[4].startswith("long-name")
+
+
+def test_format_series():
+    text = format_series([1, 2], [0.5, -1.25], "x", "y", title="S")
+    assert "+0.50" in text
+    assert "-1.25" in text
+
+
+def test_pct_sign_convention():
+    assert pct(35.95) == "+35.95"
+    assert pct(-10.349) == "-10.35"
+
+
+def test_table2_variants_complete():
+    assert len(TABLE2_VARIANTS) == 18
+    assert sum(1 for v in TABLE2_VARIANTS if v.startswith("BB")) == 12
+    assert sum(1 for v in TABLE2_VARIANTS if v.startswith("Int")) == 3
+    assert sum(1 for v in TABLE2_VARIANTS if v.startswith("Loop")) == 3
+
+
+def test_config_with_and_factories():
+    config = ExperimentConfig.quick()
+    changed = config.with_(seed=7, machine=three_core_amp())
+    assert changed.seed == 7
+    assert len(changed.resolved_machine()) == 3
+    assert config.seed != 7  # Original untouched.
+    assert ExperimentConfig.paper().slots == 18
+    assert ExperimentConfig.fairness_paper().interval == 800.0
+
+
+def test_config_runtime_factory():
+    config = ExperimentConfig.quick()
+    runtime = config.make_runtime()
+    assert runtime.ipc_threshold == config.ipc_threshold
+    override = config.make_runtime(delta=0.3)
+    assert override.ipc_threshold == 0.3
+
+
+def test_config_strategy_parser():
+    config = ExperimentConfig.quick()
+    assert config.strategy("Loop[45]").name == "Loop[45]"

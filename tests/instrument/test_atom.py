@@ -1,0 +1,46 @@
+"""Unit tests for the ATOM-style baseline instrumenter."""
+
+from repro.instrument import AtomInstrumenter, LoopStrategy, instrument
+from repro.instrument.atom_baseline import ATOM_PROBE_CYCLES, atom_fragment
+from repro.instrument.phase_mark import MARK_FIRE_CYCLES
+from repro.isa.instructions import Opcode
+
+
+def test_fragment_saves_whole_register_file():
+    fragment = atom_fragment(0)
+    pushes = sum(1 for i in fragment if i.opcode is Opcode.PUSH)
+    pops = sum(1 for i in fragment if i.opcode is Opcode.POP)
+    assert pushes == pops == 16
+
+
+def test_probe_per_ordinary_block(phased_program):
+    program, _ = phased_program
+    from repro.program import build_cfg
+    from repro.program.basic_block import NodeKind
+
+    result = AtomInstrumenter().instrument(program)
+    expected = sum(
+        1
+        for proc in program
+        for block in build_cfg(proc)
+        if block.kind is NodeKind.BLOCK and len(block) > 0
+    )
+    assert result.probe_count == expected
+
+
+def test_atom_heavier_than_phase_marks(phased_program):
+    """The basis of the paper's ~10x execution-speed comparison."""
+    program, _ = phased_program
+    atom = AtomInstrumenter().instrument(program)
+    tuned = instrument(program, LoopStrategy(20))
+    assert atom.probe_count > len(tuned.marks)
+    assert atom.added_bytes > tuned.added_bytes
+    assert ATOM_PROBE_CYCLES / MARK_FIRE_CYCLES >= 10
+
+
+def test_space_overhead_helper(phased_program):
+    program, _ = phased_program
+    result = AtomInstrumenter().instrument(program)
+    assert result.space_overhead(program) == (
+        result.added_bytes / program.size_bytes
+    )

@@ -1,0 +1,56 @@
+"""Unit tests for marking strategies and the strategy parser."""
+
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.instrument import (
+    BBStrategy,
+    IntervalStrategy,
+    LoopStrategy,
+    parse_strategy,
+)
+
+
+def test_names():
+    assert BBStrategy(15, 2).name == "BB[15,2]"
+    assert IntervalStrategy(45).name == "Int[45]"
+    assert LoopStrategy(60).name == "Loop[60]"
+
+
+@pytest.mark.parametrize(
+    "name, expected",
+    [
+        ("BB[10,0]", BBStrategy(10, 0)),
+        ("BB[20,3]", BBStrategy(20, 3)),
+        ("Int[30]", IntervalStrategy(30)),
+        ("Loop[45]", LoopStrategy(45)),
+    ],
+)
+def test_parse_roundtrip(name, expected):
+    strategy = parse_strategy(name)
+    assert strategy == expected
+    assert strategy.name == name
+
+
+def test_parse_bb_defaults_lookahead_zero():
+    assert parse_strategy("BB[15]") == BBStrategy(15, 0)
+
+
+@pytest.mark.parametrize(
+    "bad", ["Huh[10]", "BB[]", "Loop[45,2]", "Int[30,1]", "BB[x,y]", ""]
+)
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(InstrumentationError):
+        parse_strategy(bad)
+
+
+def test_strategies_compute_points(phased_program):
+    from repro.analysis import StaticBlockTyper, annotate_program
+
+    program, _ = phased_program
+    aprog = annotate_program(
+        program, StaticBlockTyper().type_blocks(program)
+    )
+    for strategy in (BBStrategy(10, 0), IntervalStrategy(20), LoopStrategy(20)):
+        points = strategy.compute_points(aprog)
+        assert isinstance(points, list)

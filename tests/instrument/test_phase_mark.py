@@ -1,0 +1,72 @@
+"""Unit tests for phase-mark fragments and byte accounting."""
+
+from repro.analysis.transitions import TransitionPoint
+from repro.instrument.phase_mark import (
+    INLINE_JUMP_BYTES,
+    MARK_DATA_BYTES,
+    PhaseMark,
+    SYS_PHASE_MARK,
+    mark_trampoline,
+)
+from repro.isa.encoding import code_size
+from repro.isa.instructions import Opcode
+
+
+def _point(trigger_edges=((0, 1),), at_entry=False):
+    return TransitionPoint(
+        proc="main",
+        kind="loop",
+        phase_type=1,
+        entry_block=1,
+        section_blocks=frozenset({1}),
+        size_instrs=50,
+        trigger_edges=trigger_edges,
+        at_proc_entry=at_entry,
+    )
+
+
+def test_trampoline_shape():
+    code = mark_trampoline(3, 1, ".B1")
+    assert code[-1].opcode is Opcode.JMP
+    assert code[-1].operands[0] == ".B1"
+    sys_calls = [i for i in code if i.opcode is Opcode.SYS]
+    assert len(sys_calls) == 1
+    assert sys_calls[0].operands[0] == SYS_PHASE_MARK
+    pushes = sum(1 for i in code if i.opcode is Opcode.PUSH)
+    pops = sum(1 for i in code if i.opcode is Opcode.POP)
+    assert pushes == pops == 3
+
+
+def test_trampoline_carries_ids():
+    code = mark_trampoline(7, 2, "x")
+    immediates = [
+        i.operands[1] for i in code if i.opcode is Opcode.MOVI
+    ]
+    assert 2 in immediates  # Phase type.
+    assert 7 in immediates  # Mark id.
+
+
+def test_mark_under_78_bytes():
+    """The paper: each phase mark is at most 78 bytes."""
+    mark = PhaseMark(0, _point(), fallthrough_edges=1)
+    assert mark.total_bytes <= 78
+
+
+def test_fallthrough_stub_accounting():
+    no_stub = PhaseMark(0, _point(), fallthrough_edges=0)
+    one_stub = PhaseMark(0, _point(), fallthrough_edges=1)
+    assert one_stub.total_bytes - no_stub.total_bytes == INLINE_JUMP_BYTES
+
+
+def test_entry_mark_bytes():
+    entry_only = PhaseMark(0, _point(trigger_edges=(), at_entry=True))
+    assert entry_only.total_bytes == (
+        MARK_DATA_BYTES + entry_only.entry_inline_bytes
+    )
+    # The inline body omits the trampoline's back jump.
+    assert entry_only.entry_inline_bytes < entry_only.trampoline_bytes
+
+
+def test_trampoline_bytes_match_encoding():
+    mark = PhaseMark(5, _point())
+    assert mark.trampoline_bytes == code_size(mark_trampoline(5, 1, "x"))

@@ -1,0 +1,117 @@
+"""Tests for the paper's Section VI discussion features.
+
+VI-A multi-threaded applications, VI-B feedback adaptation under
+changing core behaviour, VI-C many-core scalability.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, extras
+from repro.instrument import LoopStrategy, instrument
+from repro.sim import (
+    Simulation,
+    TraceGenerator,
+    core2quad_amp,
+    many_core_amp,
+    spawn_thread_group,
+)
+from repro.sim.process import Trace
+from repro.tuning import PhaseTuningRuntime
+from tests.conftest import make_phased_program
+
+
+def test_thread_group_shares_tuner_state(machine):
+    program, spec = make_phased_program(outer=6)
+    generator = TraceGenerator(machine)
+    trace = generator.generate(program, spec)
+    group = spawn_thread_group(
+        10, "app", [Trace(trace.nodes) for _ in range(3)],
+        machine.all_cores_mask, isolated_time=1.0,
+    )
+    assert [t.pid for t in group] == [10, 11, 12]
+    assert all(t.tuner_state is group[0].tuner_state for t in group)
+    assert group[0].name == "app/t0"
+
+
+def test_threads_reuse_sibling_decisions(machine):
+    """Once any thread decides a phase type, siblings switch without
+    re-exploring: total decisions <= phase types, not threads x types."""
+    program, spec = make_phased_program(
+        compute_iters=200_000, memory_iters=100_000, outer=10
+    )
+    inst = instrument(program, LoopStrategy(20))
+    generator = TraceGenerator(machine)
+    trace = generator.generate(inst, spec)
+    runtime = PhaseTuningRuntime(machine, 0.12, monitor_noise=0.0)
+    sim = Simulation(machine, runtime=runtime)
+    group = spawn_thread_group(
+        1, "app", [Trace(trace.nodes) for _ in range(4)],
+        machine.all_cores_mask, isolated_time=1.0,
+    )
+    for thread in group:
+        sim.add_process(thread, 0.0)
+    result = sim.run(10_000.0)
+    assert len(result.completed) == 4
+    phase_types = set(group[0].tuner_state)
+    assert phase_types
+    # One decision per phase type, shared by all four threads.
+    assert runtime.decisions <= len(phase_types)
+
+
+def test_multithreaded_comparison_runs():
+    result = extras.multithreaded_comparison(threads=2)
+    assert result.decisions_shared
+    assert result.tuned_makespan > 0
+    assert result.baseline_makespan > 0
+
+
+def test_feedback_adaptation_beats_stale_decisions():
+    """Section VI-B: when hogs pollute the fast pair mid-run, the
+    re-sampling runtime escapes; the one-shot runtime cannot."""
+    result = extras.feedback_adaptation()
+    assert result.resamples > 0
+    assert result.feedback_gain > 10.0
+
+
+def test_many_core_machine_layout():
+    machine = many_core_amp(4, 4)
+    assert len(machine) == 8
+    fast, slow = machine.core_types()
+    assert len(machine.cores_of_type(fast)) == 4
+    assert len(machine.cores_of_type(slow)) == 4
+    # Paired L2s throughout.
+    for core in machine.cores:
+        assert len(machine.l2_neighbors(core.cid)) == 1
+
+
+def test_many_core_speedup_runs():
+    config = ExperimentConfig(slots=16, interval=60.0, seed=101)
+    result = extras.many_core_speedup(config, fast_cores=4, slow_cores=4)
+    # The technique must not collapse when core count doubles.
+    assert result.throughput_improvement > -5.0
+
+
+def test_runtime_monitoring_cost_independent_of_core_count(machine):
+    """VI-C's scalability answer: exploration is per core *type*."""
+    program, spec = make_phased_program(outer=8)
+    inst = instrument(program, LoopStrategy(20))
+
+    def exploration_switches(machine_config):
+        generator = TraceGenerator(machine_config)
+        trace = generator.generate(inst, spec)
+        runtime = PhaseTuningRuntime(machine_config, 0.12, monitor_noise=0.0)
+        sim = Simulation(machine_config, runtime=runtime)
+        from repro.sim import SimProcess
+
+        proc = SimProcess(
+            1, "p", Trace(trace.nodes),
+            machine_config.all_cores_mask, isolated_time=1.0,
+        )
+        sim.add_process(proc, 0.0)
+        sim.run(10_000.0)
+        return proc.stats.switches
+
+    small = exploration_switches(core2quad_amp())
+    large = exploration_switches(many_core_amp(8, 8))
+    # Two core types either way: the same exploration effort.
+    assert large <= small + 2

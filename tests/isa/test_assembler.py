@@ -1,0 +1,120 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import assemble
+from repro.isa.instructions import CondCode, Opcode
+
+
+def test_minimal_program():
+    program = assemble(".proc main\n    ret\n.endproc")
+    assert "main" in program
+    assert len(program["main"].code) == 1
+    assert program["main"].code[0].opcode is Opcode.RET
+
+
+def test_labels_resolve():
+    program = assemble(
+        """
+        .proc main
+        top:
+            add r1, r1, 1
+            jmp top
+        .endproc
+        """
+    )
+    assert program["main"].labels["top"] == 0
+
+
+def test_regions_and_memory_operands():
+    program = assemble(
+        """
+        .region A 4096
+        .region B 8192 hot=0.5
+        .proc main
+            load r1, A[r2]:8
+            store B[r2]:16, r1
+            load r3, A@64
+            ret
+        .endproc
+        """
+    )
+    assert program.region("A").size == 4096
+    assert program.region("B").hot_fraction == 0.5
+    load, store, scalar, _ = program["main"].code
+    assert load.mem.stride == 8
+    assert store.mem.stride == 16
+    assert scalar.mem.offset == 64
+    assert scalar.mem.stride == 0
+
+
+def test_condition_codes():
+    program = assemble(
+        """
+        .proc main
+        l:
+            cmp r1, r2
+            br ne, l
+            ret
+        .endproc
+        """
+    )
+    br = program["main"].code[1]
+    assert br.operands[0] is CondCode.NE
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble(
+        """
+        ; leading comment
+        .proc main
+
+            nop   ; trailing comment
+            ret
+        .endproc
+        """
+    )
+    assert len(program["main"].code) == 2
+
+
+def test_entry_directive():
+    program = assemble(
+        """
+        .entry start
+        .proc start
+            ret
+        .endproc
+        """
+    )
+    assert program.entry == "start"
+
+
+def test_alu_accepts_literals():
+    program = assemble(".proc main\n    add r1, r2, 42\n    ret\n.endproc")
+    assert program["main"].code[0].operands[2] == 42
+
+
+@pytest.mark.parametrize(
+    "source, fragment",
+    [
+        ("nop", "outside a procedure"),
+        (".proc main\n    bogus r1\n.endproc", "unknown opcode"),
+        (".proc main\n    add r1, r2\n.endproc", "expects 3 operand"),
+        (".proc main\n    br xx, l\n.endproc", "unknown condition"),
+        (".proc main\n    load r1, A[zz]:8\n.endproc", "unknown index register"),
+        (".proc main\nl:\nl:\n    ret\n.endproc", "duplicate label"),
+        (".proc main\n    ret\n", "unterminated"),
+        (".proc main\n.endproc", "empty"),
+        (".proc a\n    ret\n.endproc", "entry procedure 'main'"),
+    ],
+)
+def test_errors_are_reported(source, fragment):
+    with pytest.raises(AssemblyError, match=fragment):
+        assemble(source)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(".proc main\n    bogus\n.endproc")
+    assert excinfo.value.line == 2

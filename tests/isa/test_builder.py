@@ -1,0 +1,83 @@
+"""Unit tests for the programmatic builder."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.isa import ProgramBuilder
+from repro.isa.builder import ProcedureBuilder
+from repro.isa.instructions import Opcode
+from repro.program import validate_program
+
+
+def test_builder_produces_valid_program():
+    pb = ProgramBuilder("t")
+    pb.region("A", 1024)
+    with pb.proc("main") as b:
+        b.movi("r1", 0)
+        b.label("loop")
+        b.load("r2", "A", index="r1", stride=8)
+        b.add("r1", "r1", 1)
+        b.cmp("r1", 10)
+        b.br("lt", "loop")
+        b.ret()
+    program = pb.build()
+    assert validate_program(program) == []
+    assert program["main"].code[0].opcode is Opcode.MOVI
+
+
+def test_fluent_chaining():
+    b = ProcedureBuilder("p")
+    b.movi("r1", 1).add("r2", "r1", 1).ret()
+    proc = b.build()
+    assert len(proc.code) == 3
+
+
+def test_duplicate_label_rejected():
+    b = ProcedureBuilder("p")
+    b.label("x")
+    b.nop()
+    with pytest.raises(ProgramStructureError, match="duplicate label"):
+        b.label("x")
+
+
+def test_fresh_labels_are_unique():
+    b = ProcedureBuilder("p")
+    names = {b.fresh_label() for _ in range(10)}
+    assert len(names) == 10
+
+
+def test_duplicate_procedure_rejected():
+    pb = ProgramBuilder("t")
+    with pb.proc("main") as b:
+        b.ret()
+    with pytest.raises(ProgramStructureError, match="duplicate procedure"):
+        pb.proc("main")
+
+
+def test_context_manager_discards_on_error():
+    pb = ProgramBuilder("t")
+    with pytest.raises(RuntimeError):
+        with pb.proc("broken") as b:
+            b.nop()
+            raise RuntimeError("boom")
+    # The broken procedure was not registered; main can still be added.
+    with pb.proc("main") as b:
+        b.ret()
+    assert "broken" not in pb.build()
+
+
+def test_string_and_register_operands_equivalent():
+    from repro.isa.registers import Register
+
+    b1 = ProcedureBuilder("p")
+    b1.add("r1", "r2", "r3").ret()
+    b2 = ProcedureBuilder("p")
+    b2.add(Register.get("r1"), Register.get("r2"), Register.get("r3")).ret()
+    assert [str(i) for i in b1.build().code] == [str(i) for i in b2.build().code]
+
+
+def test_position_tracks_emission():
+    b = ProcedureBuilder("p")
+    assert b.position == 0
+    b.nop()
+    assert b.position == 1

@@ -1,0 +1,90 @@
+"""Round-trip tests for the disassembler."""
+
+from repro.isa import assemble, disassemble
+from repro.isa.disassembler import render_instruction
+
+
+def _roundtrip(source: str) -> None:
+    program = assemble(source)
+    text = disassemble(program)
+    again = assemble(text)
+    assert disassemble(again) == text
+    # Structural equality.
+    assert set(again.procedures) == set(program.procedures)
+    for name, proc in program.procedures.items():
+        assert [str(i) for i in again[name].code] == [str(i) for i in proc.code]
+        assert again[name].labels == proc.labels
+    assert again.entry == program.entry
+    assert set(again.regions) == set(program.regions)
+
+
+def test_roundtrip_simple():
+    _roundtrip(".proc main\n    movi r1, 3\n    ret\n.endproc")
+
+
+def test_roundtrip_loops_and_memory():
+    _roundtrip(
+        """
+        .region A 65536
+        .proc main
+            movi r1, 0
+        loop:
+            load r2, A[r1]:8
+            store A[r1]:8, r2
+            add r1, r1, 1
+            cmp r1, 100
+            br lt, loop
+            ret
+        .endproc
+        """
+    )
+
+
+def test_roundtrip_calls_and_regions_with_hot_fraction():
+    _roundtrip(
+        """
+        .region H 1048576 hot=0.25
+        .proc main
+            call helper
+            ret
+        .endproc
+        .proc helper
+            load r1, H@8
+            sys 3
+            ret
+        .endproc
+        """
+    )
+
+
+def test_roundtrip_all_alu_forms(loop_program):
+    _roundtrip(
+        """
+        .proc main
+            add r1, r2, r3
+            sub r1, r2, 5
+            mul r4, r4, r4
+            div r5, r5, 3
+            and r6, r6, r7
+            or r6, r6, r7
+            xor r6, r6, r7
+            shl r6, r6, 1
+            shr r6, r6, 1
+            mov r8, r9
+            fadd f1, f2, f3
+            fsub f1, f2, f3
+            fmul f1, f2, f3
+            fdiv f1, f2, f3
+            fmov f4, f5
+            push r1
+            pop r1
+            jmpi r1
+        .endproc
+        """
+    )
+
+
+def test_render_instruction_matches_assembler_syntax():
+    program = assemble(".proc main\n    movi r7, 99\n    ret\n.endproc")
+    rendered = render_instruction(program["main"].code[0])
+    assert rendered == "movi r7, 99"

@@ -1,0 +1,36 @@
+"""Unit tests for the byte-size encoding model."""
+
+from repro.isa.encoding import code_size, instruction_size
+from repro.isa.instructions import Instruction, MemAccess, Opcode
+from repro.isa.registers import GPR
+
+
+def test_all_opcodes_have_sizes():
+    for opcode in Opcode:
+        instr = Instruction(opcode)
+        assert instruction_size(instr) > 0
+
+
+def test_relative_sizes_are_sane():
+    """Immediates and displacements cost more than register forms."""
+    reg_form = Instruction(Opcode.ADD, (GPR[0], GPR[1], GPR[2]))
+    imm_form = Instruction(Opcode.MOVI, (GPR[0], 7))
+    ret = Instruction(Opcode.RET)
+    assert instruction_size(imm_form) > instruction_size(reg_form)
+    assert instruction_size(ret) == 1
+
+
+def test_code_size_is_additive():
+    instrs = [
+        Instruction(Opcode.MOVI, (GPR[0], 1)),
+        Instruction(Opcode.ADD, (GPR[1], GPR[0], GPR[0])),
+        Instruction(Opcode.RET),
+    ]
+    assert code_size(instrs) == sum(instruction_size(i) for i in instrs)
+    assert code_size([]) == 0
+
+
+def test_load_store_sizes_match():
+    load = Instruction(Opcode.LOAD, (GPR[0],), mem=MemAccess("A", 8))
+    store = Instruction(Opcode.STORE, (GPR[0],), mem=MemAccess("A", 8))
+    assert instruction_size(load) == instruction_size(store)

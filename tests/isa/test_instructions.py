@@ -1,0 +1,94 @@
+"""Unit tests for the instruction set."""
+
+import pytest
+
+from repro.isa.instructions import (
+    CondCode,
+    Instruction,
+    InstrClass,
+    MemAccess,
+    Opcode,
+    OPCODE_CLASS,
+)
+from repro.isa.registers import GPR
+
+
+def test_every_opcode_has_a_class():
+    assert set(OPCODE_CLASS) == set(Opcode)
+
+
+def test_iclass_lookup():
+    assert Instruction(Opcode.ADD, (GPR[0], GPR[1], GPR[2])).iclass is InstrClass.IALU
+    assert Instruction(Opcode.FMUL, (GPR[0], GPR[1], GPR[2])).iclass is InstrClass.FMUL
+    assert Instruction(Opcode.RET).iclass is InstrClass.RET
+
+
+def test_conditional_branch_predicates():
+    br = Instruction(Opcode.BR, (CondCode.LT, "loop"))
+    assert br.is_cond_branch
+    assert not br.is_terminator  # Fall-through exists.
+    assert br.ends_block
+    assert br.label_target == "loop"
+
+
+def test_jump_predicates():
+    jmp = Instruction(Opcode.JMP, ("exit",))
+    assert jmp.is_jump
+    assert jmp.is_terminator
+    assert jmp.ends_block
+    assert jmp.label_target == "exit"
+
+
+def test_indirect_jump_has_no_static_target():
+    jmpi = Instruction(Opcode.JMPI, (GPR[3],))
+    assert jmpi.is_jump
+    assert jmpi.is_terminator
+    assert jmpi.label_target is None
+
+
+def test_call_predicates():
+    call = Instruction(Opcode.CALL, ("helper",))
+    assert call.is_call
+    assert call.call_target == "helper"
+    assert not call.ends_block
+    calli = Instruction(Opcode.CALLI, (GPR[1],))
+    assert calli.is_call
+    assert calli.call_target is None
+
+
+def test_ret_is_terminator():
+    ret = Instruction(Opcode.RET)
+    assert ret.is_ret
+    assert ret.is_terminator
+    assert ret.ends_block
+
+
+def test_memory_predicates():
+    load = Instruction(
+        Opcode.LOAD, (GPR[0],), mem=MemAccess("A", 8, GPR[1])
+    )
+    assert load.touches_memory
+    assert load.mem.region == "A"
+    push = Instruction(Opcode.PUSH, (GPR[0],))
+    assert push.touches_memory
+    add = Instruction(Opcode.ADD, (GPR[0], GPR[1], GPR[2]))
+    assert not add.touches_memory
+
+
+def test_instruction_is_immutable():
+    instr = Instruction(Opcode.NOP)
+    with pytest.raises(AttributeError):
+        instr.opcode = Opcode.RET
+
+
+def test_str_rendering():
+    instr = Instruction(Opcode.ADD, (GPR[1], GPR[2], 3))
+    assert str(instr) == "add r1, r2, 3"
+    load = Instruction(Opcode.LOAD, (GPR[0],), mem=MemAccess("A", 8, GPR[1]))
+    assert "A" in str(load)
+    assert ":8" in str(load)
+
+
+def test_memaccess_scalar_rendering():
+    mem = MemAccess("G", 0, None, 16)
+    assert "@16" in str(mem)

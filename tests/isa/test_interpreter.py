@@ -1,0 +1,212 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.interpreter import InterpreterError, run_program
+
+
+def _run(source, **kw):
+    return run_program(assemble(source), **kw)
+
+
+def test_arithmetic():
+    state = _run(
+        """
+        .proc main
+            movi r1, 6
+            movi r2, 7
+            mul r3, r1, r2
+            add r4, r3, 8
+            sub r5, r4, 50
+            div r6, r4, 10
+            ret
+        .endproc
+        """
+    )
+    assert state.read_int_by_name("r3") == 42
+    assert state.read_int_by_name("r4") == 50
+    assert state.read_int_by_name("r5") == 0
+    assert state.read_int_by_name("r6") == 5
+
+
+def test_loop_executes_trip_count():
+    state = _run(
+        """
+        .proc main
+            movi r1, 0
+        loop:
+            add r1, r1, 1
+            cmp r1, 10
+            br lt, loop
+            ret
+        .endproc
+        """
+    )
+    assert state.read_int_by_name("r1") == 10
+    # The loop block ran ten times.
+    assert state.block_counts[("main", 1)] == 10
+
+
+def test_branch_conditions():
+    state = _run(
+        """
+        .proc main
+            movi r1, 5
+            cmp r1, 5
+            br eq, equal
+            movi r2, 0
+            ret
+        equal:
+            movi r2, 1
+            ret
+        .endproc
+        """
+    )
+    assert state.read_int_by_name("r2") == 1
+
+
+def test_signed_comparison():
+    state = _run(
+        """
+        .proc main
+            movi r1, 0
+            sub r1, r1, 5
+            cmp r1, 3
+            br lt, neg
+            movi r2, 0
+            ret
+        neg:
+            movi r2, 1
+            ret
+        .endproc
+        """
+    )
+    assert state.read_int_by_name("r2") == 1  # -5 < 3 with signed compare.
+
+
+def test_memory_roundtrip():
+    state = _run(
+        """
+        .region A 4096
+        .proc main
+            movi r1, 3
+            movi r2, 99
+            store A[r1]:8, r2
+            load r3, A[r1]:8
+            ret
+        .endproc
+        """
+    )
+    assert state.read_int_by_name("r3") == 99
+    assert state.memory[("A", 24)] == 99
+
+
+def test_uninitialised_memory_deterministic():
+    a = _run(".region A 64\n.proc main\n    load r1, A@8\n    ret\n.endproc")
+    b = _run(".region A 64\n.proc main\n    load r1, A@8\n    ret\n.endproc")
+    assert a.read_int_by_name("r1") == b.read_int_by_name("r1")
+
+
+def test_stack_push_pop():
+    state = _run(
+        """
+        .proc main
+            movi r1, 11
+            movi r2, 22
+            push r1
+            push r2
+            pop r3
+            pop r4
+            ret
+        .endproc
+        """
+    )
+    assert state.read_int_by_name("r3") == 22
+    assert state.read_int_by_name("r4") == 11
+    assert state.stack == []
+
+
+def test_calls_and_returns():
+    state = _run(
+        """
+        .proc main
+            movi r1, 1
+            call bump
+            call bump
+            ret
+        .endproc
+        .proc bump
+            add r1, r1, 10
+            ret
+        .endproc
+        """
+    )
+    assert state.read_int_by_name("r1") == 21
+
+
+def test_float_ops():
+    state = _run(
+        """
+        .proc main
+            fmov f1, f2
+            fadd f1, f1, f1
+            fmul f3, f1, f1
+            ret
+        .endproc
+        """
+    )
+    assert state.fregs["f1"] == pytest.approx(2.0)  # Registers start at 1.0.
+    assert state.fregs["f3"] == pytest.approx(4.0)
+
+
+def test_syscall_recorded():
+    state = _run(
+        """
+        .proc main
+            movi r0, 7
+            movi r1, 9
+            sys 4
+            ret
+        .endproc
+        """
+    )
+    assert state.syscalls == [(4, 7, 9)]
+
+
+def test_division_by_zero_rejected():
+    with pytest.raises(InterpreterError, match="division by zero"):
+        _run(".proc main\n    movi r1, 0\n    div r2, r1, r1\n    ret\n.endproc")
+
+
+def test_stack_underflow_rejected():
+    with pytest.raises(InterpreterError, match="underflow"):
+        _run(".proc main\n    pop r1\n    ret\n.endproc")
+
+
+def test_indirect_jump_rejected():
+    with pytest.raises(InterpreterError, match="indirect"):
+        _run(".proc main\n    jmpi r1\n.endproc")
+
+
+def test_step_budget():
+    source = """
+    .proc main
+    loop:
+        add r1, r1, 1
+        jmp loop
+    .endproc
+    """
+    with pytest.raises(InterpreterError, match="budget"):
+        _run(source, max_steps=1000)
+
+
+def test_recursion_depth_limit():
+    source = """
+    .proc main
+        call main
+        ret
+    .endproc
+    """
+    with pytest.raises(InterpreterError, match="call depth"):
+        _run(source)

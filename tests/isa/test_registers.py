@@ -1,0 +1,33 @@
+"""Unit tests for the register file."""
+
+import pytest
+
+from repro.isa.registers import FPR, GPR, SP, Register
+
+
+def test_register_counts():
+    assert len(GPR) == 16
+    assert len(FPR) == 16
+
+
+def test_interning():
+    assert Register.get("r3") is GPR[3]
+    assert Register.get("f7") is FPR[7]
+    assert Register.get("sp") is SP
+
+
+def test_float_flag():
+    assert FPR[0].is_float
+    assert not GPR[0].is_float
+    assert not SP.is_float
+
+
+def test_exists():
+    assert Register.exists("r15")
+    assert not Register.exists("r16")
+    assert not Register.exists("bogus")
+
+
+def test_get_unknown_raises():
+    with pytest.raises(KeyError):
+        Register.get("zz")

@@ -1,0 +1,77 @@
+"""Unit tests for the Bender et al. fairness metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.fairness import (
+    average_process_time,
+    fairness_report,
+    max_flow,
+    max_stretch,
+    percent_decrease,
+)
+
+
+class FakeProcess:
+    def __init__(self, arrival, completion, isolated):
+        self.arrival = arrival
+        self.completion = completion
+        self.isolated_time = isolated
+        self.pid = id(self) % 1000
+        self.name = "fake"
+
+    @property
+    def flow_time(self):
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+
+def test_max_flow():
+    procs = [FakeProcess(0, 10, 1), FakeProcess(5, 25, 1)]
+    assert max_flow(procs) == 20.0
+
+
+def test_max_stretch():
+    procs = [FakeProcess(0, 10, 5), FakeProcess(0, 12, 2)]
+    assert max_stretch(procs) == 6.0
+
+
+def test_average_process_time():
+    procs = [FakeProcess(0, 4, 1), FakeProcess(0, 8, 1)]
+    assert average_process_time(procs) == 6.0
+
+
+def test_incomplete_processes_excluded():
+    procs = [FakeProcess(0, 10, 1), FakeProcess(0, None, 1)]
+    assert max_flow(procs) == 10.0
+
+
+def test_no_completed_processes_rejected():
+    with pytest.raises(ReproError, match="no completed"):
+        max_flow([FakeProcess(0, None, 1)])
+
+
+def test_stretch_requires_isolated_time():
+    with pytest.raises(ReproError, match="isolated processing time"):
+        max_stretch([FakeProcess(0, 10, 0)])
+
+
+def test_percent_decrease_sign_convention():
+    """Positive = improvement, as in Table 2."""
+    assert percent_decrease(100.0, 64.05) == pytest.approx(35.95)
+    assert percent_decrease(100.0, 110.0) == pytest.approx(-10.0)
+    with pytest.raises(ReproError):
+        percent_decrease(0.0, 5.0)
+
+
+def test_fairness_report_and_versus():
+    baseline = fairness_report([FakeProcess(0, 10, 2), FakeProcess(0, 20, 2)])
+    tuned = fairness_report([FakeProcess(0, 8, 2), FakeProcess(0, 12, 2)])
+    assert baseline.completed == 2
+    comparison = tuned.versus(baseline)
+    assert comparison.average_time_decrease == pytest.approx(
+        100 * (15 - 10) / 15
+    )
+    assert comparison.max_flow_decrease == pytest.approx(40.0)
+    assert comparison.max_stretch_decrease == pytest.approx(40.0)

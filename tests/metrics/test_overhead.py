@@ -1,0 +1,45 @@
+"""Unit tests for space/time overhead metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.instrument import LoopStrategy
+from repro.metrics.overhead import space_overhead_report, time_overhead
+from repro.sim import core2quad_amp
+from repro.sim.executor import SimulationResult
+from repro.workloads.spec import spec_benchmark
+
+
+def test_space_overhead_report_shape():
+    suite = [spec_benchmark("183.equake"), spec_benchmark("172.mgrid")]
+    report = space_overhead_report(suite, LoopStrategy(45))
+    assert report.strategy_name == "Loop[45]"
+    assert set(report.per_benchmark) == {"183.equake", "172.mgrid"}
+    assert 0.0 <= report.summary.minimum <= report.summary.maximum
+    assert report.max_mark_bytes <= 78
+
+
+def test_space_overhead_empty_suite_rejected():
+    with pytest.raises(ReproError):
+        space_overhead_report([], LoopStrategy(45))
+
+
+def _result(buckets):
+    return SimulationResult(core2quad_amp(), 400.0, throughput_buckets=buckets)
+
+
+def test_time_overhead_fraction():
+    baseline = _result({0: 1000.0})
+    marked = _result({0: 998.0})
+    assert time_overhead(baseline, marked) == pytest.approx(0.002)
+
+
+def test_time_overhead_clamped_at_zero():
+    baseline = _result({0: 1000.0})
+    marked = _result({0: 1001.0})  # Noise: marked run "faster".
+    assert time_overhead(baseline, marked) == 0.0
+
+
+def test_time_overhead_requires_baseline_work():
+    with pytest.raises(ReproError):
+        time_overhead(_result({}), _result({0: 1.0}))

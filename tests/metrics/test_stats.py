@@ -1,0 +1,53 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.stats import BoxPlot, box_plot, geometric_mean, mean
+
+
+def test_box_plot_five_numbers():
+    box = box_plot([1, 2, 3, 4, 5])
+    assert box.minimum == 1
+    assert box.median == 3
+    assert box.maximum == 5
+    assert box.q1 == 2
+    assert box.q3 == 4
+
+
+def test_box_plot_single_value():
+    box = box_plot([7.0])
+    assert box.as_tuple() == (7.0, 7.0, 7.0, 7.0, 7.0)
+
+
+def test_box_plot_interpolates():
+    box = box_plot([0.0, 1.0])
+    assert box.median == pytest.approx(0.5)
+    assert box.q1 == pytest.approx(0.25)
+
+
+def test_box_plot_unsorted_input():
+    assert box_plot([3, 1, 2]).median == 2
+
+
+def test_box_plot_empty_rejected():
+    with pytest.raises(ReproError):
+        box_plot([])
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 100]) == pytest.approx(10.0)
+    assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+
+def test_geometric_mean_rejects_nonpositive():
+    with pytest.raises(ReproError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(ReproError):
+        geometric_mean([])
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ReproError):
+        mean([])

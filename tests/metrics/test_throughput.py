@@ -1,0 +1,48 @@
+"""Unit tests for throughput metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import core2quad_amp
+from repro.sim.executor import SimulationResult
+from repro.metrics.throughput import (
+    throughput,
+    throughput_improvement,
+    throughput_series,
+)
+
+
+def _result(buckets):
+    return SimulationResult(core2quad_amp(), 400.0, throughput_buckets=buckets)
+
+
+def test_throughput_sums_horizon():
+    result = _result({0: 100.0, 399: 50.0, 400: 999.0})
+    assert throughput(result, 400.0) == 150.0
+
+
+def test_throughput_improvement():
+    base = _result({0: 100.0})
+    tuned = _result({0: 120.0})
+    assert throughput_improvement(base, tuned, 400.0) == pytest.approx(20.0)
+
+
+def test_improvement_requires_nonzero_baseline():
+    with pytest.raises(ReproError, match="no instructions"):
+        throughput_improvement(_result({}), _result({0: 1.0}), 400.0)
+
+
+def test_bad_horizon_rejected():
+    with pytest.raises(ReproError):
+        throughput(_result({0: 1.0}), 0.0)
+
+
+def test_series_buckets():
+    result = _result({0: 1.0, 5: 2.0, 15: 4.0, 25: 8.0})
+    series = throughput_series(result, horizon=30.0, bucket=10.0)
+    assert series == [3.0, 4.0, 8.0]
+
+
+def test_series_bad_bucket():
+    with pytest.raises(ReproError):
+        throughput_series(_result({}), 100.0, 0.0)

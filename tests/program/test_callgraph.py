@@ -1,0 +1,83 @@
+"""Unit tests for call graphs and SCCs."""
+
+from repro.isa import assemble
+from repro.program import build_callgraph
+
+
+def test_simple_call_edge(call_program):
+    graph = build_callgraph(call_program)
+    assert graph.callees("main") == {"helper"}
+    assert graph.callers("helper") == {"main"}
+
+
+def test_bottom_up_order_callees_first(call_program):
+    graph = build_callgraph(call_program)
+    sccs = graph.bottom_up_sccs()
+    flat = [name for scc in sccs for name in scc]
+    assert flat.index("helper") < flat.index("main")
+
+
+def test_self_recursion_detected():
+    program = assemble(
+        """
+        .proc main
+            call rec
+            ret
+        .endproc
+        .proc rec
+            cmp r1, 0
+            br le, done
+            call rec
+        done:
+            ret
+        .endproc
+        """
+    )
+    graph = build_callgraph(program)
+    rec_scc = next(scc for scc in graph.sccs() if "rec" in scc)
+    assert graph.is_recursive(rec_scc)
+    main_scc = next(scc for scc in graph.sccs() if "main" in scc)
+    assert not graph.is_recursive(main_scc)
+
+
+def test_mutual_recursion_one_scc():
+    program = assemble(
+        """
+        .proc main
+            call even
+            ret
+        .endproc
+        .proc even
+            cmp r1, 0
+            br le, out
+            call odd
+        out:
+            ret
+        .endproc
+        .proc odd
+            call even
+            ret
+        .endproc
+        """
+    )
+    graph = build_callgraph(program)
+    cycle = next(scc for scc in graph.sccs() if "even" in scc)
+    assert set(cycle) == {"even", "odd"}
+    assert graph.is_recursive(cycle)
+
+
+def test_indirect_calls_contribute_no_edges():
+    program = assemble(
+        """
+        .proc main
+            movi r1, 0
+            calli r1
+            ret
+        .endproc
+        .proc target
+            ret
+        .endproc
+        """
+    )
+    graph = build_callgraph(program)
+    assert graph.callees("main") == set()

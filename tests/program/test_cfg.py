@@ -1,0 +1,107 @@
+"""Unit tests for CFG construction."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.isa import assemble
+from repro.program import build_cfg
+from repro.program.basic_block import NodeKind
+from repro.program.cfg import BACKWARD, FORWARD
+
+
+def test_straightline_single_block(straightline_program):
+    cfg = build_cfg(straightline_program["main"])
+    assert len(cfg) == 1
+    assert cfg.entry.index == 0
+    assert cfg.succs(0) == []
+
+
+def test_loop_back_edge_tagged(loop_program):
+    cfg = build_cfg(loop_program["main"])
+    back = cfg.back_edges()
+    assert len(back) == 1
+    assert back[0].kind == BACKWARD
+    # The back edge targets the loop header, which dominates its source.
+    header = back[0].dst
+    assert header in cfg.succs(back[0].src)
+
+
+def test_diamond_structure(diamond_program):
+    cfg = build_cfg(diamond_program["main"])
+    # entry, then-side, else-side, join.
+    assert len(cfg) == 4
+    assert sorted(cfg.succs(0)) == [1, 2]
+    join = cfg.succs(1)
+    assert cfg.succs(2) == join
+    assert all(e.kind == FORWARD for e in cfg.edges)
+
+
+def test_call_becomes_special_node(call_program):
+    cfg = build_cfg(call_program["main"])
+    call_nodes = [b for b in cfg if b.kind is NodeKind.CALL]
+    assert len(call_nodes) == 1
+    assert call_nodes[0].call_target == "helper"
+    assert len(call_nodes[0]) == 1
+
+
+def test_syscall_becomes_special_node():
+    program = assemble(
+        ".proc main\n    movi r1, 1\n    sys 4\n    add r1, r1, 1\n    ret\n.endproc"
+    )
+    cfg = build_cfg(program["main"])
+    sys_nodes = [b for b in cfg if b.kind is NodeKind.SYSCALL]
+    assert len(sys_nodes) == 1
+    # Control falls through the special node.
+    assert cfg.succs(sys_nodes[0].index) != []
+
+
+def test_blocks_partition_instructions(nested_loop_program):
+    proc = nested_loop_program["main"]
+    cfg = build_cfg(proc)
+    covered = []
+    for block in cfg:
+        covered.extend(range(block.start, block.end))
+    assert covered == list(range(len(proc.code)))
+
+
+def test_preds_are_inverse_of_succs(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    for block in cfg:
+        for succ in cfg.succs(block.index):
+            assert block.index in cfg.preds(succ)
+
+
+def test_reverse_postorder_starts_at_entry(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    order = cfg.reverse_postorder()
+    assert order[0] == 0
+    assert len(order) == len(set(order))
+
+
+def test_ignore_back_filters_edges(loop_program):
+    cfg = build_cfg(loop_program["main"])
+    back = cfg.back_edges()[0]
+    assert back.dst in cfg.succs(back.src)
+    assert back.dst not in cfg.succs(back.src, ignore_back=True)
+
+
+def test_ret_has_no_successors(loop_program):
+    cfg = build_cfg(loop_program["main"])
+    ret_blocks = [b for b in cfg if b.instrs[-1].is_ret]
+    assert ret_blocks
+    for block in ret_blocks:
+        assert cfg.succs(block.index) == []
+
+
+def test_branch_to_end_label_rejected():
+    program = assemble(
+        ".proc main\n    cmp r1, 0\n    br lt, end\n    ret\nend:\n.endproc"
+    )
+    with pytest.raises(ProgramStructureError, match="past the end"):
+        build_cfg(program["main"])
+
+
+def test_indirect_jump_has_no_edges():
+    program = assemble(".proc main\n    movi r1, 1\n    jmpi r1\n.endproc")
+    cfg = build_cfg(program["main"])
+    assert cfg.succs(len(cfg) - 1) == []

@@ -1,0 +1,47 @@
+"""Unit tests for the derived interval sequence (limit graph)."""
+
+from repro.isa import assemble
+from repro.program import build_cfg, derived_sequence, is_reducible
+from repro.workloads.generator import random_program
+
+
+def test_straightline_is_order_one(straightline_program):
+    cfg = build_cfg(straightline_program["main"])
+    sequence = derived_sequence(cfg)
+    assert len(sequence[-1][0]) == 1
+    assert is_reducible(cfg)
+
+
+def test_nested_loops_reduce(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    assert is_reducible(cfg)
+    sequence = derived_sequence(cfg)
+    sizes = [len(nodes) for nodes, _ in sequence]
+    # Strictly shrinking until the single-node limit graph.
+    assert sizes[-1] == 1
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_structured_programs_are_reducible():
+    """The builder and generator only emit structured control flow."""
+    for seed in range(8):
+        program = random_program(seed=seed)
+        for proc in program:
+            assert is_reducible(build_cfg(proc))
+
+
+def test_spec_suite_reducible():
+    from repro.workloads import spec_suite
+
+    for bench in spec_suite():
+        for proc in bench.program:
+            assert is_reducible(build_cfg(proc))
+
+
+def test_derived_sequence_edges_consistent(call_program):
+    cfg = build_cfg(call_program["main"])
+    for nodes, adjacency in derived_sequence(cfg):
+        for src, dsts in adjacency.items():
+            assert src in nodes
+            assert all(d in nodes for d in dsts)
+            assert src not in dsts

@@ -1,0 +1,70 @@
+"""Unit tests for dominator computation."""
+
+from repro.isa import assemble
+from repro.program import build_cfg, compute_dominators, dominates
+from repro.program.dominators import dominator_tree_depths
+
+
+def test_entry_dominates_everything(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    idom = compute_dominators(cfg)
+    for block in cfg.reverse_postorder():
+        assert dominates(idom, 0, block)
+
+
+def test_every_block_dominates_itself(diamond_program):
+    cfg = build_cfg(diamond_program["main"])
+    idom = compute_dominators(cfg)
+    for block in range(len(cfg)):
+        assert dominates(idom, block, block)
+
+
+def test_diamond_sides_do_not_dominate_join(diamond_program):
+    cfg = build_cfg(diamond_program["main"])
+    idom = compute_dominators(cfg)
+    # Blocks 1 and 2 are the two sides, block 3 the join.
+    assert not dominates(idom, 1, 3)
+    assert not dominates(idom, 2, 3)
+    assert idom[3] == 0
+
+
+def test_loop_header_dominates_body(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    idom = compute_dominators(cfg)
+    for edge in cfg.back_edges():
+        assert dominates(idom, edge.dst, edge.src)
+
+
+def test_entry_has_no_idom(loop_program):
+    cfg = build_cfg(loop_program["main"])
+    idom = compute_dominators(cfg)
+    assert idom[0] is None
+
+
+def test_dominator_depths(diamond_program):
+    cfg = build_cfg(diamond_program["main"])
+    idom = compute_dominators(cfg)
+    depths = dominator_tree_depths(idom)
+    assert depths[0] == 0
+    assert depths[1] == depths[2] == 1
+    assert depths[3] == 1  # Join's idom is the entry.
+
+
+def test_unreachable_block_not_dominated():
+    program = assemble(
+        """
+        .proc main
+            jmp out
+            add r1, r1, 1
+        out:
+            ret
+        .endproc
+        """
+    )
+    cfg = build_cfg(program["main"])
+    idom = compute_dominators(cfg)
+    reachable = set(cfg.reverse_postorder())
+    unreachable = [b for b in range(len(cfg)) if b not in reachable]
+    assert unreachable
+    for block in unreachable:
+        assert idom[block] is None

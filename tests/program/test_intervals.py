@@ -1,0 +1,76 @@
+"""Unit tests for Allen's interval partitioning."""
+
+from repro.isa import assemble
+from repro.program import build_cfg, partition_intervals
+from repro.program.intervals import interval_graph
+
+
+def _assert_partition(cfg, intervals):
+    """Every reachable block in exactly one interval."""
+    reachable = set(cfg.reverse_postorder())
+    seen = []
+    for interval in intervals:
+        seen.extend(interval.nodes)
+    assert sorted(seen) == sorted(reachable)
+
+
+def test_straightline_is_one_interval(straightline_program):
+    cfg = build_cfg(straightline_program["main"])
+    intervals = partition_intervals(cfg)
+    assert len(intervals) == 1
+    assert intervals[0].header == 0
+
+
+def test_loop_captured_by_interval(loop_program):
+    """Intervals frequently capture small loops (paper, II-A2b)."""
+    cfg = build_cfg(loop_program["main"])
+    intervals = partition_intervals(cfg)
+    _assert_partition(cfg, intervals)
+    back = cfg.back_edges()[0]
+    owner = next(i for i in intervals if back.dst in i)
+    assert back.src in owner  # Whole loop in one interval.
+
+
+def test_diamond_single_interval(diamond_program):
+    cfg = build_cfg(diamond_program["main"])
+    intervals = partition_intervals(cfg)
+    # The diamond is single-entry: entirely absorbed by the first interval.
+    assert len(intervals) == 1
+    _assert_partition(cfg, intervals)
+
+
+def test_nested_loops_partition(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    intervals = partition_intervals(cfg)
+    _assert_partition(cfg, intervals)
+    # Headers are unique.
+    headers = [i.header for i in intervals]
+    assert len(headers) == len(set(headers))
+
+
+def test_interval_header_is_first_member(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    for interval in partition_intervals(cfg):
+        assert interval.nodes[0] == interval.header
+
+
+def test_interval_single_entry_property(call_program):
+    """No member except the header has predecessors outside the interval."""
+    cfg = build_cfg(call_program["main"])
+    intervals = partition_intervals(cfg)
+    _assert_partition(cfg, intervals)
+    for interval in intervals:
+        members = set(interval.nodes)
+        for node in interval.nodes:
+            if node == interval.header:
+                continue
+            assert all(p in members for p in cfg.preds(node))
+
+
+def test_interval_graph_edges(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    intervals = partition_intervals(cfg)
+    graph = interval_graph(cfg, intervals)
+    assert set(graph) == set(range(len(intervals)))
+    for src, dsts in graph.items():
+        assert src not in dsts  # No self edges in the derived graph.

@@ -1,0 +1,109 @@
+"""Unit tests for natural-loop detection and nesting."""
+
+from repro.isa import assemble
+from repro.program import build_cfg, find_loops
+from repro.program.loops import block_nesting_levels
+
+
+def test_no_loops_in_straightline(straightline_program):
+    cfg = build_cfg(straightline_program["main"])
+    assert find_loops(cfg) == []
+
+
+def test_single_loop(loop_program):
+    cfg = build_cfg(loop_program["main"])
+    loops = find_loops(cfg)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header in loop.body
+    assert loop.parent is None
+    assert loop.depth == 0
+
+
+def test_nested_loops(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    loops = find_loops(cfg)
+    assert len(loops) == 2
+    inner = next(l for l in loops if l.depth == 1)
+    outer = next(l for l in loops if l.depth == 0)
+    assert outer.contains(inner)
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert inner.body < outer.body
+
+
+def test_innermost_first_ordering(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    loops = find_loops(cfg)
+    depths = [l.depth for l in loops]
+    assert depths == sorted(depths, reverse=True)
+
+
+def test_loops_sharing_header_merged():
+    # Two back edges to the same header (continue-like structure).
+    program = assemble(
+        """
+        .proc main
+            movi r1, 0
+        head:
+            add r1, r1, 1
+            cmp r1, 5
+            br lt, head
+            cmp r1, 10
+            br lt, head
+            ret
+        .endproc
+        """
+    )
+    cfg = build_cfg(program["main"])
+    loops = find_loops(cfg)
+    assert len(loops) == 1
+    assert len(cfg.back_edges()) == 2
+
+
+def test_disjoint_sibling_loops():
+    program = assemble(
+        """
+        .proc main
+            movi r1, 0
+        outer:
+            movi r2, 0
+        a:
+            add r2, r2, 1
+            cmp r2, 3
+            br lt, a
+            movi r3, 0
+        b:
+            add r3, r3, 1
+            cmp r3, 3
+            br lt, b
+            add r1, r1, 1
+            cmp r1, 3
+            br lt, outer
+            ret
+        .endproc
+        """
+    )
+    cfg = build_cfg(program["main"])
+    loops = find_loops(cfg)
+    assert len(loops) == 3
+    outer = next(l for l in loops if l.depth == 0)
+    assert len(outer.children) == 2
+    a, b = outer.children
+    assert not a.body & b.body  # Disjoint siblings.
+
+
+def test_block_nesting_levels(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    loops = find_loops(cfg)
+    levels = block_nesting_levels(cfg, loops)
+    inner = next(l for l in loops if l.depth == 1)
+    assert levels[inner.header] == 2  # Inside both loops.
+    assert levels[0] == 0  # Entry outside all loops.
+
+
+def test_loop_uid_unique(nested_loop_program):
+    cfg = build_cfg(nested_loop_program["main"])
+    loops = find_loops(cfg)
+    uids = [l.uid for l in loops]
+    assert len(uids) == len(set(uids))

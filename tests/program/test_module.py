@@ -1,0 +1,87 @@
+"""Unit tests for Program/Procedure/MemoryRegion."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.isa import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.program.module import (
+    DEFAULT_STACK_SIZE,
+    MemoryRegion,
+    Procedure,
+    Program,
+    STACK_REGION,
+)
+
+
+def test_region_validation():
+    with pytest.raises(ProgramStructureError):
+        MemoryRegion("bad", 0)
+    with pytest.raises(ProgramStructureError):
+        MemoryRegion("bad", 100, hot_fraction=0.0)
+    with pytest.raises(ProgramStructureError):
+        MemoryRegion("bad", 100, hot_fraction=1.5)
+
+
+def test_working_set():
+    region = MemoryRegion("r", 1000, hot_fraction=0.5)
+    assert region.working_set == 500
+    assert MemoryRegion("r", 10).working_set == 10
+
+
+def test_procedure_requires_code():
+    with pytest.raises(ProgramStructureError, match="no instructions"):
+        Procedure("empty", [])
+
+
+def test_procedure_label_bounds():
+    code = [Instruction(Opcode.RET)]
+    Procedure("ok", code, {"end": 1})  # Label at end is allowed.
+    with pytest.raises(ProgramStructureError):
+        Procedure("bad", code, {"beyond": 2})
+
+
+def test_label_resolution():
+    code = [Instruction(Opcode.NOP), Instruction(Opcode.RET)]
+    proc = Procedure("p", code, {"x": 1})
+    assert proc.resolve("x") == 1
+    assert proc.label_at(1) == "x"
+    assert proc.label_at(0) is None
+    with pytest.raises(ProgramStructureError, match="unknown label"):
+        proc.resolve("nope")
+
+
+def test_program_requires_entry():
+    proc = Procedure("f", [Instruction(Opcode.RET)])
+    with pytest.raises(ProgramStructureError, match="entry procedure"):
+        Program({"f": proc}, entry="main")
+
+
+def test_implicit_stack_region():
+    proc = Procedure("main", [Instruction(Opcode.RET)])
+    program = Program({"main": proc})
+    assert program.region(STACK_REGION).size == DEFAULT_STACK_SIZE
+
+
+def test_unknown_region_raises():
+    program = assemble(".proc main\n    ret\n.endproc")
+    with pytest.raises(ProgramStructureError, match="unknown memory region"):
+        program.region("ghost")
+
+
+def test_size_bytes_sums_procedures():
+    program = assemble(
+        ".proc main\n    call f\n    ret\n.endproc\n"
+        ".proc f\n    ret\n.endproc"
+    )
+    total = sum(p.size_bytes for p in program)
+    assert program.size_bytes == total
+    assert total > 0
+
+
+def test_container_protocol():
+    program = assemble(".proc main\n    ret\n.endproc")
+    assert "main" in program
+    assert "ghost" not in program
+    assert program["main"].name == "main"
+    assert [p.name for p in program] == ["main"]

@@ -1,0 +1,82 @@
+"""Unit tests for program validation."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.isa import ProgramBuilder, assemble
+from repro.program import validate_program
+
+
+def test_valid_program_no_warnings(loop_program):
+    assert validate_program(loop_program) == []
+
+
+def test_fall_off_end_rejected():
+    program = assemble(".proc main\n    nop\n    nop\n.endproc")
+    with pytest.raises(ProgramStructureError, match="fall off"):
+        validate_program(program)
+
+
+def test_unknown_call_target_rejected():
+    pb = ProgramBuilder("t")
+    with pb.proc("main") as b:
+        b.call("ghost")
+        b.ret()
+    with pytest.raises(ProgramStructureError, match="undefined procedure"):
+        validate_program(pb.build())
+
+
+def test_undeclared_region_rejected():
+    pb = ProgramBuilder("t")
+    with pb.proc("main") as b:
+        b.load("r1", "ghost", index="r2", stride=8)
+        b.ret()
+    with pytest.raises(ProgramStructureError, match="unknown memory region"):
+        validate_program(pb.build())
+
+
+def test_oversized_stride_rejected():
+    pb = ProgramBuilder("t")
+    pb.region("A", 64)
+    with pb.proc("main") as b:
+        b.load("r1", "A", index="r2", stride=128)
+        b.ret()
+    with pytest.raises(ProgramStructureError, match="stride 128 exceeds"):
+        validate_program(pb.build())
+
+
+def test_unreachable_code_warns():
+    program = assemble(
+        """
+        .proc main
+            jmp out
+            add r1, r1, 1
+        out:
+            ret
+        .endproc
+        """
+    )
+    warnings = validate_program(program)
+    assert warnings and "unreachable" in warnings[0]
+
+
+def test_strict_reachability_raises():
+    program = assemble(
+        """
+        .proc main
+            jmp out
+            nop
+        out:
+            ret
+        .endproc
+        """
+    )
+    with pytest.raises(ProgramStructureError, match="unreachable"):
+        validate_program(program, strict_reachability=True)
+
+
+def test_spec_suite_validates():
+    from repro.workloads import spec_suite
+
+    for benchmark in spec_suite():
+        assert validate_program(benchmark.program) == []

@@ -1,0 +1,65 @@
+"""Property-based tests for the LRU cache simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import SetAssociativeCache
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300
+)
+
+
+def _fresh():
+    return SetAssociativeCache(4096, associativity=4, line_size=64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=addresses)
+def test_hits_plus_misses_equals_accesses(stream):
+    cache = _fresh()
+    cache.access_stream(stream)
+    assert cache.stats.accesses == len(stream)
+    assert cache.stats.hits + cache.stats.misses == len(stream)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=addresses)
+def test_immediate_rereference_hits(stream):
+    cache = _fresh()
+    for address in stream:
+        cache.access(address)
+        assert cache.access(address)  # Just-touched lines always hit.
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=addresses)
+def test_inclusion_monotone_in_associativity(stream):
+    """A fully-associative cache of equal capacity never misses more
+    than a set-associative one on the same stream (LRU stack property)."""
+    limited = SetAssociativeCache(4096, associativity=4, line_size=64)
+    full = SetAssociativeCache(4096, associativity=64, line_size=64)
+    limited.access_stream(stream)
+    full.access_stream(stream)
+    assert full.stats.misses <= limited.stats.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=addresses)
+def test_same_line_addresses_equivalent(stream):
+    """Accesses are line-granular: the offset within a line is ignored."""
+    a = _fresh()
+    b = _fresh()
+    a.access_stream(stream)
+    b.access_stream([addr & ~63 for addr in stream])
+    assert a.stats.misses == b.stats.misses
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=addresses)
+def test_cold_miss_lower_bound(stream):
+    """Every distinct line's first touch is a miss."""
+    cache = _fresh()
+    cache.access_stream(stream)
+    distinct_lines = len({addr // 64 for addr in stream})
+    assert cache.stats.misses >= distinct_lines
+    assert cache.stats.misses <= cache.stats.accesses

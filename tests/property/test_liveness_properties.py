@@ -1,0 +1,68 @@
+"""Property-based tests for live-register analysis."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.liveness import ALL_LOCATIONS, compute_liveness, def_use
+from repro.program import build_cfg
+from repro.workloads.generator import random_program
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_dataflow_equations_hold(seed):
+    """The result is a fixpoint of in = gen ∪ (out − kill) and
+    out = ∪ succ.in (plus the exit convention)."""
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        result = compute_liveness(cfg)
+        for block in cfg:
+            gen, kill = set(), set()
+            seen = set()
+            for instr in block.instrs:
+                defs, uses = def_use(instr)
+                gen |= uses - seen
+                seen |= defs
+            kill = seen
+            out = set()
+            succs = cfg.succs(block.index)
+            if succs:
+                for succ in succs:
+                    out |= result.live_in[succ]
+            else:
+                out = set(ALL_LOCATIONS)
+            assert result.live_out[block.index] == out
+            assert result.live_in[block.index] == gen | (out - kill)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_uses_are_live(seed):
+    """Every register a block uses before defining is live at its entry."""
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        result = compute_liveness(cfg)
+        for block in cfg:
+            seen = set()
+            for instr in block.instrs:
+                defs, uses = def_use(instr)
+                for used in uses - seen:
+                    assert used in result.live_in[block.index]
+                seen |= defs
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_smaller_exit_convention_never_larger(seed):
+    """Liveness is monotone in the exit convention."""
+    program = random_program(seed=seed)
+    for proc in program:
+        cfg = build_cfg(proc)
+        conservative = compute_liveness(cfg)
+        empty = compute_liveness(cfg, live_at_exit=())
+        for block in range(len(cfg)):
+            assert empty.live_in[block] <= conservative.live_in[block]
+            assert empty.live_out[block] <= conservative.live_out[block]

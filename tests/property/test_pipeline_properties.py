@@ -1,0 +1,85 @@
+"""Property-based tests across the analysis/instrumentation pipeline."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import StaticBlockTyper, annotate_program
+from repro.analysis.transitions import (
+    basic_block_transitions,
+    interval_transitions,
+    loop_transitions,
+)
+from repro.instrument import LoopStrategy, BBStrategy, instrument
+from repro.program import validate_program
+from repro.workloads.generator import random_program
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_transition_sections_respect_min_size(seed):
+    program = random_program(seed=seed)
+    typing = StaticBlockTyper().type_blocks(program)
+    aprog = annotate_program(program, typing)
+    for min_size in (10, 30):
+        for points in (
+            basic_block_transitions(aprog, min_size),
+            interval_transitions(aprog, min_size),
+            loop_transitions(aprog, min_size),
+        ):
+            assert all(p.size_instrs >= min_size for p in points)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_trigger_edges_enter_from_outside(seed):
+    program = random_program(seed=seed)
+    typing = StaticBlockTyper().type_blocks(program)
+    aprog = annotate_program(program, typing)
+    for points in (
+        basic_block_transitions(aprog, 10),
+        interval_transitions(aprog, 20),
+        loop_transitions(aprog, 20),
+    ):
+        for p in points:
+            for src, dst in p.trigger_edges:
+                assert src not in p.section_blocks
+                assert dst == p.entry_block
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_bigger_min_size_never_more_marks(seed):
+    program = random_program(seed=seed)
+    typing = StaticBlockTyper().type_blocks(program)
+    aprog = annotate_program(program, typing)
+    small = len(loop_transitions(aprog, 10))
+    big = len(loop_transitions(aprog, 60))
+    assert big <= small
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_materialized_rewrites_validate(seed):
+    program = random_program(seed=seed)
+    for strategy in (LoopStrategy(15), BBStrategy(10, 0)):
+        inst = instrument(program, strategy)
+        tuned = inst.materialize()
+        validate_program(tuned)  # Must not raise.
+        # Physical growth equals accounted code bytes.
+        from repro.instrument.phase_mark import MARK_DATA_BYTES
+
+        growth = tuned.size_bytes - program.size_bytes
+        accounted = inst.added_bytes - MARK_DATA_BYTES * len(inst.marks)
+        assert growth == accounted
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_mark_bytes_bounded(seed):
+    program = random_program(seed=seed)
+    inst = instrument(program, LoopStrategy(15))
+    for mark in inst.marks:
+        assert mark.total_bytes <= 78 + 5 * max(
+            0, mark.fallthrough_edges - 1
+        )

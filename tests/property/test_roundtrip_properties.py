@@ -1,0 +1,51 @@
+"""End-to-end round-trip properties across the whole toolchain.
+
+instrument → materialize → disassemble → re-assemble → interpret must
+agree with interpreting the original program: the rewritten binary
+survives a full serialization cycle without changing meaning.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument import LoopStrategy, instrument
+from repro.isa import assemble, disassemble
+from repro.isa.interpreter import InterpreterError, run_program
+from repro.workloads.generator import random_program
+
+seeds = st.integers(min_value=0, max_value=2000)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_disassemble_assemble_roundtrip_random_programs(seed):
+    program = random_program(seed=seed)
+    text = disassemble(program)
+    again = assemble(text)
+    assert disassemble(again) == text
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_full_toolchain_roundtrip_preserves_semantics(seed):
+    program = random_program(seed=seed)
+    try:
+        original = run_program(program, max_steps=300_000)
+    except InterpreterError:
+        return  # Indirect flow or runaway loop: not interpretable.
+
+    instrumented = instrument(program, LoopStrategy(10))
+    rewritten = instrumented.materialize()
+    # Serialize and re-parse the rewritten binary before executing.
+    reparsed = assemble(disassemble(rewritten))
+    replayed = run_program(reparsed, max_steps=3_000_000)
+    assert replayed.observable() == original.observable()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_instrumentation_is_idempotent_on_structure(seed):
+    """Instrumenting the same program twice yields identical binaries."""
+    program = random_program(seed=seed)
+    a = instrument(program, LoopStrategy(10)).materialize()
+    b = instrument(program, LoopStrategy(10)).materialize()
+    assert disassemble(a) == disassemble(b)

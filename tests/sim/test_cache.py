@@ -1,0 +1,90 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cache import CacheHierarchy, SetAssociativeCache
+
+
+def test_basic_hit_miss():
+    cache = SetAssociativeCache(1024, associativity=2, line_size=64)
+    assert not cache.access(0)      # Cold miss.
+    assert cache.access(0)          # Hit.
+    assert cache.access(63)         # Same line.
+    assert not cache.access(64)     # Next line: cold miss.
+
+
+def test_lru_eviction_within_set():
+    # 2 sets, 2 ways, 64B lines = 256B. Lines 0,2,4 map to set 0.
+    cache = SetAssociativeCache(256, associativity=2, line_size=64)
+    cache.access(0 * 64)
+    cache.access(2 * 64)
+    cache.access(4 * 64)            # Evicts line 0 (LRU).
+    assert not cache.access(0 * 64)
+    assert cache.access(4 * 64)
+
+
+def test_lru_order_updated_on_hit():
+    cache = SetAssociativeCache(256, associativity=2, line_size=64)
+    cache.access(0 * 64)
+    cache.access(2 * 64)
+    cache.access(0 * 64)            # Touch: line 2 is now LRU.
+    cache.access(4 * 64)            # Evicts line 2.
+    assert cache.access(0 * 64)
+    assert not cache.access(2 * 64)
+
+
+def test_working_set_fits_all_hits():
+    cache = SetAssociativeCache(64 * 1024, associativity=8, line_size=64)
+    addresses = list(range(0, 32 * 1024, 64))
+    cache.access_stream(addresses)          # Warm up.
+    stats = cache.access_stream(addresses)  # Steady state.
+    assert stats.miss_rate == 0.0
+
+
+def test_streaming_beyond_capacity_all_misses():
+    cache = SetAssociativeCache(8 * 1024, associativity=8, line_size=64)
+    addresses = list(range(0, 1024 * 1024, 64))
+    cache.access_stream(addresses)          # Sweep once.
+    stats = cache.access_stream(addresses)  # Sweep again: all evicted.
+    assert stats.miss_rate == 1.0
+
+
+def test_flush():
+    cache = SetAssociativeCache(1024, associativity=2, line_size=64)
+    cache.access(0)
+    cache.flush()
+    assert not cache.access(0)
+
+
+def test_stats_accumulate():
+    cache = SetAssociativeCache(1024, associativity=2, line_size=64)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.accesses == 2
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    cache.reset_stats()
+    assert cache.stats.accesses == 0
+
+
+@pytest.mark.parametrize(
+    "capacity, assoc, line",
+    [(1000, 2, 64), (1024, 2, 63), (0, 1, 64)],
+)
+def test_invalid_geometry_rejected(capacity, assoc, line):
+    with pytest.raises(SimulationError):
+        SetAssociativeCache(capacity, assoc, line)
+
+
+def test_hierarchy_levels():
+    hierarchy = CacheHierarchy(
+        SetAssociativeCache(1024, 2, 64),
+        SetAssociativeCache(8192, 4, 64),
+    )
+    assert hierarchy.access(0) == "mem"
+    assert hierarchy.access(0) == "l1"
+    # Touch enough lines to evict line 0 from L1 but not from L2.
+    for line in range(1, 17):
+        hierarchy.access(line * 64)
+    assert hierarchy.access(0) == "l2"

@@ -1,0 +1,94 @@
+"""Calibration: the analytic miss model vs the detailed LRU simulator.
+
+DESIGN.md commits to this agreement: for the access patterns the
+synthetic ISA can express (scalars and fixed-stride streams), the
+analytic steady-state miss rates must match what the real
+set-associative LRU cache measures.
+"""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.isa.instructions import MemAccess
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.core import CoreType
+from repro.sim.memory import MemoryModel
+
+#: A small core type so detailed simulation stays fast.
+SMALL_CORE = CoreType("small", 2.0, l1_kb=16, l2_kb=256)
+
+
+def _program_with_region(size):
+    pb = ProgramBuilder("t")
+    pb.region("R", size)
+    with pb.proc("main") as b:
+        b.ret()
+    return pb.build()
+
+
+def _measured_miss_rate(cache_bytes, region_bytes, stride, sweeps=3):
+    """Steady-state miss rate of strided sweeps through a region."""
+    cache = SetAssociativeCache(cache_bytes, associativity=8, line_size=64)
+    addresses = list(range(0, region_bytes, stride))
+    cache.access_stream(addresses)  # Warm-up sweep.
+    cache.reset_stats()
+    for _ in range(sweeps):
+        stats_before = cache.stats.accesses
+        cache.access_stream(addresses)
+    return cache.stats.miss_rate
+
+
+@pytest.mark.parametrize("stride", [4, 16, 64])
+def test_streaming_miss_rate_matches_model(stride):
+    """Region far beyond capacity: misses = stride/line per access."""
+    region = 4 << 20
+    measured = _measured_miss_rate(SMALL_CORE.l2_bytes, region, stride)
+    model = MemoryModel()
+    program = _program_with_region(region)
+    predicted = model.miss_profile(
+        MemAccess("R", stride), program, SMALL_CORE
+    ).l2_misses
+    assert measured == pytest.approx(predicted, abs=0.02)
+
+
+@pytest.mark.parametrize("stride", [16, 64])
+def test_resident_region_matches_model(stride):
+    """Region within capacity: steady state has no misses."""
+    region = 64 << 10  # Fits the 256 KiB L2.
+    measured = _measured_miss_rate(SMALL_CORE.l2_bytes, region, stride)
+    model = MemoryModel()
+    program = _program_with_region(region)
+    predicted = model.miss_profile(
+        MemAccess("R", stride), program, SMALL_CORE
+    ).l2_misses
+    assert predicted == 0.0
+    assert measured == pytest.approx(0.0, abs=0.01)
+
+
+def test_l1_boundary_agreement():
+    """A region that fits L2 but not L1 shows L1 misses and L2 hits."""
+    region = 64 << 10
+    l1 = SetAssociativeCache(SMALL_CORE.l1_bytes, 8, 64)
+    addresses = list(range(0, region, 64))
+    l1.access_stream(addresses)
+    l1.reset_stats()
+    l1.access_stream(addresses)
+    model = MemoryModel()
+    program = _program_with_region(region)
+    profile = model.miss_profile(MemAccess("R", 64), program, SMALL_CORE)
+    assert l1.stats.miss_rate == pytest.approx(profile.l1_misses, abs=0.02)
+    assert profile.l2_misses == 0.0
+
+
+def test_scalar_agreement():
+    """A scalar slot stays resident in both worlds."""
+    cache = SetAssociativeCache(SMALL_CORE.l1_bytes, 8, 64)
+    cache.access(128)
+    cache.reset_stats()
+    for _ in range(100):
+        cache.access(128)
+    assert cache.stats.miss_rate == 0.0
+    model = MemoryModel()
+    program = _program_with_region(1 << 20)
+    profile = model.miss_profile(MemAccess("R", 0), program, SMALL_CORE)
+    assert profile.l1_misses == 0.0

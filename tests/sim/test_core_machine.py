@@ -1,0 +1,69 @@
+"""Unit tests for cores and machine configurations."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import core2quad_amp, symmetric_machine, three_core_amp
+from repro.sim.core import Core, CoreType
+from repro.sim.machine import MachineConfig
+
+
+def test_core2quad_layout():
+    machine = core2quad_amp()
+    assert len(machine) == 4
+    types = machine.core_types()
+    assert [t.name for t in types] == ["fast", "slow"]
+    assert types[0].freq_ghz == 2.4
+    assert types[1].freq_ghz == 1.6
+    assert machine.cores_of_type(types[0]) == [0, 1]
+    assert machine.cores_of_type(types[1]) == [2, 3]
+
+
+def test_l2_pairing():
+    """Cores running at the same frequency share an L2 (paper IV-A1)."""
+    machine = core2quad_amp()
+    assert machine.l2_neighbors(0) == [1]
+    assert machine.l2_neighbors(1) == [0]
+    assert machine.l2_neighbors(2) == [3]
+    assert machine.l2_neighbors(3) == [2]
+
+
+def test_three_core_setup():
+    machine = three_core_amp()
+    assert len(machine) == 3
+    fast, slow = machine.core_types()
+    assert len(machine.cores_of_type(fast)) == 2
+    assert len(machine.cores_of_type(slow)) == 1
+    assert machine.is_asymmetric()
+
+
+def test_symmetric_machine():
+    machine = symmetric_machine(4)
+    assert not machine.is_asymmetric()
+    assert len(machine.core_types()) == 1
+
+
+def test_affinity_masks():
+    machine = core2quad_amp()
+    fast, slow = machine.core_types()
+    assert machine.affinity_of_type(fast) == frozenset({0, 1})
+    assert machine.affinity_of_type(slow) == frozenset({2, 3})
+    assert machine.all_cores_mask == frozenset({0, 1, 2, 3})
+
+
+def test_dense_core_ids_enforced():
+    fast = CoreType("f", 2.0)
+    with pytest.raises(SimulationError, match="dense"):
+        MachineConfig("bad", (Core(1, fast, 0),))
+
+
+def test_empty_machine_rejected():
+    with pytest.raises(SimulationError, match="no cores"):
+        MachineConfig("empty", ())
+
+
+def test_core_type_derived_units():
+    ct = CoreType("x", 2.4, l1_kb=32, l2_kb=4096)
+    assert ct.freq_hz == pytest.approx(2.4e9)
+    assert ct.l1_bytes == 32 * 1024
+    assert ct.l2_bytes == 4096 * 1024

@@ -1,0 +1,99 @@
+"""Unit tests for the block cost model."""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.program import build_cfg
+from repro.sim import core2quad_amp
+from repro.sim.cost_model import CostModel, CostVector
+
+
+@pytest.fixture()
+def model(machine):
+    return CostModel(machine)
+
+
+def _block(build, regions=(("BIG", 32 << 20), ("MID", 1 << 20))):
+    pb = ProgramBuilder("t")
+    for name, size in regions:
+        pb.region(name, size)
+    with pb.proc("main") as b:
+        build(b)
+        b.ret()
+    program = pb.build()
+    return build_cfg(program["main"]).blocks[0], program
+
+
+def test_compute_block_frequency_invariant_cycles(model, machine):
+    block, program = _block(
+        lambda b: [b.fmul("f1", "f1", "f2") for _ in range(8)]
+    )
+    fast, slow = machine.core_types()
+    cf = model.block_cost(block, fast, program)
+    cs = model.block_cost(block, slow, program)
+    assert cf.cycles == pytest.approx(cs.cycles)
+    assert cf.stall_cycles == 0.0
+
+
+def test_memory_block_stalls_more_on_fast_core(model, machine):
+    def build(b):
+        for _ in range(6):
+            b.load("r1", "BIG", index="r2", stride=64)
+
+    block, program = _block(build)
+    fast, slow = machine.core_types()
+    cf = model.block_cost(block, fast, program)
+    cs = model.block_cost(block, slow, program)
+    assert cf.stall_cycles > cs.stall_cycles
+    assert cf.compute_cycles == cs.compute_cycles
+    # IPC: the slow core wastes fewer cycles per memory instruction.
+    assert cs.ipc > cf.ipc
+
+
+def test_l2_resident_block_counts_l2_hits(model, machine):
+    def build(b):
+        for _ in range(4):
+            b.load("r1", "MID", index="r2", stride=64)
+
+    block, program = _block(build)
+    fast = machine.core_types()[0]
+    cost = model.block_cost(block, fast, program)
+    assert cost.l2_hits == pytest.approx(4.0)
+
+
+def test_ipc_scale_realistic(model, machine):
+    """Pure ALU code reaches IPC ~2, FP code ~1 (DESIGN.md commitments)."""
+    alu, program = _block(lambda b: [b.add("r1", "r1", 1) for _ in range(20)])
+    fast = machine.core_types()[0]
+    assert 1.5 <= model.block_cost(alu, fast, program).ipc <= 2.1
+
+
+def test_block_cost_cached(model, machine):
+    block, program = _block(lambda b: b.add("r1", "r1", 1))
+    fast = machine.core_types()[0]
+    first = model.block_cost(block, fast, program)
+    assert model.block_cost(block, fast, program) is first
+
+
+def test_block_vector_covers_all_types(model, machine):
+    block, program = _block(lambda b: b.load("r1", "BIG", index="r2", stride=64))
+    vector = model.block_vector(block, program)
+    assert set(vector.compute) == {"fast", "slow"}
+    assert vector.instrs == len(block.instrs)
+
+
+def test_cost_vector_arithmetic(machine):
+    core_types = machine.core_types()
+    a = CostVector.zero(core_types)
+    a.instrs = 10.0
+    a.compute["fast"] = 5.0
+    a.stall["fast"] = 5.0
+    b = CostVector.zero(core_types)
+    b.add(a, scale=2.0)
+    assert b.instrs == 20.0
+    assert b.cycles("fast") == 20.0
+    scaled = b.scaled(0.5)
+    assert scaled.cycles("fast") == 10.0
+    assert b.cycles("fast") == 20.0  # Original untouched.
+    assert a.stall_fraction("fast") == pytest.approx(0.5)
+    assert CostVector.zero(core_types).stall_fraction("fast") == 0.0

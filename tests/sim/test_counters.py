@@ -1,0 +1,54 @@
+"""Unit tests for the PAPI-like counter bank."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.sim.counters import CounterBank
+
+
+def test_acquire_and_release():
+    bank = CounterBank(n_cores=2, slots_per_core=1)
+    session = bank.try_acquire(0, pid=1, instrs=100.0, cycles=200.0)
+    assert session is not None
+    assert session.start_instrs == 100.0
+    assert session.start_cycles == 200.0
+    bank.release(session)
+    assert bank.try_acquire(0, pid=2, instrs=0, cycles=0) is not None
+
+
+def test_slots_are_bounded():
+    bank = CounterBank(n_cores=1, slots_per_core=2)
+    first = bank.try_acquire(0, 1, 0, 0)
+    second = bank.try_acquire(0, 2, 0, 0)
+    assert first and second
+    third = bank.try_acquire(0, 3, 0, 0)
+    assert third is None
+    assert bank.rejections == 1
+
+
+def test_slots_are_per_core():
+    bank = CounterBank(n_cores=2, slots_per_core=1)
+    assert bank.try_acquire(0, 1, 0, 0)
+    assert bank.try_acquire(1, 2, 0, 0)  # Other core unaffected.
+
+
+def test_double_release_rejected():
+    bank = CounterBank(n_cores=1)
+    session = bank.try_acquire(0, 1, 0, 0)
+    bank.release(session)
+    with pytest.raises(CounterError, match="already released"):
+        bank.release(session)
+
+
+def test_bad_core_id_rejected():
+    bank = CounterBank(n_cores=2)
+    with pytest.raises(CounterError, match="out of range"):
+        bank.try_acquire(5, 1, 0, 0)
+
+
+def test_rejection_rate():
+    bank = CounterBank(n_cores=1, slots_per_core=1)
+    assert bank.rejection_rate == 0.0
+    bank.try_acquire(0, 1, 0, 0)
+    bank.try_acquire(0, 2, 0, 0)  # Rejected.
+    assert bank.rejection_rate == pytest.approx(0.5)

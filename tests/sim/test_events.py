@@ -1,0 +1,30 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    q.push(3.0, "c")
+    q.push(1.0, "a")
+    q.push(2.0, "b")
+    assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_fifo_within_equal_times():
+    q = EventQueue()
+    for i in range(5):
+        q.push(1.0, i)
+    assert [q.pop()[1] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_peek_and_len():
+    q = EventQueue()
+    assert q.peek_time() is None
+    assert not q
+    q.push(2.5, "x")
+    assert q.peek_time() == 2.5
+    assert len(q) == 1
+    assert bool(q)
+    q.pop()
+    assert len(q) == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the analytic memory model."""
+
+import pytest
+
+from repro.isa.instructions import MemAccess
+from repro.isa import ProgramBuilder
+from repro.sim.machine import FAST, SLOW
+from repro.sim.memory import MemoryModel
+
+
+def _program():
+    pb = ProgramBuilder("t")
+    pb.region("HUGE", 64 << 20)      # Beyond L2.
+    pb.region("MID", 1 << 20)        # Fits L2, exceeds L1.
+    pb.region("TINY", 8 << 10)       # Fits L1.
+    with pb.proc("main") as b:
+        b.ret()
+    return pb.build()
+
+
+def test_scalar_never_misses():
+    model = MemoryModel()
+    profile = model.miss_profile(MemAccess("HUGE", 0), _program(), FAST)
+    assert profile.l1_misses == 0.0
+    assert profile.l2_misses == 0.0
+
+
+def test_l1_resident_region():
+    model = MemoryModel()
+    profile = model.miss_profile(MemAccess("TINY", 8), _program(), FAST)
+    assert profile.l1_misses == 0.0
+
+
+def test_l2_resident_region():
+    model = MemoryModel()
+    profile = model.miss_profile(MemAccess("MID", 64), _program(), FAST)
+    assert profile.l1_misses == 1.0   # Every line is new to L1.
+    assert profile.l2_misses == 0.0   # But L2 holds the set.
+    assert profile.l2_hits == 1.0
+
+
+def test_streaming_region_misses_both():
+    model = MemoryModel()
+    profile = model.miss_profile(MemAccess("HUGE", 64), _program(), FAST)
+    assert profile.l1_misses == 1.0
+    assert profile.l2_misses == 1.0
+
+
+def test_spatial_locality_scales_with_stride():
+    model = MemoryModel()
+    dense = model.miss_profile(MemAccess("HUGE", 4), _program(), FAST)
+    sparse = model.miss_profile(MemAccess("HUGE", 64), _program(), FAST)
+    assert dense.l2_misses == pytest.approx(4 / 64)
+    assert sparse.l2_misses == 1.0
+
+
+def test_dram_stall_cycles_scale_with_frequency():
+    """The asymmetry mechanism: fixed DRAM nanoseconds cost more cycles
+    on the faster core."""
+    model = MemoryModel()
+    program = _program()
+    access = MemAccess("HUGE", 64)
+    fast_stall = model.stall_cycles(access, program, FAST)
+    slow_stall = model.stall_cycles(access, program, SLOW)
+    assert fast_stall / slow_stall == pytest.approx(2.4 / 1.6)
+
+
+def test_l2_hit_cycles_frequency_invariant():
+    """On-chip L2 is clocked with the core: same cycle count."""
+    model = MemoryModel()
+    program = _program()
+    access = MemAccess("MID", 64)
+    assert model.stall_cycles(access, program, FAST) == pytest.approx(
+        model.stall_cycles(access, program, SLOW)
+    )
+
+
+def test_dram_penalty():
+    model = MemoryModel(dram_latency_ns=50.0)
+    assert model.dram_penalty_cycles(FAST) == pytest.approx(120.0)
+    assert model.dram_penalty_cycles(SLOW) == pytest.approx(80.0)

@@ -1,0 +1,134 @@
+"""Unit tests for traces, the cursor, and process bookkeeping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cost_model import CostVector
+from repro.sim.machine import core2quad_amp
+from repro.sim.process import (
+    Repeat,
+    Segment,
+    SimProcess,
+    Trace,
+    TraceCursor,
+)
+
+
+def _vector(cycles=10.0, instrs=5.0):
+    v = CostVector.zero(core2quad_amp().core_types())
+    v.instrs = instrs
+    v.compute["fast"] = cycles
+    v.compute["slow"] = cycles
+    return v
+
+
+def _segment(uid="s", iters=4.0, cycles=10.0, instrs=5.0):
+    return Segment(uid, None, iters, _vector(cycles, instrs))
+
+
+def test_trace_totals():
+    trace = Trace((_segment(iters=3, cycles=10, instrs=5),))
+    assert trace.total_instrs() == 15.0
+    assert trace.total_cycles("fast") == 30.0
+
+
+def test_repeat_totals_multiply():
+    inner = _segment(iters=2, cycles=10, instrs=5)
+    trace = Trace((Repeat((inner,), 4),))
+    assert trace.total_instrs() == 40.0
+    assert trace.total_cycles("fast") == 80.0
+
+
+def test_cursor_walks_flat_trace():
+    a, b = _segment("a"), _segment("b")
+    cursor = TraceCursor(Trace((a, b)))
+    assert cursor.current is a
+    assert cursor.at_entry
+    cursor.consume(4.0)
+    assert cursor.current is b
+    assert cursor.at_entry
+    cursor.consume(4.0)
+    assert cursor.finished
+
+
+def test_cursor_partial_consumption():
+    cursor = TraceCursor(Trace((_segment(iters=10),)))
+    cursor.consume(3.0)
+    assert cursor.remaining_iterations == pytest.approx(7.0)
+    assert not cursor.at_entry
+    cursor.consume(7.0)
+    assert cursor.finished
+
+
+def test_cursor_repeats_children():
+    a, b = _segment("a", iters=1), _segment("b", iters=1)
+    cursor = TraceCursor(Trace((Repeat((a, b), 3),)))
+    visits = []
+    while not cursor.finished:
+        visits.append(cursor.current.uid)
+        cursor.consume(cursor.remaining_iterations)
+    assert visits == ["a", "b"] * 3
+
+
+def test_cursor_nested_repeats():
+    leaf = _segment("x", iters=1)
+    trace = Trace((Repeat((Repeat((leaf,), 2),), 3),))
+    cursor = TraceCursor(trace)
+    count = 0
+    while not cursor.finished:
+        count += 1
+        cursor.consume(1.0)
+    assert count == 6
+
+
+def test_cursor_skips_empty_nodes():
+    empty_repeat = Repeat((), 5)
+    zero_seg = _segment("z", iters=0)
+    tail = _segment("t", iters=1)
+    cursor = TraceCursor(Trace((empty_repeat, zero_seg, tail)))
+    assert cursor.current is tail
+
+
+def test_cursor_overconsumption_rejected():
+    cursor = TraceCursor(Trace((_segment(iters=2),)))
+    with pytest.raises(SimulationError):
+        cursor.consume(3.0)
+
+
+def test_cursor_consume_after_finish_rejected():
+    cursor = TraceCursor(Trace((_segment(iters=1),)))
+    cursor.consume(1.0)
+    with pytest.raises(SimulationError):
+        cursor.consume(1.0)
+
+
+def test_entry_flag_cleared_by_mark_handling():
+    cursor = TraceCursor(Trace((_segment(),)))
+    assert cursor.at_entry
+    cursor.mark_entry_handled()
+    assert not cursor.at_entry
+    assert cursor.current is not None
+
+
+def test_process_flow_and_stretch():
+    machine = core2quad_amp()
+    proc = SimProcess(
+        1, "x", Trace((_segment(),)), machine.all_cores_mask,
+        arrival=2.0, isolated_time=4.0,
+    )
+    assert proc.flow_time is None
+    assert proc.stretch is None
+    proc.completion = 10.0
+    assert proc.flow_time == 8.0
+    assert proc.stretch == 2.0
+
+
+def test_process_stats_record():
+    machine = core2quad_amp()
+    proc = SimProcess(1, "x", Trace((_segment(),)), machine.all_cores_mask)
+    proc.stats.record("fast", instrs=100.0, cycles=200.0)
+    proc.stats.record("fast", instrs=50.0, cycles=100.0)
+    proc.stats.record("slow", instrs=10.0, cycles=30.0)
+    assert proc.stats.instructions == 160.0
+    assert proc.stats.cycles_by_type == {"fast": 300.0, "slow": 30.0}
+    assert proc.stats.instrs_by_type["slow"] == 10.0

@@ -1,0 +1,120 @@
+"""Unit tests for the O(1)-like scheduler and the affinity API."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import core2quad_amp
+from repro.sim.cost_model import CostVector
+from repro.sim.process import Segment, SimProcess, Trace
+from repro.sim.scheduler import LinuxO1Scheduler, pick_core, validate_affinity
+
+
+def _proc(pid, affinity, machine):
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = 1.0
+    vector.compute["fast"] = 1.0
+    vector.compute["slow"] = 1.0
+    trace = Trace((Segment("s", None, 1.0, vector),))
+    return SimProcess(pid, f"p{pid}", trace, affinity)
+
+
+@pytest.fixture()
+def scheduler(machine):
+    sched = LinuxO1Scheduler()
+    sched.attach(machine, waker=lambda core, now: None)
+    return sched
+
+
+def test_affinity_validation():
+    assert validate_affinity(frozenset({0, 1}), 4) == frozenset({0, 1})
+    with pytest.raises(SchedulingError, match="excludes every core"):
+        validate_affinity(frozenset(), 4)
+    with pytest.raises(SchedulingError, match="unknown cores"):
+        validate_affinity(frozenset({7}), 4)
+
+
+def test_pick_core_least_loaded():
+    load = {0: 3, 1: 1, 2: 2}
+    assert pick_core(frozenset({0, 1, 2}), load) == 1
+    # Preference wins ties against the best alternative.
+    assert pick_core(frozenset({0, 1, 2}), {0: 1, 1: 1, 2: 1}, prefer=2) == 2
+    # But not when the preferred core is busier.
+    assert pick_core(frozenset({0, 1}), {0: 5, 1: 0}, prefer=0) == 1
+
+
+def test_enqueue_respects_affinity(scheduler, machine):
+    proc = _proc(1, frozenset({2, 3}), machine)
+    scheduler.enqueue(proc, 0.0)
+    assert scheduler.queue_length(2) + scheduler.queue_length(3) == 1
+    assert scheduler.queue_length(0) == 0
+
+
+def test_enqueue_balances_by_length(scheduler, machine):
+    procs = [_proc(i, machine.all_cores_mask, machine) for i in range(8)]
+    for p in procs:
+        scheduler.enqueue(p, 0.0)
+    lengths = [scheduler.queue_length(c.cid) for c in machine.cores]
+    assert max(lengths) - min(lengths) <= 1
+
+
+def test_pick_fifo_order(scheduler, machine):
+    a = _proc(1, frozenset({0}), machine)
+    b = _proc(2, frozenset({0}), machine)
+    scheduler.enqueue(a, 0.0)
+    scheduler.enqueue(b, 0.0)
+    assert scheduler.pick(0, 0.0) is a
+    assert scheduler.pick(0, 0.0) is b
+
+
+def test_idle_core_steals(scheduler, machine):
+    for i in range(3):
+        scheduler.enqueue(_proc(i, frozenset({0}) | {1}, machine), 0.0)
+    # Force everything onto core 0's queue.
+    sched = LinuxO1Scheduler()
+    sched.attach(machine, waker=lambda c, t: None)
+    victims = [_proc(i, machine.all_cores_mask, machine) for i in range(3)]
+    for v in victims:
+        sched._queues[0].append(v)
+    stolen = sched.pick(3, 0.0)
+    assert stolen in victims
+    assert sched.steals == 1
+
+
+def test_steal_respects_affinity(machine):
+    sched = LinuxO1Scheduler()
+    sched.attach(machine, waker=lambda c, t: None)
+    pinned = _proc(1, frozenset({0}), machine)
+    sched._queues[0].append(pinned)
+    assert sched.pick(3, 0.0) is None  # Cannot steal a core-0-pinned job.
+    assert sched.pick(0, 0.0) is pinned
+
+
+def test_requeue_migrates_on_affinity_change(scheduler, machine):
+    proc = _proc(1, machine.all_cores_mask, machine)
+    scheduler.enqueue(proc, 0.0)
+    picked = None
+    for cid in range(4):
+        candidate = scheduler.pick(cid, 0.0)
+        if candidate is not None:
+            picked = (cid, candidate)
+            break
+    cid, proc = picked
+    proc.affinity = frozenset({2, 3}) - {cid} or frozenset({2, 3})
+    proc.affinity = frozenset({2, 3})
+    scheduler.requeue(proc, 0, 0.0)
+    assert scheduler.queue_length(2) + scheduler.queue_length(3) >= 1
+
+
+def test_periodic_balance_moves_work(machine):
+    sched = LinuxO1Scheduler(balance_interval=0.0)
+    sched.attach(machine, waker=lambda c, t: None)
+    for i in range(6):
+        sched._queues[0].append(_proc(i, machine.all_cores_mask, machine))
+    sched.pick(0, 1.0)  # Triggers the balance pass.
+    lengths = [sched.queue_length(c.cid) for c in machine.cores]
+    assert max(lengths) - min(lengths) <= 1
+
+
+def test_bad_timeslice_rejected():
+    with pytest.raises(SchedulingError):
+        LinuxO1Scheduler(timeslice=0.0)

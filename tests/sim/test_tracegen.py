@@ -1,0 +1,137 @@
+"""Unit tests for trace generation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.instrument import LoopStrategy, instrument
+from repro.sim import BehaviorSpec, TraceGenerator, core2quad_amp
+from repro.sim.process import Repeat, Segment
+from tests.conftest import make_phased_program
+
+
+@pytest.fixture()
+def generator(machine):
+    return TraceGenerator(machine)
+
+
+def test_phased_program_expands_to_alternation(generator):
+    program, spec = make_phased_program(outer=5)
+    trace = generator.generate(program, spec)
+    repeats = [n for n in trace.nodes if isinstance(n, Repeat)]
+    assert len(repeats) == 1
+    assert repeats[0].count == 5
+    uids = [c.uid for c in repeats[0].children if isinstance(c, Segment)]
+    assert any("loop" in u for u in uids)
+    # Compute and memory phases appear as separate segments.
+    assert len([u for u in uids if "@loop" in u]) >= 2
+
+
+def test_homogeneous_loop_collapses(generator, loop_program):
+    spec = BehaviorSpec(trip_counts={("main", "loop"): 1000})
+    trace = generator.generate(loop_program, spec)
+    assert all(isinstance(n, Segment) for n in trace.nodes)
+    loop_seg = next(n for n in trace.nodes if n.iterations == 1000)
+    assert loop_seg.cost.instrs > 0
+
+
+def test_trip_counts_respected(generator, loop_program):
+    short = generator.generate(
+        loop_program, BehaviorSpec(trip_counts={("main", "loop"): 10})
+    )
+    long = generator.generate(
+        loop_program, BehaviorSpec(trip_counts={("main", "loop"): 1000})
+    )
+    assert long.total_instrs() > 50 * short.total_instrs()
+
+
+def test_unknown_trip_label_rejected(generator, loop_program):
+    with pytest.raises(SimulationError, match="unknown label"):
+        generator.generate(
+            loop_program, BehaviorSpec(trip_counts={("main", "ghost"): 5})
+        )
+
+
+def test_non_loop_label_rejected(generator, diamond_program):
+    with pytest.raises(SimulationError, match="not a loop header"):
+        generator.generate(
+            diamond_program, BehaviorSpec(trip_counts={("main", "join"): 5})
+        )
+
+
+def test_marks_attached_at_segment_entries(generator):
+    program, spec = make_phased_program(outer=5)
+    inst = instrument(program, LoopStrategy(20))
+    trace = generator.generate(inst, spec)
+    marked = [
+        s for s in trace.segments() if s.entry_marks or s.embedded
+    ]
+    assert marked
+    mark_ids = {
+        ref.mark_id for s in trace.segments() for ref in s.entry_marks
+    }
+    assert mark_ids <= {m.mark_id for m in inst.marks}
+
+
+def test_baseline_and_tuned_traces_have_same_work(generator):
+    program, spec = make_phased_program(outer=5)
+    inst = instrument(program, LoopStrategy(20))
+    baseline = generator.generate(program, spec)
+    tuned = generator.generate(inst, spec)
+    assert tuned.total_instrs() == pytest.approx(baseline.total_instrs())
+    assert tuned.total_cycles("fast") == pytest.approx(
+        baseline.total_cycles("fast")
+    )
+
+
+def test_call_inlined_into_trace(generator, call_program):
+    spec = BehaviorSpec(
+        trip_counts={("main", "outer"): 5, ("helper", "hloop"): 100}
+    )
+    trace = generator.generate(call_program, spec)
+    uids = []
+    for node in trace.nodes:
+        if isinstance(node, Repeat):
+            uids.extend(c.uid for c in node.children if isinstance(c, Segment))
+    assert any("helper" in u for u in uids)
+
+
+def test_expansion_budget_forces_collapse(generator):
+    program, spec = make_phased_program(outer=1000)
+    small_budget = BehaviorSpec(
+        trip_counts=spec.trip_counts, segment_budget=100
+    )
+    trace = generator.generate(program, small_budget)
+    # The outer loop cannot expand within budget: collapsed to segments.
+    assert all(isinstance(n, Segment) for n in trace.nodes)
+
+
+def test_isolated_seconds_positive(generator, loop_program):
+    trace = generator.generate(loop_program, BehaviorSpec())
+    assert generator.isolated_seconds(trace) > 0
+
+
+def test_recursive_program_traces(generator):
+    from repro.isa import assemble
+
+    program = assemble(
+        """
+        .proc main
+            call rec
+            ret
+        .endproc
+        .proc rec
+            cmp r1, 0
+            br le, out
+            call rec
+        out:
+            ret
+        .endproc
+        """
+    )
+    trace = generator.generate(program, BehaviorSpec(recursion_depth=3))
+    assert trace.total_instrs() > 0
+
+
+def test_behavior_spec_with_trips_helper():
+    spec = BehaviorSpec().with_trips(main__loop=77)
+    assert spec.trip_counts[("main", "loop")] == 77

@@ -1,0 +1,69 @@
+"""Unit tests for Algorithm 2 (optimal core assignment)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sim.machine import FAST, SLOW
+from repro.tuning.assignment import select_core, select_core_checked
+
+
+def test_memory_bound_goes_to_higher_ipc_core():
+    """Slow core shows distinctly higher IPC -> picked when gap > delta."""
+    observed = {"fast": 0.30, "slow": 0.55}
+    assert select_core([FAST, SLOW], observed, delta=0.1) is SLOW
+
+
+def test_small_gap_stays_at_c0():
+    observed = {"fast": 0.30, "slow": 0.35}
+    picked = select_core([FAST, SLOW], observed, delta=0.1)
+    assert picked is FAST  # c0: the lowest-IPC entry.
+
+
+def test_exact_tie_prefers_faster_core():
+    observed = {"fast": 0.5, "slow": 0.5}
+    assert select_core([FAST, SLOW], observed, delta=0.1) is FAST
+
+
+def test_gap_must_strictly_exceed_delta():
+    observed = {"fast": 0.3, "slow": 0.4}
+    assert select_core([FAST, SLOW], observed, 0.11) is FAST
+    assert select_core([FAST, SLOW], observed, 0.09) is SLOW
+
+
+def test_reference_metric_compute_bound_case():
+    """Under the reference-cycle metric, compute-bound code shows higher
+    IPC on the fast core: it gets picked."""
+    observed = {"fast": 0.80, "slow": 0.53}
+    assert select_core([FAST, SLOW], observed, 0.15) is FAST
+
+
+def test_chain_of_three_core_types():
+    mid = FAST.__class__("mid", 2.0)
+    observed = {"fast": 0.2, "mid": 0.5, "slow": 0.9}
+    # Both adjacent gaps exceed delta: walk to the top.
+    assert select_core([FAST, mid, SLOW], observed, 0.2).name == "slow"
+    # Only the first gap is significant: stop at mid.
+    observed = {"fast": 0.2, "mid": 0.5, "slow": 0.55}
+    assert select_core([FAST, mid, SLOW], observed, 0.2).name == "mid"
+
+
+def test_checked_reports_significance():
+    significant = select_core_checked(
+        [FAST, SLOW], {"fast": 0.3, "slow": 0.6}, 0.1
+    )
+    assert significant.significant
+    assert significant.core_type is SLOW
+    noise = select_core_checked(
+        [FAST, SLOW], {"fast": 0.50, "slow": 0.51}, 0.1
+    )
+    assert not noise.significant
+
+
+def test_missing_observation_rejected():
+    with pytest.raises(AnalysisError, match="no IPC observed"):
+        select_core([FAST, SLOW], {"fast": 0.5}, 0.1)
+
+
+def test_empty_core_types_rejected():
+    with pytest.raises(AnalysisError):
+        select_core([], {}, 0.1)

@@ -1,0 +1,101 @@
+"""Unit tests for section monitoring."""
+
+import pytest
+
+from repro.sim import core2quad_amp
+from repro.sim.counters import CounterBank
+from repro.sim.cost_model import CostVector
+from repro.sim.process import Segment, SimProcess, Trace
+from repro.tuning.monitor import PhaseState, SectionMonitor
+
+
+def _proc(machine, pid=1):
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = 1.0
+    trace = Trace((Segment("s", None, 1.0, vector),))
+    return SimProcess(pid, "p", trace, machine.all_cores_mask)
+
+
+@pytest.fixture()
+def monitor(machine):
+    return SectionMonitor(CounterBank(len(machine)), min_sample_cycles=100.0)
+
+
+def test_open_close_yields_ipc(monitor, machine):
+    proc = _proc(machine)
+    core = machine.cores[0]
+    assert monitor.try_open(proc, phase_type=1, core=core)
+    proc.stats.record("fast", instrs=5000.0, cycles=10_000.0)
+    sample = monitor.close(proc)
+    assert sample is not None
+    phase_type, ctype_name, ipc = sample
+    assert phase_type == 1
+    assert ctype_name == "fast"
+    assert ipc == pytest.approx(0.5, rel=0.05)  # +/- measurement noise.
+
+
+def test_short_sample_discarded(monitor, machine):
+    proc = _proc(machine)
+    monitor.try_open(proc, 0, machine.cores[0])
+    proc.stats.record("fast", instrs=10.0, cycles=50.0)  # Below threshold.
+    assert monitor.close(proc) is None
+    assert monitor.discarded_samples == 1
+
+
+def test_one_open_measurement_per_process(monitor, machine):
+    proc = _proc(machine)
+    assert monitor.try_open(proc, 0, machine.cores[0])
+    assert not monitor.try_open(proc, 1, machine.cores[1])
+
+
+def test_counter_exhaustion_defers(machine):
+    bank = CounterBank(len(machine), slots_per_core=1)
+    monitor = SectionMonitor(bank, min_sample_cycles=1.0)
+    a, b = _proc(machine, 1), _proc(machine, 2)
+    assert monitor.try_open(a, 0, machine.cores[0])
+    assert not monitor.try_open(b, 0, machine.cores[0])  # No slot.
+    assert bank.rejections == 1
+    # Releasing frees the slot for the retry.
+    proc_sample = monitor.close(a)
+    assert monitor.try_open(b, 0, machine.cores[0])
+
+
+def test_close_without_open_is_none(monitor, machine):
+    assert monitor.close(_proc(machine)) is None
+
+
+def test_measurement_uses_own_core_type_only(monitor, machine):
+    """Cycles on other core types don't contaminate the sample."""
+    proc = _proc(machine)
+    monitor.try_open(proc, 0, machine.cores[0])  # Measuring on fast.
+    proc.stats.record("slow", instrs=1e6, cycles=1e6)
+    proc.stats.record("fast", instrs=1000.0, cycles=10_000.0)
+    _, name, ipc = monitor.close(proc)
+    assert name == "fast"
+    assert ipc == pytest.approx(0.1, rel=0.05)
+
+
+def test_noise_is_bounded_and_deterministic(machine):
+    results = []
+    for _ in range(2):
+        monitor = SectionMonitor(
+            CounterBank(len(machine)), min_sample_cycles=1.0,
+            noise=0.02, seed=9,
+        )
+        proc = _proc(machine)
+        monitor.try_open(proc, 0, machine.cores[0])
+        proc.stats.record("fast", instrs=1000.0, cycles=1000.0)
+        results.append(monitor.close(proc)[2])
+    assert results[0] == results[1]
+    assert abs(results[0] - 1.0) <= 0.02
+
+
+def test_phase_state_reset():
+    state = PhaseState()
+    state.samples["fast"] = 0.5
+    state.decided = "x"
+    state.firings = 7
+    state.reset()
+    assert state.samples == {}
+    assert state.decided is None
+    assert state.firings == 0

@@ -1,0 +1,54 @@
+"""Unit tests for the one-call tuning pipeline and runtime factories."""
+
+import pytest
+
+from repro.instrument import BBStrategy, LoopStrategy
+from repro.tuning import feedback_runtime, standard_runtime, tune_program
+from tests.conftest import make_phased_program
+
+
+def test_tune_program_defaults(machine):
+    program, spec = make_phased_program(outer=4)
+    tuned = tune_program(program, spec=spec)
+    assert tuned.instrumented.strategy_name == "Loop[45]"
+    assert tuned.isolated_seconds > 0
+    assert tuned.mark_count == len(tuned.instrumented.marks)
+    assert tuned.space_overhead == tuned.instrumented.space_overhead
+
+
+def test_tuned_and_baseline_traces_same_work(machine):
+    program, spec = make_phased_program(outer=4)
+    tuned = tune_program(program, LoopStrategy(20), machine, spec)
+    assert tuned.tuned_trace.total_instrs() == pytest.approx(
+        tuned.baseline_trace.total_instrs()
+    )
+
+
+def test_custom_strategy(machine):
+    program, spec = make_phased_program(outer=4)
+    tuned = tune_program(program, BBStrategy(10, 1), machine, spec)
+    assert tuned.instrumented.strategy_name == "BB[10,1]"
+
+
+def test_typing_override(machine):
+    from repro.analysis import StaticBlockTyper, inject_clustering_error
+
+    program, spec = make_phased_program(outer=4)
+    typing = StaticBlockTyper().type_blocks(program)
+    flipped = inject_clustering_error(typing, 1.0)
+    a = tune_program(program, LoopStrategy(20), machine, spec)
+    b = tune_program(program, LoopStrategy(20), machine, spec, typing=flipped)
+    types_a = sorted(m.phase_type for m in a.instrumented.marks)
+    types_b = sorted(1 - m.phase_type for m in b.instrumented.marks)
+    assert types_a == types_b
+
+
+def test_standard_runtime_factory(machine):
+    runtime = standard_runtime(machine, ipc_threshold=0.2)
+    assert runtime.ipc_threshold == 0.2
+    assert runtime.resample_after is None
+
+
+def test_feedback_runtime_factory(machine):
+    runtime = feedback_runtime(machine, resample_after=50)
+    assert runtime.resample_after == 50

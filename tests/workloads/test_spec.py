@@ -1,0 +1,126 @@
+"""Unit tests for the SPEC-like benchmark suite."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.instrument import LoopStrategy, instrument
+from repro.program import validate_program
+from repro.sim import TraceGenerator, core2quad_amp
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    TABLE1_REFERENCE,
+    scaled_runtime,
+    spec_benchmark,
+    spec_suite,
+)
+
+
+def test_all_fifteen_table1_rows_present():
+    assert len(SPEC_BENCHMARKS) == 15
+    assert set(SPEC_BENCHMARKS) == set(TABLE1_REFERENCE)
+
+
+def test_suite_builds_and_validates():
+    for bench in spec_suite():
+        assert validate_program(bench.program) == []
+
+
+def test_benchmarks_cached():
+    assert spec_benchmark("401.bzip2") is spec_benchmark("401.bzip2")
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(WorkloadError, match="unknown SPEC-like benchmark"):
+        spec_benchmark("999.nope")
+
+
+def test_scaled_runtime_bounds():
+    for name in SPEC_BENCHMARKS:
+        assert 1.8 <= scaled_runtime(name) <= 60.0
+    # Short codes hit the floor, the giants hit the cap.
+    assert scaled_runtime("164.gzip") == 1.8
+    assert scaled_runtime("410.bwaves") == 60.0
+
+
+def test_isolated_runtimes_match_targets(machine):
+    generator = TraceGenerator(machine)
+    for name in ("401.bzip2", "172.mgrid", "183.equake"):
+        bench = spec_benchmark(name)
+        trace = generator.generate(bench.program, bench.spec)
+        isolated = generator.isolated_seconds(trace)
+        assert isolated == pytest.approx(scaled_runtime(name), rel=0.15)
+
+
+def test_relative_runtime_ordering(machine):
+    """Scaled runtimes preserve Table 1's ordering among uncapped rows."""
+    generator = TraceGenerator(machine)
+
+    def isolated(name):
+        bench = spec_benchmark(name)
+        return generator.isolated_seconds(
+            generator.generate(bench.program, bench.spec)
+        )
+
+    assert isolated("183.equake") < isolated("172.mgrid") < isolated("401.bzip2")
+
+
+def test_gemsfdtd_single_phase_type(machine):
+    """459.GemsFDTD has one phase type: Loop[45] leaves <= 1 mark and the
+    announced types never alternate (Table 1: 0 switches)."""
+    bench = spec_benchmark("459.GemsFDTD")
+    inst = instrument(bench.program, LoopStrategy(45))
+    assert len({m.phase_type for m in inst.marks}) <= 1
+
+
+def test_astar_has_no_phases():
+    """473.astar's loops sit below the marking threshold: no marks."""
+    bench = spec_benchmark("473.astar")
+    inst = instrument(bench.program, LoopStrategy(45))
+    assert inst.marks == []
+
+
+def test_equake_alternates_most(machine):
+    """183.equake has the highest phase-change rate of the suite."""
+    generator = TraceGenerator(machine)
+
+    def alternations_per_second(name):
+        bench = spec_benchmark(name)
+        inst = instrument(bench.program, LoopStrategy(45))
+        trace = generator.generate(inst, bench.spec)
+        firings = 0.0
+        stack = list(trace.nodes)
+        reps = []
+
+        def count(nodes, multiplier):
+            total = 0.0
+            for node in nodes:
+                if hasattr(node, "children"):
+                    total += count(node.children, multiplier * node.count)
+                else:
+                    total += multiplier * len(node.entry_marks)
+            return total
+
+        firings = count(trace.nodes, 1.0)
+        return firings / generator.isolated_seconds(trace)
+
+    equake = alternations_per_second("183.equake")
+    others = [
+        alternations_per_second(n)
+        for n in ("401.bzip2", "172.mgrid", "171.swim")
+    ]
+    assert equake > max(others)
+
+
+def test_suite_covers_the_boundedness_spectrum(machine):
+    """The suite has both clearly compute-bound and clearly memory-bound
+    members (needed for the tuning effect to exist at all)."""
+    generator = TraceGenerator(machine)
+    fractions = {}
+    for name in SPEC_BENCHMARKS:
+        bench = spec_benchmark(name)
+        trace = generator.generate(bench.program, bench.spec)
+        total = trace.total_cycles("fast")
+        stall = total - trace.total_cycles("slow")  # DRAM-scaled part.
+        fractions[name] = stall / total
+    assert max(fractions.values()) > 0.2   # Strongly memory-bound exists.
+    assert min(fractions.values()) < 0.05  # Strongly compute-bound exists.

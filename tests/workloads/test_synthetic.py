@@ -1,0 +1,125 @@
+"""Unit tests for synthetic benchmark construction."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.program import build_cfg, find_loops, validate_program
+from repro.sim import TraceGenerator, core2quad_amp
+from repro.workloads.synthetic import (
+    KernelSpec,
+    PhaseSpec,
+    build_benchmark,
+    cache_kernel,
+    compute_kernel,
+    mixed_kernel,
+    stream_kernel,
+)
+
+
+def test_benchmark_program_validates():
+    bench = build_benchmark(
+        "t",
+        [
+            PhaseSpec("a", compute_kernel(), 100),
+            PhaseSpec("b", stream_kernel(), 100),
+        ],
+        outer_trips=3,
+    )
+    assert validate_program(bench.program) == []
+
+
+def test_trip_counts_recorded():
+    bench = build_benchmark(
+        "t", [PhaseSpec("a", compute_kernel(), 123)], outer_trips=4
+    )
+    assert bench.spec.trip_counts[("main", "a")] == 123
+    assert bench.spec.trip_counts[("main", "outer")] == 4
+
+
+def test_phase_loops_exist():
+    bench = build_benchmark(
+        "t",
+        [PhaseSpec("a", compute_kernel(), 10), PhaseSpec("b", stream_kernel(), 10)],
+        outer_trips=2,
+    )
+    cfg = build_cfg(bench.program["main"])
+    loops = find_loops(cfg)
+    # a, b, and the outer loop.
+    assert len(loops) == 3
+
+
+def test_helper_phases_emitted_as_procedures():
+    bench = build_benchmark(
+        "t",
+        [PhaseSpec("a", compute_kernel(), 10), PhaseSpec("h", stream_kernel(), 10)],
+        outer_trips=2,
+        helpers={"h": "do_h"},
+    )
+    assert "do_h" in bench.program
+    assert bench.spec.trip_counts[("do_h", "h")] == 10
+    assert validate_program(bench.program) == []
+
+
+def test_cold_procs_add_bulk():
+    slim = build_benchmark(
+        "t", [PhaseSpec("a", compute_kernel(), 10)], cold_procs=0
+    )
+    bulky = build_benchmark(
+        "t", [PhaseSpec("a", compute_kernel(), 10)], cold_procs=10
+    )
+    assert bulky.program.size_bytes > 2 * slim.program.size_bytes
+
+
+def test_cold_procs_deterministic():
+    a = build_benchmark("same", [PhaseSpec("a", compute_kernel(), 10)])
+    b = build_benchmark("same", [PhaseSpec("a", compute_kernel(), 10)])
+    assert a.program.size_bytes == b.program.size_bytes
+    assert [str(i) for i in a.program["__cold0"].code] == [
+        str(i) for i in b.program["__cold0"].code
+    ]
+
+
+def test_empty_phases_rejected():
+    with pytest.raises(WorkloadError, match="at least one phase"):
+        build_benchmark("t", [])
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(WorkloadError, match="duplicate phase labels"):
+        build_benchmark(
+            "t",
+            [PhaseSpec("a", compute_kernel(), 1), PhaseSpec("a", stream_kernel(), 1)],
+        )
+
+
+def test_kernel_instruction_counts():
+    kernel = KernelSpec(fp_ops=5, int_ops=3, table_loads=2, branchy=False)
+    assert kernel.instructions_per_iteration() == 10 + 3 + 4
+
+
+def test_canonical_kernels_span_the_spectrum(machine):
+    """compute < cache < mixed < stream in stall fraction on fast."""
+    from repro.sim.cost_model import CostModel
+
+    model = CostModel(machine)
+    fast = machine.core_types()[0]
+
+    def stall_fraction(kernel):
+        bench = build_benchmark(
+            "probe", [PhaseSpec("k", kernel, 10)], cold_procs=0
+        )
+        generator = TraceGenerator(machine)
+        trace = generator.generate(bench.program, bench.spec)
+        total = trace.total_cycles("fast")
+        stall = sum(
+            s.cost.stall["fast"] * s.iterations for s in trace.segments()
+        )
+        return stall / total
+
+    fractions = [
+        stall_fraction(k)
+        for k in (compute_kernel(), cache_kernel(), mixed_kernel(), stream_kernel())
+    ]
+    assert fractions == sorted(fractions)
+    assert fractions[0] < 0.05
+    assert fractions[-1] > 0.5

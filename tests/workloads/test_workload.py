@@ -1,0 +1,87 @@
+"""Unit tests for slot-based workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.instrument import LoopStrategy
+from repro.sim import core2quad_amp
+from repro.tuning import PhaseTuningRuntime
+from repro.workloads import Workload, WorkloadRun
+
+
+def test_random_workload_deterministic():
+    a = Workload.random(6, seed=3)
+    b = Workload.random(6, seed=3)
+    assert a.queues == b.queues
+    c = Workload.random(6, seed=4)
+    assert c.queues != a.queues
+
+
+def test_queues_one_per_slot():
+    workload = Workload.random(18, seed=0, queue_length=32)
+    assert len(workload.queues) == 18
+    assert all(len(q) == 32 for q in workload.queues)
+
+
+def test_restricted_benchmark_pool():
+    workload = Workload.random(
+        4, seed=1, benchmarks=("164.gzip", "473.astar")
+    )
+    assert workload.benchmark_names() <= {"164.gzip", "473.astar"}
+
+
+def test_zero_slots_rejected():
+    with pytest.raises(WorkloadError, match="at least one slot"):
+        Workload.random(0)
+
+
+def test_baseline_run_completes_jobs(machine):
+    workload = Workload.random(
+        4, seed=2, benchmarks=("164.gzip", "175.vpr", "183.equake")
+    )
+    run = WorkloadRun(workload, machine)
+    result = run.run(30.0)
+    assert result.completed
+    # Slots stay constant: completions triggered replacements.
+    assert all(p.completion is not None for p in result.completed)
+    assert len(result.running) >= 1
+
+
+def test_slot_replacement_follows_queue(machine):
+    workload = Workload.random(
+        2, seed=5, benchmarks=("164.gzip", "473.astar")
+    )
+    run = WorkloadRun(workload, machine)
+    result = run.run(25.0)
+    by_slot = {}
+    for p in sorted(result.completed, key=lambda p: p.completion):
+        by_slot.setdefault(p.slot, []).append(p.name)
+    for slot, names in by_slot.items():
+        assert names == workload.queues[slot][: len(names)]
+
+
+def test_queue_exhaustion_raises(machine):
+    workload = Workload.random(
+        1, seed=0, queue_length=1, benchmarks=("164.gzip",)
+    )
+    run = WorkloadRun(workload, machine)
+    with pytest.raises(WorkloadError, match="ran out of queued jobs"):
+        run.run(100.0)
+
+
+def test_tuned_run_uses_marks(machine):
+    workload = Workload.random(
+        4, seed=7, benchmarks=("183.equake", "172.mgrid")
+    )
+    run = WorkloadRun(workload, machine, LoopStrategy(45))
+    result = run.run(
+        20.0, runtime=PhaseTuningRuntime(machine, 0.12)
+    )
+    fired = sum(p.stats.mark_firings for p in result.all_processes)
+    assert fired > 0
+
+
+def test_isolated_seconds_exposed(machine):
+    workload = Workload.random(2, seed=0, benchmarks=("164.gzip",))
+    run = WorkloadRun(workload, machine)
+    assert run.isolated_seconds("164.gzip") > 0
