@@ -1,0 +1,161 @@
+"""Wall-clock benchmark of the experiment harness and pipeline cache.
+
+Runs a set of experiments twice — serially (``REPRO_JOBS=1`` semantics)
+and through the process-pool harness — and writes
+``BENCH_experiments.json`` with per-experiment wall times, the
+serial/parallel speedup, and the static-pipeline cache hit rates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_harness.py           # quick scale
+    PYTHONPATH=src python benchmarks/bench_harness.py --full    # paper scale
+    PYTHONPATH=src python benchmarks/bench_harness.py --quick   # CI smoke
+
+The serial leg runs first from a cold pipeline cache, so its timing
+includes every static-pipeline build; its populated cache is then
+inherited by the pool's forked workers, which is exactly how
+``python -m repro.experiments`` behaves.  Results depend on the host
+(core count, load), so the JSON is a report, not a regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import extras, fig4, fig6, fig7, table1, table2
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import worker_count
+from repro.tuning.pipeline import clear_default_cache, default_cache
+
+
+def _experiments(config, fairness, quick):
+    """(name, callable(jobs)) pairs; callables are closures over config."""
+    deltas = (0.02, 0.08, 0.18) if quick else None
+
+    def fig4_run(jobs):
+        return fig4.run(config, jobs=jobs)
+
+    def fig6_run(jobs):
+        if deltas is None:
+            return fig6.run(config, strategy="Loop[45]", jobs=jobs)
+        return fig6.run(config, deltas=deltas, strategy="Loop[45]", jobs=jobs)
+
+    def fig7_run(jobs):
+        return fig7.run(config, strategy="Loop[45]", jobs=jobs)
+
+    def table1_run(jobs):
+        return table1.run(jobs=jobs)
+
+    def table2_run(jobs):
+        return table2.run(fairness, jobs=jobs)
+
+    def sweeps_run(jobs):
+        extras.lookahead_sweep(config, jobs=jobs)
+        return extras.min_size_sweep(config, jobs=jobs)
+
+    pairs = [
+        ("fig6", fig6_run),
+        ("table1", table1_run),
+        ("fig4", fig4_run),
+    ]
+    if not quick:
+        pairs += [
+            ("fig7", fig7_run),
+            ("table2", table2_run),
+            ("extras-sweeps", sweeps_run),
+        ]
+    return pairs
+
+
+def _timed(fn, jobs):
+    start = time.perf_counter()
+    fn(jobs)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny configuration and experiment subset (CI smoke)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale configuration (minutes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel worker count (default: REPRO_JOBS or cpu count)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_experiments.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        config = ExperimentConfig(slots=6, interval=40.0, seed=101)
+        fairness = ExperimentConfig(slots=6, interval=60.0, seed=101)
+    elif args.full:
+        config = ExperimentConfig.paper()
+        fairness = ExperimentConfig.fairness_paper()
+    else:
+        config = ExperimentConfig(slots=10, interval=120.0, seed=101)
+        fairness = ExperimentConfig(slots=10, interval=160.0, seed=101)
+
+    jobs = worker_count(args.jobs)
+    report = {
+        "scale": "quick" if args.quick else ("full" if args.full else "default"),
+        "cpu_count": os.cpu_count(),
+        "parallel_jobs": jobs,
+        "experiments": {},
+    }
+
+    for name, fn in _experiments(config, fairness, args.quick):
+        clear_default_cache()
+        serial = _timed(fn, 1)
+        cold_stats = default_cache().stats()
+
+        default_cache().reset_stats()
+        warm = _timed(fn, 1)
+        warm_stats = default_cache().stats()
+
+        parallel = _timed(fn, jobs)
+
+        entry = {
+            "serial_cold_seconds": round(serial, 3),
+            "serial_warm_seconds": round(warm, 3),
+            "parallel_seconds": round(parallel, 3),
+            "parallel_speedup": round(serial / parallel, 2) if parallel else None,
+            "memoization_speedup": round(serial / warm, 2) if warm else None,
+            "pipeline_cache": {
+                "cold": cold_stats,
+                "warm": warm_stats,
+            },
+        }
+        report["experiments"][name] = entry
+        print(
+            f"{name:14s} serial {serial:6.2f}s   warm-cache {warm:6.2f}s "
+            f"(x{entry['memoization_speedup']})   "
+            f"parallel[{jobs}] {parallel:6.2f}s (x{entry['parallel_speedup']})   "
+            f"warm hit rate {warm_stats['hit_rate']:.0%}"
+        )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

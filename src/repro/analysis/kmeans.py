@@ -87,27 +87,42 @@ def kmeans(
 
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        distances = np.stack(
-            [np.sum((data - c) ** 2, axis=1) for c in centroids], axis=1
-        )
+        # One broadcast (n, k, dims) difference tensor instead of a
+        # Python loop per centroid.  Reducing the last axis applies the
+        # same add order as the per-centroid ``np.sum(..., axis=1)``
+        # did, so the distances are bit-identical to the loop's.
+        diff = data[:, None, :] - centroids[None, :, :]
+        distances = (diff * diff).sum(axis=2)
         new_labels = np.argmin(distances, axis=1)
 
         # Re-seed empty clusters from the worst-fit points.  Each empty
         # cluster takes a *distinct* point (otherwise two empty clusters
         # could claim the same point and one would stay empty).
-        own_distance = distances[np.arange(n), new_labels].copy()
-        for cluster in range(k):
-            if not np.any(new_labels == cluster):
-                worst = int(np.argmax(own_distance))
-                new_labels[worst] = cluster
-                own_distance[worst] = -np.inf
+        counts = np.bincount(new_labels, minlength=k)
+        if not counts.all():
+            # Moving a worst-fit point can itself empty its old cluster,
+            # so keep counts live rather than snapshotting the empties.
+            own_distance = distances[np.arange(n), new_labels].copy()
+            for cluster in range(k):
+                if counts[cluster] == 0:
+                    worst = int(np.argmax(own_distance))
+                    counts[new_labels[worst]] -= 1
+                    new_labels[worst] = cluster
+                    counts[cluster] += 1
+                    own_distance[worst] = -np.inf
 
         moved = bool(np.any(new_labels != labels)) or iterations == 1
         labels = new_labels
+        # Group points by cluster with one stable sort; each slice holds
+        # a cluster's rows in original order — exactly the rows (and
+        # order) a boolean mask would select — so ``mean`` reproduces
+        # the masked version bit for bit while touching the data once.
+        order = np.argsort(labels, kind="stable")
+        bounds = np.concatenate(([0], np.cumsum(counts)))
         new_centroids = np.array(
             [
-                data[labels == cluster].mean(axis=0)
-                if np.any(labels == cluster)
+                data[order[bounds[cluster] : bounds[cluster + 1]]].mean(axis=0)
+                if counts[cluster]
                 else centroids[cluster]
                 for cluster in range(k)
             ]

@@ -37,7 +37,13 @@ from repro.metrics.fairness import percent_decrease
 from repro.sim.machine import core2quad_amp, many_core_amp, three_core_amp
 from repro.workloads.spec import spec_suite
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import make_workload, run_baseline, run_technique
+from repro.experiments.harness import run_tasks
+from repro.experiments.runner import (
+    make_workload,
+    run_baseline,
+    run_technique,
+    run_technique_point,
+)
 from repro.experiments.report import format_series, format_table
 
 
@@ -51,18 +57,18 @@ class SweepResult:
     label: str
 
 
-def lookahead_sweep(
-    config: ExperimentConfig = None, depths=(0, 1, 2, 3), min_size: int = 15
-) -> SweepResult:
-    """Throughput and fairness across lookahead depths (BB technique)."""
-    config = config or ExperimentConfig.paper()
-    workload = make_workload(config)
-    baseline = run_baseline(config, workload)
+def _strategy_sweep(config, workload, baseline, strategies, jobs, log):
+    """Fan a list of strategy names out over the harness; collect the
+    throughput/fairness deltas each sweep reports."""
+    tuned_runs = run_tasks(
+        run_technique_point,
+        [(config, strategy, workload, None) for strategy in strategies],
+        jobs=jobs,
+        log=log,
+        labels=list(strategies),
+    )
     throughputs, fairness = [], []
-    for depth in depths:
-        tuned = run_technique(
-            config, f"BB[{min_size},{depth}]", workload=workload
-        )
+    for tuned in tuned_runs:
         throughputs.append(
             throughput_improvement(baseline.result, tuned.result, config.interval)
         )
@@ -71,6 +77,28 @@ def lookahead_sweep(
                 baseline.fairness.max_stretch, tuned.fairness.max_stretch
             )
         )
+    return throughputs, fairness
+
+
+def lookahead_sweep(
+    config: ExperimentConfig = None,
+    depths=(0, 1, 2, 3),
+    min_size: int = 15,
+    jobs=None,
+    log=None,
+) -> SweepResult:
+    """Throughput and fairness across lookahead depths (BB technique)."""
+    config = config or ExperimentConfig.paper()
+    workload = make_workload(config)
+    baseline = run_baseline(config, workload)
+    throughputs, fairness = _strategy_sweep(
+        config,
+        workload,
+        baseline,
+        [f"BB[{min_size},{depth}]" for depth in depths],
+        jobs,
+        log,
+    )
     return SweepResult(tuple(depths), throughputs, fairness, "lookahead depth")
 
 
@@ -78,22 +106,21 @@ def min_size_sweep(
     config: ExperimentConfig = None,
     sizes=(30, 45, 60),
     technique: str = "Loop",
+    jobs=None,
+    log=None,
 ) -> SweepResult:
     """Throughput and fairness across minimum section sizes."""
     config = config or ExperimentConfig.paper()
     workload = make_workload(config)
     baseline = run_baseline(config, workload)
-    throughputs, fairness = [], []
-    for size in sizes:
-        tuned = run_technique(config, f"{technique}[{size}]", workload=workload)
-        throughputs.append(
-            throughput_improvement(baseline.result, tuned.result, config.interval)
-        )
-        fairness.append(
-            percent_decrease(
-                baseline.fairness.max_stretch, tuned.fairness.max_stretch
-            )
-        )
+    throughputs, fairness = _strategy_sweep(
+        config,
+        workload,
+        baseline,
+        [f"{technique}[{size}]" for size in sizes],
+        jobs,
+        log,
+    )
     return SweepResult(tuple(sizes), throughputs, fairness, "minimum size")
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.metrics.overhead import time_overhead
 from repro.tuning.runtime import SwitchToAllRuntime
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_tasks
 from repro.experiments.runner import make_workload, run_baseline, run_technique
 from repro.experiments.report import format_table
 
@@ -35,8 +36,22 @@ class Fig4Result:
     config: ExperimentConfig
 
 
+def _point(task):
+    """Harness worker: one switch-to-all-cores marked run."""
+    config, workload, name = task
+    return run_technique(
+        config,
+        name,
+        workload=workload,
+        runtime=SwitchToAllRuntime(config.resolved_machine()),
+    )
+
+
 def run(
-    config: ExperimentConfig = None, variants=FIG4_VARIANTS
+    config: ExperimentConfig = None,
+    variants=FIG4_VARIANTS,
+    jobs=None,
+    log=None,
 ) -> Fig4Result:
     """Measure mark-execution overhead for each variant.
 
@@ -46,18 +61,17 @@ def run(
     config = config or ExperimentConfig(slots=84, interval=400.0)
     workload = make_workload(config)
     baseline = run_baseline(config, workload)
-    machine = config.resolved_machine()
-    overheads = {}
-    for name in variants:
-        marked = run_technique(
-            config,
-            name,
-            workload=workload,
-            runtime=SwitchToAllRuntime(machine),
-        )
-        overheads[name] = time_overhead(
-            baseline.result, marked.result, config.interval
-        )
+    marked_runs = run_tasks(
+        _point,
+        [(config, workload, name) for name in variants],
+        jobs=jobs,
+        log=log,
+        labels=list(variants),
+    )
+    overheads = {
+        name: time_overhead(baseline.result, marked.result, config.interval)
+        for name, marked in zip(variants, marked_runs)
+    }
     return Fig4Result(overheads, config)
 
 

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 from repro.metrics.throughput import throughput_improvement
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import make_workload, run_baseline, run_technique
+from repro.experiments.harness import run_tasks
+from repro.experiments.runner import (
+    make_workload,
+    run_baseline,
+    run_technique_point,
+)
 from repro.experiments.report import format_series
 
 #: δ values swept (the simulator's IPC scale; reference-cycle metric).
@@ -35,18 +40,23 @@ def run(
     config: ExperimentConfig = None,
     deltas=DEFAULT_DELTAS,
     strategy: str = FIG6_STRATEGY,
+    jobs=None,
+    log=None,
 ) -> Fig6Result:
     config = config or ExperimentConfig.paper()
     workload = make_workload(config)
     baseline = run_baseline(config, workload)
-    improvements = []
-    for delta in deltas:
-        tuned = run_technique(config, strategy, workload=workload, delta=delta)
-        improvements.append(
-            throughput_improvement(
-                baseline.result, tuned.result, config.interval
-            )
-        )
+    tuned_runs = run_tasks(
+        run_technique_point,
+        [(config, strategy, workload, delta) for delta in deltas],
+        jobs=jobs,
+        log=log,
+        labels=[f"delta={delta}" for delta in deltas],
+    )
+    improvements = [
+        throughput_improvement(baseline.result, tuned.result, config.interval)
+        for tuned in tuned_runs
+    ]
     return Fig6Result(tuple(deltas), improvements, strategy, config)
 
 

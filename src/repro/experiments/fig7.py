@@ -15,6 +15,7 @@ from repro.analysis.block_typing import StaticBlockTyper, inject_clustering_erro
 from repro.metrics.throughput import throughput_improvement
 from repro.workloads.spec import spec_benchmark
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_tasks
 from repro.experiments.runner import make_workload, run_baseline, run_technique
 from repro.experiments.report import format_series
 
@@ -32,33 +33,41 @@ class Fig7Result:
     config: ExperimentConfig
 
 
+def _point(task):
+    """Harness worker: one error rate, overrides built in the worker."""
+    config, workload, strategy, error, error_seed = task
+    typer = StaticBlockTyper(num_types=2)
+    overrides = {}
+    for name in sorted(workload.benchmark_names()):
+        typing = typer.type_blocks(spec_benchmark(name).program)
+        overrides[name] = inject_clustering_error(typing, error, seed=error_seed)
+    return run_technique(
+        config, strategy, workload=workload, typing_overrides=overrides
+    )
+
+
 def run(
     config: ExperimentConfig = None,
     errors=DEFAULT_ERRORS,
     strategy: str = FIG7_STRATEGY,
     error_seed: int = 7,
+    jobs=None,
+    log=None,
 ) -> Fig7Result:
     config = config or ExperimentConfig.paper()
     workload = make_workload(config)
     baseline = run_baseline(config, workload)
-    typer = StaticBlockTyper(num_types=2)
-
-    improvements = []
-    for error in errors:
-        overrides = {}
-        for name in sorted(workload.benchmark_names()):
-            typing = typer.type_blocks(spec_benchmark(name).program)
-            overrides[name] = inject_clustering_error(
-                typing, error, seed=error_seed
-            )
-        tuned = run_technique(
-            config, strategy, workload=workload, typing_overrides=overrides
-        )
-        improvements.append(
-            throughput_improvement(
-                baseline.result, tuned.result, config.interval
-            )
-        )
+    tuned_runs = run_tasks(
+        _point,
+        [(config, workload, strategy, error, error_seed) for error in errors],
+        jobs=jobs,
+        log=log,
+        labels=[f"error={error:.0%}" for error in errors],
+    )
+    improvements = [
+        throughput_improvement(baseline.result, tuned.result, config.interval)
+        for tuned in tuned_runs
+    ]
     return Fig7Result(tuple(errors), improvements, strategy, config)
 
 

@@ -1,0 +1,160 @@
+"""Parallel fan-out for experiment sweeps.
+
+Every experiment in this package is a sweep: the same deterministic
+point function evaluated at many parameter values (δ thresholds, error
+rates, technique variants, benchmarks).  The points are independent, so
+:func:`run_tasks` fans them out over a :class:`ProcessPoolExecutor` and
+returns results in task order — the caller's loop body becomes a
+module-level worker function and nothing else changes.
+
+Determinism contract: a point function must be a pure function of its
+(picklable) task tuple.  Under that contract parallel results are bit
+for bit identical to serial ones, whatever the worker count or
+completion order — ``tests/experiments/test_determinism.py`` pins this
+for Figure 6 and Table 1.
+
+Worker count resolution (first match wins):
+
+1. the explicit ``jobs=`` argument,
+2. the ``REPRO_JOBS`` environment variable,
+3. ``os.cpu_count()``.
+
+``REPRO_JOBS=1`` (or ``jobs=1``) runs every task serially in-process —
+no pool, no pickling — which is also the debugging fallback.  On Linux
+the pool forks, so workers inherit the parent's already-populated
+static-pipeline cache (:mod:`repro.tuning.pipeline`) for free.
+
+:func:`derive_seed` gives sweeps stable per-task seeds: hashing the
+base seed with the task's identifying parts decorrelates tasks without
+coupling any task's seed to how many tasks run or in what order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def worker_count(jobs: Optional[int] = None) -> int:
+    """Resolve the effective worker count (always >= 1).
+
+    Args:
+        jobs: explicit override; ``None`` defers to the ``REPRO_JOBS``
+            environment variable, then to ``os.cpu_count()``.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def derive_seed(base: int, *parts) -> int:
+    """A stable 63-bit seed for one task of a sweep.
+
+    Hashes *base* with the task's identifying *parts* (stringified), so
+    each task gets an independent stream that does not depend on task
+    count or execution order.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(base)).encode("utf-8"))
+    for part in parts:
+        h.update(b"\x00")
+        h.update(str(part).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") >> 1
+
+
+def run_tasks(
+    fn: Callable,
+    tasks: Sequence,
+    jobs: Optional[int] = None,
+    log: Optional[Callable] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> list:
+    """Evaluate ``fn(task)`` for every task, results in task order.
+
+    Args:
+        fn: module-level point function (must be picklable for the
+            parallel path; any callable works serially).
+        tasks: picklable task tuples/values.
+        jobs: worker count; see :func:`worker_count`.  Capped at the
+            task count; ``1`` means serial in-process execution.
+        log: optional progress callback, called with one line per
+            completed task (completion order in the parallel path).
+        labels: display names per task for *log*; repr of the task by
+            default.
+
+    Raises:
+        ExperimentError: a worker died without reporting an exception
+            (e.g. killed by the OS).  Exceptions raised *inside* ``fn``
+            propagate unchanged.
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    if labels is None:
+        labels = [repr(task) for task in tasks]
+    elif len(labels) != total:
+        raise ExperimentError(
+            f"got {len(labels)} labels for {total} tasks"
+        )
+    if total == 0:
+        return []
+
+    jobs = min(worker_count(jobs), total)
+    if jobs == 1:
+        results = []
+        for index, task in enumerate(tasks):
+            results.append(fn(task))
+            if log is not None:
+                log(f"[{index + 1}/{total}] {labels[index]}")
+        return results
+
+    results = [None] * total
+    done = 0
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # Submit in chunks of one pool-width so a long tail of tasks
+        # does not pile up queued pickles, then top the window up as
+        # futures complete.
+        index_of = {}
+        pending = set()
+        next_task = 0
+
+        def submit_up_to(limit: int) -> None:
+            nonlocal next_task
+            while next_task < total and len(pending) < limit:
+                future = pool.submit(fn, tasks[next_task])
+                index_of[future] = next_task
+                pending.add(future)
+                next_task += 1
+
+        submit_up_to(2 * jobs)
+        while pending:
+            completed, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in completed:
+                index = index_of.pop(future)
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as exc:  # pragma: no cover
+                    raise ExperimentError(
+                        f"worker running task {labels[index]} died: {exc}"
+                    ) from exc
+                done += 1
+                if log is not None:
+                    log(f"[{done}/{total}] {labels[index]}")
+            submit_up_to(2 * jobs)
+    return results

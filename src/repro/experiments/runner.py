@@ -102,3 +102,14 @@ def run_technique(
         pollution_beta=config.pollution_beta,
     )
     return _outcome(strategy_name, result, config.interval)
+
+
+def run_technique_point(task: tuple) -> TechniqueOutcome:
+    """Harness worker: one technique run from a picklable task tuple.
+
+    ``task`` is ``(config, strategy_name, workload, delta)``; module
+    level so :func:`repro.experiments.harness.run_tasks` can ship it to
+    pool workers.
+    """
+    config, strategy_name, workload, delta = task
+    return run_technique(config, strategy_name, workload=workload, delta=delta)

@@ -22,13 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.instrument.marker import LoopStrategy
-from repro.instrument.rewriter import instrument
 from repro.sim.executor import Simulation
 from repro.sim.machine import core2quad_amp
 from repro.sim.process import SimProcess, Trace
-from repro.sim.tracegen import TraceGenerator
+from repro.tuning.pipeline import tune_program
 from repro.tuning.runtime import PhaseTuningRuntime
 from repro.workloads.spec import SPEC_BENCHMARKS, TABLE1_REFERENCE, spec_benchmark
+from repro.experiments.harness import run_tasks
 from repro.experiments.report import format_table
 
 #: Table 1's caption: Loop[45] with threshold 0.2.  On this simulator's
@@ -60,42 +60,54 @@ class Table1Result:
     delta: float
 
 
-def run(delta: float = TABLE1_DELTA, min_size: int = 45) -> Table1Result:
-    """Run every benchmark alone under Loop[min_size]."""
+def _point(task) -> Table1Row:
+    """Harness worker: one benchmark's isolated tuned run."""
+    name, delta, min_size = task
     machine = core2quad_amp()
-    generator = TraceGenerator(machine)
-    rows = []
-    for name in SPEC_BENCHMARKS:
-        benchmark = spec_benchmark(name)
-        instrumented = instrument(benchmark.program, LoopStrategy(min_size))
-        trace = generator.generate(instrumented, benchmark.spec)
-        process = SimProcess(
-            1,
-            name,
-            Trace(trace.nodes),
-            machine.all_cores_mask,
-            isolated_time=1.0,
-        )
-        simulation = Simulation(
-            machine,
-            runtime=PhaseTuningRuntime(
-                machine, delta, tie_policy="algorithm"
-            ),
-        )
-        simulation.add_process(process, 0.0)
-        result = simulation.run(10_000.0)
-        if not result.completed:
-            raise RuntimeError(f"{name} did not complete in isolation")
-        total_cycles = sum(process.stats.cycles_by_type.values())
-        rows.append(
-            Table1Row(
-                name,
-                process.stats.switches,
-                process.completion,
-                total_cycles,
-                len(instrumented.marks),
-            )
-        )
+    benchmark = spec_benchmark(name)
+    tuned = tune_program(
+        benchmark.program, LoopStrategy(min_size), machine, benchmark.spec
+    )
+    process = SimProcess(
+        1,
+        name,
+        Trace(tuned.tuned_trace.nodes),
+        machine.all_cores_mask,
+        isolated_time=1.0,
+    )
+    simulation = Simulation(
+        machine,
+        runtime=PhaseTuningRuntime(machine, delta, tie_policy="algorithm"),
+    )
+    simulation.add_process(process, 0.0)
+    result = simulation.run(10_000.0)
+    if not result.completed:
+        raise RuntimeError(f"{name} did not complete in isolation")
+    total_cycles = sum(process.stats.cycles_by_type.values())
+    return Table1Row(
+        name,
+        process.stats.switches,
+        process.completion,
+        total_cycles,
+        tuned.mark_count,
+    )
+
+
+def run(
+    delta: float = TABLE1_DELTA,
+    min_size: int = 45,
+    benchmarks=SPEC_BENCHMARKS,
+    jobs=None,
+    log=None,
+) -> Table1Result:
+    """Run every benchmark alone under Loop[min_size]."""
+    rows = run_tasks(
+        _point,
+        [(name, delta, min_size) for name in benchmarks],
+        jobs=jobs,
+        log=log,
+        labels=list(benchmarks),
+    )
     return Table1Result(rows, delta)
 
 

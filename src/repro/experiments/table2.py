@@ -13,11 +13,12 @@ from dataclasses import dataclass
 
 from repro.metrics.fairness import FairnessComparison
 from repro.experiments.config import TABLE2_VARIANTS, ExperimentConfig
+from repro.experiments.harness import run_tasks
 from repro.experiments.runner import (
     TechniqueOutcome,
     make_workload,
     run_baseline,
-    run_technique,
+    run_technique_point,
 )
 from repro.experiments.report import format_table, pct
 
@@ -40,17 +41,25 @@ class Table2Result:
 
 
 def run(
-    config: ExperimentConfig = None, variants=TABLE2_VARIANTS
+    config: ExperimentConfig = None,
+    variants=TABLE2_VARIANTS,
+    jobs=None,
+    log=None,
 ) -> Table2Result:
     config = config or ExperimentConfig.fairness_paper()
     workload = make_workload(config)
     baseline = run_baseline(config, workload)
-    rows = []
-    for name in variants:
-        outcome = run_technique(config, name, workload=workload)
-        rows.append(
-            Table2Row(name, outcome.fairness.versus(baseline.fairness), outcome)
-        )
+    outcomes = run_tasks(
+        run_technique_point,
+        [(config, name, workload, None) for name in variants],
+        jobs=jobs,
+        log=log,
+        labels=list(variants),
+    )
+    rows = [
+        Table2Row(name, outcome.fairness.versus(baseline.fairness), outcome)
+        for name, outcome in zip(variants, outcomes)
+    ]
     return Table2Result(baseline, rows, config)
 
 

@@ -49,6 +49,15 @@ class MarkAction:
     extra_cycles: float = 0.0
 
 
+#: Reused no-op action for mark-free segment entries (the overwhelmingly
+#: common case in baseline runs).
+_NO_ACTION = MarkAction()
+
+#: Reused actions for runtime-less entries, keyed by entry-mark count —
+#: the extra cycles depend only on that count.
+_ENTRY_ACTIONS: dict = {}
+
+
 @dataclass
 class SimulationResult:
     """Everything a finished (or stopped) simulation observed.
@@ -128,10 +137,21 @@ class Simulation:
 
         self._events = EventQueue()
         self._now = 0.0
-        self._core_busy_until = {c.cid: 0.0 for c in machine.cores}
-        self._core_idle = {c.cid: True for c in machine.cores}
-        self._core_idle_since = {c.cid: 0.0 for c in machine.cores}
-        self._core_stall_frac = {c.cid: 0.0 for c in machine.cores}
+        # Core ids are dense (validated by MachineConfig), so per-core
+        # state lives in flat lists: the quantum loop indexes them far
+        # more often than anything else touches them.
+        n_cores = len(machine)
+        self._core_busy_until = [0.0] * n_cores
+        self._core_idle = [True] * n_cores
+        self._core_idle_since = [0.0] * n_cores
+        self._core_stall_frac = [0.0] * n_cores
+        self._l2_neighbors = tuple(
+            tuple(machine.l2_neighbors(c.cid)) for c in machine.cores
+        )
+        self._pollution_penalty = {
+            ct.name: self.memory.dram_penalty_cycles(ct) - self.memory.l2_hit_cycles
+            for ct in machine.core_types()
+        }
         self._result = SimulationResult(
             machine,
             0.0,
@@ -177,7 +197,7 @@ class Simulation:
                 raise SimulationError(f"unknown event {kind!r}")
 
         # Close idle accounting at the horizon.
-        for cid, idle in self._core_idle.items():
+        for cid, idle in enumerate(self._core_idle):
             if idle:
                 self._result.idle_time_by_core[cid] += max(
                     0.0, until - self._core_idle_since[cid]
@@ -212,19 +232,34 @@ class Simulation:
     def _run_quantum(self, core_id: int, proc: SimProcess, start: float) -> float:
         core = self.machine.cores[core_id]
         ctype = core.ctype
+        ctype_name = ctype.name
         freq = ctype.freq_hz
         budget = self.scheduler.timeslice
         t = start
         proc.current_core = core_id
 
-        while budget > 0 and not proc.finished:
-            seg = proc.cursor.current
-            if proc.cursor.at_entry:
+        # Invariant state hoisted out of the inner loop: attribute and
+        # dict lookups here execute once per quantum, not once per
+        # trace step.
+        cursor = proc.cursor
+        stats = proc.stats
+        runtime = self.runtime
+        contention_alpha = self.contention_alpha
+        pollution_beta = self.pollution_beta
+        neighbors = self._l2_neighbors[core_id]
+        core_idle = self._core_idle
+        core_stall_frac = self._core_stall_frac
+        pollution_penalty = self._pollution_penalty[ctype_name]
+        buckets = self._result.throughput_buckets
+
+        while budget > 0 and not cursor.finished:
+            seg = cursor.current
+            if cursor.at_entry:
                 action = self._fire_marks(proc, seg, core, t)
                 cost_s = action.extra_cycles / freq
                 t += cost_s
                 budget -= cost_s
-                proc.cursor.mark_entry_handled()
+                cursor.at_entry = False
                 if action.affinity is not None and action.affinity != proc.affinity:
                     proc.affinity = validate_affinity(
                         action.affinity, len(self.machine)
@@ -232,34 +267,59 @@ class Simulation:
                     if core_id not in proc.affinity:
                         # Core switch: charge migration and preempt.
                         switch_s = MIGRATION_CYCLES / freq
-                        proc.stats.switches += 1
-                        proc.stats.migrations += 1
+                        stats.switches += 1
+                        stats.migrations += 1
                         return t + switch_s
                 continue
 
-            per_iter_cycles, per_iter_overhead, switch_rate = (
-                self._segment_iteration_cost(proc, seg, core)
+            compute, stall, l2_resident, seg_instrs, raw_stall_frac = (
+                seg.cost_tuple(ctype_name)
             )
-            total_per_iter = per_iter_cycles + per_iter_overhead
+            neighbor = 0.0
+            for other in neighbors:
+                if not core_idle[other]:
+                    other_frac = core_stall_frac[other]
+                    if other_frac > neighbor:
+                        neighbor = other_frac
+            if neighbor > 0:
+                if contention_alpha > 0 and stall > 0:
+                    # Bandwidth contention: two memory-intensive phases
+                    # on one L2 (and one front-side bus) slow each other
+                    # down.
+                    stall *= 1.0 + contention_alpha * neighbor
+                if pollution_beta > 0 and l2_resident > 0:
+                    # Pollution: a streaming co-runner evicts this
+                    # segment's L2-resident lines, turning L2 hits into
+                    # DRAM misses.
+                    stall += pollution_beta * neighbor * l2_resident * pollution_penalty
+
+            per_iter_overhead = 0.0
+            switch_rate = 0.0
+            if seg.embedded:
+                per_iter_overhead, switch_rate = self._embedded_overhead(
+                    proc, seg, runtime
+                )
+
+            total_per_iter = compute + stall + per_iter_overhead
             per_iter_s = max(total_per_iter / freq, 1e-18)
-            remaining = proc.cursor.remaining_iterations
+            remaining = cursor.remaining_iterations
             fit = budget / per_iter_s
             n = min(remaining, fit)
             if n <= 0:
                 n = min(remaining, 1e-9)
             elapsed = n * per_iter_s
-            proc.stats.record(
-                ctype.name, n * seg.cost.instrs, n * total_per_iter
-            )
-            proc.stats.mark_overhead_cycles += n * per_iter_overhead
-            proc.stats.switches += n * switch_rate
-            proc.stats.cpu_time += elapsed
-            self._account_throughput(t, n * seg.cost.instrs)
-            self._core_stall_frac[core_id] = seg.cost.stall_fraction(ctype.name)
-            proc.cursor.consume(n)
+            stats.record(ctype_name, n * seg_instrs, n * total_per_iter)
+            stats.mark_overhead_cycles += n * per_iter_overhead
+            stats.switches += n * switch_rate
+            stats.cpu_time += elapsed
+            bucket = int(t)
+            instrs = n * seg_instrs
+            buckets[bucket] = buckets.get(bucket, 0.0) + instrs
+            core_stall_frac[core_id] = raw_stall_frac
+            cursor.consume(n)
             t += elapsed
             budget -= elapsed
-            if budget <= _MIN_STEP_S and not proc.finished:
+            if budget <= _MIN_STEP_S and not cursor.finished:
                 break
 
         return max(t, start + _MIN_STEP_S)
@@ -267,12 +327,18 @@ class Simulation:
     def _fire_marks(self, proc: SimProcess, seg: Segment, core, now) -> MarkAction:
         """Fire the segment's entry marks (and give embedded marks their
         once-per-entry runtime visit); return the combined action."""
-        fired = len(seg.entry_marks) + len(seg.embedded)
-        cycles = MARK_FIRE_CYCLES * len(seg.entry_marks)
-        proc.stats.mark_firings += len(seg.entry_marks)
+        n_entry = len(seg.entry_marks)
+        fired = n_entry + len(seg.embedded)
+        cycles = MARK_FIRE_CYCLES * n_entry
+        proc.stats.mark_firings += n_entry
         proc.stats.mark_overhead_cycles += cycles
         if self.runtime is None:
-            return MarkAction(extra_cycles=cycles) if fired else MarkAction()
+            if not fired:
+                return _NO_ACTION
+            action = _ENTRY_ACTIONS.get(n_entry)
+            if action is None:
+                action = _ENTRY_ACTIONS[n_entry] = MarkAction(extra_cycles=cycles)
+            return action
 
         affinity = None
         extra = cycles
@@ -290,52 +356,30 @@ class Simulation:
                 affinity = action.affinity
         return MarkAction(affinity=affinity, extra_cycles=extra)
 
-    def _segment_iteration_cost(self, proc: SimProcess, seg: Segment, core):
-        """(body cycles, mark overhead cycles, switch rate) per iteration
-        of *seg* on *core*, with L2 contention applied."""
-        ctype = core.ctype
-        compute = seg.cost.compute[ctype.name]
-        stall = seg.cost.stall[ctype.name]
-        neighbor = 0.0
-        for other in self.machine.l2_neighbors(core.cid):
-            if not self._core_idle[other]:
-                neighbor = max(neighbor, self._core_stall_frac[other])
-        if self.contention_alpha > 0 and stall > 0 and neighbor > 0:
-            # Bandwidth contention: two memory-intensive phases on one
-            # L2 (and one front-side bus) slow each other down.
-            stall *= 1.0 + self.contention_alpha * neighbor
-        l2_resident = seg.cost.l2hits[ctype.name]
-        if self.pollution_beta > 0 and l2_resident > 0 and neighbor > 0:
-            # Pollution: a streaming co-runner evicts this segment's
-            # L2-resident lines, turning L2 hits into DRAM misses.
-            evicted = self.pollution_beta * neighbor * l2_resident
-            stall += evicted * (
-                self.memory.dram_penalty_cycles(ctype) - self.memory.l2_hit_cycles
-            )
-        body = compute + stall
-
-        overhead = 0.0
+    @staticmethod
+    def _embedded_overhead(proc: SimProcess, seg: Segment, runtime):
+        """(mark overhead cycles, switch rate) per iteration contributed
+        by the segment's embedded marks under *runtime*'s current
+        decisions.  Runtime-dependent, so recomputed each quantum."""
+        overhead = seg.embedded_rate * MARK_FIRE_CYCLES
         switch_rate = 0.0
-        if seg.embedded:
-            total_rate = sum(e.rate for e in seg.embedded)
-            overhead += total_rate * MARK_FIRE_CYCLES
-            if self.runtime is not None:
-                targets = {}
-                for emb in seg.embedded:
-                    target = self.runtime.assignment_for(proc, emb.phase_type)
-                    if target is not None:
-                        targets[emb.phase_type] = (target.name, emb.rate)
-                names = {name for name, _ in targets.values()}
-                if len(names) >= 2:
-                    # Marks of differing decided targets thrash: every
-                    # firing of a minority-target mark is a switch.
-                    dominant = max(targets.values(), key=lambda tr: tr[1])[0]
-                    thrash = sum(
-                        rate for name, rate in targets.values() if name != dominant
-                    )
-                    switch_rate += thrash
-                    overhead += thrash * MIGRATION_CYCLES
-        return body, overhead, switch_rate
+        if runtime is not None:
+            targets = {}
+            for emb in seg.embedded:
+                target = runtime.assignment_for(proc, emb.phase_type)
+                if target is not None:
+                    targets[emb.phase_type] = (target.name, emb.rate)
+            names = {name for name, _ in targets.values()}
+            if len(names) >= 2:
+                # Marks of differing decided targets thrash: every
+                # firing of a minority-target mark is a switch.
+                dominant = max(targets.values(), key=lambda tr: tr[1])[0]
+                thrash = sum(
+                    rate for name, rate in targets.values() if name != dominant
+                )
+                switch_rate += thrash
+                overhead += thrash * MIGRATION_CYCLES
+        return overhead, switch_rate
 
     def _account_throughput(self, t: float, instrs: float) -> None:
         bucket = int(t)
@@ -366,15 +410,8 @@ class Simulation:
         :meth:`run`)."""
         running = []
         seen = {p.pid for p in self._result.completed}
-        for queue_proc in self._iter_queued():
+        for queue_proc in self.scheduler.queued_processes():
             if queue_proc.pid not in seen:
                 running.append(queue_proc)
         self._result.running = running
         return running
-
-    def _iter_queued(self):
-        scheduler = self.scheduler
-        for core in self.machine.cores:
-            queue = getattr(scheduler, "_queues", {}).get(core.cid, ())
-            for proc in queue:
-                yield proc

@@ -28,7 +28,7 @@ from repro.errors import SimulationError
 from repro.sim.cost_model import CostVector
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MarkRef:
     """Reference to a phase mark attached to a trace segment.
 
@@ -41,7 +41,7 @@ class MarkRef:
     phase_type: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EmbeddedMark(MarkRef):
     """A mark inside a segment body.
 
@@ -52,7 +52,7 @@ class EmbeddedMark(MarkRef):
     rate: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
     """A leaf trace node: one section executed ``iterations`` times.
 
@@ -72,6 +72,16 @@ class Segment:
     cost: CostVector
     entry_marks: tuple = ()
     embedded: tuple = ()
+    #: Per-core-type flat cost tuples, built lazily (or eagerly at
+    #: trace-build time) so the executor's inner loop avoids repeated
+    #: dict lookups into :class:`CostVector`.  Excluded from equality:
+    #: it is a pure cache over ``cost``.
+    _cost_tuples: Optional[dict] = field(
+        default=None, repr=False, compare=False
+    )
+    _embedded_rate: Optional[float] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def total_instrs(self) -> float:
@@ -80,8 +90,36 @@ class Segment:
     def cycles_per_iter(self, ctype_name: str) -> float:
         return self.cost.cycles(ctype_name)
 
+    @property
+    def embedded_rate(self) -> float:
+        """Total embedded-mark firings per body iteration (cached)."""
+        rate = self._embedded_rate
+        if rate is None:
+            rate = self._embedded_rate = sum(e.rate for e in self.embedded)
+        return rate
 
-@dataclass
+    def cost_tuple(self, ctype_name: str) -> tuple:
+        """``(compute, stall, l2_hits, instrs, stall_fraction)`` per
+        iteration on one core type — the executor's flat view of
+        :attr:`cost`."""
+        cache = self._cost_tuples
+        if cache is None:
+            cache = self._cost_tuples = {}
+        entry = cache.get(ctype_name)
+        if entry is None:
+            cost = self.cost
+            entry = (
+                cost.compute[ctype_name],
+                cost.stall[ctype_name],
+                cost.l2hits[ctype_name],
+                cost.instrs,
+                cost.stall_fraction(ctype_name),
+            )
+            cache[ctype_name] = entry
+        return entry
+
+
+@dataclass(slots=True)
 class Repeat:
     """An interior trace node: children executed in order, ``count`` times."""
 
@@ -96,7 +134,7 @@ class Repeat:
 TraceNode = Union[Segment, Repeat]
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """A process's whole dynamic behaviour."""
 
@@ -133,6 +171,8 @@ def _node_cycles(node: TraceNode, ctype_name: str) -> float:
 
 class TraceCursor:
     """Iterative walker over a trace's nested repeat structure."""
+
+    __slots__ = ("_stack", "_segment", "_iters_done", "at_entry")
 
     def __init__(self, trace: Trace):
         self._stack: list[list] = []  # frames: [nodes, index, reps_left]
@@ -210,7 +250,7 @@ class TraceCursor:
         self.at_entry = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessStats:
     """Accumulated execution statistics of one process."""
 
@@ -244,6 +284,22 @@ class SimProcess:
         arrival: arrival time in seconds.
         slot: workload slot index the process occupies, if any.
     """
+
+    __slots__ = (
+        "pid",
+        "name",
+        "trace",
+        "cursor",
+        "affinity",
+        "arrival",
+        "completion",
+        "isolated_time",
+        "slot",
+        "stats",
+        "tuner_state",
+        "monitor_session",
+        "current_core",
+    )
 
     def __init__(
         self,

@@ -44,6 +44,16 @@ class Scheduler(abc.ABC):
     def queue_length(self, core_id: int) -> int:
         """Ready processes currently queued on *core_id*."""
 
+    def queued_processes(self) -> list:
+        """All ready processes currently sitting in runqueues, in a
+        deterministic (core-id, queue-position) order.
+
+        Implementations with internal queues should override this; the
+        default reports nothing queued, matching a scheduler that hands
+        every ready process straight to a core.
+        """
+        return []
+
     def load_map(self) -> dict:
         """Queue length per core id."""
         return {c.cid: self.queue_length(c.cid) for c in self.machine.cores}

@@ -78,6 +78,15 @@ class LinuxO1Scheduler(Scheduler):
     def queue_length(self, core_id: int) -> int:
         return len(self._queues[core_id])
 
+    def queued_processes(self) -> list:
+        procs = []
+        for queue in self._queues.values():
+            procs.extend(queue)
+        return procs
+
+    def load_map(self) -> dict:
+        return {cid: len(queue) for cid, queue in self._queues.items()}
+
     # -- balancing -------------------------------------------------------------
 
     def _steal(self, thief: int) -> Optional[SimProcess]:

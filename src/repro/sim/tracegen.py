@@ -159,7 +159,15 @@ class TraceGenerator:
             raise WorkloadError(
                 f"program {self._program.name!r} produced an empty trace"
             )
-        return Trace(tuple(nodes))
+        trace = Trace(tuple(nodes))
+        # Precompute every segment's flat per-core-type cost tuple here,
+        # at trace-build time: traces are shared templates, so this work
+        # happens once per benchmark instead of once per quantum.
+        ctype_names = [ct.name for ct in self.machine.core_types()]
+        for segment in trace.segments():
+            for name in ctype_names:
+                segment.cost_tuple(name)
+        return trace
 
     def isolated_seconds(self, trace: Trace, ctype=None) -> float:
         """Wall time the trace takes alone on one core (fastest by

@@ -1,23 +1,271 @@
-"""One-call convenience pipeline: analyze, instrument, trace.
+"""One-call convenience pipeline: analyze, instrument, trace — memoized.
 
 :func:`tune_program` is the library's front door for single programs:
 it types the blocks, computes transitions for a strategy, builds the
 phase marks, and generates both the tuned and the baseline trace for a
 machine — ready to hand to :class:`~repro.sim.executor.Simulation`.
+
+Every product of the static pipeline is memoized in a
+:class:`PipelineCache` under a *content key*: a structural fingerprint
+of the program combined with fingerprints of the strategy, machine,
+behaviour spec and (optional) typing.  Sweeps that vary only runtime
+parameters — the IPC threshold δ, injected error, the scheduler — hit
+the cache and reuse the instrumented program and traces instead of
+re-running typing, transition analysis and trace generation per sweep
+point.  All pipeline stages are deterministic pure functions of the key,
+so cached and fresh results are interchangeable bit for bit.
+
+Cache levels (each usable on its own):
+
+====================  =========================================================
+``typing``            :class:`BlockTyping` per (program, typer)
+``transitions``       transition-point sets per (program, typing, strategy)
+``instrumented``      :class:`InstrumentedProgram` per (program, typing,
+                      strategy)
+``baseline-trace``    mark-free trace + isolated seconds per (program,
+                      machine, spec)
+``tuned``             the full :class:`TunedBinary` per (program, strategy,
+                      machine, spec, typing)
+====================  =========================================================
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from functools import lru_cache
+from typing import Callable, Optional
 
 from repro.program.module import Program
-from repro.analysis.block_typing import BlockTyping
+from repro.analysis.annotate import annotate_program
+from repro.analysis.block_typing import BlockTyping, StaticBlockTyper
 from repro.instrument.marker import LoopStrategy, MarkingStrategy
-from repro.instrument.rewriter import InstrumentedProgram, instrument
+from repro.instrument.rewriter import InstrumentedProgram, build_marks
 from repro.sim.machine import MachineConfig, core2quad_amp
 from repro.sim.process import Trace
 from repro.sim.tracegen import BehaviorSpec, TraceGenerator
+
+# -- content fingerprints -------------------------------------------------------
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@lru_cache(maxsize=1024)
+def program_fingerprint(program: Program) -> str:
+    """Structural hash of a program: procedures, labels, regions, entry.
+
+    Keyed on object identity via ``lru_cache`` (programs are treated as
+    immutable once built, and the benchmark factory interns them), with
+    the digest itself computed from content so distinct objects with
+    identical structure share cache entries.
+    """
+    h = hashlib.sha256()
+    h.update(program.name.encode("utf-8"))
+    h.update(program.entry.encode("utf-8"))
+    for name in sorted(program.procedures):
+        proc = program.procedures[name]
+        h.update(name.encode("utf-8"))
+        for instr in proc.code:
+            h.update(repr(instr).encode("utf-8"))
+        h.update(repr(sorted(proc.labels.items())).encode("utf-8"))
+    for region_name in sorted(program.regions):
+        region = program.regions[region_name]
+        h.update(
+            f"{region.name}:{region.size}:{region.hot_fraction}".encode("utf-8")
+        )
+    return h.hexdigest()
+
+
+def strategy_fingerprint(strategy: MarkingStrategy) -> str:
+    """Identity of a marking strategy, including non-name parameters."""
+    return _digest(strategy.name, repr(strategy))
+
+
+def machine_fingerprint(machine: MachineConfig) -> str:
+    cores = ";".join(
+        f"{c.cid}:{c.ctype.name}:{c.ctype.freq_ghz}:{c.ctype.l1_kb}:"
+        f"{c.ctype.l2_kb}:{c.l2_group}"
+        for c in machine.cores
+    )
+    return _digest(machine.name, cores)
+
+
+def spec_fingerprint(spec: Optional[BehaviorSpec]) -> str:
+    if spec is None:
+        return "default-spec"
+    trips = sorted((str(k), float(v)) for k, v in spec.trip_counts.items())
+    return _digest(
+        repr(trips),
+        f"{spec.default_trip}:{spec.recursion_depth}:"
+        f"{spec.max_inline_depth}:{spec.segment_budget}",
+    )
+
+
+def typing_fingerprint(typing: Optional[BlockTyping]) -> str:
+    if typing is None:
+        return "default-typing"
+    return _digest(str(typing.num_types), repr(sorted(typing.types.items())))
+
+
+# -- the cache ------------------------------------------------------------------
+
+
+class PipelineCache:
+    """Content-keyed memo for static-pipeline products.
+
+    Everything stored here is a deterministic pure function of its key,
+    so sharing entries across runs cannot change results — only skip
+    recomputation.  Tracks hit/miss counts per level for the benchmark
+    harness.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: tuple, build: Callable):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[0]
+        self.misses += 1
+        value = build()
+        self._entries[key] = (value,)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+#: Process-wide cache shared by default.  Worker processes of the
+#: experiment harness each grow their own copy (or inherit the parent's
+#: populated cache through fork).
+_DEFAULT_CACHE = PipelineCache()
+
+
+def default_cache() -> PipelineCache:
+    """The process-wide pipeline cache."""
+    return _DEFAULT_CACHE
+
+
+def clear_default_cache() -> None:
+    _DEFAULT_CACHE.clear()
+
+
+# -- cached pipeline stages -----------------------------------------------------
+
+
+def typed_blocks(
+    program: Program,
+    typer=None,
+    cache: Optional[PipelineCache] = None,
+) -> BlockTyping:
+    """The (cached) block typing of *program* under *typer*."""
+    if cache is None:
+        cache = _DEFAULT_CACHE
+    typer = typer or StaticBlockTyper()
+    key = ("typing", program_fingerprint(program), repr(typer))
+    return cache.get_or_build(key, lambda: typer.type_blocks(program))
+
+
+def transition_points(
+    aprog,
+    strategy: MarkingStrategy,
+    cache: Optional[PipelineCache] = None,
+) -> list:
+    """The (cached) transition-point set of one strategy on *aprog*.
+
+    Transition points are pure data (procedure names, block indices,
+    edges), so a set computed from one annotated instance is valid for
+    any annotation of the same program + typing.
+    """
+    if cache is None:
+        cache = _DEFAULT_CACHE
+    key = (
+        "transitions",
+        program_fingerprint(aprog.program),
+        typing_fingerprint(aprog.typing),
+        strategy_fingerprint(strategy),
+    )
+    return cache.get_or_build(key, lambda: strategy.compute_points(aprog))
+
+
+def instrument_cached(
+    program: Program,
+    strategy: MarkingStrategy,
+    typing: Optional[BlockTyping] = None,
+    cache: Optional[PipelineCache] = None,
+) -> InstrumentedProgram:
+    """Cached analogue of :func:`repro.instrument.rewriter.instrument`."""
+    if cache is None:
+        cache = _DEFAULT_CACHE
+    key = (
+        "instrumented",
+        program_fingerprint(program),
+        typing_fingerprint(typing),
+        strategy_fingerprint(strategy),
+    )
+
+    def build() -> InstrumentedProgram:
+        block_typing = (
+            typing if typing is not None else typed_blocks(program, cache=cache)
+        )
+        aprog = annotate_program(program, block_typing)
+        points = transition_points(aprog, strategy, cache=cache)
+        marks = build_marks(aprog, points)
+        return InstrumentedProgram(program, aprog, strategy.name, marks)
+
+    return cache.get_or_build(key, build)
+
+
+def baseline_binary(
+    program: Program,
+    machine: Optional[MachineConfig] = None,
+    spec: Optional[BehaviorSpec] = None,
+    cache: Optional[PipelineCache] = None,
+) -> tuple:
+    """Cached ``(trace, isolated_seconds)`` of the uninstrumented program."""
+    if cache is None:
+        cache = _DEFAULT_CACHE
+    machine = machine or core2quad_amp()
+    key = (
+        "baseline-trace",
+        program_fingerprint(program),
+        machine_fingerprint(machine),
+        spec_fingerprint(spec),
+    )
+
+    def build() -> tuple:
+        generator = TraceGenerator(machine)
+        trace = generator.generate(program, spec)
+        return trace, generator.isolated_seconds(trace)
+
+    return cache.get_or_build(key, build)
 
 
 @dataclass
@@ -52,6 +300,7 @@ def tune_program(
     machine: Optional[MachineConfig] = None,
     spec: Optional[BehaviorSpec] = None,
     typing: Optional[BlockTyping] = None,
+    cache: Optional[PipelineCache] = None,
 ) -> TunedBinary:
     """Run the full static pipeline on *program* for *machine*.
 
@@ -60,12 +309,29 @@ def tune_program(
         machine: defaults to the paper's 4-core AMP.
         spec: behaviour parameters for trace generation.
         typing: pre-computed block typing (e.g. with injected error).
+        cache: pipeline cache; the process-wide default when omitted.
+            Pass a fresh :class:`PipelineCache` to isolate a run.
     """
+    if cache is None:
+        cache = _DEFAULT_CACHE
     strategy = strategy or LoopStrategy(45)
     machine = machine or core2quad_amp()
-    instrumented = instrument(program, strategy, typing=typing)
-    generator = TraceGenerator(machine)
-    tuned_trace = generator.generate(instrumented, spec)
-    baseline_trace = generator.generate(program, spec)
-    isolated = generator.isolated_seconds(baseline_trace)
-    return TunedBinary(instrumented, tuned_trace, baseline_trace, isolated)
+    key = (
+        "tuned",
+        program_fingerprint(program),
+        strategy_fingerprint(strategy),
+        machine_fingerprint(machine),
+        spec_fingerprint(spec),
+        typing_fingerprint(typing),
+    )
+
+    def build() -> TunedBinary:
+        instrumented = instrument_cached(program, strategy, typing, cache=cache)
+        generator = TraceGenerator(machine)
+        tuned_trace = generator.generate(instrumented, spec)
+        baseline_trace, isolated = baseline_binary(
+            program, machine, spec, cache=cache
+        )
+        return TunedBinary(instrumented, tuned_trace, baseline_trace, isolated)
+
+    return cache.get_or_build(key, build)

@@ -23,11 +23,10 @@ from typing import Optional
 
 from repro.errors import WorkloadError
 from repro.instrument.marker import MarkingStrategy
-from repro.instrument.rewriter import instrument
 from repro.sim.executor import Simulation, SimulationResult
 from repro.sim.machine import MachineConfig
 from repro.sim.process import SimProcess, Trace
-from repro.sim.tracegen import TraceGenerator
+from repro.tuning.pipeline import PipelineCache, baseline_binary, tune_program
 from repro.workloads.spec import SPEC_BENCHMARKS, spec_benchmark
 from repro.workloads.synthetic import SyntheticBenchmark
 
@@ -95,6 +94,9 @@ class WorkloadRun:
             uninstrumented baseline.
         typing_overrides: optional ``{benchmark_name: BlockTyping}``
             (e.g. with injected clustering error, Figure 7).
+        cache: static-pipeline cache; the process-wide default when
+            omitted, so sweeps over runtime parameters reuse the
+            instrumented programs and traces across runs.
     """
 
     def __init__(
@@ -103,31 +105,31 @@ class WorkloadRun:
         machine: MachineConfig,
         strategy: Optional[MarkingStrategy] = None,
         typing_overrides: Optional[dict] = None,
+        cache: Optional[PipelineCache] = None,
     ):
         self.workload = workload
         self.machine = machine
         self.strategy = strategy
-        self._generator = TraceGenerator(machine)
         self._prepared: dict = {}
         typing_overrides = typing_overrides or {}
 
         for name in sorted(workload.benchmark_names()):
             benchmark = spec_benchmark(name)
             if strategy is None:
-                target = benchmark.program
+                trace, isolated = baseline_binary(
+                    benchmark.program, machine, benchmark.spec, cache=cache
+                )
             else:
-                target = instrument(
+                tuned = tune_program(
                     benchmark.program,
                     strategy,
+                    machine,
+                    benchmark.spec,
                     typing=typing_overrides.get(name),
+                    cache=cache,
                 )
-            trace = self._generator.generate(target, benchmark.spec)
-            baseline_trace = (
-                trace
-                if strategy is None
-                else self._generator.generate(benchmark.program, benchmark.spec)
-            )
-            isolated = self._generator.isolated_seconds(baseline_trace)
+                trace = tuned.tuned_trace
+                isolated = tuned.isolated_seconds
             self._prepared[name] = _PreparedBenchmark(benchmark, trace, isolated)
 
         self._next_pid = 0

@@ -71,3 +71,80 @@ def test_bad_k_rejected(k):
 def test_empty_input_rejected():
     with pytest.raises(AnalysisError):
         kmeans([], 1)
+
+
+# -- vectorized Lloyd step vs the reference loop ------------------------------
+
+
+def _reference_kmeans(points, k, seed=0, max_iterations=100):
+    """The pre-vectorization Lloyd loop, kept verbatim as the oracle.
+
+    The production implementation replaced the per-centroid distance
+    loop with one broadcast tensor and the per-cluster boolean masks
+    with a stable argsort, both chosen to preserve the exact reduction
+    order — so results must match *bit for bit*, not just approximately.
+    """
+    import random
+
+    from repro.analysis.kmeans import KMeansResult, _seed_plusplus
+
+    data = np.asarray(points, dtype=float)
+    if data.ndim == 1:
+        data = data.reshape(-1, 1)
+    n = len(data)
+    rng = random.Random(seed)
+    centroids = _seed_plusplus(data, k, rng)
+    labels = np.zeros(n, dtype=int)
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = np.stack(
+            [np.sum((data - c) ** 2, axis=1) for c in centroids], axis=1
+        )
+        new_labels = np.argmin(distances, axis=1)
+        own_distance = distances[np.arange(n), new_labels].copy()
+        for cluster in range(k):
+            if not np.any(new_labels == cluster):
+                worst = int(np.argmax(own_distance))
+                new_labels[worst] = cluster
+                own_distance[worst] = -np.inf
+        moved = bool(np.any(new_labels != labels)) or iterations == 1
+        labels = new_labels
+        new_centroids = np.array(
+            [
+                data[labels == cluster].mean(axis=0)
+                if np.any(labels == cluster)
+                else centroids[cluster]
+                for cluster in range(k)
+            ]
+        )
+        converged = np.allclose(new_centroids, centroids) and not moved
+        centroids = new_centroids
+        if converged:
+            break
+
+    inertia = float(np.sum((data - centroids[labels]) ** 2))
+    return KMeansResult(labels, centroids, inertia, iterations)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+@pytest.mark.parametrize("n,k", [(12, 2), (50, 2), (200, 3), (301, 8)])
+def test_vectorized_matches_reference_exactly(seed, n, k):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 2)) * rng.uniform(0.5, 20.0)
+    fast = kmeans(points, k, seed=seed)
+    slow = _reference_kmeans(points, k, seed=seed)
+    assert np.array_equal(fast.labels, slow.labels)
+    assert np.array_equal(fast.centroids, slow.centroids)
+    assert fast.inertia == slow.inertia
+    assert fast.iterations == slow.iterations
+
+
+def test_vectorized_matches_reference_with_empty_reseeds():
+    # Duplicated points force empty-cluster re-seeding down both paths.
+    points = [(0.0, 0.0)] * 10 + [(5.0, 5.0)] * 3 + [(9.0, 1.0)]
+    for seed in range(6):
+        fast = kmeans(points, 4, seed=seed)
+        slow = _reference_kmeans(points, 4, seed=seed)
+        assert np.array_equal(fast.labels, slow.labels)
+        assert np.array_equal(fast.centroids, slow.centroids)

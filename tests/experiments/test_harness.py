@@ -1,0 +1,132 @@
+"""Unit tests for the parallel experiment harness."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import derive_seed, run_tasks, worker_count
+
+
+# Module level so the parallel path can pickle them by reference.
+def _square(task):
+    return task * task
+
+
+def _seeded_pair(task):
+    base, label = task
+    return (label, derive_seed(base, label))
+
+
+def _fail_on_three(task):
+    if task == 3:
+        raise ValueError("task three is broken")
+    return task
+
+
+# -- worker_count ---------------------------------------------------------------
+
+
+def test_explicit_jobs_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert worker_count(3) == 3
+
+
+def test_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert worker_count() == 5
+
+
+def test_env_must_be_integer(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ExperimentError):
+        worker_count()
+
+
+def test_default_is_at_least_one(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert worker_count() >= 1
+
+
+@pytest.mark.parametrize("jobs", [0, -4])
+def test_nonpositive_clamps_to_one(jobs):
+    assert worker_count(jobs) == 1
+
+
+# -- derive_seed ----------------------------------------------------------------
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(101, "fig6", 0.05) == derive_seed(101, "fig6", 0.05)
+
+
+def test_derive_seed_varies_with_parts():
+    seeds = {
+        derive_seed(101),
+        derive_seed(101, "fig6"),
+        derive_seed(101, "fig6", 0.05),
+        derive_seed(101, "fig6", 0.08),
+        derive_seed(102, "fig6", 0.05),
+    }
+    assert len(seeds) == 5
+
+
+def test_derive_seed_fits_in_63_bits():
+    for part in range(50):
+        assert 0 <= derive_seed(0, part) < 2**63
+
+
+# -- run_tasks ------------------------------------------------------------------
+
+
+def test_serial_preserves_order():
+    assert run_tasks(_square, [3, 1, 4, 1, 5], jobs=1) == [9, 1, 16, 1, 25]
+
+
+def test_empty_tasks():
+    assert run_tasks(_square, [], jobs=4) == []
+
+
+def test_serial_logs_labels():
+    lines = []
+    run_tasks(
+        _square, [2, 3], jobs=1, log=lines.append, labels=["two", "three"]
+    )
+    assert lines == ["[1/2] two", "[2/2] three"]
+
+
+def test_label_count_mismatch_rejected():
+    with pytest.raises(ExperimentError):
+        run_tasks(_square, [1, 2], jobs=1, labels=["only-one"])
+
+
+def test_parallel_matches_serial():
+    tasks = list(range(13))
+    assert run_tasks(_square, tasks, jobs=4) == run_tasks(
+        _square, tasks, jobs=1
+    )
+
+
+def test_parallel_logs_every_task():
+    lines = []
+    run_tasks(_square, [1, 2, 3, 4, 5], jobs=2, log=lines.append)
+    assert len(lines) == 5
+    assert sorted(line.split("]")[0] for line in lines) == [
+        f"[{i}/5" for i in range(1, 6)
+    ]
+
+
+def test_parallel_seed_derivation_matches_serial():
+    tasks = [(101, f"point-{i}") for i in range(8)]
+    assert run_tasks(_seeded_pair, tasks, jobs=3) == run_tasks(
+        _seeded_pair, tasks, jobs=1
+    )
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_worker_exception_propagates(jobs):
+    with pytest.raises(ValueError, match="task three"):
+        run_tasks(_fail_on_three, [1, 2, 3, 4], jobs=jobs)
+
+
+def test_env_drives_run_tasks(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert run_tasks(_square, [5, 6], log=None) == [25, 36]

@@ -1,0 +1,176 @@
+"""Tests for the static-pipeline memoization layer."""
+
+import pytest
+
+from repro.analysis import StaticBlockTyper, inject_clustering_error
+from repro.instrument import BBStrategy, LoopStrategy
+from repro.sim.machine import core2quad_amp, three_core_amp
+from repro.tuning.pipeline import (
+    PipelineCache,
+    baseline_binary,
+    default_cache,
+    instrument_cached,
+    machine_fingerprint,
+    program_fingerprint,
+    spec_fingerprint,
+    strategy_fingerprint,
+    tune_program,
+    typed_blocks,
+)
+from tests.conftest import make_phased_program
+
+
+# -- fingerprints ---------------------------------------------------------------
+
+
+def test_program_fingerprint_content_keyed():
+    a, _ = make_phased_program(outer=4)
+    b, _ = make_phased_program(outer=4)
+    c, _ = make_phased_program(outer=5)
+    assert a is not b
+    assert program_fingerprint(a) == program_fingerprint(b)
+    assert program_fingerprint(a) != program_fingerprint(c)
+
+
+def test_strategy_fingerprint_sees_parameters():
+    assert strategy_fingerprint(LoopStrategy(45)) != strategy_fingerprint(
+        LoopStrategy(30)
+    )
+    assert strategy_fingerprint(BBStrategy(15, 0)) != strategy_fingerprint(
+        BBStrategy(15, 2)
+    )
+
+
+def test_machine_fingerprint_distinguishes_machines():
+    assert machine_fingerprint(core2quad_amp()) != machine_fingerprint(
+        three_core_amp()
+    )
+
+
+def test_spec_fingerprint_none_is_stable():
+    assert spec_fingerprint(None) == spec_fingerprint(None)
+
+
+# -- cache behaviour ------------------------------------------------------------
+
+
+def test_tune_program_hits_cache_on_repeat():
+    program, spec = make_phased_program(outer=4)
+    machine = core2quad_amp()
+    cache = PipelineCache()
+    first = tune_program(program, LoopStrategy(20), machine, spec, cache=cache)
+    misses = cache.misses
+    assert cache.hits == 0
+    second = tune_program(program, LoopStrategy(20), machine, spec, cache=cache)
+    assert second is first
+    assert cache.misses == misses
+    assert cache.hits == 1
+
+
+def test_equivalent_programs_share_entries():
+    a, spec = make_phased_program(outer=4)
+    b, _ = make_phased_program(outer=4)
+    cache = PipelineCache()
+    tuned_a = tune_program(a, LoopStrategy(20), spec=spec, cache=cache)
+    tuned_b = tune_program(b, LoopStrategy(20), spec=spec, cache=cache)
+    assert tuned_b is tuned_a
+    assert cache.hits == 1
+
+
+def test_runtime_parameters_do_not_miss():
+    # Sweeping delta (a runtime knob) must not grow the static cache.
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache()
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    entries = len(cache)
+    for _ in range(5):
+        tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    assert len(cache) == entries
+
+
+def test_distinct_strategies_get_distinct_entries():
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache()
+    a = tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    b = tune_program(program, BBStrategy(10, 1), spec=spec, cache=cache)
+    assert a is not b
+    assert a.instrumented.strategy_name != b.instrumented.strategy_name
+
+
+def test_typing_override_is_part_of_key():
+    program, spec = make_phased_program(outer=4)
+    typing = StaticBlockTyper().type_blocks(program)
+    flipped = inject_clustering_error(typing, 1.0)
+    cache = PipelineCache()
+    plain = tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    overridden = tune_program(
+        program, LoopStrategy(20), spec=spec, typing=flipped, cache=cache
+    )
+    assert plain is not overridden
+
+
+def test_baseline_binary_shared_between_levels():
+    # tune_program's build reuses the cached baseline trace.
+    program, spec = make_phased_program(outer=4)
+    machine = core2quad_amp()
+    cache = PipelineCache()
+    trace, isolated = baseline_binary(program, machine, spec, cache=cache)
+    tuned = tune_program(program, LoopStrategy(20), machine, spec, cache=cache)
+    assert tuned.baseline_trace is trace
+    assert tuned.isolated_seconds == isolated
+    assert cache.hits >= 1
+
+
+def test_cached_equals_fresh():
+    program, spec = make_phased_program(outer=4)
+    machine = core2quad_amp()
+    warm = PipelineCache()
+    tune_program(program, LoopStrategy(20), machine, spec, cache=warm)
+    from_warm = tune_program(program, LoopStrategy(20), machine, spec, cache=warm)
+    from_cold = tune_program(
+        program, LoopStrategy(20), machine, spec, cache=PipelineCache()
+    )
+    assert from_warm.isolated_seconds == from_cold.isolated_seconds
+    assert from_warm.mark_count == from_cold.mark_count
+    assert [n for n in from_warm.tuned_trace.nodes] is not None
+    assert from_warm.tuned_trace.total_instrs() == pytest.approx(
+        from_cold.tuned_trace.total_instrs()
+    )
+
+
+def test_typed_blocks_cached():
+    program, _ = make_phased_program(outer=4)
+    cache = PipelineCache()
+    first = typed_blocks(program, cache=cache)
+    second = typed_blocks(program, cache=cache)
+    assert second is first
+    assert cache.stats()["hits"] == 1
+
+
+def test_instrument_cached_reuses_typing_level():
+    program, _ = make_phased_program(outer=4)
+    cache = PipelineCache()
+    typed_blocks(program, cache=cache)
+    instrument_cached(program, LoopStrategy(20), cache=cache)
+    # The instrumented build found the typing already cached.
+    assert cache.hits >= 1
+
+
+def test_stats_and_clear():
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache()
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    stats = cache.stats()
+    assert stats["entries"] == len(cache) > 0
+    assert stats["hits"] == 1
+    assert 0.0 < stats["hit_rate"] < 1.0
+    cache.reset_stats()
+    assert cache.stats()["hits"] == 0
+    assert len(cache) > 0
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_default_cache_is_process_wide():
+    assert default_cache() is default_cache()
