@@ -46,8 +46,34 @@ class SchedulingError(SimulationError):
     """Raised by schedulers, e.g. an affinity mask excluding every core."""
 
 
+class AffinitySyscallError(SchedulingError):
+    """An injected ``sched_setaffinity`` failure (EPERM/EINVAL-style).
+
+    Raised by the fault injector when an affinity syscall is chosen to
+    fail; the executor catches it, leaves the mask unchanged, and
+    notifies the runtime so it can degrade gracefully.
+    """
+
+    def __init__(self, errno_name: str, pid: int | None = None):
+        self.errno_name = errno_name
+        self.pid = pid
+        suffix = f" (pid {pid})" if pid is not None else ""
+        super().__init__(f"sched_setaffinity failed with {errno_name}{suffix}")
+
+
 class CounterError(SimulationError):
     """Raised by the performance-counter subsystem for invalid usage."""
+
+
+class FaultError(SimulationError):
+    """Raised when a fault-injection plan is malformed (bad rates, core
+    ids out of range, negative event times)."""
+
+
+class CacheCorruptionError(ReproError):
+    """Raised when a :class:`~repro.tuning.pipeline.PipelineCache`
+    integrity check finds an entry whose stored key digest no longer
+    matches its key."""
 
 
 class WorkloadError(ReproError):
@@ -56,3 +82,8 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is inconsistent."""
+
+
+class TaskTimeoutError(ExperimentError):
+    """Raised when a harness task exceeds its per-task timeout and no
+    retries remain."""

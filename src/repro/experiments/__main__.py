@@ -2,50 +2,76 @@
 
 Usage::
 
-    python -m repro.experiments            # everything (a few minutes)
-    python -m repro.experiments fig3 table2  # just the named ones
+    python -m repro.experiments                 # everything (a few minutes)
+    python -m repro.experiments fig3 table2     # just the named ones
+    python -m repro.experiments --jobs 4 --log fig6   # 4 workers, progress
+
+``--jobs`` caps the harness worker pool (overriding ``REPRO_JOBS``;
+``--jobs 1`` runs serially) and ``--log`` prints one progress line per
+completed sweep point to stderr.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.experiments import extras, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2
 from repro.experiments.config import ExperimentConfig
 
 
-def _run_fig3():
+def _run_fig3(jobs, log):
     print(fig3.format_result(fig3.run()))
 
 
-def _run_table1():
-    result = table1.run()
+def _run_table1(jobs, log):
+    result = table1.run(jobs=jobs, log=log)
     print(table1.format_result(result))
     print()
     print(fig5.format_result(fig5.run(result)))
 
 
-def _run_fig4():
+def _run_fig4(jobs, log):
     config = ExperimentConfig(slots=84, interval=400.0, seed=101)
-    print(fig4.format_result(fig4.run(config)))
+    print(fig4.format_result(fig4.run(config, jobs=jobs, log=log)))
 
 
-def _run_fig6():
-    print(fig6.format_result(fig6.run(ExperimentConfig.paper(), strategy="Loop[45]")))
+def _run_fig6(jobs, log):
+    print(
+        fig6.format_result(
+            fig6.run(
+                ExperimentConfig.paper(), strategy="Loop[45]", jobs=jobs, log=log
+            )
+        )
+    )
 
 
-def _run_fig7():
-    print(fig7.format_result(fig7.run(ExperimentConfig.paper(), strategy="Loop[45]")))
+def _run_fig7(jobs, log):
+    print(
+        fig7.format_result(
+            fig7.run(
+                ExperimentConfig.paper(), strategy="Loop[45]", jobs=jobs, log=log
+            )
+        )
+    )
 
 
-def _run_table2():
-    result = table2.run(ExperimentConfig.fairness_paper())
+def _run_table2(jobs, log):
+    result = table2.run(ExperimentConfig.fairness_paper(), jobs=jobs, log=log)
     print(table2.format_result(result))
     print()
     print(fig8.format_result(fig8.run(table2=result)))
 
 
-def _run_extras():
+def _run_faults(jobs, log):
+    print(
+        extras.format_fault_resilience(
+            extras.fault_resilience(jobs=jobs, log=log)
+        )
+    )
+
+
+def _run_extras(jobs, log):
     print(extras.format_atom(extras.atom_comparison()))
     accuracy = extras.typing_accuracy()
     print(
@@ -53,9 +79,17 @@ def _run_extras():
         f"loops misclassified ({accuracy.error_rate:.1%}; paper ~15%)"
     )
     print()
-    print(extras.format_sweep(extras.lookahead_sweep(ExperimentConfig.paper())))
+    print(
+        extras.format_sweep(
+            extras.lookahead_sweep(ExperimentConfig.paper(), jobs=jobs, log=log)
+        )
+    )
     print()
-    print(extras.format_sweep(extras.min_size_sweep(ExperimentConfig.paper())))
+    print(
+        extras.format_sweep(
+            extras.min_size_sweep(ExperimentConfig.paper(), jobs=jobs, log=log)
+        )
+    )
     three = extras.three_core_speedup(ExperimentConfig.paper())
     print(
         f"\n3-core AMP: avg {three.average_time_decrease:+.2f}%, "
@@ -87,19 +121,53 @@ _EXPERIMENTS = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "table2": _run_table2,
+    "faults": _run_faults,
     "extras": _run_extras,
 }
 
 
-def main(names) -> None:
-    chosen = names or list(_EXPERIMENTS)
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments and print their tables.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="experiment",
+        help=f"experiments to run (default: all): {', '.join(_EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="harness worker processes (default: REPRO_JOBS or cpu count; "
+        "1 = serial)",
+    )
+    parser.add_argument(
+        "--log",
+        action="store_true",
+        help="print per-task sweep progress to stderr",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv) -> None:
+    args = _parse_args(argv)
+    log = (
+        (lambda line: print(line, file=sys.stderr, flush=True))
+        if args.log
+        else None
+    )
+    chosen = args.names or list(_EXPERIMENTS)
     for name in chosen:
         if name not in _EXPERIMENTS:
             raise SystemExit(
                 f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
             )
         print(f"===== {name} =====")
-        _EXPERIMENTS[name]()
+        _EXPERIMENTS[name](args.jobs, log)
         print()
 
 

@@ -21,6 +21,10 @@
   workload shock.
 * :func:`typing_accuracy` — §II-A3: the static block typer
   "miss-classifies only about 15% of loops" against observed behaviour.
+* :func:`fault_resilience` — robustness extension: sweep the injected
+  fault rate (counter failures, corrupt reads, affinity errors,
+  hotplug, DVFS — :mod:`repro.sim.faults`) and measure how gracefully
+  the hardened runtime's throughput advantage degrades.
 """
 
 from __future__ import annotations
@@ -286,21 +290,23 @@ def multithreaded_comparison(
     segregation only matters on a loaded machine.
     """
     from repro.instrument.marker import parse_strategy
-    from repro.instrument.rewriter import instrument
     from repro.sim.executor import Simulation
     from repro.sim.process import SimProcess, Trace, spawn_thread_group
-    from repro.sim.tracegen import TraceGenerator
+    from repro.tuning.pipeline import baseline_binary, tune_program
     from repro.tuning.runtime import PhaseTuningRuntime
     from repro.workloads.spec import spec_benchmark
 
     machine = core2quad_amp()
     bench = spec_benchmark("172.mgrid")
-    instrumented = instrument(bench.program, parse_strategy(strategy))
-    generator = TraceGenerator(machine)
-    tuned_trace = generator.generate(instrumented, bench.spec)
-    stock_trace = generator.generate(bench.program, bench.spec)
+    tuned = tune_program(
+        bench.program, parse_strategy(strategy), machine, bench.spec
+    )
+    tuned_trace = tuned.tuned_trace
+    stock_trace = tuned.baseline_trace
     streamer = spec_benchmark("459.GemsFDTD")
-    streamer_trace = generator.generate(streamer.program, streamer.spec)
+    streamer_trace, _ = baseline_binary(
+        streamer.program, machine, streamer.spec
+    )
 
     def run(trace_template, runtime):
         simulation = Simulation(machine, runtime=runtime)
@@ -373,10 +379,9 @@ def feedback_adaptation(
     process's instructions retired within the horizon under both.
     """
     from repro.instrument.marker import LoopStrategy
-    from repro.instrument.rewriter import instrument
     from repro.sim.executor import Simulation
     from repro.sim.process import SimProcess, Trace
-    from repro.sim.tracegen import BehaviorSpec, TraceGenerator
+    from repro.tuning.pipeline import baseline_binary, tune_program
     from repro.tuning.runtime import PhaseTuningRuntime
     from repro.workloads.synthetic import (
         PhaseSpec,
@@ -386,7 +391,6 @@ def feedback_adaptation(
     )
 
     machine = core2quad_amp()
-    generator = TraceGenerator(machine)
 
     # Long enough that most of the victim's life is post-shock.
     victim = build_benchmark(
@@ -398,8 +402,9 @@ def feedback_adaptation(
         outer_trips=40_000,
         cold_procs=2,
     )
-    instrumented = instrument(victim.program, LoopStrategy(20))
-    victim_trace = generator.generate(instrumented, victim.spec)
+    victim_trace = tune_program(
+        victim.program, LoopStrategy(20), machine, victim.spec
+    ).tuned_trace
 
     hog = build_benchmark(
         "hog",
@@ -407,7 +412,7 @@ def feedback_adaptation(
         outer_trips=200,
         cold_procs=0,
     )
-    hog_trace = generator.generate(hog.program, hog.spec)
+    hog_trace, _ = baseline_binary(hog.program, machine, hog.spec)
 
     def run(runtime):
         simulation = Simulation(machine, runtime=runtime)
@@ -484,6 +489,156 @@ def typing_accuracy(ipc_threshold: float = 0.1) -> TypingAccuracyResult:
             if static_loop.dominant_type != profile_loop.dominant_type:
                 wrong += 1
     return TypingAccuracyResult(total, wrong)
+
+
+# -- robustness: fault-rate sweep -------------------------------------------------
+
+#: Hardened-runtime settings used at every fault rate (including 0) so
+#: the sweep varies exactly one thing: the injected fault rate.
+HARDENED_RUNTIME_KWARGS = dict(
+    samples_per_type=3,
+    max_monitor_retries=16,
+    max_affinity_failures=4,
+)
+
+
+@dataclass
+class FaultResilienceRow:
+    """One fault-rate point of the resilience sweep.
+
+    Attributes:
+        rate: the abstract fault rate fed to
+            :meth:`~repro.sim.faults.FaultPlan.scaled`.
+        baseline_throughput: stock-scheduler instructions within the
+            interval, under the same fault plan.
+        tuned_throughput: hardened-runtime instructions.
+        improvement: tuned-over-baseline throughput improvement (%).
+        degradations: degradation-log entries the runtime recorded.
+        invalidations: decided assignments discarded after hotplug/DVFS.
+        degraded_decisions: phase types that fell back to FREE after
+            exhausting counter retries.
+        affinity_errors: failed affinity syscalls observed.
+        rejected_samples: non-finite/non-positive IPC readings dropped.
+    """
+
+    rate: float
+    baseline_throughput: float
+    tuned_throughput: float
+    improvement: float
+    degradations: int
+    invalidations: int
+    degraded_decisions: int
+    affinity_errors: int
+    rejected_samples: int
+
+
+@dataclass
+class FaultResilienceResult:
+    rows: list
+
+    @property
+    def rates(self) -> tuple:
+        return tuple(row.rate for row in self.rows)
+
+    @property
+    def improvements(self) -> list:
+        return [row.improvement for row in self.rows]
+
+
+def _fault_resilience_point(task: tuple) -> FaultResilienceRow:
+    """Harness worker: baseline + hardened-tuned run under one plan."""
+    from repro.sim.faults import FaultPlan
+    from repro.tuning.runtime import PhaseTuningRuntime
+
+    config, strategy, workload, rate, seed = task
+    machine = config.resolved_machine()
+    plan = FaultPlan.scaled(rate, machine, config.interval, seed=seed)
+    baseline = run_baseline(config, workload, faults=plan)
+    runtime = PhaseTuningRuntime(
+        machine,
+        config.ipc_threshold,
+        tie_policy=config.tie_policy,
+        **HARDENED_RUNTIME_KWARGS,
+    )
+    tuned = run_technique(
+        config, strategy, workload=workload, runtime=runtime, faults=plan
+    )
+    return FaultResilienceRow(
+        rate,
+        baseline.instructions,
+        tuned.instructions,
+        throughput_improvement(
+            baseline.result, tuned.result, config.interval
+        ),
+        len(runtime.degradation_log),
+        runtime.invalidations,
+        runtime.degraded_decisions,
+        runtime.affinity_errors,
+        runtime.rejected_samples,
+    )
+
+
+def fault_resilience(
+    config: ExperimentConfig = None,
+    rates=(0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3),
+    strategy: str = "Loop[45]",
+    seed: int = 7,
+    jobs=None,
+    log=None,
+) -> FaultResilienceResult:
+    """Sweep the injected fault rate; measure graceful degradation.
+
+    At every rate (including 0) both runs execute under the *same*
+    seeded :class:`~repro.sim.faults.FaultPlan` and the tuned run uses
+    the same hardened runtime settings, so the only independent
+    variable is the fault rate.  A robust runtime keeps a positive
+    throughput improvement that shrinks smoothly as the machine gets
+    more hostile — no crash, no cliff to zero.
+    """
+    from repro.experiments.harness import derive_seed
+
+    config = config or ExperimentConfig.paper()
+    workload = make_workload(config)
+    tasks = [
+        (config, strategy, workload, rate, derive_seed(seed, "fault", rate))
+        for rate in rates
+    ]
+    rows = run_tasks(
+        _fault_resilience_point,
+        tasks,
+        jobs=jobs,
+        log=log,
+        labels=[f"fault rate {rate:g}" for rate in rates],
+    )
+    return FaultResilienceResult(list(rows))
+
+
+def format_fault_resilience(result: FaultResilienceResult) -> str:
+    rows = [
+        (
+            f"{row.rate:g}",
+            f"{row.baseline_throughput:.3e}",
+            f"{row.tuned_throughput:.3e}",
+            f"{row.improvement:+.2f}",
+            f"{row.degradations}",
+            f"{row.invalidations}",
+            f"{row.degraded_decisions}",
+        )
+        for row in result.rows
+    ]
+    return format_table(
+        (
+            "fault rate",
+            "stock instrs",
+            "tuned instrs",
+            "improvement %",
+            "degradations",
+            "re-explores",
+            "FREE fallbacks",
+        ),
+        rows,
+        title="Throughput improvement under fault injection",
+    )
 
 
 if __name__ == "__main__":

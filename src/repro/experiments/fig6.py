@@ -42,13 +42,20 @@ def run(
     strategy: str = FIG6_STRATEGY,
     jobs=None,
     log=None,
+    faults=None,
 ) -> Fig6Result:
     config = config or ExperimentConfig.paper()
     workload = make_workload(config)
-    baseline = run_baseline(config, workload)
+    baseline = run_baseline(config, workload, faults=faults)
+    if faults is None:
+        tasks = [(config, strategy, workload, delta) for delta in deltas]
+    else:
+        tasks = [
+            (config, strategy, workload, delta, faults) for delta in deltas
+        ]
     tuned_runs = run_tasks(
         run_technique_point,
-        [(config, strategy, workload, delta) for delta in deltas],
+        tasks,
         jobs=jobs,
         log=log,
         labels=[f"delta={delta}" for delta in deltas],

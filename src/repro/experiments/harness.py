@@ -33,11 +33,16 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, TaskTimeoutError
+
+#: Placeholder for a task slot whose result has not been produced yet
+#: (distinguishes "not run" from a legitimate ``None`` result).
+_UNSET = object()
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -85,6 +90,8 @@ def run_tasks(
     jobs: Optional[int] = None,
     log: Optional[Callable] = None,
     labels: Optional[Sequence[str]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> list:
     """Evaluate ``fn(task)`` for every task, results in task order.
 
@@ -98,11 +105,20 @@ def run_tasks(
             completed task (completion order in the parallel path).
         labels: display names per task for *log*; repr of the task by
             default.
+        timeout: per-task wall-clock budget in seconds, measured from
+            submission (give queueing headroom: a task may briefly wait
+            behind a sibling).  A task over budget is abandoned and
+            resubmitted while *retries* remain.  Only enforced on the
+            pool path — serial execution cannot interrupt a call.
+        retries: resubmissions allowed per task after a timeout.
 
     Raises:
-        ExperimentError: a worker died without reporting an exception
-            (e.g. killed by the OS).  Exceptions raised *inside* ``fn``
-            propagate unchanged.
+        TaskTimeoutError: a task exceeded *timeout* on its last allowed
+            attempt.
+        ExperimentError: invalid arguments.  Exceptions raised *inside*
+            ``fn`` propagate unchanged.  If the worker pool itself dies
+            (a worker killed by the OS), the surviving tasks are rerun
+            serially in-process instead of raising.
     """
     tasks = list(tasks)
     total = len(tasks)
@@ -112,6 +128,10 @@ def run_tasks(
         raise ExperimentError(
             f"got {len(labels)} labels for {total} tasks"
         )
+    if timeout is not None and timeout <= 0:
+        raise ExperimentError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
     if total == 0:
         return []
 
@@ -124,37 +144,108 @@ def run_tasks(
                 log(f"[{index + 1}/{total}] {labels[index]}")
         return results
 
-    results = [None] * total
+    results = [_UNSET] * total
+    try:
+        _run_pool(fn, tasks, labels, jobs, log, timeout, retries, results)
+    except BrokenProcessPool:
+        # A worker died without reporting an exception (OOM-killed,
+        # segfaulted C extension, ...).  The pool is unusable, but the
+        # sweep need not be lost: rerun whatever is incomplete serially
+        # in-process, where a real traceback surfaces if fn itself is
+        # the culprit.
+        incomplete = [i for i in range(total) if results[i] is _UNSET]
+        if log is not None:
+            log(
+                f"worker pool died; rerunning {len(incomplete)} "
+                f"unfinished task(s) serially"
+            )
+        for count, index in enumerate(incomplete):
+            results[index] = fn(tasks[index])
+            if log is not None:
+                log(f"[serial {count + 1}/{len(incomplete)}] {labels[index]}")
+    return results
+
+
+def _run_pool(
+    fn: Callable,
+    tasks: list,
+    labels: Sequence[str],
+    jobs: int,
+    log: Optional[Callable],
+    timeout: Optional[float],
+    retries: int,
+    results: list,
+) -> None:
+    """Pool path of :func:`run_tasks`, filling *results* in place."""
+    total = len(tasks)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    index_of: dict = {}
+    deadline_of: dict = {}
+    attempts = [0] * total
+    pending: set = set()
+    next_task = 0
     done = 0
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+
+    def submit(index: int) -> None:
+        future = pool.submit(fn, tasks[index])
+        index_of[future] = index
+        if timeout is not None:
+            deadline_of[future] = time.monotonic() + timeout
+        pending.add(future)
+
+    def submit_up_to(limit: int) -> None:
         # Submit in chunks of one pool-width so a long tail of tasks
         # does not pile up queued pickles, then top the window up as
         # futures complete.
-        index_of = {}
-        pending = set()
-        next_task = 0
+        nonlocal next_task
+        while next_task < total and len(pending) < limit:
+            submit(next_task)
+            next_task += 1
 
-        def submit_up_to(limit: int) -> None:
-            nonlocal next_task
-            while next_task < total and len(pending) < limit:
-                future = pool.submit(fn, tasks[next_task])
-                index_of[future] = next_task
-                pending.add(future)
-                next_task += 1
-
+    try:
         submit_up_to(2 * jobs)
         while pending:
-            completed, pending = wait(pending, return_when=FIRST_COMPLETED)
+            wait_timeout = None
+            if timeout is not None:
+                nearest = min(deadline_of[f] for f in pending)
+                wait_timeout = max(0.0, nearest - time.monotonic())
+            completed, pending = wait(
+                pending, timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
             for future in completed:
                 index = index_of.pop(future)
-                try:
-                    results[index] = future.result()
-                except BrokenProcessPool as exc:  # pragma: no cover
-                    raise ExperimentError(
-                        f"worker running task {labels[index]} died: {exc}"
-                    ) from exc
+                deadline_of.pop(future, None)
+                results[index] = future.result()
                 done += 1
                 if log is not None:
                     log(f"[{done}/{total}] {labels[index]}")
+            if timeout is not None:
+                now = time.monotonic()
+                expired = [f for f in pending if deadline_of[f] <= now]
+                for future in expired:
+                    if future.done():
+                        continue  # finished just now; collected next loop
+                    # Abandon the future: a running worker cannot be
+                    # killed, but the result slot can be refilled by a
+                    # fresh attempt while the straggler burns out.
+                    future.cancel()
+                    pending.discard(future)
+                    index = index_of.pop(future)
+                    deadline_of.pop(future)
+                    attempts[index] += 1
+                    if attempts[index] > retries:
+                        raise TaskTimeoutError(
+                            f"task {labels[index]} exceeded {timeout:g}s "
+                            f"(attempt {attempts[index]}, retries={retries})"
+                        )
+                    if log is not None:
+                        log(
+                            f"task {labels[index]} exceeded {timeout:g}s; "
+                            f"retry {attempts[index]}/{retries}"
+                        )
+                    submit(index)
             submit_up_to(2 * jobs)
-    return results
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=False)

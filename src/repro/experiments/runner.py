@@ -59,15 +59,24 @@ def make_workload(config: ExperimentConfig) -> Workload:
 
 
 def run_baseline(
-    config: ExperimentConfig, workload: Optional[Workload] = None
+    config: ExperimentConfig,
+    workload: Optional[Workload] = None,
+    faults=None,
 ) -> TechniqueOutcome:
-    """Run the stock-Linux-scheduler baseline."""
+    """Run the stock-Linux-scheduler baseline.
+
+    Args:
+        faults: optional :class:`~repro.sim.faults.FaultPlan` perturbing
+            the run (fault-resilience experiments); ``None`` (default)
+            runs fault-free.
+    """
     workload = workload or make_workload(config)
     run = WorkloadRun(workload, config.resolved_machine())
     result = run.run(
         config.interval,
         contention_alpha=config.contention_alpha,
         pollution_beta=config.pollution_beta,
+        faults=faults,
     )
     return _outcome("linux", result, config.interval)
 
@@ -79,6 +88,7 @@ def run_technique(
     delta: Optional[float] = None,
     typing_overrides: Optional[dict] = None,
     runtime=None,
+    faults=None,
 ) -> TechniqueOutcome:
     """Run one phase-based-tuning variant.
 
@@ -87,6 +97,8 @@ def run_technique(
         delta: override the config's IPC threshold.
         typing_overrides: per-benchmark typings (error injection).
         runtime: override the runtime entirely (e.g. switch-to-all).
+        faults: optional :class:`~repro.sim.faults.FaultPlan` perturbing
+            the run; ``None`` (default) runs fault-free.
     """
     workload = workload or make_workload(config)
     run = WorkloadRun(
@@ -100,6 +112,7 @@ def run_technique(
         runtime=runtime if runtime is not None else config.make_runtime(delta),
         contention_alpha=config.contention_alpha,
         pollution_beta=config.pollution_beta,
+        faults=faults,
     )
     return _outcome(strategy_name, result, config.interval)
 
@@ -107,9 +120,13 @@ def run_technique(
 def run_technique_point(task: tuple) -> TechniqueOutcome:
     """Harness worker: one technique run from a picklable task tuple.
 
-    ``task`` is ``(config, strategy_name, workload, delta)``; module
-    level so :func:`repro.experiments.harness.run_tasks` can ship it to
-    pool workers.
+    ``task`` is ``(config, strategy_name, workload, delta)`` with an
+    optional trailing ``faults`` plan; module level so
+    :func:`repro.experiments.harness.run_tasks` can ship it to pool
+    workers.
     """
-    config, strategy_name, workload, delta = task
-    return run_technique(config, strategy_name, workload=workload, delta=delta)
+    config, strategy_name, workload, delta, *rest = task
+    faults = rest[0] if rest else None
+    return run_technique(
+        config, strategy_name, workload=workload, delta=delta, faults=faults
+    )

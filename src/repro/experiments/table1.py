@@ -62,7 +62,8 @@ class Table1Result:
 
 def _point(task) -> Table1Row:
     """Harness worker: one benchmark's isolated tuned run."""
-    name, delta, min_size = task
+    name, delta, min_size, *rest = task
+    faults = rest[0] if rest else None
     machine = core2quad_amp()
     benchmark = spec_benchmark(name)
     tuned = tune_program(
@@ -78,6 +79,7 @@ def _point(task) -> Table1Row:
     simulation = Simulation(
         machine,
         runtime=PhaseTuningRuntime(machine, delta, tie_policy="algorithm"),
+        faults=faults,
     )
     simulation.add_process(process, 0.0)
     result = simulation.run(10_000.0)
@@ -99,11 +101,16 @@ def run(
     benchmarks=SPEC_BENCHMARKS,
     jobs=None,
     log=None,
+    faults=None,
 ) -> Table1Result:
     """Run every benchmark alone under Loop[min_size]."""
+    if faults is None:
+        tasks = [(name, delta, min_size) for name in benchmarks]
+    else:
+        tasks = [(name, delta, min_size, faults) for name in benchmarks]
     rows = run_tasks(
         _point,
-        [(name, delta, min_size) for name in benchmarks],
+        tasks,
         jobs=jobs,
         log=log,
         labels=list(benchmarks),

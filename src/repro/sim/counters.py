@@ -44,27 +44,62 @@ class CounterBank:
     Attributes:
         n_cores: number of cores.
         slots_per_core: concurrent sessions a core supports.
+        acquisitions: granted sessions.
+        rejections: raw failed acquisition attempts (every retry counts).
+        wait_episodes: distinct wait periods — a process that is refused,
+            refused again, and finally granted contributes *one* episode,
+            however many retries the deferral took.  This is the paper's
+            "programs seldom have to wait" statistic; ``rejections``
+            would overstate it by the retry count.
+        waited_grants: grants that ended a wait episode.
+        injector: optional fault injector adding spurious failures and
+            slot outages (:mod:`repro.sim.faults`).
     """
 
     n_cores: int
     slots_per_core: int = 2
     acquisitions: int = 0
     rejections: int = 0
+    wait_episodes: int = 0
+    waited_grants: int = 0
     _open: dict = field(default_factory=dict)  # core_id -> count
+    _waiting: set = field(default_factory=set)  # pids mid-episode
+    injector: Optional[object] = field(default=None, repr=False, compare=False)
 
     def try_acquire(
-        self, core_id: int, pid: int, instrs: float, cycles: float
+        self,
+        core_id: int,
+        pid: int,
+        instrs: float,
+        cycles: float,
+        now: float = 0.0,
     ) -> Optional[CounterSession]:
         """Acquire a slot on *core_id*; ``None`` when all are busy."""
         if not 0 <= core_id < self.n_cores:
             raise CounterError(f"core id {core_id} out of range")
+        slots = self.slots_per_core
+        injector = self.injector
+        if injector is not None:
+            slots -= injector.slots_unavailable(core_id, now)
+            if injector.counter_acquire_fails(core_id, now):
+                self._note_rejection(pid)
+                return None
         in_use = self._open.get(core_id, 0)
-        if in_use >= self.slots_per_core:
-            self.rejections += 1
+        if in_use >= slots:
+            self._note_rejection(pid)
             return None
         self._open[core_id] = in_use + 1
         self.acquisitions += 1
+        if pid in self._waiting:
+            self._waiting.discard(pid)
+            self.waited_grants += 1
         return CounterSession(core_id, pid, instrs, cycles)
+
+    def _note_rejection(self, pid: int) -> None:
+        self.rejections += 1
+        if pid not in self._waiting:
+            self._waiting.add(pid)
+            self.wait_episodes += 1
 
     def release(self, session: CounterSession) -> None:
         """Release *session*'s slot.
@@ -83,3 +118,17 @@ class CounterBank:
         if total == 0:
             return 0.0
         return self.rejections / total
+
+    @property
+    def wait_rate(self) -> float:
+        """Fraction of logical counter requests that had to wait.
+
+        A logical request is either granted directly or opens one wait
+        episode (that may or may not be granted later); deferred retries
+        within an episode do not inflate the statistic.
+        """
+        direct_grants = self.acquisitions - self.waited_grants
+        requests = direct_grants + self.wait_episodes
+        if requests == 0:
+            return 0.0
+        return self.wait_episodes / requests

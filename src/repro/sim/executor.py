@@ -26,9 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import SimulationError
+from repro.errors import AffinitySyscallError, FaultError, SimulationError
 from repro.instrument.phase_mark import MARK_FIRE_CYCLES
 from repro.sim.events import EventQueue
+from repro.sim.faults import DvfsEvent, FaultInjector, FaultPlan, HotplugEvent
 from repro.sim.memory import MemoryModel
 from repro.sim.machine import MachineConfig
 from repro.sim.process import Segment, SimProcess
@@ -114,6 +115,10 @@ class Simulation:
             neighbour's working set.
         on_complete: callback ``(process, now) -> Optional[SimProcess]``;
             a returned process is admitted immediately (job queues).
+        faults: optional :class:`~repro.sim.faults.FaultPlan` (or a
+            prebuilt :class:`~repro.sim.faults.FaultInjector`).  ``None``
+            — and a null plan — leave the run bit-identical to an
+            injector-free simulation.
     """
 
     def __init__(
@@ -125,6 +130,7 @@ class Simulation:
         pollution_beta: float = 0.6,
         on_complete: Optional[Callable] = None,
         memory: Optional[MemoryModel] = None,
+        faults=None,
     ):
         self.machine = machine
         self.scheduler = scheduler or LinuxO1Scheduler()
@@ -145,6 +151,36 @@ class Simulation:
         self._core_idle = [True] * n_cores
         self._core_idle_since = [0.0] * n_cores
         self._core_stall_frac = [0.0] * n_cores
+        self._core_offline = [False] * n_cores
+        self._core_freq_scale = [1.0] * n_cores
+        # Degradation hooks a hardened runtime may expose; resolved once
+        # here so the hot path pays no getattr per mark.
+        self._notify_affinity = (
+            getattr(runtime, "on_affinity_result", None)
+            if runtime is not None
+            else None
+        )
+        self._notify_machine = (
+            getattr(runtime, "on_machine_event", None)
+            if runtime is not None
+            else None
+        )
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None:
+            if isinstance(faults, FaultPlan):
+                self.faults = FaultInjector(faults, machine)
+            elif isinstance(faults, FaultInjector):
+                self.faults = faults
+            else:
+                raise FaultError(
+                    f"faults must be a FaultPlan or FaultInjector, "
+                    f"got {type(faults).__name__}"
+                )
+            for event in self.faults.scheduled_events():
+                self._events.push(event.time, ("fault", event))
+            attach = getattr(runtime, "attach_faults", None)
+            if attach is not None:
+                attach(self.faults)
         self._l2_neighbors = tuple(
             tuple(machine.l2_neighbors(c.cid)) for c in machine.cores
         )
@@ -167,6 +203,8 @@ class Simulation:
         self._events.push(at, ("arrive", proc))
 
     def _wake_core(self, core_id: int, now: float) -> None:
+        if self._core_offline[core_id]:
+            return
         if self._core_idle[core_id]:
             self._core_idle[core_id] = False
             self._result.idle_time_by_core[core_id] += max(
@@ -193,6 +231,8 @@ class Simulation:
                 self.scheduler.enqueue(proc, time)
             elif kind == "core":
                 self._core_turn(payload[1], time)
+            elif kind == "fault":
+                self._apply_fault(payload[1], time)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event {kind!r}")
 
@@ -208,6 +248,11 @@ class Simulation:
         return self._result
 
     def _core_turn(self, core_id: int, now: float) -> None:
+        if self._core_offline[core_id]:
+            self._core_idle[core_id] = True
+            self._core_idle_since[core_id] = now
+            self._core_stall_frac[core_id] = 0.0
+            return
         proc = self.scheduler.pick(core_id, now)
         if proc is None:
             self._core_idle[core_id] = True
@@ -233,7 +278,9 @@ class Simulation:
         core = self.machine.cores[core_id]
         ctype = core.ctype
         ctype_name = ctype.name
-        freq = ctype.freq_hz
+        # DVFS faults re-clock individual cores; the scale is exactly
+        # 1.0 (multiplication is a float no-op) in unfaulted runs.
+        freq = ctype.freq_hz * self._core_freq_scale[core_id]
         budget = self.scheduler.timeslice
         t = start
         proc.current_core = core_id
@@ -261,9 +308,17 @@ class Simulation:
                 budget -= cost_s
                 cursor.at_entry = False
                 if action.affinity is not None and action.affinity != proc.affinity:
+                    if self.faults is not None and not self._affinity_call_ok(
+                        proc, t
+                    ):
+                        # Injected sched_setaffinity failure: the call
+                        # was charged but the mask did not change.
+                        continue
                     proc.affinity = validate_affinity(
                         action.affinity, len(self.machine)
                     )
+                    if self.faults is not None and self._notify_affinity is not None:
+                        self._notify_affinity(proc, True, None, t)
                     if core_id not in proc.affinity:
                         # Core switch: charge migration and preempt.
                         switch_s = MIGRATION_CYCLES / freq
@@ -380,6 +435,50 @@ class Simulation:
                 switch_rate += thrash
                 overhead += thrash * MIGRATION_CYCLES
         return overhead, switch_rate
+
+    # -- fault handling ----------------------------------------------------------
+
+    def _affinity_call_ok(self, proc: SimProcess, now: float) -> bool:
+        """Whether this sched_setaffinity call survives injection; on
+        failure the runtime is notified so it can degrade."""
+        try:
+            self.faults.check_affinity_call(proc.pid, now)
+        except AffinitySyscallError as exc:
+            if self._notify_affinity is not None:
+                self._notify_affinity(proc, False, exc, now)
+            return False
+        return True
+
+    def _apply_fault(self, event, now: float) -> None:
+        """Apply one scheduled hotplug/DVFS event, refusing transitions
+        that would leave the machine unable to run anything."""
+        if isinstance(event, HotplugEvent):
+            cid = event.core_id
+            if event.online:
+                if not self._core_offline[cid]:
+                    self.faults.note_skipped(event)
+                    return
+                self._core_offline[cid] = False
+                self.scheduler.set_core_offline(cid, False, now)
+                self.faults.note_applied(event)
+                self._wake_core(cid, now)
+            else:
+                online = self._core_offline.count(False)
+                if self._core_offline[cid] or online <= 1:
+                    # Never take down the last online core.
+                    self.faults.note_skipped(event)
+                    return
+                self._core_offline[cid] = True
+                self._core_stall_frac[cid] = 0.0
+                self.scheduler.set_core_offline(cid, True, now)
+                self.faults.note_applied(event)
+        elif isinstance(event, DvfsEvent):
+            self._core_freq_scale[event.core_id] = event.scale
+            self.faults.note_applied(event)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown fault event {event!r}")
+        if self._notify_machine is not None:
+            self._notify_machine(event, now, tuple(self._core_freq_scale))
 
     def _account_throughput(self, t: float, instrs: float) -> None:
         bucket = int(t)

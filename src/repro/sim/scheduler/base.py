@@ -44,6 +44,14 @@ class Scheduler(abc.ABC):
     def queue_length(self, core_id: int) -> int:
         """Ready processes currently queued on *core_id*."""
 
+    def set_core_offline(self, core_id: int, offline: bool, now: float) -> None:
+        """A hotplug event took *core_id* offline (or brought it back).
+
+        Implementations with internal queues should migrate work queued
+        on an offlined core and stop placing new work there; the default
+        is a no-op for schedulers without placement state.
+        """
+
     def queued_processes(self) -> list:
         """All ready processes currently sitting in runqueues, in a
         deterministic (core-id, queue-position) order.

@@ -42,19 +42,50 @@ class LinuxO1Scheduler(Scheduler):
         self.timeslice = timeslice
         self.balance_interval = balance_interval
         self._queues: dict[int, deque] = {}
+        self._offline: set = set()
         self._last_balance = 0.0
         self.placements = 0
         self.steals = 0
         self.balance_moves = 0
+        self.affinity_breaks = 0
 
     def attach(self, machine: MachineConfig, waker) -> None:
         super().attach(machine, waker)
         self._queues = {c.cid: deque() for c in machine.cores}
+        self._offline = set()
+
+    # -- hotplug ----------------------------------------------------------------
+
+    def set_core_offline(self, core_id: int, offline: bool, now: float) -> None:
+        """Stop (or resume) placing work on *core_id*; migrate its queue."""
+        if offline:
+            self._offline.add(core_id)
+            stranded = list(self._queues[core_id])
+            self._queues[core_id].clear()
+            for proc in stranded:
+                self.enqueue(proc, now)
+        else:
+            self._offline.discard(core_id)
+
+    def _usable_mask(self, mask: frozenset) -> frozenset:
+        """Restrict *mask* to online cores, breaking the affinity
+        kernel-style (any online core) when every allowed core is down."""
+        if not self._offline:
+            return mask
+        usable = mask - self._offline
+        if usable:
+            return usable
+        usable = frozenset(self._queues) - self._offline
+        if not usable:
+            raise SchedulingError("every core is offline")
+        self.affinity_breaks += 1
+        return usable
 
     # -- queue operations ----------------------------------------------------
 
     def enqueue(self, proc: SimProcess, now: float) -> None:
         mask = validate_affinity(proc.affinity, len(self.machine))
+        mask = self._usable_mask(mask)
         target = pick_core(mask, self.load_map(), prefer=proc.current_core)
         self._queues[target].append(proc)
         self.placements += 1
@@ -62,13 +93,15 @@ class LinuxO1Scheduler(Scheduler):
 
     def requeue(self, proc: SimProcess, core_id: int, now: float) -> None:
         mask = validate_affinity(proc.affinity, len(self.machine))
-        if core_id in mask:
+        if core_id in mask and core_id not in self._offline:
             self._queues[core_id].append(proc)
             self.waker(core_id, now)
         else:
             self.enqueue(proc, now)
 
     def pick(self, core_id: int, now: float) -> Optional[SimProcess]:
+        if core_id in self._offline:
+            return None
         self._maybe_balance(now)
         queue = self._queues[core_id]
         if queue:
@@ -117,6 +150,14 @@ class LinuxO1Scheduler(Scheduler):
         while moved:
             moved = False
             load = self.load_map()
+            if self._offline:
+                load = {
+                    cid: length
+                    for cid, length in load.items()
+                    if cid not in self._offline
+                }
+                if len(load) < 2:
+                    return
             busiest = max(load, key=lambda cid: (load[cid], -cid))
             idlest = min(load, key=lambda cid: (load[cid], cid))
             if load[busiest] - load[idlest] < 2:

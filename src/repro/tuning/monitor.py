@@ -32,21 +32,37 @@ class PhaseState:
     """Per-process tuning state of one phase type.
 
     Attributes:
-        samples: observed IPC per core-type name.
+        samples: accepted IPC per core-type name (the value Algorithm 2
+            sees; under median-of-k sampling this is the median of
+            ``raw_samples``).
+        raw_samples: individual IPC observations per core-type name,
+            kept while collecting towards the runtime's
+            ``samples_per_type`` quota (outlier rejection).
         decided: the chosen core type once Algorithm 2 has run.
         firings: marks of this type fired so far (drives the optional
             feedback policy's re-sampling).
+        open_failures: consecutive failed counter acquisitions while
+            exploring; bounds the deferred retry (see the runtime's
+            ``max_monitor_retries``).
+        epoch: the runtime's machine epoch this state was built under;
+            a hotplug/DVFS event bumps the runtime epoch and stale
+            states re-explore at their next mark.
     """
 
     samples: dict = field(default_factory=dict)
+    raw_samples: dict = field(default_factory=dict)
     decided: Optional[CoreType] = None
     firings: int = 0
+    open_failures: int = 0
+    epoch: int = 0
 
     def reset(self) -> None:
-        """Forget everything (feedback adaptation)."""
+        """Forget everything (feedback adaptation / re-exploration)."""
         self.samples.clear()
+        self.raw_samples.clear()
         self.decided = None
         self.firings = 0
+        self.open_failures = 0
 
 
 @dataclass
@@ -83,8 +99,13 @@ class SectionMonitor:
         self._rng = random.Random(seed)
         self.completed_samples = 0
         self.discarded_samples = 0
+        #: Optional fault injector perturbing counter reads
+        #: (:mod:`repro.sim.faults`); ``None`` leaves reads untouched.
+        self.injector = None
 
-    def try_open(self, proc: SimProcess, phase_type: int, core) -> bool:
+    def try_open(
+        self, proc: SimProcess, phase_type: int, core, now: float = 0.0
+    ) -> bool:
         """Start measuring *proc*'s upcoming section on *core*.
 
         Returns False (and measures nothing) if the process already has
@@ -98,6 +119,7 @@ class SectionMonitor:
             proc.pid,
             proc.stats.instrs_by_type.get(ctype.name, 0.0),
             proc.stats.cycles_by_type.get(ctype.name, 0.0),
+            now=now,
         )
         if session is None:
             return False
@@ -132,4 +154,9 @@ class SectionMonitor:
         ipc = d_instrs / d_cycles
         if self.noise > 0:
             ipc *= 1.0 + self._rng.uniform(-self.noise, self.noise)
+        if self.injector is not None:
+            # Injected counter-read faults: extra noise and, rarely, a
+            # wildly corrupt reading (the runtime's outlier rejection is
+            # the defence, not this code path).
+            ipc *= self.injector.sample_read_factor()
         return (open_measurement.phase_type, name, ipc)

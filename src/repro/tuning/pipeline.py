@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Optional
 
+from repro.errors import CacheCorruptionError
 from repro.program.module import Program
 from repro.analysis.annotate import annotate_program
 from repro.analysis.block_typing import BlockTyping, StaticBlockTyper
@@ -116,6 +117,11 @@ def typing_fingerprint(typing: Optional[BlockTyping]) -> str:
 # -- the cache ------------------------------------------------------------------
 
 
+def _key_digest(key: tuple) -> str:
+    """Integrity digest of a cache key's full byte representation."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
 class PipelineCache:
     """Content-keyed memo for static-pipeline products.
 
@@ -123,22 +129,67 @@ class PipelineCache:
     so sharing entries across runs cannot change results — only skip
     recomputation.  Tracks hit/miss counts per level for the benchmark
     harness.
+
+    Every entry stores a sha256 digest of its key alongside the value;
+    each hit re-hashes the lookup key and compares (detecting a cache
+    whose entries were tampered with or damaged in transit — e.g. a
+    pickled copy shipped to a worker).  A corrupt entry is evicted and
+    rebuilt, or raised as :class:`~repro.errors.CacheCorruptionError`
+    under ``strict=True``.
+
+    Args:
+        strict: raise on a detected corruption instead of silently
+            rebuilding the entry.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = False) -> None:
         self._entries: dict = {}
+        self.strict = strict
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
 
     def get_or_build(self, key: tuple, build: Callable):
         entry = self._entries.get(key)
         if entry is not None:
-            self.hits += 1
-            return entry[0]
+            value, digest = entry
+            if digest == _key_digest(key):
+                self.hits += 1
+                return value
+            # The stored digest disagrees with the key that found the
+            # entry: the entry (or its key) was corrupted after insert.
+            self.corruptions += 1
+            del self._entries[key]
+            if self.strict:
+                raise CacheCorruptionError(
+                    f"pipeline cache entry for key {key[0]!r} failed its "
+                    f"integrity check"
+                )
         self.misses += 1
         value = build()
-        self._entries[key] = (value,)
+        self._entries[key] = (value, _key_digest(key))
         return value
+
+    def check_integrity(self) -> int:
+        """Re-hash every entry's key; evict and count the corrupt ones.
+
+        Returns the number of entries evicted.  Under ``strict=True``
+        raises on the first corruption instead.
+        """
+        corrupt = [
+            key
+            for key, (value, digest) in self._entries.items()
+            if digest != _key_digest(key)
+        ]
+        for key in corrupt:
+            self.corruptions += 1
+            del self._entries[key]
+            if self.strict:
+                raise CacheCorruptionError(
+                    f"pipeline cache entry for key {key[0]!r} failed its "
+                    f"integrity check"
+                )
+        return len(corrupt)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -147,10 +198,12 @@ class PipelineCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
 
     def stats(self) -> dict:
         total = self.hits + self.misses
@@ -159,6 +212,7 @@ class PipelineCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
+            "corruptions": self.corruptions,
         }
 
 

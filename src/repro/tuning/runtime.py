@@ -18,15 +18,45 @@ Per process and phase type the state machine is:
 The optional ``resample_after`` implements the Section VI-B feedback
 adaptation: a decided phase type is re-explored after that many firings
 so changed core behaviour (other processes coming and going) is tracked.
+
+Hardening (the degradation ladder)
+==================================
+
+Against an adversarial environment (:mod:`repro.sim.faults`) the runtime
+degrades instead of crashing, in order of escalation:
+
+1. *deferred retry* — a failed counter acquisition is retried at later
+   marks, exactly as before, but ``max_monitor_retries`` bounds the
+   episode: a counter-starved phase type falls back to ``FREE`` (stock
+   scheduling) rather than exploring forever;
+2. *outlier rejection* — with ``samples_per_type`` = k > 1, each
+   (phase type, core type) pair is measured k times and Algorithm 2
+   sees the median, so a corrupt counter read cannot flip a decision;
+3. *re-exploration* — hotplug/DVFS events bump the machine epoch; any
+   assignment decided under an older epoch is discarded at its next
+   mark and explored afresh;
+4. *stock fallback* — after ``max_affinity_failures`` consecutive
+   failed ``sched_setaffinity`` calls a process stops steering entirely
+   and runs under the stock scheduler.
+
+Every degradation is recorded in :attr:`PhaseTuningRuntime
+.degradation_log` (per-process, queryable via :meth:`degradations_for`).
+All hardening is opt-in or fault-triggered: with the default parameters
+and no injector attached, behaviour is bit-identical to the unhardened
+runtime.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+from statistics import median
 from typing import Optional
 
 from repro.instrument.phase_mark import MARK_MONITOR_CYCLES
 from repro.sim.counters import CounterBank
 from repro.sim.executor import MarkAction
+from repro.sim.faults import DvfsEvent, FaultInjector
 from repro.sim.machine import MachineConfig
 from repro.sim.process import SimProcess
 from repro.tuning.assignment import select_core_checked
@@ -39,6 +69,27 @@ AFFINITY_SYSCALL_CYCLES = 150.0
 #: Sentinel: Algorithm 2 found no significant gap, so the phase type is
 #: deliberately left unconstrained (see ``pin_ties``).
 FREE = "free"
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One rung taken down the degradation ladder.
+
+    Attributes:
+        time: simulation time of the degradation.
+        pid: affected process, or ``None`` for machine-wide events.
+        phase_type: affected phase type, if the degradation is per-type.
+        kind: ``"counter-starved"``, ``"affinity-fallback"``,
+            ``"re-explore"``, ``"corrupt-sample"``, ``"hotplug"`` or
+            ``"dvfs"``.
+        detail: human-readable specifics.
+    """
+
+    time: float
+    pid: Optional[int]
+    phase_type: Optional[int]
+    kind: str
+    detail: str = ""
 
 
 class PhaseTuningRuntime:
@@ -79,6 +130,19 @@ class PhaseTuningRuntime:
             is core-invariant and memory-bound code shows higher IPC on
             slow cores.  Both are measurable with PAPI-era counters; the
             reference metric reproduces the paper's reported behaviour.
+        samples_per_type: IPC samples collected per (phase type, core
+            type) pair before Algorithm 2 may decide; the *median* of
+            the collected samples is used, so k >= 3 rejects a corrupt
+            counter read as an outlier.  1 (default) reproduces the
+            single-sample behaviour bit for bit.
+        max_monitor_retries: bound on consecutive failed counter
+            acquisitions while exploring one phase type; when exhausted
+            the type degrades to ``FREE`` instead of exploring forever.
+            ``None`` (default) retries indefinitely — the paper's
+            "programs wait for access to the counters".
+        max_affinity_failures: consecutive failed affinity syscalls
+            after which a process abandons core steering and runs under
+            the stock scheduler (reachable only under fault injection).
     """
 
     def __init__(
@@ -92,6 +156,9 @@ class PhaseTuningRuntime:
         monitor_noise: float = 0.02,
         seed: int = 0,
         cycle_metric: str = "reference",
+        samples_per_type: int = 1,
+        max_monitor_retries: Optional[int] = None,
+        max_affinity_failures: int = 3,
     ):
         self.machine = machine
         self.core_types = machine.core_types()
@@ -107,10 +174,114 @@ class PhaseTuningRuntime:
         if cycle_metric not in ("reference", "core"):
             raise ValueError(f"unknown cycle metric {cycle_metric!r}")
         self.cycle_metric = cycle_metric
+        if samples_per_type < 1:
+            raise ValueError(
+                f"samples_per_type must be >= 1, got {samples_per_type}"
+            )
+        self.samples_per_type = samples_per_type
+        if max_monitor_retries is not None and max_monitor_retries < 1:
+            raise ValueError(
+                f"max_monitor_retries must be >= 1 or None, "
+                f"got {max_monitor_retries}"
+            )
+        self.max_monitor_retries = max_monitor_retries
+        if max_affinity_failures < 1:
+            raise ValueError(
+                f"max_affinity_failures must be >= 1, got {max_affinity_failures}"
+            )
+        self.max_affinity_failures = max_affinity_failures
         self._ref_freq = max(ct.freq_ghz for ct in self.core_types)
         self._freq_by_name = {ct.name: ct.freq_ghz for ct in self.core_types}
         self.decisions = 0
         self.resamples = 0
+        # -- degradation-ladder state (inert without faults/bounds) --------
+        self.faults: Optional[FaultInjector] = None
+        self.machine_epoch = 0
+        self.degraded_decisions = 0
+        self.invalidations = 0
+        self.affinity_errors = 0
+        self.rejected_samples = 0
+        self.degradation_log: list = []
+        self._affinity_failures: dict = {}  # pid -> consecutive failures
+        self._affinity_blocked: dict = {}  # pid -> restore attempted?
+
+    # -- fault wiring ------------------------------------------------------
+
+    def attach_faults(self, injector: FaultInjector) -> None:
+        """Wire a fault injector into the measurement path.
+
+        Called by the simulation when it was built with a fault plan.
+        Only fault *delivery* is wired here — counter-slot sabotage and
+        corrupt reads; the hardening knobs (``samples_per_type`` etc.)
+        stay whatever the constructor set, so attaching a null plan
+        changes nothing.
+        """
+        self.faults = injector
+        self.counters.injector = injector
+        self.monitor.injector = injector
+
+    def on_machine_event(self, event, now: float, freq_scales=None) -> None:
+        """A hotplug or DVFS event changed the machine underneath us.
+
+        Bumps the machine epoch (decided assignments re-explore at
+        their next mark) and, when per-core frequency scales are given,
+        refreshes the reference-cycle conversion so new IPC samples are
+        normalised against the machine as it now runs.
+        """
+        self.machine_epoch += 1
+        if freq_scales is not None:
+            by_name = {}
+            for ctype in self.core_types:
+                cids = self.machine.cores_of_type(ctype)
+                scaled = [ctype.freq_ghz * freq_scales[cid] for cid in cids]
+                by_name[ctype.name] = sum(scaled) / len(scaled)
+            self._freq_by_name = by_name
+            self._ref_freq = max(by_name.values())
+        kind = "dvfs" if isinstance(event, DvfsEvent) else "hotplug"
+        self._log_degradation(now, None, None, kind, repr(event))
+
+    def on_affinity_result(
+        self, proc: SimProcess, ok: bool, error, now: float
+    ) -> None:
+        """Outcome of one affinity syscall the executor issued for us.
+
+        Consecutive failures per process are counted; at
+        ``max_affinity_failures`` the process falls back to the stock
+        scheduler (rung 4 of the ladder).  Any success resets the count.
+        """
+        pid = proc.pid
+        if ok:
+            self._affinity_failures.pop(pid, None)
+            return
+        self.affinity_errors += 1
+        count = self._affinity_failures.get(pid, 0) + 1
+        self._affinity_failures[pid] = count
+        if count >= self.max_affinity_failures and pid not in self._affinity_blocked:
+            self._affinity_blocked[pid] = False  # restore not yet attempted
+            self._log_degradation(
+                now,
+                pid,
+                None,
+                "affinity-fallback",
+                f"{count} consecutive affinity failures ({error}); "
+                f"pid {pid} falls back to the stock scheduler",
+            )
+
+    def _log_degradation(
+        self,
+        now: float,
+        pid: Optional[int],
+        phase_type: Optional[int],
+        kind: str,
+        detail: str = "",
+    ) -> None:
+        self.degradation_log.append(
+            DegradationEvent(now, pid, phase_type, kind, detail)
+        )
+
+    def degradations_for(self, pid: int) -> list:
+        """All logged degradation events affecting process *pid*."""
+        return [ev for ev in self.degradation_log if ev.pid == pid]
 
     # -- state access ------------------------------------------------------
 
@@ -143,12 +314,42 @@ class PhaseTuningRuntime:
         now: float,
     ) -> MarkAction:
         """Handle one mark firing; return the requested action."""
-        self._absorb_sample(proc)
+        self._absorb_sample(proc, now)
         if phase_type is None:
             return MarkAction()
 
         state = self._state(proc, phase_type)
         state.firings += 1
+
+        if state.epoch != self.machine_epoch:
+            # The machine changed under us (hotplug/DVFS): anything
+            # decided before the change may now be wrong — re-explore.
+            had_decision = state.decided is not None
+            state.reset()
+            state.firings = 1
+            state.epoch = self.machine_epoch
+            if had_decision:
+                self.invalidations += 1
+                self._log_degradation(
+                    now,
+                    proc.pid,
+                    phase_type,
+                    "re-explore",
+                    "machine epoch changed; decision discarded",
+                )
+
+        if proc.pid in self._affinity_blocked:
+            # Rung 4: affinity syscalls keep failing for this process.
+            # Try once to restore the full mask (best effort — the call
+            # itself may fail too), then stop steering entirely.
+            if not self._affinity_blocked[proc.pid]:
+                self._affinity_blocked[proc.pid] = True
+                if proc.affinity != self.machine.all_cores_mask:
+                    return MarkAction(
+                        affinity=self.machine.all_cores_mask,
+                        extra_cycles=AFFINITY_SYSCALL_CYCLES,
+                    )
+            return MarkAction()
 
         if (
             state.decided is not None
@@ -173,10 +374,34 @@ class PhaseTuningRuntime:
         # Exploring.
         current = core.ctype
         if current.name not in state.samples:
-            opened = self.monitor.try_open(proc, phase_type, core)
-            return MarkAction(
-                extra_cycles=MARK_MONITOR_CYCLES if opened else 0.0
-            )
+            opened = self.monitor.try_open(proc, phase_type, core, now)
+            if opened:
+                state.open_failures = 0
+                return MarkAction(extra_cycles=MARK_MONITOR_CYCLES)
+            if proc.monitor_session is None:
+                # A genuine acquisition failure (not merely a still-open
+                # measurement): rung 1, the bounded deferred retry.
+                state.open_failures += 1
+                if (
+                    self.max_monitor_retries is not None
+                    and state.open_failures >= self.max_monitor_retries
+                ):
+                    state.decided = FREE
+                    self.degraded_decisions += 1
+                    self._log_degradation(
+                        now,
+                        proc.pid,
+                        phase_type,
+                        "counter-starved",
+                        f"{state.open_failures} failed counter "
+                        f"acquisitions; degrading to FREE",
+                    )
+                    if proc.affinity != self.machine.all_cores_mask:
+                        return MarkAction(
+                            affinity=self.machine.all_cores_mask,
+                            extra_cycles=AFFINITY_SYSCALL_CYCLES,
+                        )
+            return MarkAction()
 
         missing = [ct for ct in self.core_types if ct.name not in state.samples]
         if missing:
@@ -202,22 +427,39 @@ class PhaseTuningRuntime:
 
     def on_process_end(self, proc: SimProcess, now: float) -> None:
         """Release any open measurement when a process exits."""
-        self._absorb_sample(proc)
+        self._absorb_sample(proc, now)
 
     # -- internals ----------------------------------------------------------
 
-    def _absorb_sample(self, proc: SimProcess) -> None:
+    def _absorb_sample(self, proc: SimProcess, now: float = 0.0) -> None:
         sample = self.monitor.close(proc)
         if sample is None:
             return
         phase_type, ctype_name, ipc = sample
+        if not math.isfinite(ipc) or ipc <= 0.0:
+            # A corrupt read so broken it is not even a number worth
+            # taking the median over; drop it on the floor.
+            self.rejected_samples += 1
+            self._log_degradation(
+                now, proc.pid, phase_type, "corrupt-sample", f"ipc={ipc!r}"
+            )
+            return
         if self.cycle_metric == "reference":
             # Convert instructions-per-core-cycle into instructions per
             # constant-rate reference cycle: wall-clock normalisation.
             ipc *= self._freq_by_name[ctype_name] / self._ref_freq
         state = self._state(proc, phase_type)
-        if state.decided is None and ctype_name not in state.samples:
+        if state.decided is not None or ctype_name in state.samples:
+            return
+        if self.samples_per_type <= 1:
             state.samples[ctype_name] = ipc
+            return
+        # Rung 2: collect k observations and let Algorithm 2 see the
+        # median, so one corrupt counter read cannot flip the decision.
+        raws = state.raw_samples.setdefault(ctype_name, [])
+        raws.append(ipc)
+        if len(raws) >= self.samples_per_type:
+            state.samples[ctype_name] = median(raws)
 
 
 class SwitchToAllRuntime:

@@ -166,6 +166,7 @@ class WorkloadRun:
         scheduler=None,
         contention_alpha: float = 0.4,
         pollution_beta: float = 0.6,
+        faults=None,
     ) -> SimulationResult:
         """Run the workload for *interval* simulated seconds.
 
@@ -173,6 +174,8 @@ class WorkloadRun:
             runtime: tuning runtime (pass one iff a strategy was given).
             scheduler: defaults to a fresh O(1)-like scheduler.
             contention_alpha / pollution_beta: executor knobs.
+            faults: optional :class:`~repro.sim.faults.FaultPlan` (or
+                injector) perturbing the run; ``None`` runs fault-free.
         """
         simulation = Simulation(
             self.machine,
@@ -181,6 +184,7 @@ class WorkloadRun:
             contention_alpha=contention_alpha,
             pollution_beta=pollution_beta,
             on_complete=lambda proc, now: self._spawn(proc.slot),
+            faults=faults,
         )
         for slot in range(self.workload.slots):
             simulation.add_process(self._spawn(slot), 0.0)

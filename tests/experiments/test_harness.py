@@ -1,8 +1,13 @@
 """Unit tests for the parallel experiment harness."""
 
+import multiprocessing
+import os
+import signal
+import time
+
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, TaskTimeoutError
 from repro.experiments.harness import derive_seed, run_tasks, worker_count
 
 
@@ -20,6 +25,30 @@ def _fail_on_three(task):
     if task == 3:
         raise ValueError("task three is broken")
     return task
+
+
+def _sleep_if_flagged(task):
+    """Hang on the first attempt, return on the retry (flag file)."""
+    value, flag_path = task
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("first attempt")
+        time.sleep(30.0)
+    return value
+
+
+def _sleep_forever(task):
+    time.sleep(30.0)
+    return task
+
+
+def _die_in_worker(task):
+    """SIGKILL the pool worker; return normally when rerun in-process."""
+    if task == "victim" and multiprocessing.current_process().name != (
+        "MainProcess"
+    ):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return f"done:{task}"
 
 
 # -- worker_count ---------------------------------------------------------------
@@ -130,3 +159,59 @@ def test_worker_exception_propagates(jobs):
 def test_env_drives_run_tasks(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "2")
     assert run_tasks(_square, [5, 6], log=None) == [25, 36]
+
+
+# -- timeouts, retries, fallback ------------------------------------------------
+
+
+def test_invalid_timeout_and_retries_rejected():
+    with pytest.raises(ExperimentError, match="timeout"):
+        run_tasks(_square, [1], jobs=1, timeout=0.0)
+    with pytest.raises(ExperimentError, match="retries"):
+        run_tasks(_square, [1], jobs=1, retries=-1)
+
+
+def test_timeout_raises_when_retries_exhausted():
+    # Two tasks so the pool path runs (a single task collapses to the
+    # serial path, where a hung call cannot be interrupted).
+    with pytest.raises(TaskTimeoutError, match="exceeded"):
+        run_tasks(
+            _sleep_forever,
+            ["hung-a", "hung-b"],
+            jobs=2,
+            timeout=0.3,
+            labels=["hung-a", "hung-b"],
+        )
+
+
+def test_timeout_retry_recovers(tmp_path):
+    """First attempt hangs; the resubmitted attempt returns promptly."""
+    flag = str(tmp_path / "attempted.flag")
+    steady = str(tmp_path / "steady.flag")
+    open(steady, "w").close()  # pre-flagged: returns immediately
+    lines = []
+    results = run_tasks(
+        _sleep_if_flagged,
+        [(7, flag), (8, steady)],
+        jobs=2,
+        timeout=1.0,
+        retries=2,
+        log=lines.append,
+        labels=["flaky", "steady"],
+    )
+    assert results == [7, 8]
+    assert any("retry" in line for line in lines)
+
+
+def test_timeout_leaves_fast_tasks_untouched():
+    results = run_tasks(_square, list(range(8)), jobs=4, timeout=60.0)
+    assert results == [i * i for i in range(8)]
+
+
+def test_dead_worker_falls_back_to_serial():
+    """A SIGKILLed worker breaks the pool; the sweep completes serially."""
+    tasks = ["a", "victim", "b", "c"]
+    lines = []
+    results = run_tasks(_die_in_worker, tasks, jobs=2, log=lines.append)
+    assert results == [f"done:{task}" for task in tasks]
+    assert any("serially" in line for line in lines)

@@ -1,0 +1,115 @@
+"""Property tests for the fault-injection layer's safety contract.
+
+Two invariants, whatever the plan:
+
+* **No crash, no deadlock** — any seeded :class:`FaultPlan` (random
+  rates, hotplug storms, DVFS steps) lets a hardened tuned run finish
+  the interval and commit forward progress.  The explore loop may
+  degrade to FREE, never hang.
+* **Null plans are no-ops** — a zero-fault plan leaves fig6/table1
+  output byte-identical to a fault-free run (same floats, not
+  approximately equal).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import ExperimentConfig, fig6, table1
+from repro.experiments.extras import HARDENED_RUNTIME_KWARGS
+from repro.experiments.runner import make_workload, run_technique
+from repro.sim.faults import DvfsEvent, FaultPlan, HotplugEvent
+from repro.tuning.runtime import PhaseTuningRuntime
+
+QUICK = ExperimentConfig(slots=4, interval=30.0, seed=101)
+MACHINE = QUICK.resolved_machine()
+WORKLOAD = make_workload(QUICK)
+
+
+def _hardened_runtime():
+    return PhaseTuningRuntime(
+        MACHINE,
+        QUICK.ipc_threshold,
+        tie_policy=QUICK.tie_policy,
+        **HARDENED_RUNTIME_KWARGS,
+    )
+
+
+def _tuned_outcome(plan):
+    runtime = _hardened_runtime()
+    outcome = run_technique(
+        QUICK, "Loop[45]", workload=WORKLOAD, runtime=runtime, faults=plan
+    )
+    return outcome, runtime
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_any_scaled_plan_never_crashes(rate, seed):
+    plan = FaultPlan.scaled(rate, MACHINE, QUICK.interval, seed=seed)
+    outcome, runtime = _tuned_outcome(plan)
+    assert outcome.instructions > 0  # forward progress, not a wedge
+    # Every explore either converged, is mid-flight, or degraded — the
+    # ladder never leaves a process stuck waiting forever.
+    for proc in outcome.result.completed:
+        for state in proc.tuner_state.values():
+            assert state.decided is not None or state.open_failures <= (
+                HARDENED_RUNTIME_KWARGS["max_monitor_retries"]
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    data=st.data(),
+    n_hotplug=st.integers(min_value=0, max_value=6),
+    n_dvfs=st.integers(min_value=0, max_value=6),
+)
+def test_hotplug_dvfs_storms_never_crash(data, n_hotplug, n_dvfs):
+    """Hand-rolled event storms (not just ``scaled``'s shapes) are safe,
+    including plans that try to take every core down at once."""
+    times = st.floats(min_value=0.0, max_value=QUICK.interval)
+    cores = st.integers(min_value=0, max_value=len(MACHINE) - 1)
+    hotplug = tuple(
+        HotplugEvent(
+            data.draw(times), data.draw(cores), online=data.draw(st.booleans())
+        )
+        for _ in range(n_hotplug)
+    )
+    dvfs = tuple(
+        DvfsEvent(
+            data.draw(times),
+            data.draw(cores),
+            data.draw(st.floats(min_value=0.1, max_value=2.0)),
+        )
+        for _ in range(n_dvfs)
+    )
+    plan = FaultPlan(hotplug=hotplug, dvfs=dvfs)
+    outcome, runtime = _tuned_outcome(plan)
+    assert outcome.instructions > 0
+    assert runtime.machine_epoch == len(hotplug) + len(dvfs) - (
+        runtime.faults.fired["skipped_events"] if runtime.faults else 0
+    )
+
+
+# -- zero-fault byte-identity regression ------------------------------------
+
+
+def test_zero_fault_fig6_byte_identical():
+    deltas = (0.02, 0.12)
+    plain = fig6.run(QUICK, deltas=deltas, jobs=1)
+    nulled = fig6.run(QUICK, deltas=deltas, jobs=1, faults=FaultPlan())
+    assert plain.improvements == nulled.improvements  # exact equality
+    assert plain.deltas == nulled.deltas
+
+
+def test_zero_fault_table1_byte_identical():
+    benchmarks = ("164.gzip", "473.astar")
+    plain = table1.run(benchmarks=benchmarks, jobs=1)
+    nulled = table1.run(benchmarks=benchmarks, jobs=1, faults=FaultPlan())
+    for s, p in zip(plain.rows, nulled.rows):
+        assert s.name == p.name
+        assert s.switches == p.switches
+        assert s.runtime_seconds == p.runtime_seconds  # exact equality
+        assert s.total_cycles == p.total_cycles
+        assert s.marks == p.marks

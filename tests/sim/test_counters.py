@@ -52,3 +52,50 @@ def test_rejection_rate():
     bank.try_acquire(0, 1, 0, 0)
     bank.try_acquire(0, 2, 0, 0)  # Rejected.
     assert bank.rejection_rate == pytest.approx(0.5)
+
+
+def test_wait_episode_counted_once_per_deferral():
+    """Three retries that finally succeed are one wait episode, not three."""
+    bank = CounterBank(n_cores=1, slots_per_core=1)
+    held = bank.try_acquire(0, pid=1, instrs=0, cycles=0)
+    for _ in range(3):  # deferred retries while pid 1 hogs the slot
+        assert bank.try_acquire(0, pid=2, instrs=0, cycles=0) is None
+    assert bank.rejections == 3
+    assert bank.wait_episodes == 1
+    bank.release(held)
+    assert bank.try_acquire(0, pid=2, instrs=0, cycles=0) is not None
+    assert bank.waited_grants == 1
+    # One direct grant (pid 1) + one waited episode (pid 2).
+    assert bank.wait_rate == pytest.approx(0.5)
+
+
+def test_concurrent_waiters_each_open_an_episode():
+    bank = CounterBank(n_cores=1, slots_per_core=1)
+    bank.try_acquire(0, pid=1, instrs=0, cycles=0)
+    bank.try_acquire(0, pid=2, instrs=0, cycles=0)
+    bank.try_acquire(0, pid=3, instrs=0, cycles=0)
+    bank.try_acquire(0, pid=2, instrs=0, cycles=0)  # retry, same episode
+    assert bank.rejections == 3
+    assert bank.wait_episodes == 2
+
+
+def test_grant_closes_episode_so_next_wait_is_new():
+    bank = CounterBank(n_cores=1, slots_per_core=1)
+    held = bank.try_acquire(0, pid=1, instrs=0, cycles=0)
+    bank.try_acquire(0, pid=2, instrs=0, cycles=0)
+    bank.release(held)
+    waited = bank.try_acquire(0, pid=2, instrs=0, cycles=0)
+    assert waited is not None
+    # A later refusal of the same pid opens a *new* episode.
+    bank.try_acquire(0, pid=3, instrs=0, cycles=0)
+    assert bank.try_acquire(0, pid=2, instrs=0, cycles=0) is None
+    assert bank.wait_episodes == 3
+    assert bank.waited_grants == 1
+
+
+def test_wait_rate_zero_without_contention():
+    bank = CounterBank(n_cores=2, slots_per_core=2)
+    for pid in range(4):
+        assert bank.try_acquire(pid % 2, pid, 0, 0) is not None
+    assert bank.wait_rate == 0.0
+    assert bank.wait_episodes == 0

@@ -1,0 +1,298 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import AffinitySyscallError, FaultError
+from repro.sim import Simulation, SimProcess, core2quad_amp
+from repro.sim.cost_model import CostVector
+from repro.sim.faults import (
+    DvfsEvent,
+    FaultInjector,
+    FaultPlan,
+    HotplugEvent,
+    SlotOutage,
+)
+from repro.sim.process import Segment, Trace
+
+
+def _simple_segment(machine, cycles=1e7, instrs=5e6):
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = instrs
+    for name in vector.compute:
+        vector.compute[name] = cycles
+    return Segment("seg", None, 1.0, vector)
+
+
+def _proc(machine, pid=1, affinity=None, cycles=1e7):
+    trace = Trace((_simple_segment(machine, cycles=cycles),))
+    return SimProcess(
+        pid, f"p{pid}", trace, affinity or machine.all_cores_mask,
+        isolated_time=1.0,
+    )
+
+
+# -- FaultPlan validation -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "field", ["counter_fail_rate", "counter_corrupt_rate", "ipc_noise",
+              "affinity_fail_rate"]
+)
+def test_rates_must_be_probabilities(field):
+    with pytest.raises(FaultError, match="must be in"):
+        FaultPlan(**{field: 1.5})
+    with pytest.raises(FaultError, match="must be in"):
+        FaultPlan(**{field: -0.1})
+
+
+def test_negative_event_times_rejected():
+    with pytest.raises(FaultError, match="before t=0"):
+        FaultPlan(hotplug=(HotplugEvent(-1.0, 1, online=False),))
+    with pytest.raises(FaultError, match="before t=0"):
+        FaultPlan(dvfs=(DvfsEvent(-1.0, 1, 0.5),))
+
+
+def test_nonpositive_dvfs_scale_rejected():
+    with pytest.raises(FaultError, match="scale must be positive"):
+        FaultPlan(dvfs=(DvfsEvent(1.0, 0, 0.0),))
+
+
+def test_bad_outage_window_rejected():
+    with pytest.raises(FaultError, match="bad slot outage"):
+        FaultPlan(slot_outages=(SlotOutage(5.0, 2.0, 0),))
+
+
+def test_default_plan_is_null():
+    assert FaultPlan().is_null
+    assert not FaultPlan(ipc_noise=0.1).is_null
+    assert not FaultPlan(hotplug=(HotplugEvent(1.0, 1, online=False),)).is_null
+
+
+def test_plan_is_picklable():
+    machine = core2quad_amp()
+    plan = FaultPlan.scaled(0.3, machine, 100.0, seed=3)
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+# -- FaultPlan.scaled -----------------------------------------------------------
+
+
+def test_scaled_zero_rate_is_null():
+    assert FaultPlan.scaled(0.0, core2quad_amp(), 100.0).is_null
+
+
+def test_scaled_is_deterministic():
+    machine = core2quad_amp()
+    assert FaultPlan.scaled(0.2, machine, 50.0, seed=9) == FaultPlan.scaled(
+        0.2, machine, 50.0, seed=9
+    )
+    assert FaultPlan.scaled(0.2, machine, 50.0, seed=9) != FaultPlan.scaled(
+        0.2, machine, 50.0, seed=10
+    )
+
+
+def test_scaled_never_hotplugs_core_zero():
+    machine = core2quad_amp()
+    for seed in range(20):
+        plan = FaultPlan.scaled(1.0, machine, 100.0, seed=seed)
+        assert all(event.core_id != 0 for event in plan.hotplug)
+
+
+def test_scaled_events_within_horizon():
+    plan = FaultPlan.scaled(1.0, core2quad_amp(), 100.0, seed=4)
+    for event in plan.hotplug + plan.dvfs:
+        assert 0.0 <= event.time <= 100.0
+
+
+def test_scaled_rate_validation():
+    machine = core2quad_amp()
+    with pytest.raises(FaultError):
+        FaultPlan.scaled(1.5, machine, 100.0)
+    with pytest.raises(FaultError):
+        FaultPlan.scaled(0.5, machine, 0.0)
+
+
+# -- FaultInjector --------------------------------------------------------------
+
+
+def test_injector_rejects_out_of_range_cores():
+    machine = core2quad_amp()
+    with pytest.raises(FaultError, match="out of range"):
+        FaultInjector(
+            FaultPlan(hotplug=(HotplugEvent(1.0, 99, online=False),)), machine
+        )
+    with pytest.raises(FaultError, match="out of range"):
+        FaultInjector(FaultPlan(dvfs=(DvfsEvent(1.0, 99, 0.5),)), machine)
+    with pytest.raises(FaultError, match="out of range"):
+        FaultInjector(
+            FaultPlan(slot_outages=(SlotOutage(0.0, 1.0, 99),)), machine
+        )
+
+
+def test_injector_replays_bit_identically():
+    machine = core2quad_amp()
+    plan = FaultPlan(
+        seed=5, counter_fail_rate=0.4, counter_corrupt_rate=0.3,
+        ipc_noise=0.2, affinity_fail_rate=0.4,
+    )
+
+    def drive(injector):
+        out = []
+        for i in range(200):
+            out.append(injector.counter_acquire_fails(i % 4, float(i)))
+            out.append(injector.sample_read_factor())
+            try:
+                injector.check_affinity_call(i, float(i))
+                out.append(None)
+            except AffinitySyscallError as exc:
+                out.append(exc.errno_name)
+        return out
+
+    assert drive(FaultInjector(plan, machine)) == drive(
+        FaultInjector(plan, machine)
+    )
+
+
+def test_zero_rates_draw_no_rng():
+    """A class at rate zero must not consume random numbers, or a null
+    field would shift every other class's stream."""
+    machine = core2quad_amp()
+    plan = FaultPlan(seed=5, affinity_fail_rate=0.5)
+    reference = FaultInjector(plan, machine)
+    mixed = FaultInjector(plan, machine)
+    # Zero-rate classes are exercised heavily on one injector only.
+    for i in range(100):
+        assert mixed.counter_acquire_fails(0, float(i)) is False
+        assert mixed.sample_read_factor() == 1.0
+    # The affinity stream is unaffected: both injectors agree.
+    for i in range(50):
+        a = b = None
+        try:
+            reference.check_affinity_call(i, 0.0)
+        except AffinitySyscallError as exc:
+            a = exc.errno_name
+        try:
+            mixed.check_affinity_call(i, 0.0)
+        except AffinitySyscallError as exc:
+            b = exc.errno_name
+        assert a == b
+
+
+def test_slot_outage_window():
+    machine = core2quad_amp()
+    plan = FaultPlan(slot_outages=(SlotOutage(10.0, 20.0, 1, slots=2),))
+    injector = FaultInjector(plan, machine)
+    assert injector.slots_unavailable(1, 5.0) == 0
+    assert injector.slots_unavailable(1, 10.0) == 2
+    assert injector.slots_unavailable(1, 19.9) == 2
+    assert injector.slots_unavailable(1, 20.0) == 0
+    assert injector.slots_unavailable(0, 15.0) == 0
+    assert injector.fired["slot_outage_hits"] == 2
+
+
+def test_corruption_factor_is_wild():
+    machine = core2quad_amp()
+    plan = FaultPlan(seed=1, counter_corrupt_rate=1.0)
+    injector = FaultInjector(plan, machine)
+    factors = [injector.sample_read_factor() for _ in range(50)]
+    assert injector.fired["counter_corrupt"] == 50
+    assert all(f > 0 and math.isfinite(f) for f in factors)
+    assert any(f > 2.0 or f < 0.5 for f in factors)
+
+
+# -- Simulation wiring ----------------------------------------------------------
+
+
+def test_simulation_rejects_bad_faults_argument(machine):
+    with pytest.raises(FaultError, match="FaultPlan or FaultInjector"):
+        Simulation(machine, faults="high")
+
+
+def test_null_plan_leaves_simulation_byte_identical(machine):
+    def run(faults):
+        sim = Simulation(machine, faults=faults)
+        procs = [_proc(machine, pid=i) for i in range(6)]
+        for proc in procs:
+            sim.add_process(proc, 0.0)
+        sim.run(100.0)
+        return [
+            (p.completion, p.stats.instructions, dict(p.stats.cycles_by_type))
+            for p in procs
+        ]
+
+    assert run(None) == run(FaultPlan())
+
+
+def test_hotplug_offline_core_gets_no_cycles(machine):
+    """While core 3 is down, nothing executes there; its queue drains."""
+    plan = FaultPlan(hotplug=(HotplugEvent(0.0, 3, online=False),))
+    sim = Simulation(machine, faults=plan)
+    procs = [_proc(machine, pid=i) for i in range(4)]
+    for proc in procs:
+        sim.add_process(proc, 0.0)
+    result = sim.run(100.0)
+    assert len(result.completed) == 4
+    assert sim.faults.fired["hotplug"] == 1
+
+
+def test_hotplug_breaks_affinity_rather_than_stranding(machine):
+    """A process pinned to an offlined core falls back kernel-style."""
+    plan = FaultPlan(hotplug=(HotplugEvent(0.0, 3, online=False),))
+    sim = Simulation(machine, faults=plan)
+    pinned = _proc(machine, pid=1, affinity=frozenset({3}))
+    sim.add_process(pinned, 0.0)
+    result = sim.run(100.0)
+    assert result.completed == [pinned]
+    assert sim.scheduler.affinity_breaks >= 1
+
+
+def test_last_online_core_survives(machine):
+    """A plan taking down every core is clipped, never fatal."""
+    plan = FaultPlan(
+        hotplug=tuple(
+            HotplugEvent(0.0, cid, online=False) for cid in range(4)
+        )
+    )
+    sim = Simulation(machine, faults=plan)
+    proc = _proc(machine)
+    sim.add_process(proc, 0.0)
+    result = sim.run(100.0)
+    assert result.completed == [proc]
+    assert sim.faults.fired["skipped_events"] == 1
+    assert sim.faults.fired["hotplug"] == 3
+
+
+def test_core_comes_back_online(machine):
+    plan = FaultPlan(
+        hotplug=(
+            HotplugEvent(0.0, 3, online=False),
+            HotplugEvent(0.001, 3, online=True),
+        )
+    )
+    sim = Simulation(machine, faults=plan)
+    early = _proc(machine, pid=1, affinity=frozenset({3}))
+    late = _proc(machine, pid=2, affinity=frozenset({3}))
+    sim.add_process(early, 0.0)  # placed elsewhere: core 3 is down
+    sim.add_process(late, 0.01)  # core 3 is back: placed on it
+    result = sim.run(100.0)
+    assert len(result.completed) == 2
+    assert sim.faults.fired["hotplug"] == 2
+    assert sim.scheduler.affinity_breaks == 1
+    # The late arrival honoured its affinity on the re-onlined core.
+    assert set(late.stats.cycles_by_type) == {"slow"}
+
+
+def test_dvfs_slows_completion(machine):
+    def completion(faults):
+        sim = Simulation(machine, faults=faults)
+        proc = _proc(machine, pid=1, affinity=frozenset({0}))
+        sim.add_process(proc, 0.0)
+        sim.run(100.0)
+        return proc.completion
+
+    slowed = completion(FaultPlan(dvfs=(DvfsEvent(0.0, 0, 0.5),)))
+    nominal = completion(None)
+    assert slowed == pytest.approx(2.0 * nominal, rel=0.05)

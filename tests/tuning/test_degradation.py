@@ -1,0 +1,263 @@
+"""Unit tests for the hardened runtime's degradation ladder."""
+
+import pytest
+
+from repro.sim import core2quad_amp
+from repro.sim.cost_model import CostVector
+from repro.sim.counters import CounterBank
+from repro.sim.faults import DvfsEvent, FaultInjector, FaultPlan, HotplugEvent
+from repro.sim.process import Segment, SimProcess, Trace
+from repro.tuning.runtime import FREE, DegradationEvent, PhaseTuningRuntime
+
+
+def _proc(machine, pid=1):
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = 1.0
+    trace = Trace((Segment("s", None, 1.0, vector),))
+    return SimProcess(pid, "p", trace, machine.all_cores_mask)
+
+
+def _runtime(machine, delta=0.1, **kw):
+    kw.setdefault("monitor_noise", 0.0)
+    kw.setdefault("min_sample_cycles", 100.0)
+    return PhaseTuningRuntime(machine, delta, **kw)
+
+
+def _feed_sample(proc, ctype_name, instrs, cycles):
+    proc.stats.record(ctype_name, instrs, cycles)
+
+
+# -- constructor validation -----------------------------------------------------
+
+
+def test_hardening_knobs_validated(machine):
+    with pytest.raises(ValueError, match="samples_per_type"):
+        _runtime(machine, samples_per_type=0)
+    with pytest.raises(ValueError, match="max_monitor_retries"):
+        _runtime(machine, max_monitor_retries=0)
+    with pytest.raises(ValueError, match="max_affinity_failures"):
+        _runtime(machine, max_affinity_failures=0)
+
+
+def test_attach_faults_wires_measurement_path(machine):
+    runtime = _runtime(machine)
+    injector = FaultInjector(FaultPlan(), machine)
+    runtime.attach_faults(injector)
+    assert runtime.faults is injector
+    assert runtime.counters.injector is injector
+    assert runtime.monitor.injector is injector
+
+
+# -- rung 1: bounded counter retry ----------------------------------------------
+
+
+def test_counter_starvation_degrades_to_free(machine):
+    bank = CounterBank(len(machine), slots_per_core=0)  # nothing to grab
+    runtime = _runtime(machine, counters=bank, max_monitor_retries=3)
+    proc = _proc(machine)
+    core = machine.cores[0]
+
+    for t in range(2):
+        action = runtime.on_mark(proc, 0, 1, core, float(t))
+        assert action.affinity is None
+    # Third failed acquisition exhausts the bound.
+    runtime.on_mark(proc, 0, 1, core, 2.0)
+    state = proc.tuner_state[1]
+    assert state.decided is FREE
+    assert runtime.degraded_decisions == 1
+    kinds = [ev.kind for ev in runtime.degradations_for(proc.pid)]
+    assert kinds == ["counter-starved"]
+
+
+def test_unbounded_retry_by_default(machine):
+    bank = CounterBank(len(machine), slots_per_core=0)
+    runtime = _runtime(machine, counters=bank)
+    proc = _proc(machine)
+    core = machine.cores[0]
+    for t in range(50):
+        runtime.on_mark(proc, 0, 1, core, float(t))
+    assert proc.tuner_state[1].decided is None  # still exploring
+    assert runtime.degraded_decisions == 0
+
+
+def test_successful_open_resets_failure_count(machine):
+    bank = CounterBank(len(machine), slots_per_core=1)
+    runtime = _runtime(machine, counters=bank, max_monitor_retries=3)
+    proc = _proc(machine)
+    other = _proc(machine, pid=2)
+    core = machine.cores[0]
+
+    # Two failures while another process hogs the slot.
+    session = bank.try_acquire(core.cid, other.pid, 0.0, 0.0)
+    runtime.on_mark(proc, 0, 1, core, 0.0)
+    runtime.on_mark(proc, 0, 1, core, 1.0)
+    assert proc.tuner_state[1].open_failures == 2
+    bank.release(session)
+    # A successful open wipes the count: no degradation afterwards.
+    runtime.on_mark(proc, 0, 1, core, 2.0)
+    assert proc.tuner_state[1].open_failures == 0
+    assert proc.tuner_state[1].decided is None
+
+
+# -- rung 2: median-of-k outlier rejection --------------------------------------
+
+
+def test_median_of_k_rejects_corrupt_sample(machine):
+    runtime = _runtime(machine, samples_per_type=3)
+    proc = _proc(machine)
+    core = machine.cores[0]
+
+    readings = (0.2, 4.0, 0.21)  # middle one is wildly corrupt
+    for t, ipc in enumerate(readings):
+        action = runtime.on_mark(proc, 0, 1, core, float(t))
+        assert action.affinity is None  # still collecting on this type
+        _feed_sample(proc, "fast", ipc * 10_000.0, 10_000.0)
+    runtime.on_mark(proc, 0, 1, core, 3.0)
+
+    state = proc.tuner_state[1]
+    assert state.samples["fast"] == pytest.approx(0.21)
+    assert state.raw_samples["fast"] == [pytest.approx(r) for r in readings]
+
+
+def test_k_equal_one_keeps_single_sample_path(machine):
+    runtime = _runtime(machine, samples_per_type=1)
+    proc = _proc(machine)
+    core = machine.cores[0]
+    runtime.on_mark(proc, 0, 1, core, 0.0)
+    _feed_sample(proc, "fast", 2000.0, 10_000.0)
+    runtime.on_mark(proc, 0, 1, core, 1.0)
+    state = proc.tuner_state[1]
+    assert state.samples["fast"] == pytest.approx(0.2)
+    assert state.raw_samples == {}
+
+
+def test_nonfinite_sample_rejected(machine):
+    runtime = _runtime(machine)
+    runtime.monitor.injector = type(
+        "Zero", (), {"sample_read_factor": staticmethod(lambda: 0.0)}
+    )()
+    proc = _proc(machine)
+    core = machine.cores[0]
+    runtime.on_mark(proc, 0, 1, core, 0.0)
+    _feed_sample(proc, "fast", 2000.0, 10_000.0)
+    runtime.on_mark(proc, 0, 1, core, 1.0)
+    assert runtime.rejected_samples == 1
+    assert proc.tuner_state[1].samples == {}
+    assert [ev.kind for ev in runtime.degradation_log] == ["corrupt-sample"]
+
+
+# -- rung 3: epoch-based re-exploration -----------------------------------------
+
+
+def _decide(runtime, proc, machine, phase_type=1):
+    """Drive (proc, phase_type) to a decided state."""
+    fast, slow = machine.cores[0], machine.cores[2]
+    runtime.on_mark(proc, 0, phase_type, fast, 0.0)
+    _feed_sample(proc, "fast", 5000.0, 10_000.0)
+    action = runtime.on_mark(proc, 0, phase_type, fast, 1.0)
+    proc.affinity = action.affinity
+    runtime.on_mark(proc, 0, phase_type, slow, 2.0)
+    _feed_sample(proc, "slow", 1000.0, 10_000.0)
+    runtime.on_mark(proc, 0, phase_type, slow, 3.0)
+    assert proc.tuner_state[phase_type].decided is not None
+
+
+def test_machine_event_invalidates_decision(machine):
+    runtime = _runtime(machine, delta=0.05)
+    proc = _proc(machine)
+    _decide(runtime, proc, machine)
+    decided = proc.tuner_state[1].decided
+
+    runtime.on_machine_event(DvfsEvent(4.0, 0, 0.5), 4.0)
+    assert runtime.machine_epoch == 1
+    # Next mark discards the stale decision and explores afresh.
+    runtime.on_mark(proc, 0, 1, machine.cores[2], 5.0)
+    state = proc.tuner_state[1]
+    assert state.decided is None
+    assert state.samples == {}
+    assert runtime.invalidations == 1
+    kinds = [ev.kind for ev in runtime.degradation_log]
+    assert kinds == ["dvfs", "re-explore"]
+    assert decided is not None
+
+
+def test_hotplug_event_logged_machine_wide(machine):
+    runtime = _runtime(machine)
+    runtime.on_machine_event(HotplugEvent(1.0, 3, online=False), 1.0)
+    assert runtime.machine_epoch == 1
+    event = runtime.degradation_log[0]
+    assert event.kind == "hotplug"
+    assert event.pid is None
+
+
+def test_dvfs_rescales_reference_frequency(machine):
+    runtime = _runtime(machine)
+    nominal_fast = runtime._freq_by_name["fast"]
+    # Both fast cores clocked to half speed; slow cores untouched.
+    runtime.on_machine_event(
+        DvfsEvent(1.0, 0, 0.5), 1.0, freq_scales=(0.5, 0.5, 1.0, 1.0)
+    )
+    assert runtime._freq_by_name["fast"] == pytest.approx(0.5 * nominal_fast)
+    assert runtime._ref_freq == pytest.approx(
+        max(runtime._freq_by_name.values())
+    )
+
+
+def test_fresh_states_do_not_invalidate(machine):
+    """Epoch bookkeeping must not disturb normal fault-free tuning."""
+    runtime = _runtime(machine, delta=0.05)
+    proc = _proc(machine)
+    _decide(runtime, proc, machine)
+    assert runtime.invalidations == 0
+    assert runtime.degradation_log == []
+
+
+# -- rung 4: affinity-failure fallback ------------------------------------------
+
+
+def test_affinity_failures_trigger_stock_fallback(machine):
+    runtime = _runtime(machine, max_affinity_failures=2)
+    proc = _proc(machine)
+    error = OSError("EPERM")
+
+    runtime.on_affinity_result(proc, False, error, 1.0)
+    assert proc.pid not in runtime._affinity_blocked
+    runtime.on_affinity_result(proc, False, error, 2.0)
+    assert proc.pid in runtime._affinity_blocked
+    assert runtime.affinity_errors == 2
+    kinds = [ev.kind for ev in runtime.degradations_for(proc.pid)]
+    assert kinds == ["affinity-fallback"]
+
+    # First mark after the fallback: one best-effort mask restore.
+    proc.affinity = frozenset({0, 1})
+    action = runtime.on_mark(proc, 0, 1, machine.cores[0], 3.0)
+    assert action.affinity == machine.all_cores_mask
+    # Afterwards the runtime stops steering this process entirely.
+    action = runtime.on_mark(proc, 0, 1, machine.cores[0], 4.0)
+    assert action.affinity is None
+    assert action.extra_cycles == 0.0
+
+
+def test_affinity_success_resets_failure_streak(machine):
+    runtime = _runtime(machine, max_affinity_failures=2)
+    proc = _proc(machine)
+    runtime.on_affinity_result(proc, False, OSError(), 1.0)
+    runtime.on_affinity_result(proc, True, None, 2.0)
+    runtime.on_affinity_result(proc, False, OSError(), 3.0)
+    assert proc.pid not in runtime._affinity_blocked
+    assert runtime.affinity_errors == 2
+
+
+# -- the log --------------------------------------------------------------------
+
+
+def test_degradations_for_filters_by_pid(machine):
+    runtime = _runtime(machine)
+    a, b = _proc(machine, pid=1), _proc(machine, pid=2)
+    runtime._log_degradation(1.0, a.pid, 0, "counter-starved")
+    runtime._log_degradation(2.0, b.pid, 1, "re-explore")
+    runtime._log_degradation(3.0, None, None, "hotplug")
+    assert [ev.pid for ev in runtime.degradations_for(1)] == [1]
+    assert [ev.pid for ev in runtime.degradations_for(2)] == [2]
+    assert len(runtime.degradation_log) == 3
+    assert isinstance(runtime.degradation_log[0], DegradationEvent)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis import StaticBlockTyper, inject_clustering_error
+from repro.errors import CacheCorruptionError
 from repro.instrument import BBStrategy, LoopStrategy
 from repro.sim.machine import core2quad_amp, three_core_amp
 from repro.tuning.pipeline import (
@@ -174,3 +175,59 @@ def test_stats_and_clear():
 
 def test_default_cache_is_process_wide():
     assert default_cache() is default_cache()
+
+
+# -- corruption detection ---------------------------------------------------
+
+
+def _tamper_first_entry(cache):
+    key, (value, digest) = next(iter(cache._entries.items()))
+    cache._entries[key] = (value, "0" * len(digest))
+    return key
+
+
+def test_corrupt_entry_is_evicted_and_rebuilt():
+    program, _ = make_phased_program(outer=4)
+    cache = PipelineCache()
+    first = typed_blocks(program, cache=cache)
+    _tamper_first_entry(cache)
+    rebuilt = typed_blocks(program, cache=cache)
+    assert rebuilt is not first
+    assert rebuilt == first
+    assert cache.stats()["corruptions"] == 1
+    # The rebuilt entry carries a fresh, valid digest: next call hits.
+    assert typed_blocks(program, cache=cache) is rebuilt
+    assert cache.stats()["corruptions"] == 1
+
+
+def test_strict_cache_raises_on_corruption():
+    program, _ = make_phased_program(outer=4)
+    cache = PipelineCache(strict=True)
+    typed_blocks(program, cache=cache)
+    _tamper_first_entry(cache)
+    with pytest.raises(CacheCorruptionError, match="integrity"):
+        typed_blocks(program, cache=cache)
+    assert cache.corruptions == 1
+
+
+def test_check_integrity_sweeps_all_entries():
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache()
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    assert cache.check_integrity() == 0
+    before = len(cache)
+    _tamper_first_entry(cache)
+    assert cache.check_integrity() == 1
+    assert len(cache) == before - 1
+    assert cache.stats()["corruptions"] == 1
+
+
+def test_clear_resets_corruption_count():
+    program, _ = make_phased_program(outer=4)
+    cache = PipelineCache()
+    typed_blocks(program, cache=cache)
+    _tamper_first_entry(cache)
+    typed_blocks(program, cache=cache)
+    assert cache.corruptions == 1
+    cache.clear()
+    assert cache.corruptions == 0
