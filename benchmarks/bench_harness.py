@@ -14,8 +14,18 @@ Usage::
 The serial leg runs first from a cold pipeline cache, so its timing
 includes every static-pipeline build; its populated cache is then
 inherited by the pool's forked workers, which is exactly how
-``python -m repro.experiments`` behaves.  Results depend on the host
-(core count, load), so the JSON is a report, not a regression gate.
+``python -m repro.experiments`` behaves.
+
+Two properties are load-independent and therefore *gated* (nonzero
+exit on violation):
+
+* every experiment rerun against a warm cache must hit it for 100% of
+  its static-pipeline lookups, and
+* memoizing the static pipeline must be at least a 2x speedup over
+  rebuilding it cold.
+
+The wall-clock numbers themselves depend on the host (core count,
+load), so they are reported, not gated.
 """
 
 from __future__ import annotations
@@ -30,7 +40,14 @@ from pathlib import Path
 from repro.experiments import extras, fig4, fig6, fig7, table1, table2
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import worker_count
-from repro.tuning.pipeline import clear_default_cache, default_cache
+from repro.tuning.pipeline import (
+    PipelineCache,
+    clear_default_cache,
+    default_cache,
+    tune_program,
+)
+from repro.workloads.spec import spec_benchmark
+from repro.workloads.workload import Workload
 
 
 def _experiments(config, fairness, quick):
@@ -78,6 +95,33 @@ def _timed(fn, jobs):
     return time.perf_counter() - start
 
 
+def _static_pipeline_bench(config) -> dict:
+    """Cold vs memoized wall time of the full static pipeline over the
+    benchmark set the experiments actually touch."""
+    names = sorted(
+        Workload.random(config.slots, seed=config.seed).benchmark_names()
+    )
+    programs = [spec_benchmark(name).program for name in names]
+    cache = PipelineCache()
+    start = time.perf_counter()
+    for program in programs:
+        tune_program(program, cache=cache)
+    cold = time.perf_counter() - start
+    cache.reset_stats()
+    start = time.perf_counter()
+    for program in programs:
+        tune_program(program, cache=cache)
+    warm = time.perf_counter() - start
+    return {
+        "benchmarks": len(programs),
+        "cold_seconds": round(cold, 3),
+        "warm_seconds": round(warm, 4),
+        "memoization_speedup": round(cold / warm, 1) if warm else None,
+        "warm_hit_rate": cache.stats()["hit_rate"],
+        "_speedup_raw": (cold / warm) if warm else float("inf"),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -120,6 +164,27 @@ def main(argv=None) -> int:
         "parallel_jobs": jobs,
         "experiments": {},
     }
+    failures = []
+
+    static = _static_pipeline_bench(config)
+    static_speedup = static.pop("_speedup_raw")
+    report["static_pipeline"] = static
+    print(
+        f"static pipeline ({static['benchmarks']} benchmarks): "
+        f"cold {static['cold_seconds']:.2f}s   "
+        f"memoized {static['warm_seconds']:.4f}s "
+        f"(x{static['memoization_speedup']})"
+    )
+    if static_speedup < 2.0:
+        failures.append(
+            f"static-pipeline memoization speedup {static_speedup:.2f}x "
+            f"is below the 2x gate"
+        )
+    if static["warm_hit_rate"] != 1.0:
+        failures.append(
+            f"static-pipeline warm hit rate "
+            f"{static['warm_hit_rate']:.0%} != 100%"
+        )
 
     for name, fn in _experiments(config, fairness, args.quick):
         clear_default_cache()
@@ -150,10 +215,25 @@ def main(argv=None) -> int:
             f"parallel[{jobs}] {parallel:6.2f}s (x{entry['parallel_speedup']})   "
             f"warm hit rate {warm_stats['hit_rate']:.0%}"
         )
+        if warm_stats["hit_rate"] != 1.0:
+            failures.append(
+                f"{name}: warm pipeline-cache hit rate "
+                f"{warm_stats['hit_rate']:.0%} != 100%"
+            )
+
+    fig6_entry = report["experiments"].get("fig6")
+    if fig6_entry is not None:
+        # The warm serial leg runs the simulations against a fully
+        # cached static pipeline, so it is the simulation time proper.
+        report["fig6_sim_seconds"] = fig6_entry["serial_warm_seconds"]
 
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {output}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.errors import AnalysisError
 from repro.program.basic_block import BasicBlock, NodeKind
-from repro.program.cfg import CFG, build_cfg
+from repro.program.cfg import CFG, cached_cfg
 from repro.program.module import Program
 import numpy as np
 
@@ -67,7 +67,7 @@ def _typable_blocks(program: Program, cfgs: dict[str, CFG]) -> list[BasicBlock]:
 
 def build_all_cfgs(program: Program) -> dict[str, CFG]:
     """Build (or fetch) the CFG of every procedure."""
-    return {proc.name: build_cfg(proc) for proc in program}
+    return {proc.name: cached_cfg(proc) for proc in program}
 
 
 @dataclass

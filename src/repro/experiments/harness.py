@@ -22,7 +22,10 @@ Worker count resolution (first match wins):
 ``REPRO_JOBS=1`` (or ``jobs=1``) runs every task serially in-process —
 no pool, no pickling — which is also the debugging fallback.  On Linux
 the pool forks, so workers inherit the parent's already-populated
-static-pipeline cache (:mod:`repro.tuning.pipeline`) for free.
+static-pipeline cache (:mod:`repro.tuning.pipeline`) for free; under
+``spawn``/``forkserver`` (``start_method=``) the same entries are
+shipped to each worker through a pool initializer instead, so every
+start method sees a warm cache.
 
 :func:`derive_seed` gives sweeps stable per-task seeds: hashing the
 base seed with the task's identifying parts decorrelates tasks without
@@ -32,7 +35,11 @@ coupling any task's seed to how many tasks run or in what order.
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
+import shutil
+import signal
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -92,6 +99,7 @@ def run_tasks(
     labels: Optional[Sequence[str]] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
+    start_method: Optional[str] = None,
 ) -> list:
     """Evaluate ``fn(task)`` for every task, results in task order.
 
@@ -107,10 +115,17 @@ def run_tasks(
             default.
         timeout: per-task wall-clock budget in seconds, measured from
             submission (give queueing headroom: a task may briefly wait
-            behind a sibling).  A task over budget is abandoned and
-            resubmitted while *retries* remain.  Only enforced on the
+            behind a sibling).  A task over budget is abandoned — and
+            its worker, identified through a per-task pid file, is
+            SIGKILLed so the slot is reclaimed — then resubmitted to a
+            rebuilt pool while *retries* remain.  Only enforced on the
             pool path — serial execution cannot interrupt a call.
         retries: resubmissions allowed per task after a timeout.
+        start_method: multiprocessing start method for the pool
+            (``fork`` / ``spawn`` / ``forkserver``); the platform
+            default when omitted.  Non-fork workers do not inherit the
+            parent's warm pipeline cache through memory, so its entries
+            are shipped to each worker via a pool initializer instead.
 
     Raises:
         TaskTimeoutError: a task exceeded *timeout* on its last allowed
@@ -146,7 +161,10 @@ def run_tasks(
 
     results = [_UNSET] * total
     try:
-        _run_pool(fn, tasks, labels, jobs, log, timeout, retries, results)
+        _run_pool(
+            fn, tasks, labels, jobs, log, timeout, retries, results,
+            start_method,
+        )
     except BrokenProcessPool:
         # A worker died without reporting an exception (OOM-killed,
         # segfaulted C extension, ...).  The pool is unusable, but the
@@ -166,6 +184,59 @@ def run_tasks(
     return results
 
 
+def _warm_spawned_worker(blob: bytes) -> None:
+    """Pool initializer for non-fork start methods: install the
+    parent's pipeline-cache entries (fork inherits them for free)."""
+    if blob:
+        from repro.tuning.pipeline import default_cache
+
+        default_cache().install_entries(blob)
+
+
+def _traced_call(payload: tuple):
+    """Worker shim recording which pid runs which task, so a hung task's
+    worker can be SIGKILLed from the parent."""
+    fn, task, pid_path = payload
+    try:
+        with open(pid_path, "w") as handle:
+            handle.write(str(os.getpid()))
+    except OSError:
+        pass
+    try:
+        return fn(task)
+    finally:
+        try:
+            os.unlink(pid_path)
+        except OSError:
+            pass
+
+
+class _StragglersKilled(Exception):
+    """Internal: a hung worker was SIGKILLed; the pool is gone and the
+    incomplete tasks need a fresh one."""
+
+
+def _kill_straggler(pool, pid_dir: Optional[str], index: int) -> bool:
+    """SIGKILL the worker recorded for task *index*, if it is still one
+    of *pool*'s own processes (guards against pid reuse)."""
+    if pid_dir is None:
+        return False
+    pid_path = os.path.join(pid_dir, f"{index}.pid")
+    try:
+        with open(pid_path) as handle:
+            pid = int(handle.read().strip() or "0")
+    except (OSError, ValueError):
+        return False
+    processes = getattr(pool, "_processes", None) or {}
+    if pid not in processes:
+        return False
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except OSError:
+        return False
+    return True
+
+
 def _run_pool(
     fn: Callable,
     tasks: list,
@@ -175,19 +246,95 @@ def _run_pool(
     timeout: Optional[float],
     retries: int,
     results: list,
+    start_method: Optional[str] = None,
 ) -> None:
-    """Pool path of :func:`run_tasks`, filling *results* in place."""
+    """Pool path of :func:`run_tasks`, filling *results* in place.
+
+    Runs the tasks in pool *generations*: when a straggler has to be
+    SIGKILLed (its slot cannot otherwise be reclaimed — a worker with a
+    task is unkillable through the executor API), the broken pool is
+    dropped and the still-incomplete tasks resubmitted to a fresh one,
+    with per-task attempt counts carried across generations.
+    """
     total = len(tasks)
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    context = multiprocessing.get_context(start_method)
+    initializer = None
+    initargs: tuple = ()
+    if context.get_start_method() != "fork":
+        from repro.tuning.pipeline import default_cache
+
+        initializer = _warm_spawned_worker
+        initargs = (default_cache().export_entries(),)
+    attempts = [0] * total
+    progress = [0]
+    pid_dir = (
+        tempfile.mkdtemp(prefix="repro-harness-")
+        if timeout is not None
+        else None
+    )
+    try:
+        while True:
+            todo = [i for i in range(total) if results[i] is _UNSET]
+            if not todo:
+                return
+            pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs,
+            )
+            try:
+                _pool_generation(
+                    pool, fn, tasks, labels, jobs, log, timeout, retries,
+                    results, attempts, todo, pid_dir, progress,
+                )
+                return
+            except _StragglersKilled:
+                if log is not None:
+                    remaining = sum(
+                        1 for i in range(total) if results[i] is _UNSET
+                    )
+                    log(
+                        f"rebuilding worker pool for {remaining} "
+                        f"unfinished task(s)"
+                    )
+    finally:
+        if pid_dir is not None:
+            shutil.rmtree(pid_dir, ignore_errors=True)
+
+
+def _pool_generation(
+    pool,
+    fn: Callable,
+    tasks: list,
+    labels: Sequence[str],
+    jobs: int,
+    log: Optional[Callable],
+    timeout: Optional[float],
+    retries: int,
+    results: list,
+    attempts: list,
+    todo: list,
+    pid_dir: Optional[str],
+    progress: list,
+) -> None:
+    """Run the *todo* task indices through *pool*, filling *results*."""
+    total = len(tasks)
     index_of: dict = {}
     deadline_of: dict = {}
-    attempts = [0] * total
     pending: set = set()
-    next_task = 0
-    done = 0
+    next_slot = 0
 
     def submit(index: int) -> None:
-        future = pool.submit(fn, tasks[index])
+        if pid_dir is not None:
+            pid_path = os.path.join(pid_dir, f"{index}.pid")
+            try:
+                os.unlink(pid_path)
+            except OSError:
+                pass
+            future = pool.submit(_traced_call, (fn, tasks[index], pid_path))
+        else:
+            future = pool.submit(fn, tasks[index])
         index_of[future] = index
         if timeout is not None:
             deadline_of[future] = time.monotonic() + timeout
@@ -197,10 +344,10 @@ def _run_pool(
         # Submit in chunks of one pool-width so a long tail of tasks
         # does not pile up queued pickles, then top the window up as
         # futures complete.
-        nonlocal next_task
-        while next_task < total and len(pending) < limit:
-            submit(next_task)
-            next_task += 1
+        nonlocal next_slot
+        while next_slot < len(todo) and len(pending) < limit:
+            submit(todo[next_slot])
+            next_slot += 1
 
     try:
         submit_up_to(2 * jobs)
@@ -216,19 +363,16 @@ def _run_pool(
                 index = index_of.pop(future)
                 deadline_of.pop(future, None)
                 results[index] = future.result()
-                done += 1
+                progress[0] += 1
                 if log is not None:
-                    log(f"[{done}/{total}] {labels[index]}")
+                    log(f"[{progress[0]}/{total}] {labels[index]}")
             if timeout is not None:
                 now = time.monotonic()
                 expired = [f for f in pending if deadline_of[f] <= now]
                 for future in expired:
                     if future.done():
                         continue  # finished just now; collected next loop
-                    # Abandon the future: a running worker cannot be
-                    # killed, but the result slot can be refilled by a
-                    # fresh attempt while the straggler burns out.
-                    future.cancel()
+                    cancelled = future.cancel()
                     pending.discard(future)
                     index = index_of.pop(future)
                     deadline_of.pop(future)
@@ -243,6 +387,23 @@ def _run_pool(
                             f"task {labels[index]} exceeded {timeout:g}s; "
                             f"retry {attempts[index]}/{retries}"
                         )
+                    if cancelled:
+                        # Never started; resubmit into this same pool.
+                        submit(index)
+                        continue
+                    # A running straggler holds its worker hostage:
+                    # SIGKILL the recorded pid to reclaim the slot, then
+                    # rebuild the (now broken) pool for whatever is
+                    # incomplete.  Without a recorded pid (start-up
+                    # race), fall back to abandoning the future — the
+                    # straggler burns out on its own.
+                    if _kill_straggler(pool, pid_dir, index):
+                        if log is not None:
+                            log(
+                                f"killed straggling worker of task "
+                                f"{labels[index]}"
+                            )
+                        raise _StragglersKilled()
                     submit(index)
             submit_up_to(2 * jobs)
     except BaseException:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.program.basic_block import NodeKind
-from repro.program.cfg import CFG, build_cfg
+from repro.program.cfg import CFG, cached_cfg
 from repro.program.module import Program
 
 
@@ -114,7 +114,7 @@ def build_callgraph(program: Program, cfgs: dict[str, CFG] = None) -> CallGraph:
     for proc in program:
         cfg = cfgs.get(proc.name)
         if cfg is None:
-            cfg = build_cfg(proc)
+            cfg = cached_cfg(proc)
         for block in cfg:
             if block.kind is NodeKind.CALL:
                 target = block.call_target

@@ -12,6 +12,7 @@ prescribes.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -213,6 +214,23 @@ def build_cfg(proc: Procedure) -> CFG:
     kinds = _tag_edges(len(blocks), raw_edges)
     edges = [Edge(s, d, k) for (s, d), k in zip(raw_edges, kinds)]
     return CFG(proc.name, blocks, edges)
+
+
+#: Process-wide CFG memo.  Procedures are immutable after construction
+#: (nothing in the codebase mutates ``proc.code`` in place), so the CFG
+#: of a given Procedure object can be shared by every consumer — trace
+#: generation, block typing, annotation and the call graph all build the
+#: same graphs.  Keyed weakly so dropping a program frees its CFGs.
+_CFG_MEMO: "weakref.WeakKeyDictionary[Procedure, CFG]" = weakref.WeakKeyDictionary()
+
+
+def cached_cfg(proc: Procedure) -> CFG:
+    """Memoized :func:`build_cfg`, keyed on Procedure object identity."""
+    cfg = _CFG_MEMO.get(proc)
+    if cfg is None:
+        cfg = build_cfg(proc)
+        _CFG_MEMO[proc] = cfg
+    return cfg
 
 
 def _tag_edges(n: int, raw_edges: list[tuple[int, int]]) -> list[str]:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 from repro.isa.instructions import InstrClass
 from repro.program.basic_block import BasicBlock
 from repro.program.module import Program
@@ -133,6 +135,67 @@ class CostVector:
         return self.stall[ctype_name] / total
 
 
+class _ProcCostTable:
+    """Vectorized per-instruction cost arrays for one procedure.
+
+    Built once per (cost model, program, procedure); per-core-type stall
+    and L2-hit columns are derived with one numpy pipeline over the
+    procedure's strided memory accesses.  Block costs then reduce to
+    slice sums over these columns.  Every element is computed with the
+    same floating-point expression (and per-block accumulation order) as
+    the scalar per-instruction loop, so the results are bit-identical.
+    """
+
+    __slots__ = ("code", "base", "mem_idx", "stride", "ws", "_per_ctype")
+
+    def __init__(self, proc, program: Program):
+        code = proc.code
+        self.code = code
+        self.base = [BASE_CYCLES[instr.iclass] for instr in code]
+        idx: list = []
+        stride: list = []
+        ws: list = []
+        for i, instr in enumerate(code):
+            mem = instr.mem
+            # stride-0 accesses contribute exactly 0.0 stall/L2 on every
+            # core type (scalar stays resident), so only strided streams
+            # enter the vector pipeline.
+            if mem is not None and mem.stride != 0:
+                idx.append(i)
+                stride.append(mem.stride)
+                ws.append(program.region(mem.region).working_set)
+        self.mem_idx = idx
+        self.stride = np.asarray(stride, dtype=np.float64)
+        self.ws = np.asarray(ws, dtype=np.int64)
+        self._per_ctype: dict = {}
+
+    def columns(self, ctype: CoreType, memory: MemoryModel):
+        """(stall, l2_hits) per-instruction columns for *ctype*."""
+        got = self._per_ctype.get(ctype.name)
+        if got is not None:
+            return got
+        n = len(self.base)
+        stall = [0.0] * n
+        l2h = [0.0] * n
+        if self.mem_idx:
+            # Same expressions as MemoryModel.miss_profile/stall_cycles,
+            # applied elementwise (identical IEEE-754 rounding per lane).
+            lines_per_exec = np.minimum(1.0, self.stride / ctype.line_size)
+            l1 = np.where(self.ws > ctype.l1_bytes, lines_per_exec, 0.0)
+            l2_misses = np.where(self.ws > ctype.l2_bytes, lines_per_exec, 0.0)
+            l2_hits = l1 - l2_misses
+            dram_cycles = memory.dram_latency_ns * ctype.freq_ghz
+            stalls = l2_hits * memory.l2_hit_cycles + l2_misses * dram_cycles
+            stall_list = stalls.tolist()
+            l2_list = l2_hits.tolist()
+            for k, i in enumerate(self.mem_idx):
+                stall[i] = stall_list[k]
+                l2h[i] = l2_list[k]
+        pair = (stall, l2h)
+        self._per_ctype[ctype.name] = pair
+        return pair
+
+
 class CostModel:
     """Computes block costs for the core types of one machine."""
 
@@ -140,6 +203,39 @@ class CostModel:
         self.machine = machine
         self.memory = memory or MemoryModel()
         self._block_cache: dict = {}
+        self._proc_tables: dict = {}
+
+    def _table_for(self, block: BasicBlock, program: Program):
+        """The procedure cost table covering *block*, or ``None``.
+
+        Falls back to ``None`` (scalar path) when the block's instruction
+        objects are not a slice of the program's procedure code — e.g.
+        synthetic blocks built directly in tests — or when a custom
+        memory model subclass overrides the analytic formulas.
+        """
+        if type(self.memory) is not MemoryModel:
+            return None
+        entry = self._proc_tables.get(id(program))
+        if entry is None or entry[0] is not program:
+            entry = (program, {})
+            self._proc_tables[id(program)] = entry
+        tables = entry[1]
+        table = tables.get(block.proc, False)
+        if table is False:
+            proc = program.procedures.get(block.proc)
+            table = _ProcCostTable(proc, program) if proc is not None else None
+            tables[block.proc] = table
+        if table is None:
+            return None
+        code = table.code
+        start, end = block.start, block.end
+        instrs = block.instrs
+        if not instrs or end > len(code):
+            return None
+        # O(1) identity check that the block really is code[start:end].
+        if instrs[0] is not code[start] or instrs[-1] is not code[end - 1]:
+            return None
+        return table
 
     def block_cost(
         self, block: BasicBlock, ctype: CoreType, program: Program
@@ -150,16 +246,29 @@ class CostModel:
         if cached is not None:
             return cached
 
-        compute = 0.0
-        stall = 0.0
-        l2_hits = 0.0
-        for instr in block.instrs:
-            compute += BASE_CYCLES[instr.iclass]
-            if instr.mem is not None:
-                stall += self.memory.stall_cycles(instr.mem, program, ctype)
-                profile = self.memory.miss_profile(instr.mem, program, ctype)
-                l2_hits += profile.l2_hits
-        cost = BlockCost(len(block.instrs), compute, stall, l2_hits)
+        table = self._table_for(block, program)
+        if table is not None:
+            stall_col, l2_col = table.columns(ctype, self.memory)
+            start, end = block.start, block.end
+            # Built-in sum() accumulates left to right — the same order
+            # (and therefore the same rounding) as the scalar loop.
+            cost = BlockCost(
+                len(block.instrs),
+                sum(table.base[start:end]),
+                sum(stall_col[start:end]),
+                sum(l2_col[start:end]),
+            )
+        else:
+            compute = 0.0
+            stall = 0.0
+            l2_hits = 0.0
+            for instr in block.instrs:
+                compute += BASE_CYCLES[instr.iclass]
+                if instr.mem is not None:
+                    stall += self.memory.stall_cycles(instr.mem, program, ctype)
+                    profile = self.memory.miss_profile(instr.mem, program, ctype)
+                    l2_hits += profile.l2_hits
+            cost = BlockCost(len(block.instrs), compute, stall, l2_hits)
         self._block_cache[key] = cost
         return cost
 

@@ -24,12 +24,16 @@ The runtime attached via ``runtime`` must provide::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Callable, Optional
+
+import numpy as np
 
 from repro.errors import AffinitySyscallError, FaultError, SimulationError
 from repro.instrument.phase_mark import MARK_FIRE_CYCLES
 from repro.sim.events import EventQueue
 from repro.sim.faults import DvfsEvent, FaultInjector, FaultPlan, HotplugEvent
+from repro.sim.flattrace import FlatCursor
 from repro.sim.memory import MemoryModel
 from repro.sim.machine import MachineConfig
 from repro.sim.process import Segment, SimProcess
@@ -131,6 +135,7 @@ class Simulation:
         on_complete: Optional[Callable] = None,
         memory: Optional[MemoryModel] = None,
         faults=None,
+        batched: bool = True,
     ):
         self.machine = machine
         self.scheduler = scheduler or LinuxO1Scheduler()
@@ -140,6 +145,9 @@ class Simulation:
         self.pollution_beta = pollution_beta
         self.memory = memory or MemoryModel()
         self.on_complete = on_complete
+        #: Segment-batched quantum execution over flat traces; disable
+        #: to force the stepped reference path (golden-equality tests).
+        self.batched = batched
 
         self._events = EventQueue()
         self._now = 0.0
@@ -188,12 +196,62 @@ class Simulation:
             ct.name: self.memory.dram_penalty_cycles(ct) - self.memory.l2_hit_cycles
             for ct in machine.core_types()
         }
+        # Per-core execution context, fetched with one index per quantum
+        # (everything here is immutable for the life of the simulation;
+        # only the DVFS frequency scale stays in its own mutable list).
+        # The last slot is the sole L2 neighbour's id when there is
+        # exactly one (the paper's pairwise-shared-L2 machines), else -1.
+        self._core_exec = tuple(
+            (
+                core,
+                core.ctype.name,
+                core.ctype.freq_hz,
+                self._l2_neighbors[core.cid],
+                self._pollution_penalty[core.ctype.name],
+                self._l2_neighbors[core.cid][0]
+                if len(self._l2_neighbors[core.cid]) == 1
+                else -1,
+            )
+            for core in machine.cores
+        )
+        # Effective per-core frequency (base × DVFS scale), kept in sync
+        # by _apply_fault; freq_hz * 1.0 is exact, so the cached value
+        # always equals the per-quantum product it replaces.
+        self._core_freq_eff = [
+            core.ctype.freq_hz * 1.0 for core in machine.cores
+        ]
+        self._core_events = tuple(("core", core.cid) for core in machine.cores)
+        self._timeslice = self.scheduler.timeslice
         self._result = SimulationResult(
             machine,
             0.0,
             idle_time_by_core={c.cid: 0.0 for c in machine.cores},
         )
         self._live: set = set()
+        # Direct access to the stock scheduler's runqueues lets the
+        # per-quantum turn skip the pick/requeue call overhead; any
+        # subclass (which may override those methods) keeps the full
+        # calls.
+        self._sched_queues = (
+            self.scheduler._queues
+            if type(self.scheduler) is LinuxO1Scheduler
+            else None
+        )
+        # Everything the quantum fast path reads from self, bundled so
+        # one attribute fetch + unpack replaces nine lookups.  Mutable
+        # members (lists/dicts) are shared references, so updates via
+        # self.* stay visible.
+        self._hot = (
+            self._core_exec,
+            self._core_freq_eff,
+            self._timeslice,
+            self.runtime,
+            self._core_idle,
+            self._core_stall_frac,
+            self.contention_alpha,
+            self.pollution_beta,
+            self._result.throughput_buckets,
+        )
 
     # -- admission -------------------------------------------------------------
 
@@ -217,20 +275,30 @@ class Simulation:
 
     def run(self, until: float) -> SimulationResult:
         """Run the simulation until time *until* (seconds)."""
-        while self._events:
-            time = self._events.peek_time()
-            if time is None or time > until:
+        # The event loop runs once per scheduling quantum — hundreds of
+        # thousands of iterations per experiment — so it reads the heap
+        # directly instead of going through the EventQueue wrappers
+        # (pops are time-ordered, so _now only ever moves forward).
+        events = self._events
+        heap = events._heap
+        heappop = _heappop
+        core_turn = self._core_turn
+        while heap:
+            entry = heap[0]
+            time = entry[0]
+            if time > until:
                 break
-            time, payload = self._events.pop()
-            self._now = max(self._now, time)
+            time, _, payload = heappop(heap)
+            if time > self._now:
+                self._now = time
             kind = payload[0]
-            if kind == "arrive":
+            if kind == "core":
+                core_turn(payload[1], time)
+            elif kind == "arrive":
                 proc = payload[1]
                 proc.arrival = time
                 self._live.add(proc.pid)
                 self.scheduler.enqueue(proc, time)
-            elif kind == "core":
-                self._core_turn(payload[1], time)
             elif kind == "fault":
                 self._apply_fault(payload[1], time)
             else:  # pragma: no cover - defensive
@@ -253,34 +321,187 @@ class Simulation:
             self._core_idle_since[core_id] = now
             self._core_stall_frac[core_id] = 0.0
             return
-        proc = self.scheduler.pick(core_id, now)
+        sq = self._sched_queues
+        if sq is not None:
+            # Stock-scheduler pick, inlined (this core is online — the
+            # executor checked — and the offline sets stay in sync).
+            sched = self.scheduler
+            if now - sched._last_balance >= sched.balance_interval:
+                sched._maybe_balance(now)
+            queue = sq[core_id]
+            proc = queue.popleft() if queue else sched._steal(core_id)
+        else:
+            proc = self.scheduler.pick(core_id, now)
         if proc is None:
             self._core_idle[core_id] = True
             self._core_idle_since[core_id] = now
             self._core_stall_frac[core_id] = 0.0
             return
-        end = self._run_quantum(core_id, proc, now)
+        # The _run_quantum dispatch and the proc.finished property chain
+        # are inlined here: both run once per quantum.
+        cursor = proc.cursor
+        if self.batched and cursor.__class__ is FlatCursor:
+            # Most quanta resume mid-step and end inside that same step.
+            # Decide that *before* mutating anything (same float ops as
+            # _run_quantum_flat): if so, commit the step right here and
+            # skip the call; any other shape delegates with state
+            # untouched.
+            end = None
+            finished = False
+            done = cursor.iters_done
+            if done > 0.0 and not cursor.at_entry:
+                (
+                    core_exec,
+                    freq_eff,
+                    timeslice,
+                    runtime,
+                    core_idle,
+                    core_stall_frac,
+                    contention_alpha,
+                    pollution_beta,
+                    buckets,
+                ) = self._hot
+                _, ctype_name, _, neighbors, pollution_penalty, nb = (
+                    core_exec[core_id]
+                )
+                flat = cursor.flat
+                pos = cursor.pos
+                (
+                    remaining_full,
+                    seg_instrs,
+                    per_iter_overhead,
+                    emb_p,
+                    compute,
+                    stall,
+                    l2_resident,
+                    raw_stall_frac,
+                ) = flat.fastinfo[ctype_name][pos]
+                if runtime is None or not emb_p:
+                    if nb >= 0:
+                        neighbor = (
+                            0.0 if core_idle[nb] else core_stall_frac[nb]
+                        )
+                    else:
+                        neighbor = 0.0
+                        for other in neighbors:
+                            if not core_idle[other]:
+                                other_frac = core_stall_frac[other]
+                                if other_frac > neighbor:
+                                    neighbor = other_frac
+                    if neighbor > 0:
+                        if contention_alpha > 0 and stall > 0:
+                            stall *= 1.0 + contention_alpha * neighbor
+                        if pollution_beta > 0 and l2_resident > 0:
+                            stall += (
+                                pollution_beta
+                                * neighbor
+                                * l2_resident
+                                * pollution_penalty
+                            )
+                    total_per_iter = compute + stall + per_iter_overhead
+                    per_iter_s = total_per_iter / freq_eff[core_id]
+                    if per_iter_s < 1e-18:
+                        per_iter_s = 1e-18
+                    remaining = remaining_full - done
+                    fit = timeslice / per_iter_s
+                    n = remaining if remaining <= fit else fit
+                    if n > 0:
+                        elapsed = n * per_iter_s
+                        new_done = done + n
+                        budget = timeslice - elapsed
+                        advanced = remaining_full - new_done <= 1e-9
+                        if budget <= _MIN_STEP_S or (
+                            advanced and pos + 1 >= flat.n
+                        ):
+                            proc.current_core = core_id
+                            instrs = n * seg_instrs
+                            stats = proc.stats
+                            stats.instructions += instrs
+                            cycles_by_type = stats.cycles_by_type
+                            try:
+                                cycles_by_type[ctype_name] += (
+                                    n * total_per_iter
+                                )
+                            except KeyError:
+                                cycles_by_type[ctype_name] = (
+                                    n * total_per_iter
+                                )
+                            instrs_by_type = stats.instrs_by_type
+                            try:
+                                instrs_by_type[ctype_name] += instrs
+                            except KeyError:
+                                instrs_by_type[ctype_name] = instrs
+                            stats.mark_overhead_cycles += (
+                                n * per_iter_overhead
+                            )
+                            stats.cpu_time += elapsed
+                            bucket = int(now)
+                            try:
+                                buckets[bucket] += instrs
+                            except KeyError:
+                                buckets[bucket] = instrs
+                            core_stall_frac[core_id] = raw_stall_frac
+                            if advanced:
+                                pos += 1
+                                cursor.pos = pos
+                                cursor.iters_done = 0.0
+                                cursor.at_entry = pos < flat.n
+                                finished = pos >= flat.n
+                            else:
+                                cursor.iters_done = new_done
+                            t = now + elapsed
+                            floor = now + _MIN_STEP_S
+                            end = t if t > floor else floor
+            if end is None:
+                end = self._run_quantum_flat(core_id, proc, now, cursor)
+                finished = cursor.pos >= cursor.flat.n
+        else:
+            end = self._run_quantum_stepped(core_id, proc, now)
+            finished = cursor.finished
         self._core_busy_until[core_id] = end
         # _core_stall_frac keeps the last segment's memory intensity so
         # neighbours sharing the L2 see this core's pressure until it
         # idles or runs something else.
-        if proc.finished:
+        if finished:
             self._finish(proc, end)
         elif core_id in proc.affinity:
-            self.scheduler.requeue(proc, core_id, end)
+            if sq is not None and core_id not in self.scheduler._offline:
+                # Stock-scheduler requeue, inlined: the waker is a no-op
+                # for a core that is mid-turn (never idle), leaving just
+                # the runqueue append.
+                sq[core_id].append(proc)
+            else:
+                self.scheduler.requeue(proc, core_id, end)
         else:
             self.scheduler.enqueue(proc, end)
-        self._events.push(end, ("core", core_id))
+        events = self._events
+        _heappush(events._heap, (end, events._seq, self._core_events[core_id]))
+        events._seq += 1
 
     # -- quantum execution -------------------------------------------------------
 
     def _run_quantum(self, core_id: int, proc: SimProcess, start: float) -> float:
-        core = self.machine.cores[core_id]
-        ctype = core.ctype
-        ctype_name = ctype.name
+        cursor = proc.cursor
+        if self.batched and cursor.__class__ is FlatCursor:
+            return self._run_quantum_flat(core_id, proc, start, cursor)
+        return self._run_quantum_stepped(core_id, proc, start)
+
+    def _run_quantum_stepped(
+        self, core_id: int, proc: SimProcess, start: float
+    ) -> float:
+        """Reference quantum loop: one trace step per iteration.
+
+        Used for unflattenable traces and as the golden reference for
+        :meth:`_run_quantum_flat` (``batched=False`` forces it).  Both
+        paths must stay bit-identical — every float operation feeding
+        ``t``/``budget``/``n`` cascades through scheduler decisions.
+        """
+        core, ctype_name, freq_hz, neighbors, pollution_penalty, _ = (
+            self._core_exec[core_id]
+        )
         # DVFS faults re-clock individual cores; the scale is exactly
         # 1.0 (multiplication is a float no-op) in unfaulted runs.
-        freq = ctype.freq_hz * self._core_freq_scale[core_id]
+        freq = freq_hz * self._core_freq_scale[core_id]
         budget = self.scheduler.timeslice
         t = start
         proc.current_core = core_id
@@ -293,10 +514,8 @@ class Simulation:
         runtime = self.runtime
         contention_alpha = self.contention_alpha
         pollution_beta = self.pollution_beta
-        neighbors = self._l2_neighbors[core_id]
         core_idle = self._core_idle
         core_stall_frac = self._core_stall_frac
-        pollution_penalty = self._pollution_penalty[ctype_name]
         buckets = self._result.throughput_buckets
 
         while budget > 0 and not cursor.finished:
@@ -379,6 +598,365 @@ class Simulation:
 
         return max(t, start + _MIN_STEP_S)
 
+    def _run_quantum_flat(
+        self, core_id: int, proc: SimProcess, start: float, cursor: FlatCursor
+    ) -> float:
+        """Segment-batched quantum loop over a flat trace.
+
+        Bit-identical to :meth:`_run_quantum_stepped`: windows of
+        mark-free steps run through one numpy pipeline whose cumulative
+        arrays (``np.add.accumulate``) reproduce the scalar
+        ``t += elapsed`` / ``budget -= elapsed`` sequences operation for
+        operation; the step straddling the timeslice (or phase-mark)
+        boundary — located via the cumulative budget array — and every
+        marked step execute through the same scalar expressions as the
+        stepped loop.
+        """
+        (
+            core_exec,
+            freq_eff,
+            timeslice,
+            runtime,
+            core_idle,
+            core_stall_frac,
+            contention_alpha,
+            pollution_beta,
+            buckets,
+        ) = self._hot
+        core, ctype_name, freq_hz, neighbors, pollution_penalty, nb = (
+            core_exec[core_id]
+        )
+        freq = freq_eff[core_id]
+        budget = timeslice
+        t = start
+        proc.current_core = core_id
+
+        flat = cursor.flat
+        pos = cursor.pos
+        done = cursor.iters_done
+        at_entry = cursor.at_entry
+        n_steps = flat.n
+
+        # The neighbour scan reads only *other* cores' state, which no
+        # event can change mid-quantum, so it is loop-invariant.  Stall
+        # fractions are non-negative, so with a single L2 neighbour the
+        # max-scan collapses to one read.
+        if nb >= 0:
+            neighbor = 0.0 if core_idle[nb] else core_stall_frac[nb]
+        else:
+            neighbor = 0.0
+            for other in neighbors:
+                if not core_idle[other]:
+                    other_frac = core_stall_frac[other]
+                    if other_frac > neighbor:
+                        neighbor = other_frac
+
+        # Fast path: nearly every quantum resumes mid-step (at_entry
+        # cleared, partial iterations done) and the whole timeslice fits
+        # inside that one step.  Commit exactly one scalar step — the
+        # same float ops as the general loop below — with a minimal
+        # prologue, and return if the quantum ends there.  Any other
+        # shape falls through with nothing mutated (n <= 0) or with the
+        # step committed and budget/pos updated for the general loop.
+        if not at_entry and done > 0.0:
+            (
+                remaining_full,
+                seg_instrs,
+                per_iter_overhead,
+                emb_p,
+                compute,
+                stall,
+                l2_resident,
+                raw_stall_frac,
+            ) = flat.fastinfo[ctype_name][pos]
+            if runtime is None or not emb_p:
+                if neighbor > 0:
+                    if contention_alpha > 0 and stall > 0:
+                        stall *= 1.0 + contention_alpha * neighbor
+                    if pollution_beta > 0 and l2_resident > 0:
+                        stall += (
+                            pollution_beta
+                            * neighbor
+                            * l2_resident
+                            * pollution_penalty
+                        )
+                total_per_iter = compute + stall + per_iter_overhead
+                per_iter_s = total_per_iter / freq
+                if per_iter_s < 1e-18:
+                    per_iter_s = 1e-18
+                remaining = remaining_full - done
+                fit = budget / per_iter_s
+                n = remaining if remaining <= fit else fit
+                if n > 0:
+                    elapsed = n * per_iter_s
+                    instrs = n * seg_instrs
+                    stats = proc.stats
+                    stats.instructions += instrs
+                    # d[k] = d.get(k, 0.0) + x spelled as try/except:
+                    # the key exists after the first commit, and
+                    # 0.0 + x == x exactly on the miss.
+                    cycles_by_type = stats.cycles_by_type
+                    try:
+                        cycles_by_type[ctype_name] += n * total_per_iter
+                    except KeyError:
+                        cycles_by_type[ctype_name] = n * total_per_iter
+                    instrs_by_type = stats.instrs_by_type
+                    try:
+                        instrs_by_type[ctype_name] += instrs
+                    except KeyError:
+                        instrs_by_type[ctype_name] = instrs
+                    stats.mark_overhead_cycles += n * per_iter_overhead
+                    stats.cpu_time += elapsed
+                    bucket = int(t)
+                    try:
+                        buckets[bucket] += instrs
+                    except KeyError:
+                        buckets[bucket] = instrs
+                    core_stall_frac[core_id] = raw_stall_frac
+                    done += n
+                    if remaining_full - done <= 1e-9:
+                        pos += 1
+                        done = 0.0
+                        at_entry = True
+                    t += elapsed
+                    budget -= elapsed
+                    if budget <= _MIN_STEP_S or pos >= n_steps:
+                        cursor.pos = pos
+                        cursor.iters_done = done
+                        cursor.at_entry = at_entry if pos < n_steps else False
+                        floor = start + _MIN_STEP_S
+                        return t if t > floor else floor
+
+        stats = proc.stats
+        (
+            segs,
+            iters,
+            instrs_l,
+            ovh_l,
+            entry_marked,
+            next_entry,
+            any_marked,
+            next_any,
+            emb_multi,
+            comp_l,
+            stall_l,
+            l2_l,
+            sfrac_l,
+            np_iters,
+            np_comp,
+            np_stall,
+            np_l2,
+            np_ovh,
+            est_cum,
+        ) = flat.cols[ctype_name]
+        # Steps needing scalar treatment: with a runtime attached, any
+        # mark (entry or embedded) may call into it; without one, only
+        # entry marks charge cycles (embedded overhead is a constant
+        # per-iteration term already present in the cost arrays).
+        if runtime is not None:
+            marked = any_marked
+            next_marked = next_any
+        else:
+            marked = entry_marked
+            next_marked = next_entry
+        apply_alpha = neighbor > 0 and contention_alpha > 0
+        apply_beta = neighbor > 0 and pollution_beta > 0
+        alpha_factor = 1.0 + contention_alpha * neighbor
+        beta_neighbor = pollution_beta * neighbor
+
+        while budget > 0 and pos < n_steps:
+            if at_entry:
+                if marked[pos]:
+                    action = self._fire_marks(proc, segs[pos], core, t)
+                    cost_s = action.extra_cycles / freq
+                    t += cost_s
+                    budget -= cost_s
+                    at_entry = False
+                    if (
+                        action.affinity is not None
+                        and action.affinity != proc.affinity
+                    ):
+                        if self.faults is not None and not self._affinity_call_ok(
+                            proc, t
+                        ):
+                            continue
+                        proc.affinity = validate_affinity(
+                            action.affinity, len(self.machine)
+                        )
+                        if (
+                            self.faults is not None
+                            and self._notify_affinity is not None
+                        ):
+                            self._notify_affinity(proc, True, None, t)
+                        if core_id not in proc.affinity:
+                            switch_s = MIGRATION_CYCLES / freq
+                            stats.switches += 1
+                            stats.migrations += 1
+                            cursor.pos = pos
+                            cursor.iters_done = done
+                            cursor.at_entry = False
+                            return t + switch_s
+                    continue
+                # A mark-free entry is an exact no-op in the stepped
+                # loop (zero cycles, zero firings); just clear the flag.
+                at_entry = False
+
+            # Batch only from a fresh step boundary (done == 0.0): a
+            # fully-consumed fresh step always advances the cursor
+            # exactly (done' == iterations, residue 0), whereas resuming
+            # a partially-consumed step can leave a float residue above
+            # the 1e-9 advance tolerance that the stepped loop would
+            # execute as an extra mini-step.
+            window_end = next_marked[pos] if done == 0.0 else pos
+            if window_end - pos >= 2:
+                # Upper-bound the reachable step count: contention and
+                # the 1e-18 time floor only slow steps down, so the
+                # uncontended cumulative-cycle prefix cannot undershoot.
+                hi = int(
+                    np.searchsorted(
+                        est_cum, est_cum[pos] + budget * freq, side="right"
+                    )
+                )
+                window_end = min(window_end, hi + 1, pos + 4096)
+            if window_end - pos >= 2:
+                w = window_end
+                stall_a = np_stall[pos:w]
+                if apply_alpha:
+                    stall_a = stall_a * alpha_factor
+                if apply_beta:
+                    stall_a = stall_a + (beta_neighbor * np_l2[pos:w]) * (
+                        pollution_penalty
+                    )
+                total_a = (np_comp[pos:w] + stall_a) + np_ovh[pos:w]
+                per_iter_a = total_a / freq
+                np.maximum(per_iter_a, 1e-18, out=per_iter_a)
+                rem_a = np_iters[pos:w]
+                elapsed_a = rem_a * per_iter_a
+                m = w - pos
+                # Cumulative budget/time with the scalar accumulation
+                # order: add.accumulate is strictly left-to-right.
+                b_cum = np.add.accumulate(
+                    np.concatenate(((budget,), -elapsed_a))
+                )
+                t_cum = np.add.accumulate(np.concatenate(((t,), elapsed_a)))
+                fits = (b_cum[:m] / per_iter_a) >= rem_a
+                fits[1:] &= b_cum[1:m] > _MIN_STEP_S
+                blocked = np.flatnonzero(~fits)
+                j = int(blocked[0]) if blocked.size else m
+                if j > 0:
+                    n_l = rem_a[:j].tolist()
+                    total_l = total_a[:j].tolist()
+                    elapsed_l = elapsed_a[:j].tolist()
+                    t_l = t_cum[:j].tolist()
+                    instructions = stats.instructions
+                    cycles_ct = stats.cycles_by_type.get(ctype_name, 0.0)
+                    instrs_ct = stats.instrs_by_type.get(ctype_name, 0.0)
+                    mark_overhead = stats.mark_overhead_cycles
+                    cpu_time = stats.cpu_time
+                    for i in range(j):
+                        n = n_l[i]
+                        step = pos + i
+                        instrs = n * instrs_l[step]
+                        instructions += instrs
+                        cycles_ct += n * total_l[i]
+                        instrs_ct += instrs
+                        mark_overhead += n * ovh_l[step]
+                        cpu_time += elapsed_l[i]
+                        bucket = int(t_l[i])
+                        buckets[bucket] = buckets.get(bucket, 0.0) + instrs
+                    stats.instructions = instructions
+                    stats.cycles_by_type[ctype_name] = cycles_ct
+                    stats.instrs_by_type[ctype_name] = instrs_ct
+                    stats.mark_overhead_cycles = mark_overhead
+                    stats.cpu_time = cpu_time
+                    core_stall_frac[core_id] = sfrac_l[pos + j - 1]
+                    pos += j
+                    done = 0.0
+                    at_entry = True
+                    t = float(t_cum[j])
+                    budget = float(b_cum[j])
+                    if budget <= _MIN_STEP_S and pos < n_steps:
+                        break
+                    continue
+                # j == 0: the first step already straddles the boundary.
+
+            compute = comp_l[pos]
+            stall = stall_l[pos]
+            l2_resident = l2_l[pos]
+            seg_instrs = instrs_l[pos]
+            raw_stall_frac = sfrac_l[pos]
+            if neighbor > 0:
+                if contention_alpha > 0 and stall > 0:
+                    stall *= 1.0 + contention_alpha * neighbor
+                if pollution_beta > 0 and l2_resident > 0:
+                    stall += (
+                        pollution_beta * neighbor * l2_resident * pollution_penalty
+                    )
+
+            if runtime is not None and emb_multi[pos]:
+                per_iter_overhead, switch_rate = self._embedded_overhead(
+                    proc, segs[pos], runtime
+                )
+            else:
+                # ovh_l holds exactly embedded_rate * MARK_FIRE_CYCLES
+                # (0.0 for mark-free steps) — what _embedded_overhead
+                # returns whenever thrash is impossible (no runtime, or
+                # fewer than two embedded marks).
+                per_iter_overhead = ovh_l[pos]
+                switch_rate = 0.0
+
+            total_per_iter = compute + stall + per_iter_overhead
+            # min()/max() spelled as conditionals (value-identical for
+            # the non-NaN floats here; saves a builtin call per step).
+            per_iter_s = total_per_iter / freq
+            if per_iter_s < 1e-18:
+                per_iter_s = 1e-18
+            remaining = iters[pos] - done
+            fit = budget / per_iter_s
+            n = remaining if remaining <= fit else fit
+            if n <= 0:
+                n = min(remaining, 1e-9)
+            elapsed = n * per_iter_s
+            # stats.record inlined, same field order and float ops
+            # (0.0 + x == x exactly, so the try/except miss arm matches
+            # the .get(k, 0.0) + x it replaces).
+            instrs = n * seg_instrs
+            stats.instructions += instrs
+            cycles_by_type = stats.cycles_by_type
+            try:
+                cycles_by_type[ctype_name] += n * total_per_iter
+            except KeyError:
+                cycles_by_type[ctype_name] = n * total_per_iter
+            instrs_by_type = stats.instrs_by_type
+            try:
+                instrs_by_type[ctype_name] += instrs
+            except KeyError:
+                instrs_by_type[ctype_name] = instrs
+            stats.mark_overhead_cycles += n * per_iter_overhead
+            stats.switches += n * switch_rate
+            stats.cpu_time += elapsed
+            bucket = int(t)
+            try:
+                buckets[bucket] += instrs
+            except KeyError:
+                buckets[bucket] = instrs
+            core_stall_frac[core_id] = raw_stall_frac
+            done += n
+            if iters[pos] - done <= 1e-9:
+                pos += 1
+                done = 0.0
+                at_entry = True
+            t += elapsed
+            budget -= elapsed
+            if budget <= _MIN_STEP_S and pos < n_steps:
+                break
+
+        cursor.pos = pos
+        cursor.iters_done = done
+        cursor.at_entry = at_entry if pos < n_steps else False
+        floor = start + _MIN_STEP_S
+        return t if t > floor else floor
+
     def _fire_marks(self, proc: SimProcess, seg: Segment, core, now) -> MarkAction:
         """Fire the segment's entry marks (and give embedded marks their
         once-per-entry runtime visit); return the combined action."""
@@ -418,7 +996,10 @@ class Simulation:
         decisions.  Runtime-dependent, so recomputed each quantum."""
         overhead = seg.embedded_rate * MARK_FIRE_CYCLES
         switch_rate = 0.0
-        if runtime is not None:
+        # Thrash needs at least two embedded marks decided to *distinct*
+        # core types; with zero or one mark the answer is always the
+        # plain fire overhead, no runtime consultation needed.
+        if runtime is not None and len(seg.embedded) > 1:
             targets = {}
             for emb in seg.embedded:
                 target = runtime.assignment_for(proc, emb.phase_type)
@@ -473,7 +1054,10 @@ class Simulation:
                 self.scheduler.set_core_offline(cid, True, now)
                 self.faults.note_applied(event)
         elif isinstance(event, DvfsEvent):
-            self._core_freq_scale[event.core_id] = event.scale
+            cid = event.core_id
+            self._core_freq_scale[cid] = event.scale
+            # Same product the stepped path computes per quantum.
+            self._core_freq_eff[cid] = self._core_exec[cid][2] * event.scale
             self.faults.note_applied(event)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown fault event {event!r}")

@@ -139,6 +139,18 @@ class Trace:
     """A process's whole dynamic behaviour."""
 
     nodes: tuple
+    #: Cached flat (vectorized) form built by
+    #: :func:`repro.sim.flattrace.flat_trace` — a pure cache, excluded
+    #: from equality and from pickling (workers and the disk cache ship
+    #: only the tree; the flat arrays are rebuilt lazily where needed).
+    _flat: object = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self):
+        return self.nodes
+
+    def __setstate__(self, state) -> None:
+        self.nodes = state
+        self._flat = None
 
     def total_instrs(self) -> float:
         return sum(_node_instrs(n) for n in self.nodes)
@@ -311,10 +323,12 @@ class SimProcess:
         isolated_time: float = 0.0,
         slot: Optional[int] = None,
     ):
+        from repro.sim.flattrace import make_cursor  # Local: import cycle.
+
         self.pid = pid
         self.name = name
         self.trace = trace
-        self.cursor = TraceCursor(trace)
+        self.cursor = make_cursor(trace)
         self.affinity = affinity
         self.arrival = arrival
         self.completion: Optional[float] = None

@@ -92,8 +92,9 @@ class LinuxO1Scheduler(Scheduler):
         self.waker(target, now)
 
     def requeue(self, proc: SimProcess, core_id: int, now: float) -> None:
-        mask = validate_affinity(proc.affinity, len(self.machine))
-        if core_id in mask and core_id not in self._offline:
+        # proc.affinity is validated at admission and at every change,
+        # so the hot requeue path only needs the membership checks.
+        if core_id in proc.affinity and core_id not in self._offline:
             self._queues[core_id].append(proc)
             self.waker(core_id, now)
         else:
@@ -102,7 +103,10 @@ class LinuxO1Scheduler(Scheduler):
     def pick(self, core_id: int, now: float) -> Optional[SimProcess]:
         if core_id in self._offline:
             return None
-        self._maybe_balance(now)
+        # _maybe_balance's early-exit guard, inlined: pick runs once per
+        # quantum and balancing is due only every balance_interval.
+        if now - self._last_balance >= self.balance_interval:
+            self._maybe_balance(now)
         queue = self._queues[core_id]
         if queue:
             return queue.popleft()

@@ -38,7 +38,7 @@ from typing import Optional, Union
 from repro.errors import SimulationError, WorkloadError
 from repro.program.basic_block import NodeKind
 from repro.program.callgraph import build_callgraph
-from repro.program.cfg import CFG, build_cfg
+from repro.program.cfg import CFG, cached_cfg
 from repro.program.loops import Loop, find_loops
 from repro.program.module import Program
 from repro.sim.cost_model import CostModel, CostVector
@@ -124,6 +124,7 @@ class TraceGenerator:
         self._trips: dict = {}
         self._agg_memo: dict = {}
         self._loop_memo: dict = {}
+        self._dag_memo: dict = {}
         self._in_progress: set = set()
 
     # -- public API ---------------------------------------------------------
@@ -145,7 +146,7 @@ class TraceGenerator:
         else:
             self._instrumented = None
             self._program = target
-            self._cfgs = {p.name: build_cfg(p) for p in target}
+            self._cfgs = {p.name: cached_cfg(p) for p in target}
         self._loops = {
             name: find_loops(cfg) for name, cfg in self._cfgs.items()
         }
@@ -269,6 +270,25 @@ class TraceGenerator:
         entry_key = lift(entry_block)
         return items, succs, entry_key
 
+    def _scope_info(self, proc_name: str, within: Optional[Loop]):
+        """Memoized (items, succs, entry_key, freq, order) of one scope.
+
+        The scope DAG, its frequencies and its topological order depend
+        only on program structure and trip counts — both fixed for the
+        duration of one :meth:`generate` call — so aggregation rounds and
+        emission share one computation per scope.  Callers treat the
+        returned structures as read-only.
+        """
+        key = (proc_name, within.uid if within is not None else None)
+        got = self._dag_memo.get(key)
+        if got is None:
+            items, succs, entry_key = self._scope_dag(proc_name, within)
+            freq = self._frequencies(items, succs, entry_key)
+            order = self._topo_order(items, succs, entry_key)
+            got = (items, succs, entry_key, freq, order)
+            self._dag_memo[key] = got
+        return got
+
     def _frequencies(self, items, succs, entry_key) -> dict:
         """Expected executions of each item per scope execution.
 
@@ -389,8 +409,7 @@ class TraceGenerator:
         return result
 
     def _aggregate_scope(self, proc_name: str, within: Optional[Loop]):
-        items, succs, entry_key = self._scope_dag(proc_name, within)
-        freq = self._frequencies(items, succs, entry_key)
+        items, succs, entry_key, freq, _ = self._scope_info(proc_name, within)
         member_blocks = self._scope_members(proc_name, within)
         core_types = self.machine.core_types()
         total = CostVector.zero(core_types)
@@ -522,10 +541,8 @@ class TraceGenerator:
     def _emit_scope(
         self, proc_name: str, within: Optional[Loop], depth: int, budget: float
     ) -> list:
-        items, succs, entry_key = self._scope_dag(proc_name, within)
-        freq = self._frequencies(items, succs, entry_key)
+        items, succs, entry_key, freq, order = self._scope_info(proc_name, within)
         member_blocks = self._scope_members(proc_name, within)
-        order = self._topo_order(items, succs, entry_key)
         cfg = self._cfgs[proc_name]
         program = self._program
         core_types = self.machine.core_types()

@@ -32,8 +32,12 @@ Cache levels (each usable on its own):
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Callable, Optional
 
 from repro.errors import CacheCorruptionError
@@ -122,6 +126,12 @@ def _key_digest(key: tuple) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
+#: Environment variable naming a disk directory for the default cache.
+#: Set (e.g. by ``python -m repro.experiments --cache-dir``) before
+#: worker processes start so spawned workers inherit the disk tier.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
 class PipelineCache:
     """Content-keyed memo for static-pipeline products.
 
@@ -137,17 +147,131 @@ class PipelineCache:
     rebuilt, or raised as :class:`~repro.errors.CacheCorruptionError`
     under ``strict=True``.
 
+    With ``disk_dir`` set the cache gains a persistent tier: every
+    build is also written to ``{level}-{digest}.pkl`` under that
+    directory (atomically, via a temp file + ``os.replace``), and a
+    memory miss falls back to the disk copy before rebuilding.  Disk
+    entries carry the same key digest and are verified — and the full
+    stored key compared against the lookup key — on every load, so a
+    damaged or foreign file is evicted (or raised under ``strict``)
+    exactly like a corrupt in-memory entry.  The directory is bounded
+    to ``max_disk_entries`` files, evicting oldest-mtime first.
+
     Args:
         strict: raise on a detected corruption instead of silently
             rebuilding the entry.
+        disk_dir: directory for the persistent tier (created if
+            missing); ``None`` keeps the cache memory-only.
+        max_disk_entries: cap on on-disk entry files.
     """
 
-    def __init__(self, strict: bool = False) -> None:
+    def __init__(
+        self,
+        strict: bool = False,
+        disk_dir=None,
+        max_disk_entries: int = 512,
+    ) -> None:
         self._entries: dict = {}
         self.strict = strict
+        self.max_disk_entries = max_disk_entries
+        self._disk_dir: Optional[Path] = None
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
         self.corruptions = 0
+        if disk_dir is not None:
+            self.set_disk_dir(disk_dir)
+
+    # -- disk tier ----------------------------------------------------------
+
+    @property
+    def disk_dir(self) -> Optional[Path]:
+        return self._disk_dir
+
+    def set_disk_dir(self, disk_dir) -> None:
+        """Enable (or move) the persistent tier; creates the directory."""
+        path = Path(disk_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        self._disk_dir = path
+
+    def _disk_path(self, key: tuple) -> Path:
+        return self._disk_dir / f"{key[0]}-{_key_digest(key)}.pkl"
+
+    def _disk_load(self, key: tuple):
+        """The disk entry for *key*, or None.  Corrupt files are
+        unlinked (and raised under ``strict``)."""
+        path = self._disk_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            stored_key, value, digest = pickle.loads(blob)
+            ok = digest == _key_digest(key) and stored_key == key
+        except Exception:
+            ok = False
+        if not ok:
+            self.corruptions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            if self.strict:
+                raise CacheCorruptionError(
+                    f"disk cache entry {path.name} failed its integrity check"
+                )
+            return None
+        return (value,)
+
+    def _disk_store(self, key: tuple, value) -> None:
+        """Atomically persist one entry, then enforce the size cap.
+
+        Write failures (read-only directory, unpicklable value, disk
+        full) leave the disk tier stale but never fail the build.
+        """
+        path = self._disk_path(key)
+        try:
+            blob = pickle.dumps(
+                (key, value, _key_digest(key)), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self._disk_dir), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            return
+        self._evict_disk_overflow()
+
+    def _evict_disk_overflow(self) -> None:
+        if self.max_disk_entries is None:
+            return
+        try:
+            files = [
+                (entry.stat().st_mtime, entry)
+                for entry in self._disk_dir.glob("*.pkl")
+            ]
+        except OSError:
+            return
+        excess = len(files) - self.max_disk_entries
+        if excess <= 0:
+            return
+        files.sort(key=lambda pair: pair[0])
+        for _, stale in files[:excess]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # -- lookup -------------------------------------------------------------
 
     def get_or_build(self, key: tuple, build: Callable):
         entry = self._entries.get(key)
@@ -165,10 +289,50 @@ class PipelineCache:
                     f"pipeline cache entry for key {key[0]!r} failed its "
                     f"integrity check"
                 )
+        if self._disk_dir is not None:
+            loaded = self._disk_load(key)
+            if loaded is not None:
+                value = loaded[0]
+                self.hits += 1
+                self.disk_hits += 1
+                self._entries[key] = (value, _key_digest(key))
+                return value
         self.misses += 1
         value = build()
         self._entries[key] = (value, _key_digest(key))
+        if self._disk_dir is not None:
+            self._disk_store(key, value)
         return value
+
+    # -- shipping (spawn-started workers) -----------------------------------
+
+    def export_entries(self) -> bytes:
+        """All entries as one pickled blob for :meth:`install_entries`.
+
+        Lets a harness ship a warm cache to workers whose start method
+        does not inherit parent memory (spawn/forkserver).
+        """
+        return pickle.dumps(
+            list(self._entries.items()), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    def install_entries(self, blob: bytes) -> int:
+        """Install entries exported elsewhere; returns how many were
+        accepted.  Each entry's digest is re-verified against its key,
+        so damage in transit is dropped (or raised under ``strict``)."""
+        count = 0
+        for key, (value, digest) in pickle.loads(blob):
+            if digest != _key_digest(key):
+                self.corruptions += 1
+                if self.strict:
+                    raise CacheCorruptionError(
+                        f"shipped cache entry for key {key[0]!r} failed "
+                        f"its integrity check"
+                    )
+                continue
+            self._entries[key] = (value, digest)
+            count += 1
+        return count
 
     def check_integrity(self) -> int:
         """Re-hash every entry's key; evict and count the corrupt ones.
@@ -198,11 +362,13 @@ class PipelineCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
         self.corruptions = 0
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
         self.corruptions = 0
 
     def stats(self) -> dict:
@@ -212,14 +378,17 @@ class PipelineCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
+            "disk_hits": self.disk_hits,
             "corruptions": self.corruptions,
         }
 
 
 #: Process-wide cache shared by default.  Worker processes of the
 #: experiment harness each grow their own copy (or inherit the parent's
-#: populated cache through fork).
-_DEFAULT_CACHE = PipelineCache()
+#: populated cache through fork).  A ``REPRO_CACHE_DIR`` environment
+#: variable — inherited by spawned workers too — attaches the disk tier
+#: from the start.
+_DEFAULT_CACHE = PipelineCache(disk_dir=os.environ.get(CACHE_DIR_ENV) or None)
 
 
 def default_cache() -> PipelineCache:

@@ -146,9 +146,10 @@ class WorkloadRun:
         self._cursor[slot] = index + 1
         name = queue[index]
         prepared = self._prepared[name]
-        # Traces are consumed statefully by the cursor, so each process
-        # needs a fresh Trace object over the same (immutable) nodes.
-        trace = Trace(prepared.trace_template.nodes)
+        # The trace itself is immutable — all consumption state lives in
+        # the per-process cursor — so processes share the template
+        # directly (and with it the flattened-array cache).
+        trace = prepared.trace_template
         self._next_pid += 1
         return SimProcess(
             self._next_pid,

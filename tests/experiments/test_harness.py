@@ -215,3 +215,64 @@ def test_dead_worker_falls_back_to_serial():
     results = run_tasks(_die_in_worker, tasks, jobs=2, log=lines.append)
     assert results == [f"done:{task}" for task in tasks]
     assert any("serially" in line for line in lines)
+
+
+# -- straggler reclamation --------------------------------------------------
+
+
+def test_straggler_is_killed_and_pool_rebuilt(tmp_path):
+    """A worker hung past the deadline is SIGKILLed (its slot would
+    otherwise stay occupied for the full 30 s sleep) and the pool is
+    rebuilt for the retry."""
+    flag = str(tmp_path / "straggler.flag")
+    fast = str(tmp_path / "fast.flag")
+    open(fast, "w").close()  # pre-flagged: returns immediately
+    lines = []
+    start = time.monotonic()
+    results = run_tasks(
+        _sleep_if_flagged,
+        [(1, flag), (2, fast), (3, fast)],
+        jobs=2,
+        timeout=1.0,
+        retries=1,
+        log=lines.append,
+        labels=["straggler", "fast-a", "fast-b"],
+    )
+    assert results == [1, 2, 3]
+    assert any("killed straggling worker" in line for line in lines)
+    assert any("rebuilding worker pool" in line for line in lines)
+    # Reclaimed at the deadline, nowhere near the straggler's 30 s sleep.
+    assert time.monotonic() - start < 20.0
+
+
+# -- spawn-started workers --------------------------------------------------
+
+
+def _default_cache_entries(task):
+    from repro.tuning.pipeline import default_cache
+
+    return default_cache().stats()["entries"]
+
+
+def test_explicit_fork_start_method(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    tasks = list(range(9))
+    assert run_tasks(_square, tasks, jobs=3, start_method="fork") == [
+        i * i for i in tasks
+    ]
+
+
+def test_spawn_workers_receive_warm_cache():
+    """Spawned workers don't inherit memory; the harness ships the
+    parent's pipeline-cache entries through the pool initializer."""
+    from repro.tuning.pipeline import default_cache, tune_program
+    from tests.conftest import make_phased_program
+
+    program, spec = make_phased_program(outer=4)
+    tune_program(program, spec=spec)  # warm the process-wide cache
+    parent_entries = default_cache().stats()["entries"]
+    assert parent_entries > 0
+    counts = run_tasks(
+        _default_cache_entries, [0, 1, 2], jobs=2, start_method="spawn"
+    )
+    assert all(count >= parent_entries for count in counts)

@@ -1,0 +1,183 @@
+"""Golden-equality tests for the segment-batched executor.
+
+``Simulation(batched=True)`` (the default) runs quanta through the flat
+trace arrays and the batched quantum loop; ``batched=False`` forces the
+stepped tree-walking reference path.  The two must agree *exactly* —
+same completion times, same per-process stats, same throughput buckets,
+same idle accounting — because the batched loop replays the reference
+float arithmetic op for op.
+"""
+
+import pytest
+
+from repro.instrument import BBStrategy, LoopStrategy, instrument
+from repro.sim import SimProcess, Simulation, TraceGenerator
+from repro.sim.cost_model import CostVector
+from repro.sim.faults import DvfsEvent, FaultPlan, HotplugEvent
+from repro.sim.flattrace import (
+    FLATTEN_LIMIT,
+    FlatCursor,
+    flat_trace,
+    make_cursor,
+)
+from repro.sim.process import Repeat, Segment, Trace, TraceCursor
+from repro.tuning import PhaseTuningRuntime
+from tests.conftest import make_phased_program
+
+
+def _summary(result):
+    """Everything a SimulationResult reports, as comparable plain data."""
+    return {
+        "time": result.time,
+        "completed": [
+            (
+                p.pid,
+                p.name,
+                p.completion,
+                p.stats.instructions,
+                dict(p.stats.cycles_by_type),
+                p.stats.switches,
+                p.stats.migrations,
+                p.stats.mark_firings,
+                p.stats.mark_overhead_cycles,
+                p.stats.cpu_time,
+            )
+            for p in result.completed
+        ],
+        "buckets": dict(result.throughput_buckets),
+        "idle": dict(result.idle_time_by_core),
+    }
+
+
+def _run(machine, batched, strategy=None, delta=0.12, faults=None, procs=3):
+    """One multi-process run; everything rebuilt fresh per call."""
+    program, spec = make_phased_program(outer=6)
+    generator = TraceGenerator(machine)
+    if strategy is not None:
+        source = instrument(program, strategy)
+        runtime = PhaseTuningRuntime(machine, delta)
+    else:
+        source = program
+        runtime = None
+    sim = Simulation(machine, runtime=runtime, faults=faults, batched=batched)
+    for pid in range(procs):
+        proc = SimProcess(
+            pid,
+            f"p{pid}",
+            generator.generate(source, spec),
+            machine.all_cores_mask,
+            isolated_time=1.0,
+        )
+        sim.add_process(proc, 0.0)
+    return _summary(sim.run(1000.0))
+
+
+def test_batched_matches_stepped_baseline(machine):
+    """Runtime-less multiprogrammed run: identical down to the float."""
+    assert _run(machine, True) == _run(machine, False)
+
+
+def test_batched_matches_stepped_under_runtime(machine):
+    assert _run(machine, True, strategy=LoopStrategy(20)) == _run(
+        machine, False, strategy=LoopStrategy(20)
+    )
+
+
+def test_batched_matches_stepped_bb_strategy(machine):
+    assert _run(machine, True, strategy=BBStrategy(15, 0), delta=0.08) == _run(
+        machine, False, strategy=BBStrategy(15, 0), delta=0.08
+    )
+
+
+def test_batched_matches_stepped_with_faults(machine):
+    """A nonzero fault plan (hotplug + DVFS + counter/IPC noise) hits the
+    executor's fault hooks; both paths must still agree exactly."""
+    # Place the machine events inside the run: probe its length first.
+    span = _run(machine, False, strategy=LoopStrategy(20))["time"]
+    plan = FaultPlan(
+        seed=7,
+        counter_fail_rate=0.05,
+        counter_corrupt_rate=0.02,
+        affinity_fail_rate=0.05,
+        ipc_noise=0.01,
+        hotplug=(
+            HotplugEvent(time=span * 0.3, core_id=1, online=False),
+            HotplugEvent(time=span * 0.7, core_id=1, online=True),
+        ),
+        dvfs=(DvfsEvent(time=span * 0.5, core_id=0, scale=0.8),),
+    )
+    faulted = _run(machine, True, strategy=LoopStrategy(20), faults=plan)
+    assert faulted == _run(machine, False, strategy=LoopStrategy(20), faults=plan)
+    # The plan really perturbed the run (otherwise this test is vacuous).
+    assert faulted != _run(machine, True, strategy=LoopStrategy(20))
+
+
+# -- flat trace / cursor parity -------------------------------------------------
+
+
+def _zero_segment(machine, uid, iters):
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = 100.0
+    for name in vector.compute:
+        vector.compute[name] = 1e4
+    return Segment(uid, None, iters, vector)
+
+
+def _nested_trace(machine):
+    a = _zero_segment(machine, "a", 2.0)
+    b = _zero_segment(machine, "b", 3.0)
+    c = _zero_segment(machine, "c", 1.0)
+    return Trace((a, Repeat((b, Repeat((c,), 2)), 3), a))
+
+
+def test_flat_cursor_walks_in_tree_order(machine):
+    """FlatCursor and TraceCursor agree step by step under identical
+    consume sequences, including partial consumes."""
+    trace = _nested_trace(machine)
+    flat = make_cursor(trace)
+    tree = TraceCursor(trace)
+    assert isinstance(flat, FlatCursor)
+    while not tree.finished:
+        assert not flat.finished
+        assert flat.current is tree.current
+        assert flat.remaining_iterations == tree.remaining_iterations
+        assert flat.at_entry == tree.at_entry
+        # Consume in two bites to exercise mid-step resumption.
+        half = tree.remaining_iterations / 2.0
+        flat.consume(half)
+        tree.consume(half)
+        assert flat.at_entry == tree.at_entry == False  # noqa: E712
+        flat.consume(tree.remaining_iterations)
+        tree.consume(tree.remaining_iterations)
+    assert flat.finished
+
+
+def test_flat_trace_is_cached_per_trace(machine):
+    trace = _nested_trace(machine)
+    assert flat_trace(trace) is flat_trace(trace)
+    # 11 visits: a, 3 * (b, c, c), a.
+    assert flat_trace(trace).n == 11
+
+
+def test_oversized_trace_keeps_tree_walker(machine):
+    seg = _zero_segment(machine, "s", 1.0)
+    huge = Trace((Repeat((seg,), FLATTEN_LIMIT + 1),))
+    assert flat_trace(huge) is None
+    assert isinstance(make_cursor(huge), TraceCursor)
+    # The verdict is cached too (the sentinel, not re-expansion).
+    assert flat_trace(huge) is None
+
+
+def test_hand_built_repeat_trace_runs_identically(machine):
+    """A hand-built nested-repeat trace through both executor paths."""
+
+    def run(batched):
+        sim = Simulation(machine, batched=batched)
+        proc = SimProcess(
+            1, "nested", _nested_trace(machine),
+            machine.all_cores_mask, isolated_time=1.0,
+        )
+        sim.add_process(proc, 0.0)
+        return _summary(sim.run(100.0))
+
+    assert run(True) == run(False)

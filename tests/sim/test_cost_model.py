@@ -6,6 +6,8 @@ from repro.isa import ProgramBuilder
 from repro.program import build_cfg
 from repro.sim import core2quad_amp
 from repro.sim.cost_model import CostModel, CostVector
+from repro.sim.memory import MemoryModel
+from repro.workloads.spec import spec_benchmark
 
 
 @pytest.fixture()
@@ -80,6 +82,50 @@ def test_block_vector_covers_all_types(model, machine):
     vector = model.block_vector(block, program)
     assert set(vector.compute) == {"fast", "slow"}
     assert vector.instrs == len(block.instrs)
+
+
+# -- vectorized vs scalar golden equality ---------------------------------------
+
+
+class _ScalarMemory(MemoryModel):
+    """Identical model, but its subclass type forces CostModel down the
+    scalar per-instruction path (no _ProcCostTable)."""
+
+
+def _all_blocks(program):
+    for name in program.procedures:
+        yield from build_cfg(program[name]).blocks
+
+
+@pytest.mark.parametrize("bench", ["181.mcf", "164.gzip", "179.art"])
+def test_vectorized_costs_match_scalar_reference(machine, bench):
+    """The numpy per-procedure cost table must reproduce the scalar
+    per-instruction loop bit for bit, on every block of real programs."""
+    program = spec_benchmark(bench).program
+    vectorized = CostModel(machine)
+    scalar = CostModel(machine, memory=_ScalarMemory())
+    blocks = 0
+    for block in _all_blocks(program):
+        for ctype in machine.core_types():
+            got = vectorized.block_cost(block, ctype, program)
+            ref = scalar.block_cost(block, ctype, program)
+            assert got.instrs == ref.instrs
+            assert got.compute_cycles == ref.compute_cycles
+            assert got.stall_cycles == ref.stall_cycles
+            assert got.l2_hits == ref.l2_hits
+            blocks += 1
+    assert blocks > 0
+
+
+def test_custom_memory_subclass_skips_table(machine):
+    """A memory-model subclass may override the analytic formulas, so
+    the table shortcut must not be consulted for it."""
+    block, program = _block(lambda b: b.load("r1", "BIG", index="r2", stride=64))
+    model = CostModel(machine, memory=_ScalarMemory())
+    assert model._table_for(block, program) is None
+    # The scalar path still produces a full cost.
+    fast = machine.core_types()[0]
+    assert model.block_cost(block, fast, program).stall_cycles > 0
 
 
 def test_cost_vector_arithmetic(machine):

@@ -231,3 +231,145 @@ def test_clear_resets_corruption_count():
     assert cache.corruptions == 1
     cache.clear()
     assert cache.corruptions == 0
+
+
+# -- disk tier --------------------------------------------------------------
+
+
+def _warm_disk(tmp_path):
+    """Build one tuned binary with a disk-backed cache; return the lot."""
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache(disk_dir=tmp_path)
+    tuned = tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    return program, spec, cache, tuned
+
+
+def test_disk_roundtrip_serves_fresh_cache(tmp_path):
+    """A brand-new cache over the same directory rebuilds nothing."""
+    program, spec, warm, tuned = _warm_disk(tmp_path)
+    assert warm.misses > 0
+    assert warm.disk_hits == 0
+    assert len(list(tmp_path.glob("*.pkl"))) == len(warm)
+    cold = PipelineCache(disk_dir=tmp_path)
+    again = tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
+    assert cold.misses == 0
+    assert cold.disk_hits > 0
+    stats = cold.stats()
+    assert stats["hit_rate"] == 1.0
+    assert stats["disk_hits"] == cold.disk_hits
+    assert again.isolated_seconds == tuned.isolated_seconds
+    assert again.mark_count == tuned.mark_count
+
+
+def test_set_disk_dir_creates_directory(tmp_path):
+    target = tmp_path / "nested" / "cache"
+    cache = PipelineCache(disk_dir=target)
+    assert target.is_dir()
+    assert cache.disk_dir == target
+
+
+def _smash_tuned_files(tmp_path):
+    smashed = list(tmp_path.glob("tuned-*.pkl"))
+    assert smashed, "expected a persisted tuned-level entry"
+    for path in smashed:
+        path.write_bytes(b"not a pickle")
+    return smashed
+
+
+def test_corrupt_disk_file_is_evicted_and_rebuilt(tmp_path):
+    program, spec, _, tuned = _warm_disk(tmp_path)
+    smashed = _smash_tuned_files(tmp_path)
+    cold = PipelineCache(disk_dir=tmp_path)
+    rebuilt = tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
+    assert cold.corruptions == len(smashed)
+    assert cold.misses == len(smashed)  # only the smashed level rebuilt
+    assert cold.disk_hits > 0  # the nested levels still came from disk
+    assert rebuilt.mark_count == tuned.mark_count
+    # The rebuild re-persisted a valid file: the next process hits clean.
+    fresh = PipelineCache(disk_dir=tmp_path)
+    tune_program(program, LoopStrategy(20), spec=spec, cache=fresh)
+    assert fresh.misses == 0
+    assert fresh.corruptions == 0
+
+
+def test_strict_cache_raises_on_disk_corruption(tmp_path):
+    program, spec, _, _ = _warm_disk(tmp_path)
+    _smash_tuned_files(tmp_path)
+    strict = PipelineCache(strict=True, disk_dir=tmp_path)
+    with pytest.raises(CacheCorruptionError, match="integrity"):
+        tune_program(program, LoopStrategy(20), spec=spec, cache=strict)
+
+
+def test_foreign_disk_file_rejected(tmp_path):
+    """A well-formed pickle whose stored key differs from the lookup key
+    (e.g. a file copied between cache directories) is treated as corrupt."""
+    import pickle
+
+    from repro.tuning.pipeline import _key_digest
+
+    program, spec, warm, _ = _warm_disk(tmp_path)
+    key = next(k for k in warm._entries if k[0] == "tuned")
+    value = warm._entries[key][0]
+    forged = pickle.dumps((("forged",), value, _key_digest(key)))
+    warm._disk_path(key).write_bytes(forged)
+    cold = PipelineCache(disk_dir=tmp_path)
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
+    assert cold.corruptions == 1
+    assert cold.misses == 1
+
+
+def test_disk_eviction_respects_cap(tmp_path):
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache(disk_dir=tmp_path, max_disk_entries=2)
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    assert len(cache) > 2  # the pipeline stores more levels than the cap
+    assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+
+def test_disk_write_failure_never_fails_the_build(tmp_path):
+    import os
+
+    if os.geteuid() == 0:
+        pytest.skip("directory permissions are not enforced for root")
+    target = tmp_path / "readonly"
+    target.mkdir()
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache(disk_dir=target)
+    target.chmod(0o500)
+    try:
+        tuned = tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    finally:
+        target.chmod(0o700)
+    assert tuned.mark_count >= 0
+    assert len(cache) > 0
+
+
+# -- entry shipping (spawn-started workers) ---------------------------------
+
+
+def test_export_install_roundtrip():
+    program, spec = make_phased_program(outer=4)
+    warm = PipelineCache()
+    tuned = tune_program(program, LoopStrategy(20), spec=spec, cache=warm)
+    fresh = PipelineCache()
+    assert fresh.install_entries(warm.export_entries()) == len(warm)
+    again = tune_program(program, LoopStrategy(20), spec=spec, cache=fresh)
+    assert fresh.misses == 0
+    # The blob round-trips through pickle, so the served entry is an
+    # equal copy of the original, not the same object.
+    assert again.isolated_seconds == tuned.isolated_seconds
+    assert again.mark_count == tuned.mark_count
+
+
+def test_install_drops_damaged_entries():
+    program, spec = make_phased_program(outer=4)
+    warm = PipelineCache()
+    tune_program(program, LoopStrategy(20), spec=spec, cache=warm)
+    _tamper_first_entry(warm)
+    blob = warm.export_entries()
+    fresh = PipelineCache()
+    assert fresh.install_entries(blob) == len(warm) - 1
+    assert fresh.corruptions == 1
+    strict = PipelineCache(strict=True)
+    with pytest.raises(CacheCorruptionError, match="integrity"):
+        strict.install_entries(blob)
