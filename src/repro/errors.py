@@ -76,6 +76,11 @@ class CacheCorruptionError(ReproError):
     matches its key."""
 
 
+class TelemetryError(ReproError):
+    """Raised by :mod:`repro.telemetry` for invalid configuration or a
+    trace that fails schema validation."""
+
+
 class WorkloadError(ReproError):
     """Raised when a workload specification is invalid (e.g. empty queue)."""
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments fig3 table2     # just the named ones
     python -m repro.experiments --jobs 4 --log fig6   # 4 workers, progress
     python -m repro.experiments --cache-dir .repro-cache fig6   # disk cache
+    python -m repro.experiments --trace-out traces fig6   # Chrome trace
+    python -m repro.experiments --trace-out traces telemetry  # summary
 
 ``--jobs`` caps the harness worker pool (overriding ``REPRO_JOBS``;
 ``--jobs 1`` runs serially) and ``--log`` prints one progress line per
@@ -13,6 +15,18 @@ completed sweep point to stderr.  ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) persists the static-pipeline
 cache to disk: a second invocation rebuilds nothing and reports a 100%
 pipeline-cache hit rate in the stats line printed at the end.
+
+``--trace-out DIR`` (or the ``REPRO_TRACE_DIR`` environment variable)
+enables :mod:`repro.telemetry`: every simulation and harness task is
+recorded and the run writes ``DIR/trace.json`` (Chrome ``trace_event``
+format — load it in chrome://tracing or https://ui.perfetto.dev) and
+``DIR/metrics.json``.  ``--trace-categories`` (or
+``REPRO_TRACE_CATEGORIES``) selects event categories.  The
+pseudo-experiment ``telemetry`` prints a text summary of the trace —
+of the current invocation when run together with experiments, or of an
+existing ``DIR/trace.json`` when run alone.  Without ``--trace-out``
+nothing is recorded and the output is byte-identical to a build
+without telemetry.
 """
 
 from __future__ import annotations
@@ -23,6 +37,18 @@ import sys
 
 from repro.experiments import extras, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2
 from repro.experiments.config import ExperimentConfig
+from repro.telemetry import (
+    TRACE_CATEGORIES_ENV,
+    TRACE_DIR_ENV,
+    TimelineAnalyzer,
+    TraceRecorder,
+    current_recorder,
+    env_categories,
+    render_report,
+    set_recorder,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.tuning.pipeline import CACHE_DIR_ENV, default_cache
 
 
@@ -164,7 +190,56 @@ def _parse_args(argv):
         "REPRO_CACHE_DIR environment variable, if set); repeat runs then "
         "skip the whole static pipeline",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="record telemetry and write DIR/trace.json (Chrome "
+        "trace_event format) plus DIR/metrics.json (default: the "
+        "REPRO_TRACE_DIR environment variable, if set)",
+    )
+    parser.add_argument(
+        "--trace-categories",
+        default=None,
+        metavar="CATS",
+        help="comma-separated trace categories, e.g. "
+        "'exec,sched,tuning,quantum' or 'all' (default: the "
+        "REPRO_TRACE_CATEGORIES environment variable, or a standard set "
+        "excluding the high-volume quantum/segment spans)",
+    )
     return parser.parse_args(argv)
+
+
+def _run_telemetry(trace_dir, live: bool) -> None:
+    """Print the summary report for the ``telemetry`` pseudo-experiment.
+
+    Reports on the live recorder when the current invocation also ran
+    experiments under ``--trace-out``; otherwise loads a previously
+    written ``trace.json`` from *trace_dir*.
+    """
+    import json
+    from pathlib import Path
+
+    recorder = current_recorder()
+    if live and recorder.enabled:
+        analyzer = TimelineAnalyzer.from_recorder(recorder)
+    else:
+        if not trace_dir:
+            raise SystemExit(
+                "telemetry: nothing recorded and no trace directory; pass "
+                f"--trace-out DIR or set {TRACE_DIR_ENV}"
+            )
+        path = Path(trace_dir) / "trace.json"
+        if not path.exists():
+            raise SystemExit(f"telemetry: {path} does not exist")
+        metrics_path = Path(trace_dir) / "metrics.json"
+        metrics = (
+            json.loads(metrics_path.read_text(encoding="utf-8"))
+            if metrics_path.exists()
+            else None
+        )
+        analyzer = TimelineAnalyzer.from_file(path, metrics=metrics)
+    print(render_report(analyzer))
 
 
 def main(argv) -> None:
@@ -174,20 +249,50 @@ def main(argv) -> None:
         # as well as forked — attach the same disk tier.
         os.environ[CACHE_DIR_ENV] = args.cache_dir
         default_cache().set_disk_dir(args.cache_dir)
+    if args.trace_categories:
+        os.environ[TRACE_CATEGORIES_ENV] = args.trace_categories
+    if args.trace_out:
+        # Through the environment for the same reason as --cache-dir:
+        # harness workers read it when building their own recorders.
+        os.environ[TRACE_DIR_ENV] = args.trace_out
+    trace_dir = os.environ.get(TRACE_DIR_ENV)
+    chosen = args.names or list(_EXPERIMENTS)
+    for name in chosen:
+        if name not in _EXPERIMENTS and name != "telemetry":
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(_EXPERIMENTS) + ['telemetry']}"
+            )
+    live = any(name != "telemetry" for name in chosen)
+    recorder = None
+    if trace_dir and live:
+        # A `telemetry`-only invocation must not install (and later
+        # flush) an empty recorder over an existing trace.json.
+        recorder = TraceRecorder(categories=env_categories())
+        set_recorder(recorder)
     log = (
         (lambda line: print(line, file=sys.stderr, flush=True))
         if args.log
         else None
     )
-    chosen = args.names or list(_EXPERIMENTS)
     for name in chosen:
-        if name not in _EXPERIMENTS:
-            raise SystemExit(
-                f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
-            )
         print(f"===== {name} =====")
-        _EXPERIMENTS[name](args.jobs, log)
+        if name == "telemetry":
+            _run_telemetry(trace_dir, live)
+        else:
+            _EXPERIMENTS[name](args.jobs, log)
         print()
+    if recorder is not None:
+        from pathlib import Path
+
+        out = Path(trace_dir)
+        trace_path = write_chrome_trace(recorder, out / "trace.json")
+        write_metrics(recorder, out / "metrics.json")
+        print(
+            f"telemetry: {len(recorder.events)} events from "
+            f"{len(recorder.runs)} runs -> {trace_path}",
+            file=sys.stderr,
+        )
     stats = default_cache().stats()
     print(
         f"pipeline cache: {stats['hits']} hits / {stats['misses']} misses "

@@ -34,6 +34,7 @@ coupling any task's seed to how many tasks run or in what order.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import multiprocessing
 import os
@@ -46,6 +47,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ExperimentError, TaskTimeoutError
+from repro.telemetry.context import current_recorder, set_recorder
+from repro.telemetry.recorder import TraceRecorder
 
 #: Placeholder for a task slot whose result has not been produced yet
 #: (distinguishes "not run" from a legitimate ``None`` result).
@@ -151,14 +154,34 @@ def run_tasks(
         return []
 
     jobs = min(worker_count(jobs), total)
+    rec = current_recorder()
+    rec = rec if rec.enabled else None
     if jobs == 1:
         results = []
+        task_run = None
         for index, task in enumerate(tasks):
+            started = time.perf_counter()
             results.append(fn(task))
+            if rec is not None:
+                elapsed = time.perf_counter() - started
+                if rec.wants("task"):
+                    if task_run is None:
+                        task_run = rec.begin_run("harness", clock="wall")
+                    rec.span(
+                        "task", labels[index], started, elapsed, run=task_run
+                    )
+                rec.incr("harness.tasks")
+                rec.incr("harness.task_seconds", elapsed)
             if log is not None:
                 log(f"[{index + 1}/{total}] {labels[index]}")
         return results
 
+    if rec is not None:
+        # Each worker records into its own fresh recorder and ships the
+        # result home pickled (the pipeline cache's export_entries
+        # pattern); shipping the *parent's* recorder out would duplicate
+        # every event already collected here.
+        fn = functools.partial(_telemetry_task, fn, tuple(rec.categories))
     results = [_UNSET] * total
     try:
         _run_pool(
@@ -181,7 +204,44 @@ def run_tasks(
             results[index] = fn(tasks[index])
             if log is not None:
                 log(f"[serial {count + 1}/{len(incomplete)}] {labels[index]}")
+    if rec is not None:
+        # Absorb worker traces in task order so re-based run ids are
+        # deterministic whatever the completion order was.
+        for index, wrapped in enumerate(results):
+            value, blob = wrapped
+            rec.absorb_blob(blob)
+            results[index] = value
     return results
+
+
+def _telemetry_task(fn, categories, task):
+    """Worker shim for traced sweeps: run the task under a fresh
+    recorder and return ``(result, exported trace blob)``.
+
+    The previous recorder is restored afterwards, so the in-parent
+    rerun after a broken pool records into its own recorder too instead
+    of scribbling on (or double-counting) the parent's.
+    """
+    recorder = TraceRecorder(categories=frozenset(categories))
+    previous = set_recorder(recorder)
+    started = time.perf_counter()
+    try:
+        value = fn(task)
+    finally:
+        elapsed = time.perf_counter() - started
+        if recorder.wants("task"):
+            run = recorder.begin_run(f"worker:{os.getpid()}", clock="wall")
+            recorder.span(
+                "task",
+                getattr(fn, "__name__", "task"),
+                started,
+                elapsed,
+                run=run,
+            )
+        recorder.incr("harness.tasks")
+        recorder.incr("harness.task_seconds", elapsed)
+        set_recorder(previous)
+    return value, recorder.export_blob()
 
 
 def _warm_spawned_worker(blob: bytes) -> None:

@@ -32,7 +32,13 @@ import numpy as np
 from repro.errors import AffinitySyscallError, FaultError, SimulationError
 from repro.instrument.phase_mark import MARK_FIRE_CYCLES
 from repro.sim.events import EventQueue
-from repro.sim.faults import DvfsEvent, FaultInjector, FaultPlan, HotplugEvent
+from repro.sim.faults import (
+    DvfsEvent,
+    FaultInjector,
+    FaultPlan,
+    HotplugEvent,
+    MemoryPressureEvent,
+)
 from repro.sim.flattrace import FlatCursor
 from repro.sim.memory import MemoryModel
 from repro.sim.machine import MachineConfig
@@ -40,6 +46,8 @@ from repro.sim.process import Segment, SimProcess
 from repro.sim.scheduler.affinity import MIGRATION_CYCLES, validate_affinity
 from repro.sim.scheduler.base import Scheduler
 from repro.sim.scheduler.linux_o1 import LinuxO1Scheduler
+from repro.telemetry.context import current_recorder
+from repro.telemetry.events import PROC_TID_BASE
 
 #: Floor on simulated progress per scheduling decision, to keep the
 #: event count bounded even for pathological zero-cost segments.
@@ -161,6 +169,9 @@ class Simulation:
         self._core_stall_frac = [0.0] * n_cores
         self._core_offline = [False] * n_cores
         self._core_freq_scale = [1.0] * n_cores
+        # Effective-L2 shrink per core (memory-pressure faults); 0.0
+        # contributes nothing to the stall math.
+        self._core_mem_pressure = [0.0] * n_cores
         # Degradation hooks a hardened runtime may expose; resolved once
         # here so the hot path pays no getattr per mark.
         self._notify_affinity = (
@@ -189,6 +200,12 @@ class Simulation:
             attach = getattr(runtime, "attach_faults", None)
             if attach is not None:
                 attach(self.faults)
+        # With memory-pressure events in play, _core_turn's inline
+        # fast-commit (which omits the pressure term) must stand aside
+        # for the full quantum paths.
+        self._mem_pressure_possible = (
+            self.faults is not None and bool(self.faults.plan.mem_pressure)
+        )
         self._l2_neighbors = tuple(
             tuple(machine.l2_neighbors(c.cid)) for c in machine.cores
         )
@@ -252,6 +269,27 @@ class Simulation:
             self.pollution_beta,
             self._result.throughput_buckets,
         )
+        # Telemetry: the recorder and its category gates are resolved
+        # once here, so with the null recorder (the default) every hook
+        # point below is a single falsy attribute check and an untraced
+        # run executes exactly the float operations it always did.
+        rec = current_recorder()
+        tr = rec if rec.enabled else None
+        self._tr = tr
+        if tr is not None:
+            self._tr_run = tr.begin_run(f"sim:{machine.name}", clock="sim")
+            self._tr_exec = tr.wants("exec")
+            self._tr_phase = tr.wants("phase")
+            self._tr_quantum = tr.wants("quantum")
+            self._tr_fault = tr.wants("fault")
+            self.scheduler.telemetry = tr if tr.wants("sched") else None
+            attach_tr = getattr(runtime, "attach_telemetry", None)
+            if attach_tr is not None:
+                attach_tr(tr, self._tr_run)
+        else:
+            self._tr_run = 0
+            self._tr_exec = self._tr_phase = False
+            self._tr_quantum = self._tr_fault = False
 
     # -- admission -------------------------------------------------------------
 
@@ -298,6 +336,15 @@ class Simulation:
                 proc = payload[1]
                 proc.arrival = time
                 self._live.add(proc.pid)
+                if self._tr_exec:
+                    self._tr.instant(
+                        "exec",
+                        "start",
+                        time,
+                        tid=PROC_TID_BASE + proc.pid,
+                        args={"pid": proc.pid, "name": proc.name},
+                        run=self._tr_run,
+                    )
                 self.scheduler.enqueue(proc, time)
             elif kind == "fault":
                 self._apply_fault(payload[1], time)
@@ -313,6 +360,16 @@ class Simulation:
                 self._core_idle_since[cid] = until
         self._now = max(self._now, until)
         self._result.time = self._now
+        if self._tr_exec:
+            for cid in sorted(self._result.idle_time_by_core):
+                self._tr.counter(
+                    "exec",
+                    "idle",
+                    self._now,
+                    self._result.idle_time_by_core[cid],
+                    tid=cid,
+                    run=self._tr_run,
+                )
         return self._result
 
     def _core_turn(self, core_id: int, now: float) -> None:
@@ -329,7 +386,7 @@ class Simulation:
             if now - sched._last_balance >= sched.balance_interval:
                 sched._maybe_balance(now)
             queue = sq[core_id]
-            proc = queue.popleft() if queue else sched._steal(core_id)
+            proc = queue.popleft() if queue else sched._steal(core_id, now)
         else:
             proc = self.scheduler.pick(core_id, now)
         if proc is None:
@@ -349,7 +406,11 @@ class Simulation:
             end = None
             finished = False
             done = cursor.iters_done
-            if done > 0.0 and not cursor.at_entry:
+            if (
+                done > 0.0
+                and not cursor.at_entry
+                and not self._mem_pressure_possible
+            ):
                 (
                     core_exec,
                     freq_eff,
@@ -459,6 +520,16 @@ class Simulation:
             end = self._run_quantum_stepped(core_id, proc, now)
             finished = cursor.finished
         self._core_busy_until[core_id] = end
+        if self._tr_quantum:
+            self._tr.span(
+                "quantum",
+                "q",
+                now,
+                end - now,
+                tid=core_id,
+                args={"pid": proc.pid},
+                run=self._tr_run,
+            )
         # _core_stall_frac keeps the last segment's memory intensity so
         # neighbours sharing the L2 see this core's pressure until it
         # idles or runs something else.
@@ -517,6 +588,9 @@ class Simulation:
         core_idle = self._core_idle
         core_stall_frac = self._core_stall_frac
         buckets = self._result.throughput_buckets
+        # Loop-invariant within the quantum: pressure events apply
+        # between quanta, through the event loop.
+        mem_pressure = self._core_mem_pressure[core_id]
 
         while budget > 0 and not cursor.finished:
             seg = cursor.current
@@ -543,6 +617,15 @@ class Simulation:
                         switch_s = MIGRATION_CYCLES / freq
                         stats.switches += 1
                         stats.migrations += 1
+                        if self._tr_exec:
+                            self._tr.instant(
+                                "exec",
+                                "migrate",
+                                t,
+                                tid=PROC_TID_BASE + proc.pid,
+                                args={"pid": proc.pid, "from": core_id},
+                                run=self._tr_run,
+                            )
                         return t + switch_s
                 continue
 
@@ -566,6 +649,11 @@ class Simulation:
                     # segment's L2-resident lines, turning L2 hits into
                     # DRAM misses.
                     stall += pollution_beta * neighbor * l2_resident * pollution_penalty
+            if mem_pressure > 0.0 and l2_resident > 0:
+                # Memory-pressure fault: the shrunk share of the L2
+                # turns that share of resident accesses into DRAM
+                # misses, like pollution but from outside the machine.
+                stall += mem_pressure * l2_resident * pollution_penalty
 
             per_iter_overhead = 0.0
             switch_rate = 0.0
@@ -585,6 +673,15 @@ class Simulation:
             stats.record(ctype_name, n * seg_instrs, n * total_per_iter)
             stats.mark_overhead_cycles += n * per_iter_overhead
             stats.switches += n * switch_rate
+            if switch_rate != 0.0 and self._tr_exec:
+                self._tr.counter(
+                    "exec",
+                    "thrash",
+                    t,
+                    n * switch_rate,
+                    tid=PROC_TID_BASE + proc.pid,
+                    run=self._tr_run,
+                )
             stats.cpu_time += elapsed
             bucket = int(t)
             instrs = n * seg_instrs
@@ -650,6 +747,9 @@ class Simulation:
                     other_frac = core_stall_frac[other]
                     if other_frac > neighbor:
                         neighbor = other_frac
+        # Like the neighbour scan, loop-invariant: pressure events only
+        # apply between quanta.
+        mem_pressure = self._core_mem_pressure[core_id]
 
         # Fast path: nearly every quantum resumes mid-step (at_entry
         # cleared, partial iterations done) and the whole timeslice fits
@@ -680,6 +780,8 @@ class Simulation:
                             * l2_resident
                             * pollution_penalty
                         )
+                if mem_pressure > 0.0 and l2_resident > 0:
+                    stall += mem_pressure * l2_resident * pollution_penalty
                 total_per_iter = compute + stall + per_iter_overhead
                 per_iter_s = total_per_iter / freq
                 if per_iter_s < 1e-18:
@@ -792,6 +894,15 @@ class Simulation:
                             switch_s = MIGRATION_CYCLES / freq
                             stats.switches += 1
                             stats.migrations += 1
+                            if self._tr_exec:
+                                self._tr.instant(
+                                    "exec",
+                                    "migrate",
+                                    t,
+                                    tid=PROC_TID_BASE + proc.pid,
+                                    args={"pid": proc.pid, "from": core_id},
+                                    run=self._tr_run,
+                                )
                             cursor.pos = pos
                             cursor.iters_done = done
                             cursor.at_entry = False
@@ -825,6 +936,10 @@ class Simulation:
                     stall_a = stall_a * alpha_factor
                 if apply_beta:
                     stall_a = stall_a + (beta_neighbor * np_l2[pos:w]) * (
+                        pollution_penalty
+                    )
+                if mem_pressure > 0.0:
+                    stall_a = stall_a + (mem_pressure * np_l2[pos:w]) * (
                         pollution_penalty
                     )
                 total_a = (np_comp[pos:w] + stall_a) + np_ovh[pos:w]
@@ -892,6 +1007,8 @@ class Simulation:
                     stall += (
                         pollution_beta * neighbor * l2_resident * pollution_penalty
                     )
+            if mem_pressure > 0.0 and l2_resident > 0:
+                stall += mem_pressure * l2_resident * pollution_penalty
 
             if runtime is not None and emb_multi[pos]:
                 per_iter_overhead, switch_rate = self._embedded_overhead(
@@ -934,6 +1051,15 @@ class Simulation:
                 instrs_by_type[ctype_name] = instrs
             stats.mark_overhead_cycles += n * per_iter_overhead
             stats.switches += n * switch_rate
+            if switch_rate != 0.0 and self._tr_exec:
+                self._tr.counter(
+                    "exec",
+                    "thrash",
+                    t,
+                    n * switch_rate,
+                    tid=PROC_TID_BASE + proc.pid,
+                    run=self._tr_run,
+                )
             stats.cpu_time += elapsed
             bucket = int(t)
             try:
@@ -965,6 +1091,19 @@ class Simulation:
         cycles = MARK_FIRE_CYCLES * n_entry
         proc.stats.mark_firings += n_entry
         proc.stats.mark_overhead_cycles += cycles
+        if self._tr_phase and n_entry:
+            # Highest-volume hook point (one event per entry-mark
+            # firing): append the raw tuple, bypassing Recorder.instant,
+            # to stay inside the tracing overhead budget.
+            pid = proc.pid
+            tid = PROC_TID_BASE + pid
+            run = self._tr_run
+            append = self._tr.events.append
+            for ref in seg.entry_marks:
+                append(
+                    ("I", "phase", "phase", run, now, tid, None,
+                     {"pid": pid, "phase": ref.phase_type})
+                )
         if self.runtime is None:
             if not fired:
                 return _NO_ACTION
@@ -1025,6 +1164,15 @@ class Simulation:
         try:
             self.faults.check_affinity_call(proc.pid, now)
         except AffinitySyscallError as exc:
+            if self._tr_fault:
+                self._tr.instant(
+                    "fault",
+                    "affinity-fail",
+                    now,
+                    tid=PROC_TID_BASE + proc.pid,
+                    args={"pid": proc.pid, "errno": exc.errno_name},
+                    run=self._tr_run,
+                )
             if self._notify_affinity is not None:
                 self._notify_affinity(proc, False, exc, now)
             return False
@@ -1059,8 +1207,33 @@ class Simulation:
             # Same product the stepped path computes per quantum.
             self._core_freq_eff[cid] = self._core_exec[cid][2] * event.scale
             self.faults.note_applied(event)
+        elif isinstance(event, MemoryPressureEvent):
+            self._core_mem_pressure[event.core_id] = event.shrink
+            self.faults.note_applied(event)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown fault event {event!r}")
+        if self._tr_fault:
+            if isinstance(event, HotplugEvent):
+                name = "hotplug"
+                args = {"core": event.core_id, "online": event.online}
+            elif isinstance(event, DvfsEvent):
+                name = "dvfs"
+                args = {"core": event.core_id, "scale": event.scale}
+            else:
+                name = "mem-pressure"
+                args = {
+                    "core": event.core_id,
+                    "shrink": event.shrink,
+                    "restored": event.shrink == 0.0,
+                }
+            self._tr.instant(
+                "fault",
+                name,
+                now,
+                tid=event.core_id,
+                args=args,
+                run=self._tr_run,
+            )
         if self._notify_machine is not None:
             self._notify_machine(event, now, tuple(self._core_freq_scale))
 
@@ -1074,6 +1247,25 @@ class Simulation:
         proc.completion = now
         self._live.discard(proc.pid)
         self._result.completed.append(proc)
+        if self._tr_exec:
+            stats = proc.stats
+            self._tr.instant(
+                "exec",
+                "end",
+                now,
+                tid=PROC_TID_BASE + proc.pid,
+                args={
+                    "pid": proc.pid,
+                    "name": proc.name,
+                    "instructions": stats.instructions,
+                    "cpu_time": stats.cpu_time,
+                    "switches": stats.switches,
+                    "migrations": stats.migrations,
+                    "mark_overhead_cycles": stats.mark_overhead_cycles,
+                    "cycles_by_type": dict(stats.cycles_by_type),
+                },
+                run=self._tr_run,
+            )
         if self.runtime is not None:
             self.runtime.on_process_end(proc, now)
         if self.on_complete is not None:

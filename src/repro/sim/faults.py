@@ -35,6 +35,12 @@ Fault classes
     online core).  The last online core is never taken down.
 ``dvfs``
     Timed per-core frequency steps (a multiplier on nominal frequency).
+``mem_pressure``
+    Timed per-core effective-L2 shrinkage: a co-located bully (another
+    VM, a prefetch storm) evicts the fraction ``shrink`` of the core's
+    L2, so that share of a segment's L2-resident accesses pays the DRAM
+    penalty while the pressure lasts.  A ``shrink`` of ``0.0`` restores
+    the full cache.
 
 Determinism: the plan is pure data and the injector draws every
 stochastic decision from one ``random.Random(plan.seed)`` stream, so a
@@ -56,6 +62,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "HotplugEvent",
+    "MemoryPressureEvent",
     "SlotOutage",
 ]
 
@@ -76,6 +83,16 @@ class DvfsEvent:
     time: float
     core_id: int
     scale: float
+
+
+@dataclass(frozen=True)
+class MemoryPressureEvent:
+    """Core ``core_id`` loses the fraction ``shrink`` of its effective
+    L2 from time ``time`` on (``shrink=0.0`` restores it)."""
+
+    time: float
+    core_id: int
+    shrink: float
 
 
 @dataclass(frozen=True)
@@ -106,6 +123,7 @@ class FaultPlan:
     slot_outages: tuple = ()
     hotplug: tuple = ()
     dvfs: tuple = ()
+    mem_pressure: tuple = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -130,6 +148,13 @@ class FaultPlan:
                 raise FaultError(f"bad slot outage window: {outage}")
             if outage.slots < 0:
                 raise FaultError(f"negative outage slot count: {outage}")
+        for event in self.mem_pressure:
+            if event.time < 0:
+                raise FaultError(f"memory-pressure event before t=0: {event}")
+            if not 0.0 <= event.shrink <= 1.0:
+                raise FaultError(
+                    f"memory-pressure shrink must be in [0, 1]: {event}"
+                )
 
     @property
     def is_null(self) -> bool:
@@ -142,11 +167,17 @@ class FaultPlan:
             and not self.slot_outages
             and not self.hotplug
             and not self.dvfs
+            and not self.mem_pressure
         )
 
     @classmethod
     def scaled(
-        cls, rate: float, machine, horizon: float, seed: int = 0
+        cls,
+        rate: float,
+        machine,
+        horizon: float,
+        seed: int = 0,
+        mem_pressure_rate: float = 0.0,
     ) -> "FaultPlan":
         """A plan whose intensity across every fault class scales with
         one knob — the x-axis of ``extras.fault_resilience``.
@@ -158,13 +189,26 @@ class FaultPlan:
                 plan will run against (bounds core ids).
             horizon: simulation length in seconds (bounds event times).
             seed: RNG seed; same arguments reproduce the same plan.
+            mem_pressure_rate: intensity of timed memory-pressure
+                windows in ``[0, 1]``.  Off by default, and drawn from
+                its own RNG stream, so plans built without it are
+                bit-identical to plans built before the knob existed.
         """
         if not 0.0 <= rate <= 1.0:
             raise FaultError(f"fault rate must be in [0, 1], got {rate}")
+        if not 0.0 <= mem_pressure_rate <= 1.0:
+            raise FaultError(
+                f"mem_pressure_rate must be in [0, 1], got {mem_pressure_rate}"
+            )
         if horizon <= 0:
             raise FaultError(f"horizon must be positive, got {horizon}")
+        mem_pressure = ()
+        if mem_pressure_rate > 0.0:
+            mem_pressure = cls._scaled_mem_pressure(
+                mem_pressure_rate, len(machine), horizon, seed
+            )
         if rate == 0.0:
-            return cls(seed=seed)
+            return cls(seed=seed, mem_pressure=mem_pressure)
         rng = random.Random((int(seed) << 4) ^ 0x5FA17)
         n_cores = len(machine)
         hotplug = []
@@ -207,7 +251,28 @@ class FaultPlan:
             slot_outages=tuple(outages),
             hotplug=tuple(hotplug),
             dvfs=tuple(dvfs),
+            mem_pressure=mem_pressure,
         )
+
+    @staticmethod
+    def _scaled_mem_pressure(
+        rate: float, n_cores: int, horizon: float, seed: int
+    ) -> tuple:
+        """Paired shrink/restore windows for :meth:`scaled`.  Drawn from
+        a dedicated RNG stream: enabling the knob must not shift the
+        draws behind the pre-existing fault classes."""
+        rng = random.Random((int(seed) << 4) ^ 0x3E77)
+        events = []
+        for _ in range(round(rate * 6)):
+            core = rng.randrange(n_cores)
+            start = rng.uniform(0.05, 0.70) * horizon
+            end = min(
+                start + rng.uniform(0.05, 0.30) * horizon, 0.95 * horizon
+            )
+            shrink = rng.uniform(0.3, 0.9) * rate
+            events.append(MemoryPressureEvent(start, core, shrink))
+            events.append(MemoryPressureEvent(end, core, 0.0))
+        return tuple(events)
 
 
 class FaultInjector:
@@ -230,6 +295,11 @@ class FaultInjector:
         for outage in plan.slot_outages:
             if not 0 <= outage.core_id < n_cores:
                 raise FaultError(f"outage core id out of range: {outage}")
+        for event in plan.mem_pressure:
+            if not 0 <= event.core_id < n_cores:
+                raise FaultError(
+                    f"memory-pressure core id out of range: {event}"
+                )
         self.plan = plan
         self.machine = machine
         self._rng = random.Random(plan.seed)
@@ -241,6 +311,7 @@ class FaultInjector:
             "affinity_fail": 0,
             "hotplug": 0,
             "dvfs": 0,
+            "mem_pressure": 0,
             "skipped_events": 0,
         }
 
@@ -248,10 +319,19 @@ class FaultInjector:
 
     def scheduled_events(self) -> list:
         """All timed events, for the simulation to enqueue at start."""
-        return list(self.plan.hotplug) + list(self.plan.dvfs)
+        return (
+            list(self.plan.hotplug)
+            + list(self.plan.dvfs)
+            + list(self.plan.mem_pressure)
+        )
 
     def note_applied(self, event) -> None:
-        kind = "hotplug" if isinstance(event, HotplugEvent) else "dvfs"
+        if isinstance(event, HotplugEvent):
+            kind = "hotplug"
+        elif isinstance(event, MemoryPressureEvent):
+            kind = "mem_pressure"
+        else:
+            kind = "dvfs"
         self.fired[kind] += 1
 
     def note_skipped(self, event) -> None:

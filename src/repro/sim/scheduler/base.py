@@ -22,6 +22,11 @@ class Scheduler(abc.ABC):
     #: Timeslice in seconds; the executor runs quanta of this length.
     timeslice: float = 0.05
 
+    #: Recorder for dispatch-decision events, installed by the executor
+    #: when tracing is enabled with the ``sched`` category; ``None``
+    #: (the default) keeps every decision site a single falsy check.
+    telemetry = None
+
     def attach(self, machine: MachineConfig, waker: Callable) -> None:
         """Bind to *machine*; *waker(core_id, now)* wakes an idle core."""
         self.machine = machine

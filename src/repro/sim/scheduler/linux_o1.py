@@ -89,6 +89,15 @@ class LinuxO1Scheduler(Scheduler):
         target = pick_core(mask, self.load_map(), prefer=proc.current_core)
         self._queues[target].append(proc)
         self.placements += 1
+        tr = self.telemetry
+        if tr is not None:
+            # Per-wakeup hook point: append the raw event tuple (see
+            # repro.telemetry.events for the layout) to keep dispatch
+            # cost off the scheduling fast path.
+            tr.events.append(
+                ("I", "sched", "place", tr.run, now, target, None,
+                 {"pid": proc.pid, "target": target})
+            )
         self.waker(target, now)
 
     def requeue(self, proc: SimProcess, core_id: int, now: float) -> None:
@@ -110,7 +119,7 @@ class LinuxO1Scheduler(Scheduler):
         queue = self._queues[core_id]
         if queue:
             return queue.popleft()
-        return self._steal(core_id)
+        return self._steal(core_id, now)
 
     def queue_length(self, core_id: int) -> int:
         return len(self._queues[core_id])
@@ -126,7 +135,7 @@ class LinuxO1Scheduler(Scheduler):
 
     # -- balancing -------------------------------------------------------------
 
-    def _steal(self, thief: int) -> Optional[SimProcess]:
+    def _steal(self, thief: int, now: float = 0.0) -> Optional[SimProcess]:
         """Pull one allowed process from the busiest other core."""
         donors = sorted(
             (cid for cid in self._queues if cid != thief),
@@ -142,6 +151,12 @@ class LinuxO1Scheduler(Scheduler):
                 if thief in proc.affinity:
                     del queue[i]
                     self.steals += 1
+                    tr = self.telemetry
+                    if tr is not None:
+                        tr.events.append(
+                            ("I", "sched", "steal", tr.run, now, thief,
+                             None, {"pid": proc.pid, "from": donor})
+                        )
                     return proc
         return None
 
@@ -173,6 +188,12 @@ class LinuxO1Scheduler(Scheduler):
                     del queue[i]
                     self._queues[idlest].append(proc)
                     self.balance_moves += 1
+                    tr = self.telemetry
+                    if tr is not None:
+                        tr.events.append(
+                            ("I", "sched", "balance", tr.run, now, idlest,
+                             None, {"pid": proc.pid, "from": busiest})
+                        )
                     self.waker(idlest, now)
                     moved = True
                     break

@@ -1,0 +1,90 @@
+"""repro.telemetry — tracing, metrics, and profiling for the repro stack.
+
+The subsystem has three layers:
+
+1. **Recording** (:mod:`~repro.telemetry.recorder`,
+   :mod:`~repro.telemetry.context`): a process-wide
+   :class:`Recorder` resolved via :func:`current_recorder`.  The
+   default :class:`NullRecorder` makes every hook point a no-op — an
+   untraced run produces byte-identical output to a build without
+   telemetry.  Install a :class:`TraceRecorder` with
+   :func:`set_recorder`, the :func:`tracing` context manager, or the
+   ``REPRO_TRACE_DIR`` environment variable.
+2. **Export** (:mod:`~repro.telemetry.export`): Chrome ``trace_event``
+   JSON (loads in chrome://tracing and Perfetto) plus a flat metrics
+   dict; both merge across harness worker processes.
+3. **Analysis** (:mod:`~repro.telemetry.analyzer`,
+   :mod:`~repro.telemetry.report`): post-run per-phase residency,
+   float-exact core-switch totals, migration counts, stall
+   attribution, and a text report
+   (``python -m repro.experiments telemetry``).
+
+Quickstart::
+
+    from repro.telemetry import tracing, TimelineAnalyzer
+
+    with tracing() as rec:
+        simulation.run(40.0)
+    analyzer = TimelineAnalyzer.from_recorder(rec)
+    print(analyzer.switches(run=0, pid=1))
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.analyzer import RunTimeline, TimelineAnalyzer
+from repro.telemetry.context import (
+    TRACE_CATEGORIES_ENV,
+    TRACE_DIR_ENV,
+    current_recorder,
+    env_categories,
+    set_recorder,
+    tracing,
+)
+from repro.telemetry.events import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    PROC_TID_BASE,
+    parse_categories,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    load_chrome_trace,
+    merge_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+)
+from repro.telemetry.report import render_report, summarize
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PROC_TID_BASE",
+    "Recorder",
+    "RunTimeline",
+    "TRACE_CATEGORIES_ENV",
+    "TRACE_DIR_ENV",
+    "TimelineAnalyzer",
+    "TraceRecorder",
+    "chrome_trace",
+    "current_recorder",
+    "env_categories",
+    "load_chrome_trace",
+    "merge_metrics",
+    "parse_categories",
+    "render_report",
+    "set_recorder",
+    "summarize",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

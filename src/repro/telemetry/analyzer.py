@@ -1,0 +1,226 @@
+"""Post-run timeline analysis.
+
+A :class:`TimelineAnalyzer` digests a recorded event stream (live
+recorder or a ``trace.json`` from disk) into per-run, per-process
+aggregates: core-switch totals, per-phase residency and migration
+counts, IPC-sample/decision/degradation inventories, and per-core
+idle/busy attribution.
+
+Exactness contract: a process's switch total is accumulated in event
+order with the same float operations the executor applies to
+``ProcessStats.switches`` (``+1.0`` per migration instant, ``+value``
+per thrash counter), so on a traced run
+``analyzer.switches(run, pid)`` equals ``process.stats.switches``
+*exactly* — the cross-check Table 1 / Figure 5 rest on
+(``tests/telemetry/test_table1_agreement.py`` pins it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.events import PROC_TID_BASE
+
+__all__ = ["RunTimeline", "TimelineAnalyzer"]
+
+
+def _event_pid(tid, args):
+    if args is not None:
+        pid = args.get("pid")
+        if pid is not None:
+            return pid
+    return tid - PROC_TID_BASE if tid >= PROC_TID_BASE else None
+
+
+@dataclass
+class RunTimeline:
+    """Aggregates of one recorded run."""
+
+    run: int
+    label: str
+    clock: str
+    #: Per-pid core-switch totals (executor accumulation order).
+    switches: dict = field(default_factory=dict)
+    #: Per-pid integer migration counts.
+    migrations: dict = field(default_factory=dict)
+    #: Per-pid ``{phase: switches}`` (migrations + thrash, attributed to
+    #: the process's phase at the event's timestamp).
+    phase_switches: dict = field(default_factory=dict)
+    #: Per-pid ``{phase: int migration count}``.
+    phase_migrations: dict = field(default_factory=dict)
+    #: Per-pid ``{phase: seconds}`` residency between phase transitions.
+    phase_residency: dict = field(default_factory=dict)
+    #: Per-pid benchmark names (from process start/end events).
+    names: dict = field(default_factory=dict)
+    #: Per-pid final stats payload from the process-end event.
+    end_stats: dict = field(default_factory=dict)
+    #: Per-core idle seconds (run-close summary counters).
+    idle_by_core: dict = field(default_factory=dict)
+    #: Per-core busy seconds from quantum spans (when recorded).
+    quantum_busy: dict = field(default_factory=dict)
+    ipc_samples: list = field(default_factory=list)
+    decisions: list = field(default_factory=list)
+    degradations: list = field(default_factory=list)
+    fault_events: list = field(default_factory=list)
+    sched_decisions: int = 0
+    _phase_open: dict = field(default_factory=dict, repr=False)
+    _max_ts: float = field(default=0.0, repr=False)
+
+    # -- event folding ------------------------------------------------------
+
+    def _fold(self, ph, cat, name, ts, tid, value, args) -> None:
+        if ts > self._max_ts:
+            self._max_ts = ts
+        pid = _event_pid(tid, args)
+        if cat == "exec":
+            if name == "migrate":
+                self.switches[pid] = self.switches.get(pid, 0.0) + 1.0
+                self.migrations[pid] = self.migrations.get(pid, 0) + 1
+                phase = self._phase_open.get(pid, (None, None))[0]
+                by_phase = self.phase_switches.setdefault(pid, {})
+                by_phase[phase] = by_phase.get(phase, 0.0) + 1.0
+                counts = self.phase_migrations.setdefault(pid, {})
+                counts[phase] = counts.get(phase, 0) + 1
+            elif name == "thrash":
+                self.switches[pid] = self.switches.get(pid, 0.0) + value
+                phase = self._phase_open.get(pid, (None, None))[0]
+                by_phase = self.phase_switches.setdefault(pid, {})
+                by_phase[phase] = by_phase.get(phase, 0.0) + value
+            elif name == "start":
+                if args is not None and "name" in args:
+                    self.names[pid] = args["name"]
+            elif name == "end":
+                if args is not None:
+                    if "name" in args:
+                        self.names[pid] = args["name"]
+                    self.end_stats[pid] = args
+                self._close_phase(pid, ts)
+            elif name == "idle" and ph == "C":
+                self.idle_by_core[tid] = value
+        elif cat == "phase":
+            phase = args["phase"] if args else None
+            self._close_phase(pid, ts)
+            self._phase_open[pid] = (phase, ts)
+        elif cat == "tuning":
+            if name == "ipc-sample":
+                self.ipc_samples.append((ts, args))
+            elif name == "decide":
+                self.decisions.append((ts, args))
+            elif name == "degrade":
+                self.degradations.append((ts, args))
+        elif cat == "fault":
+            self.fault_events.append((ts, name, args))
+        elif cat == "sched":
+            self.sched_decisions += 1
+        elif cat == "quantum" and ph == "X":
+            self.quantum_busy[tid] = self.quantum_busy.get(tid, 0.0) + value
+
+    def _close_phase(self, pid, ts) -> None:
+        open_phase = self._phase_open.pop(pid, None)
+        if open_phase is None:
+            return
+        phase, since = open_phase
+        residency = self.phase_residency.setdefault(pid, {})
+        residency[phase] = residency.get(phase, 0.0) + max(0.0, ts - since)
+
+    def _finish(self) -> None:
+        """Close residency intervals still open at the end of the run."""
+        for pid in list(self._phase_open):
+            self._close_phase(pid, self._max_ts)
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def pids(self) -> list:
+        seen = set(self.switches) | set(self.names) | set(self.phase_residency)
+        seen.discard(None)
+        return sorted(seen)
+
+    def total_switches(self) -> float:
+        return sum(self.switches.values())
+
+    def total_migrations(self) -> int:
+        return sum(self.migrations.values())
+
+
+class TimelineAnalyzer:
+    """Folds a recorded event stream into :class:`RunTimeline`\\ s.
+
+    Build from a live recorder (:meth:`from_recorder`) or a Chrome
+    trace file (:meth:`from_file`).
+    """
+
+    def __init__(self, runs: dict, events: list, metrics=None):
+        self.metrics = dict(metrics or {})
+        self.timelines: dict = {}
+        for run, (label, clock) in sorted(runs.items()):
+            self.timelines[run] = RunTimeline(run, label, clock)
+        for ph, cat, name, run, ts, tid, value, args in events:
+            if ph == "M":
+                continue
+            timeline = self.timelines.get(run)
+            if timeline is None:
+                timeline = self.timelines[run] = RunTimeline(
+                    run, f"run-{run}", "sim"
+                )
+            timeline._fold(ph, cat, name, ts, tid, value, args)
+        for timeline in self.timelines.values():
+            timeline._finish()
+
+    @classmethod
+    def from_recorder(cls, recorder) -> "TimelineAnalyzer":
+        return cls(recorder.runs, recorder.events, recorder.metrics)
+
+    @classmethod
+    def from_file(cls, path, metrics=None) -> "TimelineAnalyzer":
+        from repro.telemetry.export import load_chrome_trace
+
+        runs, events = load_chrome_trace(path)
+        return cls(runs, events, metrics)
+
+    # -- access -------------------------------------------------------------
+
+    def runs(self) -> list:
+        """``(run id, label, clock)`` triples, in id order."""
+        return [(t.run, t.label, t.clock) for t in self.timelines.values()]
+
+    def timeline(self, run: int) -> RunTimeline:
+        return self.timelines[run]
+
+    def switches(self, run: int, pid: int) -> float:
+        """Core-switch total of one process — exact against
+        ``ProcessStats.switches`` (see module docstring)."""
+        return self.timelines[run].switches.get(pid, 0.0)
+
+    def migration_counts(self, run: int, pid: int) -> dict:
+        """Per-phase integer migration counts of one process."""
+        return dict(self.timelines[run].phase_migrations.get(pid, {}))
+
+    def phase_residency(self, run: int, pid: int) -> dict:
+        """Per-phase residency seconds of one process."""
+        return dict(self.timelines[run].phase_residency.get(pid, {}))
+
+    def stall_attribution(self, run: int, pid: int) -> dict:
+        """Overhead attribution from the process-end stats payload:
+        mark overhead, migration cycles, and per-core-type cycles."""
+        stats = self.timelines[run].end_stats.get(pid)
+        if not stats:
+            return {}
+        cycles_by_type = stats.get("cycles_by_type", {})
+        total_cycles = sum(cycles_by_type.values())
+        switches = stats.get("switches", 0.0)
+        from repro.sim.scheduler.affinity import MIGRATION_CYCLES
+
+        migration_cycles = switches * MIGRATION_CYCLES
+        mark_cycles = stats.get("mark_overhead_cycles", 0.0)
+        return {
+            "total_cycles": total_cycles,
+            "cycles_by_type": dict(cycles_by_type),
+            "mark_overhead_cycles": mark_cycles,
+            "migration_cycles": migration_cycles,
+            "overhead_fraction": (
+                (mark_cycles + migration_cycles) / total_cycles
+                if total_cycles > 0
+                else 0.0
+            ),
+        }

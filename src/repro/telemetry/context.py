@@ -1,0 +1,90 @@
+"""Process-wide recorder management and environment wiring.
+
+The simulator, runtime, schedulers, pipeline cache and harness all
+resolve their recorder through :func:`current_recorder`, so enabling
+telemetry is one call (or one environment variable) — no constructor
+plumbing through the experiment stack.
+
+Environment variables:
+
+``REPRO_TRACE_DIR``
+    When set, the process installs a :class:`TraceRecorder` on first
+    use and ``python -m repro.experiments`` writes ``trace.json`` /
+    ``metrics.json`` there at exit.  Harness worker processes inherit
+    the variable, so spawned workers trace themselves and ship their
+    events back to the parent.
+``REPRO_TRACE_CATEGORIES``
+    Comma list of categories (``all`` / ``default`` accepted); see
+    :mod:`repro.telemetry.events`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.telemetry.events import parse_categories
+from repro.telemetry.recorder import NULL_RECORDER, Recorder, TraceRecorder
+
+__all__ = [
+    "TRACE_DIR_ENV",
+    "TRACE_CATEGORIES_ENV",
+    "current_recorder",
+    "set_recorder",
+    "env_categories",
+    "tracing",
+]
+
+#: Directory for trace output; setting it also auto-enables tracing.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Category selection for environment-enabled tracing.
+TRACE_CATEGORIES_ENV = "REPRO_TRACE_CATEGORIES"
+
+_current: Recorder = NULL_RECORDER
+_env_checked = False
+
+
+def env_categories() -> frozenset:
+    """The category set selected by ``REPRO_TRACE_CATEGORIES``."""
+    return parse_categories(os.environ.get(TRACE_CATEGORIES_ENV, ""))
+
+
+def current_recorder() -> Recorder:
+    """The process-wide recorder (the null recorder unless tracing was
+    enabled explicitly or through ``REPRO_TRACE_DIR``)."""
+    global _current, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        if _current is NULL_RECORDER and os.environ.get(TRACE_DIR_ENV):
+            _current = TraceRecorder(categories=env_categories())
+    return _current
+
+
+def set_recorder(recorder: Recorder) -> Recorder:
+    """Install *recorder* as the process-wide recorder; returns the
+    previous one (so callers can restore it)."""
+    global _current, _env_checked
+    _env_checked = True
+    previous = _current
+    _current = recorder
+    return previous
+
+
+@contextmanager
+def tracing(categories=None):
+    """Context manager: record into a fresh :class:`TraceRecorder`
+    while the block runs, restoring the previous recorder after.
+
+    Yields the recorder, ready for export or analysis::
+
+        with tracing() as rec:
+            simulation.run(40.0)
+        analyzer = TimelineAnalyzer.from_recorder(rec)
+    """
+    recorder = TraceRecorder(categories=categories)
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,203 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat metrics.
+
+The Chrome format (one JSON object with a ``traceEvents`` array) loads
+directly in ``chrome://tracing`` and https://ui.perfetto.dev.  Each
+recorded *run* becomes one ``pid`` track group, named through ``M``
+(metadata) events; timestamps are converted from the run's clock domain
+(seconds) to the format's microseconds.
+
+:func:`validate_chrome_trace` is the schema check the CI smoke job
+runs on emitted traces; :func:`load_chrome_trace` parses a trace file
+back into recorder-shaped event tuples for the
+:class:`~repro.telemetry.analyzer.TimelineAnalyzer`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "load_chrome_trace",
+    "merge_metrics",
+    "write_metrics",
+]
+
+#: Phase letters this exporter emits (and the validator accepts).
+_PHASES = {"X", "i", "C", "M"}
+
+_SECONDS_TO_US = 1e6
+
+
+def chrome_trace(recorder) -> dict:
+    """The recorder's events as a Chrome ``trace_event`` JSON object."""
+    trace_events = []
+    for run, (label, clock) in sorted(recorder.runs.items()):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": run,
+                "tid": 0,
+                "args": {"name": f"{label} [{clock} clock]"},
+            }
+        )
+    for ph, cat, name, run, ts, tid, value, args in recorder.events:
+        if ph == "M":
+            event = {
+                "ph": "M",
+                "name": name,
+                "pid": run,
+                "tid": tid,
+                "args": args or {},
+            }
+        else:
+            event = {
+                "ph": "i" if ph == "I" else ph,
+                "cat": cat,
+                "name": name,
+                "pid": run,
+                "tid": tid,
+                "ts": ts * _SECONDS_TO_US,
+            }
+            if ph == "I":
+                event["s"] = "t"
+                if args is not None:
+                    event["args"] = args
+            elif ph == "X":
+                event["dur"] = value * _SECONDS_TO_US
+                if args is not None:
+                    event["args"] = args
+            elif ph == "C":
+                event["args"] = {"value": value}
+        trace_events.append(event)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.telemetry"},
+    }
+
+
+def write_chrome_trace(recorder, path) -> Path:
+    """Serialise the recorder to *path* as Chrome trace JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(recorder)))
+    return path
+
+
+def validate_chrome_trace(obj) -> int:
+    """Validate a Chrome trace object (or JSON text / file path).
+
+    Checks the containment schema this exporter guarantees: a top-level
+    ``traceEvents`` list whose entries carry a known phase, integer
+    ``pid``/``tid``, and (for timed phases) non-negative numeric
+    ``ts``/``dur``.  Returns the number of events validated.
+
+    Raises:
+        TelemetryError: the object is not a loadable Chrome trace.
+    """
+    if isinstance(obj, (str, Path)) and not (
+        isinstance(obj, str) and obj.lstrip().startswith("{")
+    ):
+        obj = json.loads(Path(obj).read_text())
+    elif isinstance(obj, str):
+        obj = json.loads(obj)
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        raise TelemetryError("trace has no traceEvents array")
+    for index, event in enumerate(obj["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise TelemetryError(f"{where} is not an object")
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            raise TelemetryError(f"{where} has unknown phase {ph!r}")
+        if not isinstance(event.get("name"), str):
+            raise TelemetryError(f"{where} has no name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise TelemetryError(f"{where}.{key} is not an integer")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise TelemetryError(f"{where}.ts is not a non-negative number")
+            if not isinstance(event.get("cat"), str):
+                raise TelemetryError(f"{where}.cat is not a string")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TelemetryError(f"{where}.dur is not a non-negative number")
+        if ph == "C" and "value" not in event.get("args", {}):
+            raise TelemetryError(f"{where} counter has no args.value")
+    return len(obj["traceEvents"])
+
+
+def load_chrome_trace(path_or_obj):
+    """Parse a Chrome trace back into ``(runs, events)`` recorder shape.
+
+    Inverse of :func:`chrome_trace` (modulo the seconds/microseconds
+    conversion), so the analyzer can consume traces from disk as well
+    as live recorders.
+    """
+    obj = path_or_obj
+    if isinstance(obj, (str, Path)):
+        obj = json.loads(Path(obj).read_text())
+    validate_chrome_trace(obj)
+    runs: dict = {}
+    events: list = []
+    for event in obj["traceEvents"]:
+        ph = event["ph"]
+        run = event["pid"]
+        if ph == "M":
+            if event["name"] == "process_name":
+                label = event.get("args", {}).get("name", f"run-{run}")
+                clock = "sim"
+                if label.endswith(" clock]") and "[" in label:
+                    label, _, tag = label.rpartition(" [")
+                    clock = tag[: -len(" clock]")]
+                runs[run] = (label, clock)
+            continue
+        ts = event["ts"] / _SECONDS_TO_US
+        tid = event["tid"]
+        cat = event.get("cat")
+        name = event["name"]
+        if ph == "i":
+            events.append(("I", cat, name, run, ts, tid, None, event.get("args")))
+        elif ph == "X":
+            events.append(
+                (
+                    "X",
+                    cat,
+                    name,
+                    run,
+                    ts,
+                    tid,
+                    event["dur"] / _SECONDS_TO_US,
+                    event.get("args"),
+                )
+            )
+        elif ph == "C":
+            events.append(("C", cat, name, run, ts, tid, event["args"]["value"], None))
+    return runs, events
+
+
+def merge_metrics(*metric_dicts) -> dict:
+    """Sum flat metrics dicts key-wise (harness-worker merging)."""
+    merged: dict = {}
+    for metrics in metric_dicts:
+        for name, value in metrics.items():
+            merged[name] = merged.get(name, 0.0) + value
+    return merged
+
+
+def write_metrics(recorder, path) -> Path:
+    """Write the recorder's flat metrics to *path* as sorted JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(dict(sorted(recorder.metrics.items())), indent=2))
+    return path

@@ -1,0 +1,184 @@
+"""The Recorder protocol and its two implementations.
+
+:class:`NullRecorder` is the default: ``enabled`` is ``False``, every
+method is a no-op, and instrumented code is expected to gate on
+``enabled`` (hot paths resolve the gate once, at construction) — so an
+untraced run executes exactly the float operations it executed before
+telemetry existed, and its outputs stay byte-identical.
+
+:class:`TraceRecorder` collects typed events (spans, instants,
+counters; see :mod:`repro.telemetry.events` for the tuple layout) plus
+a flat metrics dict, grouped into *runs*: every simulation (and the
+harness itself) opens its own run, which becomes its own ``pid`` track
+group in the exported Chrome trace.  Runs carry a clock-domain tag
+(``"sim"`` seconds or ``"wall"`` seconds) so the analyzer never mixes
+simulated and real time.
+
+Recorders are shipped across process boundaries the same way the
+pipeline cache ships entries: :meth:`TraceRecorder.export_blob` on the
+worker, :meth:`TraceRecorder.absorb_blob` on the parent (run ids are
+re-based on absorb, so worker runs never collide with parent runs).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.telemetry.events import DEFAULT_CATEGORIES
+
+__all__ = ["NullRecorder", "Recorder", "TraceRecorder", "NULL_RECORDER"]
+
+
+class Recorder:
+    """Protocol base: the full recorder surface, as no-ops.
+
+    Hook points call these methods; implementations override what they
+    store.  ``enabled`` is an attribute (not a property) so hot paths
+    pay one load to check it.
+    """
+
+    enabled: bool = False
+    categories: frozenset = frozenset()
+
+    def wants(self, cat: str) -> bool:
+        """Whether events of category *cat* should be recorded."""
+        return False
+
+    def begin_run(self, label: str, clock: str = "sim") -> int:
+        """Open a new run (track group); returns its id and makes it
+        current."""
+        return 0
+
+    def instant(self, cat, name, ts, tid=0, args=None, run=None) -> None:
+        """Record a point event."""
+
+    def span(self, cat, name, ts, dur, tid=0, args=None, run=None) -> None:
+        """Record a complete span of duration *dur* starting at *ts*."""
+
+    def counter(self, cat, name, ts, value, tid=0, run=None) -> None:
+        """Record one point of a counter series."""
+
+    def meta(self, name, tid, args, run=None) -> None:
+        """Record viewer metadata (e.g. lane names)."""
+
+    def incr(self, name: str, delta: float = 1.0) -> None:
+        """Bump a flat (timeline-free) metric."""
+
+
+class NullRecorder(Recorder):
+    """The zero-overhead default recorder: records nothing."""
+
+    __slots__ = ()
+
+
+#: Shared null instance — stateless, so one is enough.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(Recorder):
+    """In-memory collector of typed events and flat metrics.
+
+    Args:
+        categories: categories to record; the cheap default set when
+            omitted (see :mod:`repro.telemetry.events`).
+    """
+
+    enabled = True
+
+    def __init__(self, categories=None):
+        self.categories = (
+            frozenset(categories) if categories is not None else DEFAULT_CATEGORIES
+        )
+        #: Flat event tuples: ``(ph, cat, name, run, ts, tid, value, args)``.
+        self.events: list = []
+        #: Flat metrics: name -> accumulated value.
+        self.metrics: dict = {}
+        #: Run registry: run id -> ``(label, clock)``.
+        self.runs: dict = {}
+        self._next_run = 0
+        #: The current run id (events default here when ``run=None``).
+        self.run = 0
+
+    # -- run management -----------------------------------------------------
+
+    def wants(self, cat: str) -> bool:
+        return cat in self.categories
+
+    def begin_run(self, label: str, clock: str = "sim") -> int:
+        run = self._next_run
+        self._next_run = run + 1
+        self.runs[run] = (label, clock)
+        self.run = run
+        return run
+
+    # -- event emission -----------------------------------------------------
+
+    def instant(self, cat, name, ts, tid=0, args=None, run=None) -> None:
+        self.events.append(
+            ("I", cat, name, self.run if run is None else run, ts, tid, None, args)
+        )
+
+    def span(self, cat, name, ts, dur, tid=0, args=None, run=None) -> None:
+        self.events.append(
+            ("X", cat, name, self.run if run is None else run, ts, tid, dur, args)
+        )
+
+    def counter(self, cat, name, ts, value, tid=0, run=None) -> None:
+        self.events.append(
+            ("C", cat, name, self.run if run is None else run, ts, tid, value, None)
+        )
+
+    def meta(self, name, tid, args, run=None) -> None:
+        self.events.append(
+            ("M", None, name, self.run if run is None else run, 0.0, tid, None, args)
+        )
+
+    def incr(self, name: str, delta: float = 1.0) -> None:
+        metrics = self.metrics
+        metrics[name] = metrics.get(name, 0.0) + delta
+
+    # -- shipping (harness workers) -----------------------------------------
+
+    def export_blob(self) -> bytes:
+        """Everything recorded, as one pickled blob for
+        :meth:`absorb_blob` (``export_entries``-style shipping)."""
+        return pickle.dumps(
+            (self._next_run, self.runs, self.events, self.metrics),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    def absorb_blob(self, blob: bytes) -> int:
+        """Merge a blob exported by another recorder (typically a
+        harness worker); returns the number of events absorbed.
+
+        Run ids from the blob are re-based past this recorder's own so
+        worker runs stay distinct track groups.
+        """
+        n_runs, runs, events, metrics = pickle.loads(blob)
+        offset = self._next_run
+        self._next_run = offset + n_runs
+        for run, info in runs.items():
+            self.runs[run + offset] = info
+        if offset:
+            self.events.extend(
+                (ph, cat, name, run + offset, ts, tid, value, args)
+                for ph, cat, name, run, ts, tid, value, args in events
+            )
+        else:
+            self.events.extend(events)
+        own = self.metrics
+        for name, value in metrics.items():
+            own[name] = own.get(name, 0.0) + value
+        return len(events)
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.metrics.clear()
+        self.runs.clear()
+        self._next_run = 0
+        self.run = 0

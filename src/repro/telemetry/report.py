@@ -1,0 +1,107 @@
+"""Text summary report over an analyzed trace.
+
+``python -m repro.experiments telemetry --trace-out DIR`` prints this
+report for the ``trace.json`` found in ``DIR``; it is also usable as a
+library (:func:`render_report`) against any analyzer.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.analyzer import TimelineAnalyzer
+
+__all__ = ["render_report", "summarize"]
+
+
+def summarize(analyzer: TimelineAnalyzer) -> dict:
+    """A plain-data summary of every run in the trace."""
+    runs = []
+    for run, label, clock in analyzer.runs():
+        timeline = analyzer.timeline(run)
+        processes = []
+        for pid in timeline.pids:
+            processes.append(
+                {
+                    "pid": pid,
+                    "name": timeline.names.get(pid, f"pid-{pid}"),
+                    "switches": timeline.switches.get(pid, 0.0),
+                    "migrations": timeline.migrations.get(pid, 0),
+                    "phase_residency": dict(
+                        timeline.phase_residency.get(pid, {})
+                    ),
+                    "phase_migrations": dict(
+                        timeline.phase_migrations.get(pid, {})
+                    ),
+                }
+            )
+        runs.append(
+            {
+                "run": run,
+                "label": label,
+                "clock": clock,
+                "processes": processes,
+                "ipc_samples": len(timeline.ipc_samples),
+                "decisions": len(timeline.decisions),
+                "degradations": len(timeline.degradations),
+                "faults": len(timeline.fault_events),
+                "sched_decisions": timeline.sched_decisions,
+                "idle_by_core": dict(timeline.idle_by_core),
+            }
+        )
+    return {"runs": runs, "metrics": dict(sorted(analyzer.metrics.items()))}
+
+
+def _fmt_phase_map(mapping, fmt) -> str:
+    if not mapping:
+        return "-"
+    parts = []
+    for phase in sorted(mapping, key=lambda p: (p is None, p)):
+        name = "?" if phase is None else str(phase)
+        parts.append(f"{name}={fmt(mapping[phase])}")
+    return " ".join(parts)
+
+
+def render_report(analyzer: TimelineAnalyzer) -> str:
+    """Human-readable multi-line report for *analyzer*."""
+    summary = summarize(analyzer)
+    lines = ["telemetry summary", "================="]
+    for run in summary["runs"]:
+        lines.append("")
+        lines.append(
+            f"run {run['run']}: {run['label']} [{run['clock']} clock]"
+        )
+        lines.append(
+            "  samples={ipc_samples} decisions={decisions} "
+            "degradations={degradations} faults={faults} "
+            "sched={sched_decisions}".format(**run)
+        )
+        if run["idle_by_core"]:
+            idle = " ".join(
+                f"core{core}={seconds:.3f}s"
+                for core, seconds in sorted(run["idle_by_core"].items())
+            )
+            lines.append(f"  idle: {idle}")
+        for proc in run["processes"]:
+            lines.append(
+                f"  pid {proc['pid']} {proc['name']}: "
+                f"switches={proc['switches']:g} "
+                f"migrations={proc['migrations']}"
+            )
+            if proc["phase_residency"]:
+                lines.append(
+                    "    residency: "
+                    + _fmt_phase_map(
+                        proc["phase_residency"], lambda v: f"{v:.3f}s"
+                    )
+                )
+            if proc["phase_migrations"]:
+                lines.append(
+                    "    phase migrations: "
+                    + _fmt_phase_map(proc["phase_migrations"], str)
+                )
+    if summary["metrics"]:
+        lines.append("")
+        lines.append("metrics")
+        lines.append("-------")
+        for name, value in summary["metrics"].items():
+            lines.append(f"  {name} = {value:g}")
+    return "\n".join(lines)

@@ -49,6 +49,16 @@ from repro.instrument.rewriter import InstrumentedProgram, build_marks
 from repro.sim.machine import MachineConfig, core2quad_amp
 from repro.sim.process import Trace
 from repro.sim.tracegen import BehaviorSpec, TraceGenerator
+from repro.telemetry.context import current_recorder
+
+
+def _telemetry_incr(name: str) -> None:
+    """Bump a flat cache metric on the process recorder.  A no-op (one
+    attribute check) with the null recorder or the ``cache`` category
+    deselected; cache operations are far off any hot path."""
+    rec = current_recorder()
+    if rec.enabled and rec.wants("cache"):
+        rec.incr(name)
 
 # -- content fingerprints -------------------------------------------------------
 
@@ -264,7 +274,11 @@ class PipelineCache:
         excess = len(files) - self.max_disk_entries
         if excess <= 0:
             return
-        files.sort(key=lambda pair: pair[0])
+        # Tie-break equal mtimes by file name: coarse filesystem
+        # timestamps make same-mtime batches common, and glob order is
+        # filesystem-dependent — sorting on mtime alone would evict a
+        # nondeterministic subset.
+        files.sort(key=lambda pair: (pair[0], pair[1].name))
         for _, stale in files[:excess]:
             try:
                 stale.unlink()
@@ -279,6 +293,7 @@ class PipelineCache:
             value, digest = entry
             if digest == _key_digest(key):
                 self.hits += 1
+                _telemetry_incr("cache.hit")
                 return value
             # The stored digest disagrees with the key that found the
             # entry: the entry (or its key) was corrupted after insert.
@@ -295,9 +310,11 @@ class PipelineCache:
                 value = loaded[0]
                 self.hits += 1
                 self.disk_hits += 1
+                _telemetry_incr("cache.disk_hit")
                 self._entries[key] = (value, _key_digest(key))
                 return value
         self.misses += 1
+        _telemetry_incr("cache.miss")
         value = build()
         self._entries[key] = (value, _key_digest(key))
         if self._disk_dir is not None:

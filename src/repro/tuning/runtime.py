@@ -56,9 +56,10 @@ from typing import Optional
 from repro.instrument.phase_mark import MARK_MONITOR_CYCLES
 from repro.sim.counters import CounterBank
 from repro.sim.executor import MarkAction
-from repro.sim.faults import DvfsEvent, FaultInjector
+from repro.sim.faults import DvfsEvent, FaultInjector, MemoryPressureEvent
 from repro.sim.machine import MachineConfig
 from repro.sim.process import SimProcess
+from repro.telemetry.events import PROC_TID_BASE
 from repro.tuning.assignment import select_core_checked
 from repro.tuning.monitor import PhaseState, SectionMonitor
 
@@ -80,8 +81,8 @@ class DegradationEvent:
         pid: affected process, or ``None`` for machine-wide events.
         phase_type: affected phase type, if the degradation is per-type.
         kind: ``"counter-starved"``, ``"affinity-fallback"``,
-            ``"re-explore"``, ``"corrupt-sample"``, ``"hotplug"`` or
-            ``"dvfs"``.
+            ``"re-explore"``, ``"corrupt-sample"``, ``"hotplug"``,
+            ``"dvfs"`` or ``"mem-pressure"``.
         detail: human-readable specifics.
     """
 
@@ -204,6 +205,9 @@ class PhaseTuningRuntime:
         self.degradation_log: list = []
         self._affinity_failures: dict = {}  # pid -> consecutive failures
         self._affinity_blocked: dict = {}  # pid -> restore attempted?
+        # -- telemetry (installed by the executor when tracing) ------------
+        self._tr = None
+        self._tr_run = 0
 
     # -- fault wiring ------------------------------------------------------
 
@@ -219,6 +223,16 @@ class PhaseTuningRuntime:
         self.faults = injector
         self.counters.injector = injector
         self.monitor.injector = injector
+
+    def attach_telemetry(self, recorder, run: int) -> None:
+        """Wire a trace recorder into the tuning path (IPC samples,
+        Algorithm-2 decisions, degradation-ladder steps).
+
+        Called by the simulation when tracing is enabled; the runtime
+        emits nothing — and checks one attribute per site — otherwise.
+        """
+        self._tr = recorder if recorder.wants("tuning") else None
+        self._tr_run = run
 
     def on_machine_event(self, event, now: float, freq_scales=None) -> None:
         """A hotplug or DVFS event changed the machine underneath us.
@@ -237,7 +251,12 @@ class PhaseTuningRuntime:
                 by_name[ctype.name] = sum(scaled) / len(scaled)
             self._freq_by_name = by_name
             self._ref_freq = max(by_name.values())
-        kind = "dvfs" if isinstance(event, DvfsEvent) else "hotplug"
+        if isinstance(event, DvfsEvent):
+            kind = "dvfs"
+        elif isinstance(event, MemoryPressureEvent):
+            kind = "mem-pressure"
+        else:
+            kind = "hotplug"
         self._log_degradation(now, None, None, kind, repr(event))
 
     def on_affinity_result(
@@ -278,6 +297,21 @@ class PhaseTuningRuntime:
         self.degradation_log.append(
             DegradationEvent(now, pid, phase_type, kind, detail)
         )
+        if self._tr is not None:
+            self._tr.instant(
+                "tuning",
+                "degrade",
+                now,
+                tid=0 if pid is None else PROC_TID_BASE + pid,
+                args={
+                    "pid": pid,
+                    "phase": phase_type,
+                    "kind": kind,
+                    "detail": detail,
+                },
+                run=self._tr_run,
+            )
+            self._tr.incr("tuning.degradations")
 
     def degradations_for(self, pid: int) -> list:
         """All logged degradation events affecting process *pid*."""
@@ -421,6 +455,21 @@ class PhaseTuningRuntime:
             state.decided = FREE
             mask = self.machine.all_cores_mask
         self.decisions += 1
+        if self._tr is not None:
+            self._tr.instant(
+                "tuning",
+                "decide",
+                now,
+                tid=PROC_TID_BASE + proc.pid,
+                args={
+                    "pid": proc.pid,
+                    "phase": phase_type,
+                    "target": getattr(state.decided, "name", state.decided),
+                    "significant": decision.significant,
+                },
+                run=self._tr_run,
+            )
+            self._tr.incr("tuning.decisions")
         if mask != proc.affinity:
             return MarkAction(affinity=mask, extra_cycles=AFFINITY_SYSCALL_CYCLES)
         return MarkAction()
@@ -448,6 +497,21 @@ class PhaseTuningRuntime:
             # Convert instructions-per-core-cycle into instructions per
             # constant-rate reference cycle: wall-clock normalisation.
             ipc *= self._freq_by_name[ctype_name] / self._ref_freq
+        if self._tr is not None:
+            self._tr.instant(
+                "tuning",
+                "ipc-sample",
+                now,
+                tid=PROC_TID_BASE + proc.pid,
+                args={
+                    "pid": proc.pid,
+                    "phase": phase_type,
+                    "ctype": ctype_name,
+                    "ipc": ipc,
+                },
+                run=self._tr_run,
+            )
+            self._tr.incr("tuning.ipc_samples")
         state = self._state(proc, phase_type)
         if state.decided is not None or ctype_name in state.samples:
             return

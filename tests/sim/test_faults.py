@@ -13,6 +13,7 @@ from repro.sim.faults import (
     FaultInjector,
     FaultPlan,
     HotplugEvent,
+    MemoryPressureEvent,
     SlotOutage,
 )
 from repro.sim.process import Segment, Trace
@@ -296,3 +297,150 @@ def test_dvfs_slows_completion(machine):
     slowed = completion(FaultPlan(dvfs=(DvfsEvent(0.0, 0, 0.5),)))
     nominal = completion(None)
     assert slowed == pytest.approx(2.0 * nominal, rel=0.05)
+
+
+# -- memory pressure ------------------------------------------------------------
+
+
+def _memory_proc(machine, pid=1, affinity=None, cycles=1e8):
+    """A process whose segment keeps L2-resident lines (pressure bites)."""
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = 5e6
+    for name in vector.compute:
+        vector.compute[name] = cycles
+        vector.stall[name] = cycles
+        vector.l2hits[name] = 0.5
+    trace = Trace((_mk_segment(vector),))
+    return SimProcess(
+        pid, f"m{pid}", trace, affinity or machine.all_cores_mask,
+        isolated_time=1.0,
+    )
+
+
+def _mk_segment(vector, iterations=1e6):
+    per_iter = CostVector(
+        vector.instrs / iterations,
+        {k: v / iterations for k, v in vector.compute.items()},
+        {k: v / iterations for k, v in vector.stall.items()},
+        dict(vector.l2hits),
+    )
+    return Segment("seg", None, iterations, per_iter)
+
+
+def test_mem_pressure_validation():
+    with pytest.raises(FaultError, match="before t=0"):
+        FaultPlan(mem_pressure=(MemoryPressureEvent(-1.0, 0, 0.5),))
+    with pytest.raises(FaultError, match="shrink must be in"):
+        FaultPlan(mem_pressure=(MemoryPressureEvent(1.0, 0, 1.5),))
+    with pytest.raises(FaultError, match="shrink must be in"):
+        FaultPlan(mem_pressure=(MemoryPressureEvent(1.0, 0, -0.1),))
+
+
+def test_mem_pressure_core_out_of_range():
+    machine = core2quad_amp()
+    with pytest.raises(FaultError, match="out of range"):
+        FaultInjector(
+            FaultPlan(mem_pressure=(MemoryPressureEvent(1.0, 99, 0.5),)),
+            machine,
+        )
+
+
+def test_mem_pressure_plan_not_null():
+    plan = FaultPlan(mem_pressure=(MemoryPressureEvent(1.0, 0, 0.5),))
+    assert not plan.is_null
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+def test_mem_pressure_slows_memory_bound_process(machine):
+    def completion(faults):
+        sim = Simulation(machine, faults=faults)
+        proc = _memory_proc(machine, affinity=frozenset({0}))
+        sim.add_process(proc, 0.0)
+        sim.run(100.0)
+        assert proc.finished
+        return proc.completion
+
+    nominal = completion(None)
+    pressured = completion(
+        FaultPlan(mem_pressure=(MemoryPressureEvent(0.0, 0, 0.9),))
+    )
+    assert pressured > nominal
+    # Pressure on an unused core changes nothing.
+    elsewhere = completion(
+        FaultPlan(mem_pressure=(MemoryPressureEvent(0.0, 3, 0.9),))
+    )
+    assert elsewhere == nominal
+
+
+def test_mem_pressure_restore_ends_slowdown(machine):
+    def completion(faults):
+        sim = Simulation(machine, faults=faults)
+        proc = _memory_proc(machine, affinity=frozenset({0}))
+        sim.add_process(proc, 0.0)
+        sim.run(100.0)
+        return proc.completion
+
+    nominal = completion(None)
+    always = completion(
+        FaultPlan(mem_pressure=(MemoryPressureEvent(0.0, 0, 0.9),))
+    )
+    windowed = completion(
+        FaultPlan(
+            mem_pressure=(
+                MemoryPressureEvent(0.0, 0, 0.9),
+                MemoryPressureEvent(nominal / 4.0, 0, 0.0),
+            )
+        )
+    )
+    assert nominal < windowed < always
+    # Restore and shrink both count as fired applications.
+
+
+def test_mem_pressure_compute_bound_process_unaffected(machine):
+    """No L2-resident lines -> nothing to evict -> no slowdown."""
+    def completion(faults):
+        sim = Simulation(machine, faults=faults)
+        proc = _proc(machine, affinity=frozenset({0}))  # l2hits == 0
+        sim.add_process(proc, 0.0)
+        sim.run(100.0)
+        return proc.completion
+
+    nominal = completion(None)
+    pressured = completion(
+        FaultPlan(mem_pressure=(MemoryPressureEvent(0.0, 0, 0.9),))
+    )
+    assert pressured == nominal
+
+
+def test_scaled_mem_pressure_rate():
+    machine = core2quad_amp()
+    plan = FaultPlan.scaled(
+        0.0, machine, 100.0, seed=7, mem_pressure_rate=0.5
+    )
+    assert plan.mem_pressure and not plan.hotplug and not plan.dvfs
+    # Paired shrink/restore windows within the horizon, shrink in range.
+    assert len(plan.mem_pressure) % 2 == 0
+    for event in plan.mem_pressure:
+        assert 0.0 <= event.time <= 100.0
+        assert 0.0 <= event.shrink <= 1.0
+    restores = [e for e in plan.mem_pressure if e.shrink == 0.0]
+    assert len(restores) == len(plan.mem_pressure) // 2
+    # Deterministic in the seed.
+    again = FaultPlan.scaled(
+        0.0, machine, 100.0, seed=7, mem_pressure_rate=0.5
+    )
+    assert again == plan
+
+
+def test_scaled_without_mem_pressure_unchanged():
+    """The new knob must not shift the pre-existing fault draws."""
+    machine = core2quad_amp()
+    base = FaultPlan.scaled(0.4, machine, 100.0, seed=11)
+    assert base.mem_pressure == ()
+    with_rate = FaultPlan.scaled(
+        0.4, machine, 100.0, seed=11, mem_pressure_rate=0.3
+    )
+    assert with_rate.hotplug == base.hotplug
+    assert with_rate.dvfs == base.dvfs
+    assert with_rate.slot_outages == base.slot_outages
+    assert with_rate.mem_pressure

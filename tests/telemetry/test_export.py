@@ -1,0 +1,138 @@
+"""Chrome trace export: structure, validation, and disk round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    TimelineAnalyzer,
+    TraceRecorder,
+    chrome_trace,
+    load_chrome_trace,
+    merge_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+def _recorder():
+    rec = TraceRecorder(categories=frozenset({"exec", "task", "tuning"}))
+    sim = rec.begin_run("sim:amp")
+    rec.instant("exec", "migrate", 1.5, tid=1001, args={"pid": 1, "from": 0})
+    rec.counter("exec", "idle", 10.0, 4.25, tid=2)
+    wall = rec.begin_run("harness", clock="wall")
+    rec.span("task", "point", 0.25, 2.0, tid=0, args={"index": 3})
+    rec.incr("harness.tasks")
+    return rec, sim, wall
+
+
+# -- chrome_trace structure -----------------------------------------------------
+
+
+def test_chrome_trace_has_process_name_metadata_per_run():
+    rec, sim, wall = _recorder()
+    obj = chrome_trace(rec)
+    metas = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+    names = {e["pid"]: e["args"]["name"] for e in metas}
+    assert names == {sim: "sim:amp [sim clock]", wall: "harness [wall clock]"}
+
+
+def test_chrome_trace_converts_seconds_to_microseconds():
+    rec, sim, wall = _recorder()
+    events = chrome_trace(rec)["traceEvents"]
+    instant = next(e for e in events if e.get("name") == "migrate")
+    assert instant["ph"] == "i" and instant["s"] == "t"
+    assert instant["ts"] == pytest.approx(1.5e6)
+    span = next(e for e in events if e.get("name") == "point")
+    assert span["ph"] == "X"
+    assert (span["ts"], span["dur"]) == (pytest.approx(0.25e6), pytest.approx(2e6))
+    counter = next(e for e in events if e.get("name") == "idle")
+    assert counter["ph"] == "C" and counter["args"] == {"value": 4.25}
+
+
+def test_chrome_trace_is_json_serializable():
+    rec, _, _ = _recorder()
+    json.dumps(chrome_trace(rec))
+
+
+# -- validation -----------------------------------------------------------------
+
+
+def test_validate_counts_events():
+    rec, _, _ = _recorder()
+    obj = chrome_trace(rec)
+    # 3 recorded events + 2 process_name metadata records.
+    assert validate_chrome_trace(obj) == 5
+
+
+@pytest.mark.parametrize("mutate,message", [
+    (lambda o: o.pop("traceEvents"), "no traceEvents"),
+    (lambda o: o["traceEvents"].append("nope"), "not an object"),
+    (lambda o: o["traceEvents"].append({"ph": "Z", "name": "x"}), "unknown phase"),
+    (lambda o: o["traceEvents"][2].pop("name"), "has no name"),
+    (lambda o: o["traceEvents"][2].update(pid="one"), "not an integer"),
+    (lambda o: o["traceEvents"][2].update(ts=-5.0), "non-negative"),
+])
+def test_validate_rejects_malformed(mutate, message):
+    rec, _, _ = _recorder()
+    obj = chrome_trace(rec)
+    mutate(obj)
+    with pytest.raises(TelemetryError, match=message):
+        validate_chrome_trace(obj)
+
+
+def test_validate_accepts_json_text_and_path(tmp_path):
+    rec, _, _ = _recorder()
+    path = write_chrome_trace(rec, tmp_path / "trace.json")
+    assert validate_chrome_trace(path) == 5
+    assert validate_chrome_trace(path.read_text()) == 5
+
+
+# -- disk round-trip ------------------------------------------------------------
+
+
+def test_load_chrome_trace_inverts_export(tmp_path):
+    rec, _, _ = _recorder()
+    path = write_chrome_trace(rec, tmp_path / "trace.json")
+    runs, events = load_chrome_trace(path)
+    assert runs == rec.runs
+    assert len(events) == len(rec.events)
+    for loaded, original in zip(events, rec.events):
+        ph, cat, name, run, ts, tid, value, args = original
+        lph, lcat, lname, lrun, lts, ltid, lvalue, largs = loaded
+        assert (lph, lcat, lname, lrun, ltid) == (ph, cat, name, run, tid)
+        assert lts == pytest.approx(ts)
+        if ph == "X" or ph == "C":
+            assert lvalue == pytest.approx(value)
+        if ph == "I" or ph == "X":
+            assert largs == args
+
+
+def test_analyzer_from_file_matches_from_recorder(tmp_path):
+    rec, sim, _ = _recorder()
+    live = TimelineAnalyzer.from_recorder(rec)
+    path = write_chrome_trace(rec, tmp_path / "trace.json")
+    loaded = TimelineAnalyzer.from_file(path)
+    assert loaded.runs() == live.runs()
+    assert loaded.switches(sim, 1) == live.switches(sim, 1) == 1.0
+    assert loaded.timeline(sim).idle_by_core == {2: 4.25}
+
+
+# -- metrics --------------------------------------------------------------------
+
+
+def test_merge_metrics_sums_keywise():
+    merged = merge_metrics({"a": 1.0, "b": 2.0}, {"a": 0.5, "c": 3.0})
+    assert merged == {"a": 1.5, "b": 2.0, "c": 3.0}
+
+
+def test_write_metrics_sorted_json(tmp_path):
+    rec = TraceRecorder()
+    rec.incr("z.last")
+    rec.incr("a.first", 2.0)
+    path = write_metrics(rec, tmp_path / "metrics.json")
+    loaded = json.loads(path.read_text())
+    assert loaded == {"a.first": 2.0, "z.last": 1.0}
+    assert list(loaded) == ["a.first", "z.last"]

@@ -1,0 +1,74 @@
+"""Harness telemetry: task spans, and worker->parent event shipping.
+
+Pool workers run in their own processes, so each installs a fresh
+recorder, traces whatever it executes (simulations included), and ships
+the result back pickled next to the task's return value — mirroring how
+the pipeline cache ships entries.  The parent absorbs the blobs in task
+order, so run ids (and therefore trace track groups) are deterministic.
+"""
+
+from repro.experiments.harness import run_tasks
+from repro.sim import Simulation, SimProcess, core2quad_amp
+from repro.sim.cost_model import CostVector
+from repro.sim.process import Segment, Trace
+from repro.telemetry import tracing
+
+
+def _double(task):
+    return task * 2
+
+
+def _simulate(cycles):
+    machine = core2quad_amp()
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = 1e3
+    for name in vector.compute:
+        vector.compute[name] = cycles
+    trace = Trace((Segment("seg", None, 1.0, vector),))
+    proc = SimProcess(1, "w", trace, machine.all_cores_mask, isolated_time=1.0)
+    sim = Simulation(machine, runtime=None)
+    sim.add_process(proc, 0.0)
+    sim.run(100.0)
+    return proc.completion
+
+
+def test_serial_tasks_record_spans_and_metrics():
+    with tracing() as rec:
+        results = run_tasks(_double, [1, 2, 3], jobs=1, labels=["a", "b", "c"])
+    assert results == [2, 4, 6]
+    assert rec.metrics["harness.tasks"] == 3.0
+    assert rec.metrics["harness.task_seconds"] >= 0.0
+    spans = [e for e in rec.events if e[0] == "X" and e[1] == "task"]
+    assert [e[2] for e in spans] == ["a", "b", "c"]
+    wall_runs = [label for label, clock in rec.runs.values() if clock == "wall"]
+    assert wall_runs == ["harness"]
+
+
+def test_pool_workers_ship_events_back():
+    with tracing() as rec:
+        results = run_tasks(_double, [1, 2, 3], jobs=2)
+    assert results == [2, 4, 6]
+    # Every task traced in some worker, metrics summed across workers.
+    assert rec.metrics["harness.tasks"] == 3.0
+    labels = [label for label, clock in rec.runs.values()]
+    assert any(label.startswith("worker:") for label in labels)
+    spans = [e for e in rec.events if e[0] == "X" and e[1] == "task"]
+    assert len(spans) == 3
+
+
+def test_pool_ships_simulation_runs():
+    with tracing() as rec:
+        results = run_tasks(_simulate, [1e6, 2e6], jobs=2)
+    assert all(t > 0 for t in results)
+    sim_labels = [
+        label for label, clock in rec.runs.values() if label.startswith("sim:")
+    ]
+    assert len(sim_labels) == 2
+    # The simulations' exec events came along with the runs.
+    starts = [e for e in rec.events if e[1] == "exec" and e[2] == "start"]
+    assert len(starts) == 2
+
+
+def test_untraced_run_tasks_untouched():
+    results = run_tasks(_double, [1, 2], jobs=2)
+    assert results == [2, 4]

@@ -1,0 +1,174 @@
+"""Unit tests for the Recorder protocol, categories, and context."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    current_recorder,
+    parse_categories,
+    set_recorder,
+    tracing,
+)
+
+
+# -- categories -----------------------------------------------------------------
+
+
+def test_default_categories_exclude_high_volume():
+    assert "quantum" not in DEFAULT_CATEGORIES
+    assert "segment" not in DEFAULT_CATEGORIES
+    assert DEFAULT_CATEGORIES < ALL_CATEGORIES
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("", DEFAULT_CATEGORIES),
+    ("default", DEFAULT_CATEGORIES),
+    ("all", ALL_CATEGORIES),
+    ("exec,quantum", frozenset({"exec", "quantum"})),
+    (" Exec , SCHED ", frozenset({"exec", "sched"})),
+])
+def test_parse_categories(text, expected):
+    assert parse_categories(text) == expected
+
+
+def test_parse_categories_rejects_unknown():
+    with pytest.raises(TelemetryError, match="unknown trace categories"):
+        parse_categories("exec,bogus")
+
+
+# -- NullRecorder ---------------------------------------------------------------
+
+
+def test_null_recorder_is_disabled_and_inert():
+    rec = NullRecorder()
+    assert rec.enabled is False
+    assert not rec.wants("exec")
+    assert rec.begin_run("x") == 0
+    # All emission methods are no-ops (must not raise, store nothing).
+    rec.instant("exec", "migrate", 1.0)
+    rec.span("task", "t", 0.0, 1.0)
+    rec.counter("exec", "idle", 1.0, 2.0)
+    rec.meta("process_name", 0, {})
+    rec.incr("anything")
+
+
+def test_default_process_recorder_is_null(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+    assert current_recorder().enabled in (False, True)  # whatever is installed
+    previous = set_recorder(NULL_RECORDER)
+    try:
+        assert current_recorder() is NULL_RECORDER
+    finally:
+        set_recorder(previous)
+
+
+# -- TraceRecorder --------------------------------------------------------------
+
+
+def test_trace_recorder_records_typed_events():
+    rec = TraceRecorder()
+    assert rec.enabled is True
+    assert rec.wants("exec") and not rec.wants("quantum")
+    run = rec.begin_run("sim:test")
+    rec.instant("exec", "migrate", 1.5, tid=1001, args={"pid": 1})
+    rec.span("task", "t", 0.0, 2.0, tid=0)
+    rec.counter("exec", "idle", 3.0, 7.5, tid=2)
+    assert rec.events == [
+        ("I", "exec", "migrate", run, 1.5, 1001, None, {"pid": 1}),
+        ("X", "task", "t", run, 0.0, 0, 2.0, None),
+        ("C", "exec", "idle", run, 3.0, 2, 7.5, None),
+    ]
+    assert len(rec) == 3
+
+
+def test_runs_register_label_and_clock():
+    rec = TraceRecorder()
+    a = rec.begin_run("sim:amp")
+    b = rec.begin_run("harness", clock="wall")
+    assert (a, b) == (0, 1)
+    assert rec.runs == {0: ("sim:amp", "sim"), 1: ("harness", "wall")}
+    rec.instant("exec", "e", 0.0)  # defaults to the current run
+    assert rec.events[-1][3] == b
+    rec.instant("exec", "e", 0.0, run=a)  # explicit run override
+    assert rec.events[-1][3] == a
+
+
+def test_incr_accumulates_metrics():
+    rec = TraceRecorder()
+    rec.incr("cache.hit")
+    rec.incr("cache.hit")
+    rec.incr("harness.task_seconds", 2.5)
+    assert rec.metrics == {"cache.hit": 2.0, "harness.task_seconds": 2.5}
+
+
+def test_custom_categories():
+    rec = TraceRecorder(categories=frozenset({"quantum"}))
+    assert rec.wants("quantum") and not rec.wants("exec")
+
+
+# -- blob shipping --------------------------------------------------------------
+
+
+def test_blob_roundtrip_rebases_runs_and_sums_metrics():
+    worker = TraceRecorder()
+    wrun = worker.begin_run("worker:1", clock="wall")
+    worker.instant("exec", "migrate", 1.0, tid=1001, args={"pid": 1})
+    worker.incr("harness.tasks")
+
+    parent = TraceRecorder()
+    parent.begin_run("sim:amp")
+    parent.instant("exec", "migrate", 0.5, tid=1002)
+    parent.incr("harness.tasks")
+
+    absorbed = parent.absorb_blob(worker.export_blob())
+    assert absorbed == 1
+    # Worker run 0 re-based past the parent's run 0.
+    assert parent.runs == {0: ("sim:amp", "sim"), 1: ("worker:1", "wall")}
+    assert [e[3] for e in parent.events] == [0, wrun + 1]
+    assert parent.metrics == {"harness.tasks": 2.0}
+    # A later local run gets an id past the absorbed ones.
+    assert parent.begin_run("later") == 2
+
+
+def test_absorb_into_empty_recorder_keeps_ids():
+    worker = TraceRecorder()
+    worker.begin_run("worker:9")
+    worker.instant("exec", "e", 0.0)
+    parent = TraceRecorder()
+    parent.absorb_blob(worker.export_blob())
+    assert parent.runs == {0: ("worker:9", "sim")}
+    assert parent.events[0][3] == 0
+
+
+def test_clear_resets_everything():
+    rec = TraceRecorder()
+    rec.begin_run("x")
+    rec.instant("exec", "e", 0.0)
+    rec.incr("m")
+    rec.clear()
+    assert (rec.events, rec.metrics, rec.runs, len(rec)) == ([], {}, {}, 0)
+    assert rec.begin_run("y") == 0
+
+
+# -- context management ---------------------------------------------------------
+
+
+def test_tracing_context_installs_and_restores():
+    before = current_recorder()
+    with tracing() as rec:
+        assert current_recorder() is rec
+        assert rec.enabled
+    assert current_recorder() is before
+
+
+def test_tracing_restores_on_exception():
+    before = current_recorder()
+    with pytest.raises(RuntimeError):
+        with tracing():
+            raise RuntimeError("boom")
+    assert current_recorder() is before

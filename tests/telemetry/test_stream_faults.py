@@ -1,0 +1,127 @@
+"""Satellite coverage: the telemetry stream under a nonzero FaultPlan.
+
+Two contracts:
+
+* ``DegradationEvent`` ordering — the runtime's degradation log is
+  append-only in simulation-time order, so it can be replayed against
+  the telemetry stream without sorting.
+* Stream/log agreement — every ``tuning/degrade`` instant the recorder
+  collects corresponds 1:1, in order, to a ``DegradationEvent`` in
+  ``runtime.degradation_log`` (same time, pid, phase, kind, detail),
+  and every applied fault shows up as a ``fault/...`` instant.
+"""
+
+import pytest
+
+from repro.sim import Simulation, SimProcess, core2quad_amp
+from repro.sim.cost_model import CostVector
+from repro.sim.faults import (
+    DvfsEvent,
+    FaultPlan,
+    HotplugEvent,
+    MemoryPressureEvent,
+)
+from repro.sim.process import Segment, Trace
+from repro.telemetry import TimelineAnalyzer, tracing
+from repro.tuning.runtime import PhaseTuningRuntime
+
+
+def _long_proc(machine, pid=1, cycles=2e10):
+    vector = CostVector.zero(machine.core_types())
+    vector.instrs = 1e9
+    for name in vector.compute:
+        vector.compute[name] = cycles
+    trace = Trace((Segment("seg", None, 1.0, vector),))
+    return SimProcess(
+        pid, f"p{pid}", trace, machine.all_cores_mask, isolated_time=1.0
+    )
+
+
+_PLAN = FaultPlan(
+    dvfs=(DvfsEvent(0.5, 1, 0.8),),
+    hotplug=(
+        HotplugEvent(1.0, 2, online=False),
+        HotplugEvent(3.0, 2, online=True),
+    ),
+    mem_pressure=(
+        MemoryPressureEvent(1.5, 3, 0.5),
+        MemoryPressureEvent(2.5, 3, 0.0),
+    ),
+)
+
+
+@pytest.fixture()
+def faulted_run():
+    machine = core2quad_amp()
+    runtime = PhaseTuningRuntime(machine, 0.12, monitor_noise=0.0)
+    with tracing() as rec:
+        sim = Simulation(machine, runtime=runtime, faults=_PLAN)
+        proc = _long_proc(machine)
+        sim.add_process(proc, 0.0)
+        sim.run(100.0)
+    assert proc.finished
+    return runtime, sim, rec
+
+
+def test_degradation_log_is_time_ordered(faulted_run):
+    runtime, _, _ = faulted_run
+    times = [event.time for event in runtime.degradation_log]
+    assert times, "plan produced no degradations"
+    assert times == sorted(times)
+
+
+def test_degrade_stream_matches_log_one_to_one(faulted_run):
+    runtime, _, rec = faulted_run
+    stream = [
+        (ts, args)
+        for ph, cat, name, run, ts, tid, value, args in rec.events
+        if cat == "tuning" and name == "degrade"
+    ]
+    log = runtime.degradation_log
+    assert len(stream) == len(log) > 0
+    for (ts, args), event in zip(stream, log):
+        assert ts == event.time
+        assert args["pid"] == event.pid
+        assert args["phase"] == event.phase_type
+        assert args["kind"] == event.kind
+        assert args["detail"] == event.detail
+    assert rec.metrics.get("tuning.degradations") == len(log)
+
+
+def test_machine_events_degrade_with_their_kind(faulted_run):
+    runtime, _, _ = faulted_run
+    kinds = [
+        event.kind for event in runtime.degradation_log if event.pid is None
+    ]
+    assert kinds == ["dvfs", "hotplug", "mem-pressure", "mem-pressure", "hotplug"]
+
+
+def test_fault_stream_matches_applied_events(faulted_run):
+    runtime, sim, rec = faulted_run
+    faults = [
+        (ts, name, args)
+        for ph, cat, name, run, ts, tid, value, args in rec.events
+        if cat == "fault"
+    ]
+    assert [(ts, name) for ts, name, args in faults] == [
+        (0.5, "dvfs"),
+        (1.0, "hotplug"),
+        (1.5, "mem-pressure"),
+        (2.5, "mem-pressure"),
+        (3.0, "hotplug"),
+    ]
+    assert [args["shrink"] for ts, name, args in faults
+            if name == "mem-pressure"] == [0.5, 0.0]
+    assert [args["restored"] for ts, name, args in faults
+            if name == "mem-pressure"] == [False, True]
+    assert sim.faults.fired["mem_pressure"] == 2
+
+
+def test_analyzer_collects_fault_and_degradation_inventories(faulted_run):
+    runtime, _, rec = faulted_run
+    analyzer = TimelineAnalyzer.from_recorder(rec)
+    (run, label, clock), *_ = analyzer.runs()
+    timeline = analyzer.timeline(run)
+    assert label.startswith("sim:") and clock == "sim"
+    assert len(timeline.fault_events) == 5
+    assert len(timeline.degradations) == len(runtime.degradation_log)

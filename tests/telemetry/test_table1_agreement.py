@@ -1,0 +1,92 @@
+"""Acceptance pin: analyzer switch counts agree EXACTLY with Table 1.
+
+The analyzer accumulates a process's switch total in event order with
+the same float operations the executor applies to
+``ProcessStats.switches`` (+1.0 per migration instant, +value per
+thrash counter), so a traced Table 1 run must reproduce every row's
+switch count bit-for-bit — no tolerance.  And because the default
+recorder is the :class:`NullRecorder`, tracing itself must not perturb
+the simulation: traced and untraced rows are compared for exact
+equality too.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.telemetry import TimelineAnalyzer, tracing
+
+
+@pytest.fixture(scope="module")
+def traced():
+    untraced = table1.run(jobs=1)
+    with tracing() as rec:
+        result = table1.run(jobs=1)
+    return untraced, result, TimelineAnalyzer.from_recorder(rec)
+
+
+def _benchmark_timelines(analyzer):
+    """Map benchmark name -> (timeline, pid) from sim-run start events."""
+    out = {}
+    for run, label, clock in analyzer.runs():
+        if not label.startswith("sim:"):
+            continue
+        timeline = analyzer.timeline(run)
+        for pid, name in timeline.names.items():
+            out[name] = (timeline, pid)
+    return out
+
+
+def test_tracing_does_not_perturb_results(traced):
+    untraced, result, _ = traced
+    assert untraced == result
+
+
+def test_every_benchmark_has_a_sim_run(traced):
+    _, result, analyzer = traced
+    timelines = _benchmark_timelines(analyzer)
+    assert set(timelines) == {row.name for row in result.rows}
+
+
+def test_switch_totals_match_table1_exactly(traced):
+    _, result, analyzer = traced
+    timelines = _benchmark_timelines(analyzer)
+    for row in result.rows:
+        timeline, pid = timelines[row.name]
+        assert timeline.switches.get(pid, 0.0) == row.switches, row.name
+
+
+def test_phase_attribution_is_complete(traced):
+    """Per-phase switch/migration splits sum back to the totals."""
+    _, result, analyzer = traced
+    timelines = _benchmark_timelines(analyzer)
+    for row in result.rows:
+        timeline, pid = timelines[row.name]
+        by_phase = timeline.phase_switches.get(pid, {})
+        assert sum(by_phase.values()) == pytest.approx(
+            timeline.switches.get(pid, 0.0)
+        ), row.name
+        counts = timeline.phase_migrations.get(pid, {})
+        assert sum(counts.values()) == timeline.migrations.get(pid, 0), row.name
+
+
+def test_end_stats_mirror_switches(traced):
+    """The process-end payload carries the same switch total."""
+    _, result, analyzer = traced
+    timelines = _benchmark_timelines(analyzer)
+    for row in result.rows:
+        timeline, pid = timelines[row.name]
+        stats = timeline.end_stats.get(pid)
+        assert stats is not None, row.name
+        assert stats["switches"] == row.switches, row.name
+
+
+def test_stall_attribution_uses_end_stats(traced):
+    _, result, analyzer = traced
+    timelines = _benchmark_timelines(analyzer)
+    # Pick a benchmark with switches so migration_cycles is nonzero.
+    row = max(result.rows, key=lambda r: r.switches)
+    timeline, pid = timelines[row.name]
+    attribution = analyzer.stall_attribution(timeline.run, pid)
+    assert attribution["total_cycles"] > 0
+    assert attribution["migration_cycles"] > 0
+    assert 0.0 <= attribution["overhead_fraction"] < 1.0

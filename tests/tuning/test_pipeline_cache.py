@@ -373,3 +373,19 @@ def test_install_drops_damaged_entries():
     strict = PipelineCache(strict=True)
     with pytest.raises(CacheCorruptionError, match="integrity"):
         strict.install_entries(blob)
+
+
+def test_disk_eviction_deterministic_under_equal_mtimes(tmp_path):
+    """Coarse filesystem timestamps produce same-mtime batches; eviction
+    must tie-break by name so every process drops the same subset."""
+    import os
+
+    cache = PipelineCache(disk_dir=tmp_path, max_disk_entries=2)
+    names = ["d.pkl", "b.pkl", "c.pkl", "a.pkl", "e.pkl"]
+    for name in names:
+        (tmp_path / name).write_bytes(b"x")
+        os.utime(tmp_path / name, (1_000_000_000, 1_000_000_000))
+    cache._evict_disk_overflow()
+    survivors = sorted(p.name for p in tmp_path.glob("*.pkl"))
+    # Oldest-first with name tie-break: a, b, c evicted; d, e survive.
+    assert survivors == ["d.pkl", "e.pkl"]
