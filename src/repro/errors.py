@@ -70,6 +70,13 @@ class FaultError(SimulationError):
     ids out of range, negative event times)."""
 
 
+class CheckpointError(SimulationError):
+    """Raised by :mod:`repro.sim.checkpoint` when a checkpoint cannot be
+    written, fails its integrity check on load (bad magic, truncation,
+    digest mismatch), or does not match the simulation it is restored
+    into."""
+
+
 class CacheCorruptionError(ReproError):
     """Raised when a :class:`~repro.tuning.pipeline.PipelineCache`
     integrity check finds an entry whose stored key digest no longer

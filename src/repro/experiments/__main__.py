@@ -24,19 +24,51 @@ format — load it in chrome://tracing or https://ui.perfetto.dev) and
 ``REPRO_TRACE_CATEGORIES``) selects event categories.  The
 pseudo-experiment ``telemetry`` prints a text summary of the trace —
 of the current invocation when run together with experiments, or of an
-existing ``DIR/trace.json`` when run alone.  Without ``--trace-out``
-nothing is recorded and the output is byte-identical to a build
-without telemetry.
+existing ``DIR/trace.json`` (falling back to the streamed
+``DIR/trace.jsonl``, tolerating a torn tail) when run alone.  Without
+``--trace-out`` nothing is recorded and the output is byte-identical
+to a build without telemetry.
+
+Crash-safe runs::
+
+    python -m repro.experiments --run-dir run1 --jobs 4 fig6
+    # ... SIGKILL, power loss, OOM ...
+    python -m repro.experiments resume run1
+
+``--run-dir DIR`` makes the invocation durable: the chosen experiments
+and options are written to ``DIR/manifest.json``, every sweep journals
+its completed tasks under ``DIR/sweep-NNNN/``, each task checkpoints
+its simulation periodically (``--checkpoint-interval`` simulated
+seconds), and with ``--trace-out`` events also stream to
+``trace.jsonl`` as they happen.  ``resume DIR`` replays the manifest:
+journaled tasks are skipped, interrupted tasks continue from their
+latest valid checkpoint, and the completed output is byte-identical to
+an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
+from typing import Optional
 
-from repro.experiments import extras, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2
+from repro.experiments import (
+    extras,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    harness,
+    table1,
+    table2,
+)
 from repro.experiments.config import ExperimentConfig
+from repro.sim.checkpoint import CHECKPOINT_INTERVAL_ENV
 from repro.telemetry import (
     TRACE_CATEGORIES_ENV,
     TRACE_DIR_ENV,
@@ -207,6 +239,23 @@ def _parse_args(argv):
         "REPRO_TRACE_CATEGORIES environment variable, or a standard set "
         "excluding the high-volume quantum/segment spans)",
     )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="make the run durable: write DIR/manifest.json, journal "
+        "every sweep under DIR, and checkpoint each task's simulation; "
+        "an interrupted invocation continues with "
+        "'python -m repro.experiments resume DIR'",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated seconds between task checkpoints under "
+        "--run-dir (default: 10)",
+    )
     return parser.parse_args(argv)
 
 
@@ -215,11 +264,10 @@ def _run_telemetry(trace_dir, live: bool) -> None:
 
     Reports on the live recorder when the current invocation also ran
     experiments under ``--trace-out``; otherwise loads a previously
-    written ``trace.json`` from *trace_dir*.
+    written ``trace.json`` from *trace_dir* — falling back to the
+    streamed ``trace.jsonl`` (tolerating a torn final line) when the
+    recording run was killed before it could write ``trace.json``.
     """
-    import json
-    from pathlib import Path
-
     recorder = current_recorder()
     if live and recorder.enabled:
         analyzer = TimelineAnalyzer.from_recorder(recorder)
@@ -230,20 +278,73 @@ def _run_telemetry(trace_dir, live: bool) -> None:
                 f"--trace-out DIR or set {TRACE_DIR_ENV}"
             )
         path = Path(trace_dir) / "trace.json"
+        tolerant = False
         if not path.exists():
-            raise SystemExit(f"telemetry: {path} does not exist")
+            streamed = Path(trace_dir) / "trace.jsonl"
+            if streamed.exists():
+                path, tolerant = streamed, True
+            else:
+                raise SystemExit(f"telemetry: {path} does not exist")
         metrics_path = Path(trace_dir) / "metrics.json"
         metrics = (
             json.loads(metrics_path.read_text(encoding="utf-8"))
             if metrics_path.exists()
             else None
         )
-        analyzer = TimelineAnalyzer.from_file(path, metrics=metrics)
+        analyzer = TimelineAnalyzer.from_file(
+            path, metrics=metrics, tolerant_tail=tolerant
+        )
     print(render_report(analyzer))
 
 
-def main(argv) -> None:
-    args = _parse_args(argv)
+#: Options carried through DIR/manifest.json so ``resume DIR`` replays
+#: the original invocation without re-typing it.
+_MANIFEST_KEYS = (
+    "names",
+    "jobs",
+    "log",
+    "cache_dir",
+    "trace_out",
+    "trace_categories",
+    "checkpoint_interval",
+)
+
+
+def _write_manifest(run_dir: Path, args, chosen: list) -> None:
+    manifest = {key: getattr(args, key) for key in _MANIFEST_KEYS}
+    manifest["names"] = chosen
+    run_dir.mkdir(parents=True, exist_ok=True)
+    tmp = run_dir / "manifest.json.tmp"
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    os.replace(tmp, run_dir / "manifest.json")
+
+
+def _merge_manifest(run_dir: Path, args):
+    """The resumed invocation's effective options: the manifest's,
+    overridden by anything given again on the resume command line."""
+    path = run_dir / "manifest.json"
+    try:
+        manifest = json.loads(path.read_text())
+    except OSError:
+        raise SystemExit(
+            f"resume: {path} does not exist; was this directory created "
+            f"with --run-dir?"
+        )
+    except ValueError as exc:
+        raise SystemExit(f"resume: {path} is not valid JSON: {exc}")
+    for key in _MANIFEST_KEYS:
+        override = getattr(args, key, None)
+        if key != "names" and override not in (None, False):
+            manifest[key] = override
+    merged = argparse.Namespace(**{
+        key: manifest.get(key) for key in _MANIFEST_KEYS
+    })
+    return merged, list(manifest.get("names") or _EXPERIMENTS)
+
+
+def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
+    """Run *chosen* experiments under *args*; the body shared by a
+    fresh invocation and ``resume``."""
     if args.cache_dir:
         # Through the environment so harness worker processes — spawned
         # as well as forked — attach the same disk tier.
@@ -256,35 +357,46 @@ def main(argv) -> None:
         # harness workers read it when building their own recorders.
         os.environ[TRACE_DIR_ENV] = args.trace_out
     trace_dir = os.environ.get(TRACE_DIR_ENV)
-    chosen = args.names or list(_EXPERIMENTS)
-    for name in chosen:
-        if name not in _EXPERIMENTS and name != "telemetry":
-            raise SystemExit(
-                f"unknown experiment {name!r}; choose from "
-                f"{sorted(_EXPERIMENTS) + ['telemetry']}"
-            )
+    if run_dir is not None:
+        harness.set_run_root(run_dir)
+        if args.checkpoint_interval is not None:
+            # Through the environment so pool workers checkpoint at the
+            # same cadence (task_checkpoint_manager reads it).
+            os.environ[CHECKPOINT_INTERVAL_ENV] = str(args.checkpoint_interval)
     live = any(name != "telemetry" for name in chosen)
     recorder = None
     if trace_dir and live:
         # A `telemetry`-only invocation must not install (and later
-        # flush) an empty recorder over an existing trace.json.
-        recorder = TraceRecorder(categories=env_categories())
+        # flush) an empty recorder over an existing trace.json.  Under
+        # a durable run the recorder also streams each event to
+        # trace.jsonl as it happens, so a killed run still leaves a
+        # loadable trace.
+        stream_to = (
+            Path(trace_dir) / "trace.jsonl" if run_dir is not None else None
+        )
+        recorder = TraceRecorder(
+            categories=env_categories(), stream_to=stream_to
+        )
         set_recorder(recorder)
     log = (
         (lambda line: print(line, file=sys.stderr, flush=True))
         if args.log
         else None
     )
-    for name in chosen:
-        print(f"===== {name} =====")
-        if name == "telemetry":
-            _run_telemetry(trace_dir, live)
-        else:
-            _EXPERIMENTS[name](args.jobs, log)
-        print()
+    try:
+        for name in chosen:
+            print(f"===== {name} =====")
+            if name == "telemetry":
+                _run_telemetry(trace_dir, live)
+            else:
+                _EXPERIMENTS[name](args.jobs, log)
+            print()
+    finally:
+        if run_dir is not None:
+            harness.set_run_root(None)
+        if recorder is not None:
+            recorder.close_stream()
     if recorder is not None:
-        from pathlib import Path
-
         out = Path(trace_dir)
         trace_path = write_chrome_trace(recorder, out / "trace.json")
         write_metrics(recorder, out / "metrics.json")
@@ -300,6 +412,28 @@ def main(argv) -> None:
         f"{stats['corruptions']} corrupt)",
         file=sys.stderr,
     )
+
+
+def main(argv) -> None:
+    args = _parse_args(argv)
+    if args.names and args.names[0] == "resume":
+        if len(args.names) != 2:
+            raise SystemExit("usage: python -m repro.experiments resume RUNDIR")
+        run_dir = Path(args.names[1])
+        merged, chosen = _merge_manifest(run_dir, args)
+        _execute(merged, chosen, run_dir)
+        return
+    chosen = args.names or list(_EXPERIMENTS)
+    for name in chosen:
+        if name not in _EXPERIMENTS and name != "telemetry":
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(_EXPERIMENTS) + ['resume', 'telemetry']}"
+            )
+    run_dir = Path(args.run_dir) if args.run_dir else None
+    if run_dir is not None:
+        _write_manifest(run_dir, args, chosen)
+    _execute(args, chosen, run_dir)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.metrics.overhead import time_overhead
+from repro.sim.checkpoint import task_checkpoint_manager
 from repro.tuning.runtime import SwitchToAllRuntime
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_tasks
@@ -44,6 +45,7 @@ def _point(task):
         name,
         workload=workload,
         runtime=SwitchToAllRuntime(config.resolved_machine()),
+        checkpoint=task_checkpoint_manager(),
     )
 
 

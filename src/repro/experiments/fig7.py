@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.analysis.block_typing import StaticBlockTyper, inject_clustering_error
 from repro.metrics.throughput import throughput_improvement
+from repro.sim.checkpoint import task_checkpoint_manager
 from repro.workloads.spec import spec_benchmark
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_tasks
@@ -42,7 +43,11 @@ def _point(task):
         typing = typer.type_blocks(spec_benchmark(name).program)
         overrides[name] = inject_clustering_error(typing, error, seed=error_seed)
     return run_technique(
-        config, strategy, workload=workload, typing_overrides=overrides
+        config,
+        strategy,
+        workload=workload,
+        typing_overrides=overrides,
+        checkpoint=task_checkpoint_manager(),
     )
 
 

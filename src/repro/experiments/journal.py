@@ -1,0 +1,156 @@
+"""Durable sweep journals: crash-safe progress for ``run_tasks``.
+
+A :class:`RunJournal` owns one directory per sweep::
+
+    journal.jsonl            append-only progress records
+    results/task-NNNNN.pkl   pickled task results (atomic write-rename)
+    ckpt/task-NNNNN/         per-task simulation checkpoints
+
+Each completed task appends a ``result`` record carrying the result
+file's SHA-256 digest; each worker-pool death appends a ``crash``
+record blaming the tasks that were running.  Everything is written
+append-only with per-record fsync, so the journal survives SIGKILL at
+any instant:
+
+* a journal line torn mid-append (the final line fails to decode) is
+  ignored — that task simply re-runs;
+* a result file that is missing, truncated, or fails its digest check
+  is treated as absent — the task re-runs rather than returning
+  silently wrong bytes;
+* everything else replays, so ``run_tasks`` (and the ``resume`` CLI
+  verb) recompute only what never finished.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro.errors import ExperimentError
+
+__all__ = ["RunJournal"]
+
+#: Pool deaths blamed on one task before the watchdog demotes it to
+#: serial-in-parent execution (with checkpoints, so even the demoted
+#: run resumes rather than restarts).
+MAX_TASK_CRASHES = 2
+
+
+class RunJournal:
+    """Crash-safe progress journal of one ``run_tasks`` sweep."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        (self.directory / "results").mkdir(exist_ok=True)
+        self.journal_path = self.directory / "journal.jsonl"
+
+    # -- reading ------------------------------------------------------------
+
+    def _records(self) -> list:
+        try:
+            raw = self.journal_path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        lines = raw.split("\n")
+        content = [i for i, line in enumerate(lines) if line.strip()]
+        records = []
+        for lineno in content:
+            line = lines[lineno]
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if lineno == content[-1]:
+                    # Torn tail: the process died mid-append.  The
+                    # record is lost, which only means its task re-runs.
+                    break
+                raise ExperimentError(
+                    f"{self.journal_path}: corrupt journal line {lineno + 1} "
+                    f"(not at the tail — refusing to guess what completed)"
+                )
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def completed_results(self, traced: bool = False) -> dict:
+        """``{task_index: value}`` for every journaled, verified result.
+
+        *traced* selects the result shape: pool workers under a live
+        recorder journal ``(value, telemetry_blob)`` wrappers, plain
+        runs journal bare values.  Records of the other shape are
+        skipped (the task re-runs) so a sweep resumed under different
+        tracing never returns the wrong type.
+        """
+        out = {}
+        for record in self._records():
+            if record.get("kind") != "result":
+                continue
+            index = record.get("index")
+            if not isinstance(index, int):
+                continue
+            if bool(record.get("traced")) != bool(traced):
+                continue
+            path = self.directory / "results" / str(record.get("file"))
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                continue
+            if hashlib.sha256(payload).hexdigest() != record.get("sha256"):
+                # Bit rot or a torn write under the published name:
+                # recompute rather than trust it.
+                continue
+            try:
+                out[index] = pickle.loads(payload)
+            except Exception:
+                continue
+        return out
+
+    def crash_counts(self) -> dict:
+        """``{task_index: pool deaths blamed on it}`` so far."""
+        counts: dict = {}
+        for record in self._records():
+            index = record.get("index")
+            if record.get("kind") == "crash" and isinstance(index, int):
+                counts[index] = counts.get(index, 0) + 1
+        return counts
+
+    # -- writing ------------------------------------------------------------
+
+    def record(self, index: int, label, value, traced: bool = False) -> None:
+        """Durably journal *value* as task *index*'s result."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        name = f"task-{index:05d}.pkl"
+        path = self.directory / "results" / name
+        tmp = path.with_name(name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._append(
+            {
+                "kind": "result",
+                "index": index,
+                "label": str(label),
+                "file": name,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "traced": bool(traced),
+            }
+        )
+
+    def note_crash(self, index: int, label="") -> None:
+        """Blame one worker-pool death on task *index*."""
+        self._append({"kind": "crash", "index": index, "label": str(label)})
+
+    def checkpoint_dir(self, index: int) -> str:
+        """Where task *index*'s simulation checkpoints live."""
+        return str(self.directory / "ckpt" / f"task-{index:05d}")
+
+    def _append(self, record: dict) -> None:
+        with open(self.journal_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

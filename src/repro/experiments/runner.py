@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.metrics.fairness import FairnessReport, fairness_report
 from repro.metrics.throughput import throughput
+from repro.sim.checkpoint import task_checkpoint_manager
 from repro.sim.executor import SimulationResult
 from repro.workloads.workload import Workload, WorkloadRun
 from repro.experiments.config import ExperimentConfig
@@ -30,6 +31,11 @@ class TechniqueOutcome:
         fairness: Table 2's metrics over completed processes.
         instructions: committed instructions within the interval.
         switches: total core switches across all processes.
+        runtime: the tuning runtime the simulation actually used, if
+            any.  When the run resumed from a checkpoint this is the
+            *snapshot's* runtime (carrying the accumulated tuning
+            state), not the one the caller passed in — read post-run
+            statistics from here.
     """
 
     name: str
@@ -37,19 +43,26 @@ class TechniqueOutcome:
     fairness: FairnessReport
     instructions: float
     switches: float
+    runtime: object = None
 
     @property
     def completed(self) -> int:
         return self.fairness.completed
 
 
-def _outcome(name: str, result: SimulationResult, interval: float) -> TechniqueOutcome:
+def _outcome(
+    name: str,
+    result: SimulationResult,
+    interval: float,
+    runtime=None,
+) -> TechniqueOutcome:
     return TechniqueOutcome(
         name,
         result,
         fairness_report(result.completed),
         throughput(result, interval),
         result.total_switches(),
+        runtime,
     )
 
 
@@ -62,6 +75,7 @@ def run_baseline(
     config: ExperimentConfig,
     workload: Optional[Workload] = None,
     faults=None,
+    checkpoint=None,
 ) -> TechniqueOutcome:
     """Run the stock-Linux-scheduler baseline.
 
@@ -69,6 +83,9 @@ def run_baseline(
         faults: optional :class:`~repro.sim.faults.FaultPlan` perturbing
             the run (fault-resilience experiments); ``None`` (default)
             runs fault-free.
+        checkpoint: optional checkpoint manager or directory; the run
+            checkpoints there and resumes from any valid snapshot (see
+            :meth:`~repro.workloads.workload.WorkloadRun.run`).
     """
     workload = workload or make_workload(config)
     run = WorkloadRun(workload, config.resolved_machine())
@@ -77,8 +94,11 @@ def run_baseline(
         contention_alpha=config.contention_alpha,
         pollution_beta=config.pollution_beta,
         faults=faults,
+        checkpoint=checkpoint,
     )
-    return _outcome("linux", result, config.interval)
+    return _outcome(
+        "linux", result, config.interval, run.last_simulation.runtime
+    )
 
 
 def run_technique(
@@ -89,6 +109,7 @@ def run_technique(
     typing_overrides: Optional[dict] = None,
     runtime=None,
     faults=None,
+    checkpoint=None,
 ) -> TechniqueOutcome:
     """Run one phase-based-tuning variant.
 
@@ -99,6 +120,9 @@ def run_technique(
         runtime: override the runtime entirely (e.g. switch-to-all).
         faults: optional :class:`~repro.sim.faults.FaultPlan` perturbing
             the run; ``None`` (default) runs fault-free.
+        checkpoint: optional checkpoint manager or directory; the run
+            checkpoints there and resumes from any valid snapshot (see
+            :meth:`~repro.workloads.workload.WorkloadRun.run`).
     """
     workload = workload or make_workload(config)
     run = WorkloadRun(
@@ -113,8 +137,11 @@ def run_technique(
         contention_alpha=config.contention_alpha,
         pollution_beta=config.pollution_beta,
         faults=faults,
+        checkpoint=checkpoint,
     )
-    return _outcome(strategy_name, result, config.interval)
+    return _outcome(
+        strategy_name, result, config.interval, run.last_simulation.runtime
+    )
 
 
 def run_technique_point(task: tuple) -> TechniqueOutcome:
@@ -123,10 +150,17 @@ def run_technique_point(task: tuple) -> TechniqueOutcome:
     ``task`` is ``(config, strategy_name, workload, delta)`` with an
     optional trailing ``faults`` plan; module level so
     :func:`repro.experiments.harness.run_tasks` can ship it to pool
-    workers.
+    workers.  Under a durable sweep the harness exports each task's
+    checkpoint directory; :func:`task_checkpoint_manager` picks it up
+    here, making every pool task resumable mid-simulation.
     """
     config, strategy_name, workload, delta, *rest = task
     faults = rest[0] if rest else None
     return run_technique(
-        config, strategy_name, workload=workload, delta=delta, faults=faults
+        config,
+        strategy_name,
+        workload=workload,
+        delta=delta,
+        faults=faults,
+        checkpoint=task_checkpoint_manager(),
     )

@@ -41,6 +41,13 @@ Fault classes
     L2, so that share of a segment's L2-resident accesses pays the DRAM
     penalty while the pressure lasts.  A ``shrink`` of ``0.0`` restores
     the full cache.
+``clock_drift``
+    Static per-core multiplicative skew on *observed* cycle counters
+    (TSC drift between sockets, unsynchronised APERF/MPERF): every
+    cycle delta the monitor reads on a drifted core is off by the
+    core's ``skew`` factor, so IPC samples taken there are consistently
+    wrong.  Execution itself is unaffected — only the measurement lies,
+    which is what the runtime's median-of-k sampling rung must absorb.
 
 Determinism: the plan is pure data and the injector draws every
 stochastic decision from one ``random.Random(plan.seed)`` stream, so a
@@ -58,6 +65,7 @@ from dataclasses import dataclass
 from repro.errors import AffinitySyscallError, FaultError
 
 __all__ = [
+    "ClockDrift",
     "DvfsEvent",
     "FaultInjector",
     "FaultPlan",
@@ -96,6 +104,15 @@ class MemoryPressureEvent:
 
 
 @dataclass(frozen=True)
+class ClockDrift:
+    """Core ``core_id``'s cycle counter reads are skewed by the
+    multiplicative factor ``skew`` (1.0 means an exact counter)."""
+
+    core_id: int
+    skew: float
+
+
+@dataclass(frozen=True)
 class SlotOutage:
     """A window ``[start, end)`` during which ``core_id`` loses
     ``slots`` counter slots."""
@@ -124,6 +141,7 @@ class FaultPlan:
     hotplug: tuple = ()
     dvfs: tuple = ()
     mem_pressure: tuple = ()
+    clock_drift: tuple = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -155,6 +173,11 @@ class FaultPlan:
                 raise FaultError(
                     f"memory-pressure shrink must be in [0, 1]: {event}"
                 )
+        for drift in self.clock_drift:
+            if not (drift.skew > 0 and math.isfinite(drift.skew)):
+                raise FaultError(
+                    f"clock-drift skew must be positive and finite: {drift}"
+                )
 
     @property
     def is_null(self) -> bool:
@@ -168,6 +191,7 @@ class FaultPlan:
             and not self.hotplug
             and not self.dvfs
             and not self.mem_pressure
+            and not self.clock_drift
         )
 
     @classmethod
@@ -178,6 +202,7 @@ class FaultPlan:
         horizon: float,
         seed: int = 0,
         mem_pressure_rate: float = 0.0,
+        clock_drift_rate: float = 0.0,
     ) -> "FaultPlan":
         """A plan whose intensity across every fault class scales with
         one knob — the x-axis of ``extras.fault_resilience``.
@@ -193,12 +218,19 @@ class FaultPlan:
                 windows in ``[0, 1]``.  Off by default, and drawn from
                 its own RNG stream, so plans built without it are
                 bit-identical to plans built before the knob existed.
+            clock_drift_rate: magnitude of static per-core cycle-counter
+                skew in ``[0, 1]``.  Off by default and drawn from its
+                own RNG stream for the same bit-identity reason.
         """
         if not 0.0 <= rate <= 1.0:
             raise FaultError(f"fault rate must be in [0, 1], got {rate}")
         if not 0.0 <= mem_pressure_rate <= 1.0:
             raise FaultError(
                 f"mem_pressure_rate must be in [0, 1], got {mem_pressure_rate}"
+            )
+        if not 0.0 <= clock_drift_rate <= 1.0:
+            raise FaultError(
+                f"clock_drift_rate must be in [0, 1], got {clock_drift_rate}"
             )
         if horizon <= 0:
             raise FaultError(f"horizon must be positive, got {horizon}")
@@ -207,8 +239,15 @@ class FaultPlan:
             mem_pressure = cls._scaled_mem_pressure(
                 mem_pressure_rate, len(machine), horizon, seed
             )
+        clock_drift = ()
+        if clock_drift_rate > 0.0:
+            clock_drift = cls._scaled_clock_drift(
+                clock_drift_rate, len(machine), seed
+            )
         if rate == 0.0:
-            return cls(seed=seed, mem_pressure=mem_pressure)
+            return cls(
+                seed=seed, mem_pressure=mem_pressure, clock_drift=clock_drift
+            )
         rng = random.Random((int(seed) << 4) ^ 0x5FA17)
         n_cores = len(machine)
         hotplug = []
@@ -252,6 +291,7 @@ class FaultPlan:
             hotplug=tuple(hotplug),
             dvfs=tuple(dvfs),
             mem_pressure=mem_pressure,
+            clock_drift=clock_drift,
         )
 
     @staticmethod
@@ -273,6 +313,21 @@ class FaultPlan:
             events.append(MemoryPressureEvent(start, core, shrink))
             events.append(MemoryPressureEvent(end, core, 0.0))
         return tuple(events)
+
+    @staticmethod
+    def _scaled_clock_drift(rate: float, n_cores: int, seed: int) -> tuple:
+        """Per-core skew factors for :meth:`scaled`.  Dedicated RNG
+        stream: enabling the knob must leave every draw behind the
+        other fault classes bit-identical."""
+        rng = random.Random((int(seed) << 4) ^ 0xC1D7)
+        drifts = []
+        for core in range(n_cores):
+            # Real TSC drift is parts-per-thousand; scale up to a few
+            # percent at full rate so the skew is visible to sampling.
+            magnitude = rng.uniform(0.005, 0.08) * rate
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            drifts.append(ClockDrift(core, 1.0 + sign * magnitude))
+        return tuple(drifts)
 
 
 class FaultInjector:
@@ -300,9 +355,16 @@ class FaultInjector:
                 raise FaultError(
                     f"memory-pressure core id out of range: {event}"
                 )
+        for drift in plan.clock_drift:
+            if not 0 <= drift.core_id < n_cores:
+                raise FaultError(f"clock-drift core id out of range: {drift}")
         self.plan = plan
         self.machine = machine
         self._rng = random.Random(plan.seed)
+        # Dense per-core skew table; later plan entries win.
+        self._cycle_skew = [1.0] * n_cores
+        for drift in plan.clock_drift:
+            self._cycle_skew[drift.core_id] = drift.skew
         #: Count of faults that actually fired, per class.
         self.fired: dict = {
             "counter_fail": 0,
@@ -312,8 +374,20 @@ class FaultInjector:
             "hotplug": 0,
             "dvfs": 0,
             "mem_pressure": 0,
+            "clock_drift": 0,
             "skipped_events": 0,
         }
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The injector's cursor: RNG stream position plus fired
+        counters (the plan is immutable and travels separately)."""
+        return {"rng": self._rng.getstate(), "fired": dict(self.fired)}
+
+    def restore_state(self, state: dict) -> None:
+        self._rng.setstate(state["rng"])
+        self.fired = dict(state["fired"])
 
     # -- scheduled faults ---------------------------------------------------
 
@@ -375,6 +449,16 @@ class FaultInjector:
             # which is exactly what median-of-k sampling must reject.
             factor *= math.exp(self._rng.uniform(-3.0, 3.0))
         return factor
+
+    def cycle_skew(self, core_id: int) -> float:
+        """Multiplicative skew on cycle counts observed on *core_id*
+        (1.0 means the counter is exact).  Draws no RNG: the skew is
+        static plan data, so reading it never perturbs other fault
+        streams."""
+        skew = self._cycle_skew[core_id]
+        if skew != 1.0:
+            self.fired["clock_drift"] += 1
+        return skew
 
     def check_affinity_call(self, pid: int, now: float) -> None:
         """Raise :class:`AffinitySyscallError` when this affinity

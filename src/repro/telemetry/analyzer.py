@@ -172,10 +172,12 @@ class TimelineAnalyzer:
         return cls(recorder.runs, recorder.events, recorder.metrics)
 
     @classmethod
-    def from_file(cls, path, metrics=None) -> "TimelineAnalyzer":
+    def from_file(
+        cls, path, metrics=None, tolerant_tail: bool = False
+    ) -> "TimelineAnalyzer":
         from repro.telemetry.export import load_chrome_trace
 
-        runs, events = load_chrome_trace(path)
+        runs, events = load_chrome_trace(path, tolerant_tail=tolerant_tail)
         return cls(runs, events, metrics)
 
     # -- access -------------------------------------------------------------

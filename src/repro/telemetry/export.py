@@ -20,7 +20,9 @@ from pathlib import Path
 from repro.errors import TelemetryError
 
 __all__ = [
+    "chrome_event",
     "chrome_trace",
+    "run_meta_event",
     "write_chrome_trace",
     "validate_chrome_trace",
     "load_chrome_trace",
@@ -34,48 +36,56 @@ _PHASES = {"X", "i", "C", "M"}
 _SECONDS_TO_US = 1e6
 
 
+def run_meta_event(run: int, label: str, clock: str) -> dict:
+    """The ``process_name`` metadata event naming one run's track."""
+    return {
+        "ph": "M",
+        "name": "process_name",
+        "pid": run,
+        "tid": 0,
+        "args": {"name": f"{label} [{clock} clock]"},
+    }
+
+
+def chrome_event(ev: tuple) -> dict:
+    """One recorder event tuple as a Chrome ``trace_event`` object."""
+    ph, cat, name, run, ts, tid, value, args = ev
+    if ph == "M":
+        return {
+            "ph": "M",
+            "name": name,
+            "pid": run,
+            "tid": tid,
+            "args": args or {},
+        }
+    event = {
+        "ph": "i" if ph == "I" else ph,
+        "cat": cat,
+        "name": name,
+        "pid": run,
+        "tid": tid,
+        "ts": ts * _SECONDS_TO_US,
+    }
+    if ph == "I":
+        event["s"] = "t"
+        if args is not None:
+            event["args"] = args
+    elif ph == "X":
+        event["dur"] = value * _SECONDS_TO_US
+        if args is not None:
+            event["args"] = args
+    elif ph == "C":
+        event["args"] = {"value": value}
+    return event
+
+
 def chrome_trace(recorder) -> dict:
     """The recorder's events as a Chrome ``trace_event`` JSON object."""
-    trace_events = []
-    for run, (label, clock) in sorted(recorder.runs.items()):
-        trace_events.append(
-            {
-                "ph": "M",
-                "name": "process_name",
-                "pid": run,
-                "tid": 0,
-                "args": {"name": f"{label} [{clock} clock]"},
-            }
-        )
-    for ph, cat, name, run, ts, tid, value, args in recorder.events:
-        if ph == "M":
-            event = {
-                "ph": "M",
-                "name": name,
-                "pid": run,
-                "tid": tid,
-                "args": args or {},
-            }
-        else:
-            event = {
-                "ph": "i" if ph == "I" else ph,
-                "cat": cat,
-                "name": name,
-                "pid": run,
-                "tid": tid,
-                "ts": ts * _SECONDS_TO_US,
-            }
-            if ph == "I":
-                event["s"] = "t"
-                if args is not None:
-                    event["args"] = args
-            elif ph == "X":
-                event["dur"] = value * _SECONDS_TO_US
-                if args is not None:
-                    event["args"] = args
-            elif ph == "C":
-                event["args"] = {"value": value}
-        trace_events.append(event)
+    trace_events = [
+        run_meta_event(run, label, clock)
+        for run, (label, clock) in sorted(recorder.runs.items())
+    ]
+    trace_events.extend(chrome_event(ev) for ev in recorder.events)
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -137,16 +147,64 @@ def validate_chrome_trace(obj) -> int:
     return len(obj["traceEvents"])
 
 
-def load_chrome_trace(path_or_obj):
+def _load_jsonl(text: str, tolerant_tail: bool) -> dict:
+    """Parse a streamed JSONL trace into a Chrome trace object.
+
+    With *tolerant_tail* a single undecodable line *at the very end* is
+    dropped — the signature of a process killed mid-append — while a
+    corrupt line anywhere else still raises, because events after it
+    did decode and silently skipping the middle would misrepresent the
+    timeline.
+    """
+    lines = text.split("\n")
+    content = [i for i, line in enumerate(lines) if line.strip()]
+    trace_events = []
+    for lineno in content:
+        try:
+            event = json.loads(lines[lineno])
+        except ValueError:
+            if tolerant_tail and lineno == content[-1]:
+                break
+            raise TelemetryError(
+                f"corrupt JSONL trace line {lineno + 1}"
+                + (
+                    ""
+                    if tolerant_tail
+                    else " (tolerant_tail=True drops a torn final line)"
+                )
+            ) from None
+        trace_events.append(event)
+    return {"traceEvents": trace_events}
+
+
+def load_chrome_trace(path_or_obj, tolerant_tail: bool = False):
     """Parse a Chrome trace back into ``(runs, events)`` recorder shape.
 
     Inverse of :func:`chrome_trace` (modulo the seconds/microseconds
     conversion), so the analyzer can consume traces from disk as well
-    as live recorders.
+    as live recorders.  Accepts both the one-document ``trace.json``
+    format and the streamed JSONL format
+    (:class:`~repro.telemetry.recorder.TraceRecorder` with
+    ``stream_to=``) — detected by the first line parsing as a single
+    event object rather than a ``traceEvents`` document.
+
+    Args:
+        tolerant_tail: for JSONL input, drop (rather than raise on) one
+            undecodable *final* line — the torn append of a killed
+            process.  Corruption anywhere else always raises.
     """
     obj = path_or_obj
     if isinstance(obj, (str, Path)):
-        obj = json.loads(Path(obj).read_text())
+        text = Path(obj).read_text()
+        first = text.split("\n", 1)[0].strip()
+        is_jsonl = False
+        if first:
+            try:
+                head = json.loads(first)
+                is_jsonl = isinstance(head, dict) and "traceEvents" not in head
+            except ValueError:
+                is_jsonl = False
+        obj = _load_jsonl(text, tolerant_tail) if is_jsonl else json.loads(text)
     validate_chrome_trace(obj)
     runs: dict = {}
     events: list = []

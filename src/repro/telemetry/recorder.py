@@ -22,9 +22,12 @@ re-based on absorb, so worker runs never collide with parent runs).
 
 from __future__ import annotations
 
+import json
 import pickle
+from pathlib import Path
 
 from repro.telemetry.events import DEFAULT_CATEGORIES
+from repro.telemetry.export import chrome_event, run_meta_event
 
 __all__ = ["NullRecorder", "Recorder", "TraceRecorder", "NULL_RECORDER"]
 
@@ -75,17 +78,45 @@ class NullRecorder(Recorder):
 NULL_RECORDER = NullRecorder()
 
 
+class _StreamedEvents(list):
+    """Event list that tees every append onto the recorder's JSONL
+    stream, so events hit disk as they are recorded rather than only at
+    final export."""
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self, recorder):
+        super().__init__()
+        self._recorder = recorder
+
+    def append(self, ev) -> None:
+        list.append(self, ev)
+        self._recorder._stream_event(ev)
+
+    def extend(self, evs) -> None:
+        for ev in evs:
+            self.append(ev)
+
+
 class TraceRecorder(Recorder):
     """In-memory collector of typed events and flat metrics.
 
     Args:
         categories: categories to record; the cheap default set when
             omitted (see :mod:`repro.telemetry.events`).
+        stream_to: optional path; every event is additionally appended
+            to this file as one Chrome ``trace_event`` JSON object per
+            line, flushed every *stream_flush_every* events.  A run
+            killed mid-flight leaves at worst one torn final line,
+            which :func:`~repro.telemetry.export.load_chrome_trace`
+            drops under ``tolerant_tail=True`` — so the trace of a
+            crashed run is recoverable up to the last flush.
+        stream_flush_every: events between stream flushes.
     """
 
     enabled = True
 
-    def __init__(self, categories=None):
+    def __init__(self, categories=None, stream_to=None, stream_flush_every=256):
         self.categories = (
             frozenset(categories) if categories is not None else DEFAULT_CATEGORIES
         )
@@ -98,6 +129,14 @@ class TraceRecorder(Recorder):
         self._next_run = 0
         #: The current run id (events default here when ``run=None``).
         self.run = 0
+        self._stream = None
+        self._stream_pending = 0
+        self._stream_flush_every = max(1, int(stream_flush_every))
+        if stream_to is not None:
+            path = Path(stream_to)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(path, "w", encoding="utf-8")
+            self.events = _StreamedEvents(self)
 
     # -- run management -----------------------------------------------------
 
@@ -109,6 +148,11 @@ class TraceRecorder(Recorder):
         self._next_run = run + 1
         self.runs[run] = (label, clock)
         self.run = run
+        if self._stream is not None:
+            # Run starts are rare and name whole track groups: make
+            # them durable immediately.
+            self._write_stream_line(run_meta_event(run, label, clock))
+            self.flush_stream()
         return run
 
     # -- event emission -----------------------------------------------------
@@ -137,13 +181,43 @@ class TraceRecorder(Recorder):
         metrics = self.metrics
         metrics[name] = metrics.get(name, 0.0) + delta
 
+    # -- streaming ----------------------------------------------------------
+
+    def _stream_event(self, ev: tuple) -> None:
+        if self._stream is not None:
+            self._write_stream_line(chrome_event(ev))
+
+    def _write_stream_line(self, obj: dict) -> None:
+        # default=repr: args dicts may carry arbitrary objects; a trace
+        # line must never be able to kill the run being traced.
+        self._stream.write(json.dumps(obj, default=repr) + "\n")
+        self._stream_pending += 1
+        if self._stream_pending >= self._stream_flush_every:
+            self.flush_stream()
+
+    def flush_stream(self) -> None:
+        """Push buffered stream lines to the OS."""
+        if self._stream is not None:
+            self._stream.flush()
+            self._stream_pending = 0
+
+    def close_stream(self) -> None:
+        """Flush and close the JSONL stream (events keep collecting
+        in memory)."""
+        if self._stream is not None:
+            self._stream.flush()
+            self._stream.close()
+            self._stream = None
+
     # -- shipping (harness workers) -----------------------------------------
 
     def export_blob(self) -> bytes:
         """Everything recorded, as one pickled blob for
         :meth:`absorb_blob` (``export_entries``-style shipping)."""
+        # list(): never pickle the streaming subclass (it references
+        # this recorder and its open file).
         return pickle.dumps(
-            (self._next_run, self.runs, self.events, self.metrics),
+            (self._next_run, self.runs, list(self.events), self.metrics),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
 
@@ -159,6 +233,11 @@ class TraceRecorder(Recorder):
         self._next_run = offset + n_runs
         for run, info in runs.items():
             self.runs[run + offset] = info
+            if self._stream is not None:
+                label, clock = info
+                self._write_stream_line(
+                    run_meta_event(run + offset, label, clock)
+                )
         if offset:
             self.events.extend(
                 (ph, cat, name, run + offset, ts, tid, value, args)
@@ -166,6 +245,10 @@ class TraceRecorder(Recorder):
             )
         else:
             self.events.extend(events)
+        if self._stream is not None:
+            # One absorbed blob is one completed task: flush so its
+            # whole trace is durable at the task boundary.
+            self.flush_stream()
         own = self.metrics
         for name, value in metrics.items():
             own[name] = own.get(name, 0.0) + value

@@ -147,6 +147,17 @@ class SectionMonitor:
             proc.stats.cycles_by_type.get(name, 0.0)
             - open_measurement.session.start_cycles
         )
+        if self.injector is not None:
+            # Clock-drift fault: the cycle counter observed on this core
+            # runs fast or slow by a static factor, so the measured
+            # cycle delta (and hence the IPC) is consistently skewed.
+            # No RNG is drawn, so zero-drift plans stay bit-identical.
+            # getattr: stub injectors only implement the read hooks.
+            read_skew = getattr(self.injector, "cycle_skew", None)
+            if read_skew is not None:
+                skew = read_skew(open_measurement.session.core_id)
+                if skew != 1.0:
+                    d_cycles *= skew
         if d_cycles < self.min_sample_cycles or d_instrs <= 0:
             self.discarded_samples += 1
             return None

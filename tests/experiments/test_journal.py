@@ -1,0 +1,226 @@
+"""Durable-sweep journal tests: crash-safe ``run_tasks`` progress.
+
+Covers the :class:`~repro.experiments.journal.RunJournal` record/replay
+contract (digest-verified result files, torn-tail tolerance, corrupt
+middle lines rejected), the ``run_tasks`` integration (journaled tasks
+skipped on rerun, pool deaths blamed through pid files, repeat
+offenders demoted to serial-in-parent), and the :func:`set_run_root`
+auto-journal numbering the ``resume`` CLI verb relies on.
+"""
+
+import json
+import multiprocessing
+import os
+import pathlib
+import signal
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import harness
+from repro.experiments.harness import run_tasks
+from repro.experiments.journal import MAX_TASK_CRASHES, RunJournal
+
+
+# Module level so the parallel path can pickle them by reference.
+def _square(task):
+    return task * task
+
+
+def _boom(task):
+    raise ValueError(f"task {task} exploded")
+
+
+def _kill_twice(task):
+    """SIGKILL the worker on the first ``MAX_TASK_CRASHES`` attempts.
+
+    Attempts are counted in a marker file so the count survives the
+    worker's death; once demoted to serial-in-parent the function runs
+    in MainProcess and must *not* kill (that would kill pytest).
+    """
+    value, marker_dir = task
+    if value == "victim" and multiprocessing.current_process().name != (
+        "MainProcess"
+    ):
+        marker = pathlib.Path(marker_dir) / "attempts"
+        tries = int(marker.read_text()) if marker.exists() else 0
+        marker.write_text(str(tries + 1))
+        if tries < MAX_TASK_CRASHES:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return f"done:{value}"
+
+
+# -- RunJournal record/replay ---------------------------------------------------
+
+
+def test_record_and_replay_roundtrip(tmp_path):
+    journal = RunJournal(tmp_path / "sweep")
+    journal.record(0, "a", {"ipc": 1.5})
+    journal.record(2, "c", [1, 2, 3])
+    assert journal.completed_results() == {0: {"ipc": 1.5}, 2: [1, 2, 3]}
+    # A fresh instance reads the same state back from disk.
+    assert RunJournal(tmp_path / "sweep").completed_results() == {
+        0: {"ipc": 1.5},
+        2: [1, 2, 3],
+    }
+
+
+def test_rerecord_overwrites(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record(0, "a", "first")
+    journal.record(0, "a", "second")
+    assert journal.completed_results() == {0: "second"}
+
+
+def test_traced_shape_filtering(tmp_path):
+    """Results journaled under tracing carry ``(value, blob)`` wrappers;
+    a rerun with the other tracing mode must not see them (wrong type)."""
+    journal = RunJournal(tmp_path)
+    journal.record(0, "plain", 42, traced=False)
+    journal.record(1, "traced", (43, b"blob"), traced=True)
+    assert journal.completed_results(traced=False) == {0: 42}
+    assert journal.completed_results(traced=True) == {1: (43, b"blob")}
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record(0, "a", "ok")
+    journal.record(1, "b", "gone")
+    text = journal.journal_path.read_text()
+    lines = text.rstrip("\n").split("\n")
+    # Tear the last record mid-append, as SIGKILL would.
+    lines[-1] = lines[-1][: len(lines[-1]) // 2]
+    journal.journal_path.write_text("\n".join(lines))
+    assert RunJournal(tmp_path).completed_results() == {0: "ok"}
+
+
+def test_corrupt_middle_line_raises(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record(0, "a", "ok")
+    journal.record(1, "b", "ok")
+    lines = journal.journal_path.read_text().rstrip("\n").split("\n")
+    lines[0] = lines[0][:10]
+    journal.journal_path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ExperimentError, match="corrupt journal line"):
+        RunJournal(tmp_path).completed_results()
+
+
+def test_digest_mismatch_forces_rerun(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record(0, "a", "trusted")
+    journal.record(1, "b", "rotted")
+    path = tmp_path / "results" / "task-00001.pkl"
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0x40
+    path.write_bytes(bytes(payload))
+    # The rotted result is silently absent — never returned wrong.
+    assert journal.completed_results() == {0: "trusted"}
+
+
+def test_missing_result_file_forces_rerun(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record(0, "a", "kept")
+    journal.record(1, "b", "lost")
+    (tmp_path / "results" / "task-00001.pkl").unlink()
+    assert journal.completed_results() == {0: "kept"}
+
+
+def test_crash_counts(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.note_crash(3, "fig6 point 3")
+    journal.note_crash(3, "fig6 point 3")
+    journal.note_crash(7)
+    assert journal.crash_counts() == {3: 2, 7: 1}
+
+
+def test_checkpoint_dir_layout(tmp_path):
+    journal = RunJournal(tmp_path / "sweep")
+    assert journal.checkpoint_dir(4) == str(
+        tmp_path / "sweep" / "ckpt" / "task-00004"
+    )
+
+
+# -- run_tasks integration ------------------------------------------------------
+
+
+def test_pool_sweep_skips_journaled_results(tmp_path):
+    jdir = tmp_path / "sweep"
+    out = run_tasks(_square, [1, 2, 3, 4], jobs=2, journal=jdir)
+    assert out == [1, 4, 9, 16]
+    logs = []
+    # _boom in place of _square: if anything recomputed, it would raise.
+    again = run_tasks(_boom, [1, 2, 3, 4], jobs=2, journal=jdir, log=logs.append)
+    assert again == out
+    assert any("4 of 4" in line for line in logs)
+
+
+def test_serial_sweep_skips_journaled_results(tmp_path):
+    jdir = tmp_path / "sweep"
+    assert run_tasks(_square, [5, 6], jobs=1, journal=jdir) == [25, 36]
+    logs = []
+    assert run_tasks(_boom, [5, 6], jobs=1, journal=jdir, log=logs.append) == [
+        25,
+        36,
+    ]
+    assert all("(journaled)" in line for line in logs)
+
+
+def test_partial_journal_recomputes_only_missing(tmp_path):
+    jdir = tmp_path / "sweep"
+    journal = RunJournal(jdir)
+    journal.record(1, "pre", 99)
+    out = run_tasks(_square, [1, 2, 3], jobs=1, journal=jdir)
+    # Task 1's journaled value wins; the others were computed.
+    assert out == [1, 99, 9]
+
+
+def test_journal_path_accepts_plain_directory(tmp_path):
+    out = run_tasks(_square, [3], jobs=1, journal=str(tmp_path / "j"))
+    assert out == [9]
+    assert (tmp_path / "j" / "journal.jsonl").exists()
+
+
+def test_pool_death_blamed_then_demoted_to_serial(tmp_path):
+    """A task that kills its worker ``MAX_TASK_CRASHES`` times is blamed
+    through its pid file each time, then demoted to serial-in-parent —
+    the sweep still completes with correct results."""
+    jdir = tmp_path / "sweep"
+    logs = []
+    tasks = [("a", str(tmp_path)), ("victim", str(tmp_path)), ("b", str(tmp_path))]
+    out = run_tasks(_kill_twice, tasks, jobs=2, journal=jdir, log=logs.append)
+    assert out == ["done:a", "done:victim", "done:b"]
+    text = "\n".join(logs)
+    assert "blaming task(s)" in text
+    assert "demoting to serial" in text
+    assert RunJournal(jdir).crash_counts() == {1: MAX_TASK_CRASHES}
+
+
+def test_pool_death_without_journal_still_completes(tmp_path):
+    """Journal-free behaviour is unchanged: survivors rerun serially."""
+    tasks = [("a", str(tmp_path)), ("b", str(tmp_path))]
+    assert run_tasks(_kill_twice, tasks, jobs=2) == ["done:a", "done:b"]
+
+
+# -- set_run_root auto-journaling -----------------------------------------------
+
+
+def test_run_root_numbers_sweeps(tmp_path):
+    root = tmp_path / "run"
+    harness.set_run_root(root)
+    try:
+        run_tasks(_square, [1], jobs=1)
+        run_tasks(_square, [2, 3], jobs=1)
+    finally:
+        harness.set_run_root(None)
+    assert (root / "sweep-0000" / "journal.jsonl").exists()
+    assert (root / "sweep-0001" / "journal.jsonl").exists()
+    first = [
+        json.loads(line)
+        for line in (root / "sweep-0000" / "journal.jsonl").read_text().splitlines()
+    ]
+    assert [r["kind"] for r in first] == ["result"]
+
+
+def test_run_root_off_by_default(tmp_path):
+    run_tasks(_square, [1], jobs=1)
+    assert list(tmp_path.iterdir()) == []

@@ -444,3 +444,128 @@ def test_scaled_without_mem_pressure_unchanged():
     assert with_rate.dvfs == base.dvfs
     assert with_rate.slot_outages == base.slot_outages
     assert with_rate.mem_pressure
+
+
+# -- clock drift ----------------------------------------------------------------
+
+
+def test_clock_drift_validation():
+    from repro.sim.faults import ClockDrift
+
+    for bad in (0.0, -0.5, float("inf"), float("nan")):
+        with pytest.raises(FaultError, match="skew must be positive"):
+            FaultPlan(clock_drift=(ClockDrift(0, bad),))
+    with pytest.raises(FaultError, match="out of range"):
+        FaultInjector(
+            FaultPlan(clock_drift=(ClockDrift(99, 1.05),)), core2quad_amp()
+        )
+
+
+def test_clock_drift_plan_not_null():
+    from repro.sim.faults import ClockDrift
+
+    assert not FaultPlan(clock_drift=(ClockDrift(0, 1.02),)).is_null
+
+
+def test_scaled_clock_drift_deterministic_and_bounded():
+    machine = core2quad_amp()
+    plan = FaultPlan.scaled(
+        0.0, machine, 100.0, seed=5, clock_drift_rate=0.5
+    )
+    assert plan.clock_drift and not plan.hotplug and not plan.mem_pressure
+    assert plan == FaultPlan.scaled(
+        0.0, machine, 100.0, seed=5, clock_drift_rate=0.5
+    )
+    for drift in plan.clock_drift:
+        assert 0 <= drift.core_id < len(machine)
+        assert drift.skew != 1.0
+        # rate 0.5 bounds the magnitude at 0.08 * 0.5.
+        assert abs(drift.skew - 1.0) <= 0.08 * 0.5 + 1e-12
+
+
+def test_scaled_without_clock_drift_unchanged():
+    """The new knob draws from its own RNG stream: adding it must not
+    shift any pre-existing fault draw, so existing plans (and their
+    runs) stay bit-identical."""
+    machine = core2quad_amp()
+    base = FaultPlan.scaled(0.4, machine, 100.0, seed=11, mem_pressure_rate=0.3)
+    assert base.clock_drift == ()
+    with_drift = FaultPlan.scaled(
+        0.4, machine, 100.0, seed=11, mem_pressure_rate=0.3,
+        clock_drift_rate=0.5,
+    )
+    assert with_drift.hotplug == base.hotplug
+    assert with_drift.dvfs == base.dvfs
+    assert with_drift.slot_outages == base.slot_outages
+    assert with_drift.mem_pressure == base.mem_pressure
+    assert with_drift.clock_drift
+    assert FaultPlan.scaled(
+        0.4, machine, 100.0, seed=11, mem_pressure_rate=0.3,
+        clock_drift_rate=0.0,
+    ) == base
+
+
+def test_cycle_skew_reads_draw_no_rng():
+    from repro.sim.faults import ClockDrift
+
+    machine = core2quad_amp()
+    injector = FaultInjector(
+        FaultPlan(seed=3, clock_drift=(ClockDrift(1, 1.05),)), machine
+    )
+    before = injector._rng.getstate()
+    assert injector.cycle_skew(0) == 1.0
+    assert injector.cycle_skew(1) == 1.05
+    assert injector._rng.getstate() == before
+    assert injector.fired["clock_drift"] == 1
+
+
+def test_clock_drift_skews_monitored_ipc():
+    """The monitor's measured cycle delta is multiplied by the observed
+    core's skew, biasing the IPC sample accordingly."""
+    from repro.sim.counters import CounterBank
+    from repro.sim.faults import ClockDrift
+    from repro.tuning.monitor import SectionMonitor
+
+    machine = core2quad_amp()
+
+    def measure(plan):
+        monitor = SectionMonitor(
+            CounterBank(n_cores=len(machine.cores)),
+            min_sample_cycles=0.0,
+            noise=0.0,
+        )
+        if plan is not None:
+            monitor.injector = FaultInjector(plan, machine)
+        proc = _proc(machine)
+        core = machine.cores[0]
+        assert monitor.try_open(proc, 0, core, now=0.0)
+        proc.stats.instrs_by_type[core.ctype.name] = 2e6
+        proc.stats.cycles_by_type[core.ctype.name] = 1e6
+        sample = monitor.close(proc)
+        assert sample is not None
+        return sample[2]
+
+    clean_ipc = measure(None)
+    skewed_ipc = measure(
+        FaultPlan(seed=0, clock_drift=(ClockDrift(0, 1.25),))
+    )
+    assert skewed_ipc == pytest.approx(clean_ipc / 1.25)
+
+
+def test_clock_drift_run_is_deterministic(machine):
+    """Two identical runs under the same drift plan match bit for bit."""
+    plan = FaultPlan.scaled(
+        0.2, machine, 40.0, seed=9, clock_drift_rate=0.6
+    )
+
+    def run_once():
+        simulation = Simulation(machine, faults=plan)
+        simulation.add_process(_proc(machine, cycles=5e7), 0.0)
+        simulation.add_process(_proc(machine, pid=2, cycles=5e7), 0.0)
+        result = simulation.run(40.0)
+        return [
+            (p.pid, p.stats.instructions, dict(p.stats.cycles_by_type))
+            for p in result.completed + result.running
+        ]
+
+    assert run_once() == run_once()

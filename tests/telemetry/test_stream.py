@@ -1,0 +1,163 @@
+"""Streaming telemetry tests: JSONL event streams and tolerant loads.
+
+A :class:`TraceRecorder` built with ``stream_to=`` appends every event
+to a JSONL file as it is recorded, so a SIGKILLed run's trace survives
+up to the last flush with at worst one torn final line.  These tests
+pin the roundtrip (streamed file == in-memory ``chrome_trace``), the
+torn-tail tolerance contract of :func:`load_chrome_trace`, and the
+shipping interplay (``absorb_blob`` streams rebased run metadata).
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.analyzer import TimelineAnalyzer
+from repro.telemetry.export import chrome_trace, load_chrome_trace
+from repro.telemetry.recorder import TraceRecorder
+
+
+def _record_sample(recorder):
+    run = recorder.begin_run("sample", clock="sim")
+    recorder.instant("exec", "start", 0.0, tid=1001, args={"pid": 1, "name": "x"})
+    recorder.span("quantum", "q", 0.5, 2.0, tid=3)
+    recorder.counter("exec", "idle", 4.0, 1.25, tid=2)
+    recorder.instant("exec", "end", 5.0, tid=1001, args={"pid": 1, "name": "x"})
+    return run
+
+
+def _streamed(tmp_path, **kwargs):
+    path = tmp_path / "trace.jsonl"
+    recorder = TraceRecorder(
+        categories={"exec", "quantum"}, stream_to=path, **kwargs
+    )
+    return recorder, path
+
+
+# -- roundtrip ------------------------------------------------------------------
+
+
+def test_stream_matches_in_memory_export(tmp_path):
+    recorder, path = _streamed(tmp_path)
+    _record_sample(recorder)
+    recorder.close_stream()
+    runs, events = load_chrome_trace(path)
+    expected_runs, expected_events = load_chrome_trace(chrome_trace(recorder))
+    assert runs == expected_runs
+    assert events == expected_events
+
+
+def test_streamed_events_also_collect_in_memory(tmp_path):
+    recorder, _ = _streamed(tmp_path)
+    _record_sample(recorder)
+    assert len(recorder.events) == 4
+    recorder.close_stream()
+
+
+def test_analyzer_reads_streamed_trace(tmp_path):
+    recorder, path = _streamed(tmp_path)
+    run = _record_sample(recorder)
+    recorder.close_stream()
+    analyzer = TimelineAnalyzer.from_file(path)
+    timeline = analyzer.timeline(run)
+    assert timeline.label == "sample"
+    assert timeline.names == {1: "x"}
+    assert timeline.quantum_busy == {3: pytest.approx(2.0)}
+
+
+def test_stream_survives_unserialisable_args(tmp_path):
+    """Args may carry arbitrary objects; streaming must never be able
+    to kill the run being traced (default=repr)."""
+    recorder, path = _streamed(tmp_path)
+    recorder.begin_run("odd")
+    recorder.instant("exec", "weird", 0.0, args={"obj": object()})
+    recorder.close_stream()
+    runs, events = load_chrome_trace(path)
+    assert len(events) == 1
+    assert "object object" in events[0][7]["obj"]
+
+
+# -- torn-tail tolerance --------------------------------------------------------
+
+
+def _torn(path):
+    text = path.read_text().rstrip("\n")
+    lines = text.split("\n")
+    lines[-1] = lines[-1][: len(lines[-1]) // 2]
+    path.write_text("\n".join(lines))
+    return len(lines)
+
+
+def test_torn_tail_rejected_by_default(tmp_path):
+    recorder, path = _streamed(tmp_path)
+    _record_sample(recorder)
+    recorder.close_stream()
+    _torn(path)
+    with pytest.raises(TelemetryError, match="tolerant_tail=True"):
+        load_chrome_trace(path)
+
+
+def test_torn_tail_dropped_when_tolerant(tmp_path):
+    recorder, path = _streamed(tmp_path)
+    _record_sample(recorder)
+    recorder.close_stream()
+    intact, _ = load_chrome_trace(path)
+    n_lines = _torn(path)
+    runs, events = load_chrome_trace(path, tolerant_tail=True)
+    assert runs == intact and len(events) == n_lines - 2  # meta + torn line
+
+
+def test_corrupt_middle_always_raises(tmp_path):
+    recorder, path = _streamed(tmp_path)
+    _record_sample(recorder)
+    recorder.close_stream()
+    lines = path.read_text().rstrip("\n").split("\n")
+    lines[2] = lines[2][:5]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TelemetryError, match="line 3"):
+        load_chrome_trace(path, tolerant_tail=True)
+
+
+def test_flush_cadence_limits_loss(tmp_path):
+    """Events past the last flush can be lost on SIGKILL; events before
+    it cannot.  With flush_every=2, after 5 events at least 4 lines
+    (meta + 4 events, minus the unflushed tail) are on disk."""
+    recorder, path = _streamed(tmp_path, stream_flush_every=2)
+    recorder.begin_run("r")  # run metas flush immediately
+    for i in range(5):
+        recorder.instant("exec", f"e{i}", float(i))
+    on_disk = path.read_text()
+    assert sum(1 for line in on_disk.splitlines() if line.strip()) >= 5
+    recorder.close_stream()
+
+
+# -- shipping interplay ---------------------------------------------------------
+
+
+def test_absorb_blob_streams_rebased_run_metas(tmp_path):
+    worker = TraceRecorder(categories={"exec"})
+    worker.begin_run("worker-run")
+    worker.instant("exec", "w", 1.0, tid=7)
+    blob = worker.export_blob()
+
+    parent, path = _streamed(tmp_path)
+    parent.begin_run("parent-run")
+    parent.absorb_blob(blob)
+    parent.close_stream()
+    runs, events = load_chrome_trace(path)
+    assert runs == {0: ("parent-run", "sim"), 1: ("worker-run", "sim")}
+    # The worker's event was rebased onto run 1 in the stream too.
+    assert [(ev[2], ev[3]) for ev in events] == [("w", 1)]
+
+
+def test_export_blob_pickles_plain_list(tmp_path):
+    """The streaming events subclass references an open file; shipping
+    must always send a plain list."""
+    recorder, _ = _streamed(tmp_path)
+    _record_sample(recorder)
+    blob = recorder.export_blob()
+    recorder.close_stream()
+    _, _, events, _ = pickle.loads(blob)
+    assert type(events) is list
+    assert len(events) == 4
