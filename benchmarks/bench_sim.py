@@ -1,0 +1,257 @@
+"""Wall-clock benchmark of the simulator's executor paths.
+
+Times the three quantum-execution modes — stepped (``batched=False``,
+the tree-walking reference), per-quantum batched (``coalesce=False``),
+and macro-quantum coalesced (the default) — on two scenarios, and
+writes ``BENCH_sim.json``:
+
+* the table2 fairness workload (paper scale by default), built once so
+  every mode runs against the same warm static pipeline and the timing
+  is simulation wall time proper;
+* a 1000-process synthetic workload on a 16-core AMP, the
+  queue-pressure shape where per-turn overhead dominates.
+
+It also runs ``python -m repro.experiments table2`` end to end in
+subprocesses, with and without ``--no-coalesce``, and compares stdout.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py           # paper scale
+    PYTHONPATH=src python benchmarks/bench_sim.py --quick   # CI smoke
+
+Two properties are load-independent and therefore *gated* (nonzero
+exit on violation):
+
+* all three modes must produce exactly equal results — same completion
+  floats, switch counts, buckets, idle accounting — on both scenarios;
+* the coalesced and per-quantum table2 CLI runs must print
+  byte-identical stdout.
+
+The wall-clock numbers and speedups depend on the host, so they are
+reported, not gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.sim.executor import NO_BATCH_ENV, NO_COALESCE_ENV
+from repro.sim.machine import core2quad_amp, many_core_amp
+from repro.tuning.pipeline import PipelineCache
+from repro.workloads.workload import Workload, WorkloadRun
+
+_REPO = Path(__file__).resolve().parent.parent
+
+
+def _result_summary(result):
+    """Everything a SimulationResult reports, as comparable plain data."""
+    return (
+        result.time,
+        tuple(
+            (
+                p.pid,
+                p.name,
+                p.completion,
+                p.stats.instructions,
+                tuple(sorted(p.stats.cycles_by_type.items())),
+                p.stats.switches,
+                p.stats.migrations,
+                p.stats.mark_overhead_cycles,
+                p.stats.cpu_time,
+            )
+            for p in result.completed
+        ),
+        tuple(sorted(result.throughput_buckets.items())),
+        tuple(sorted(result.idle_time_by_core.items())),
+    )
+
+
+#: (mode name, environment overrides) for the three executor paths; the
+#: kill-switch environment variables reach the Simulation constructor
+#: through WorkloadRun, exactly as they would a CLI invocation.
+_MODES = (
+    ("stepped", {NO_BATCH_ENV: "1", NO_COALESCE_ENV: "1"}),
+    ("batched", {NO_BATCH_ENV: "", NO_COALESCE_ENV: "1"}),
+    ("coalesced", {NO_BATCH_ENV: "", NO_COALESCE_ENV: ""}),
+)
+
+
+def _timed_modes(build_run, interval) -> tuple:
+    """Run a freshly built workload once per mode; returns
+    (per-mode seconds dict, summaries-all-equal bool)."""
+    seconds = {}
+    summaries = {}
+    for name, env in _MODES:
+        saved = {key: os.environ.pop(key, None) for key in env}
+        for key, value in env.items():
+            if value:
+                os.environ[key] = value
+        try:
+            run = build_run()
+            start = time.perf_counter()
+            result = run.run(interval)
+            seconds[name] = time.perf_counter() - start
+            summaries[name] = _result_summary(result)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+    identical = (
+        summaries["stepped"] == summaries["batched"] == summaries["coalesced"]
+    )
+    return seconds, identical
+
+
+def _mode_entry(seconds, identical) -> dict:
+    return {
+        "stepped_seconds": round(seconds["stepped"], 3),
+        "batched_seconds": round(seconds["batched"], 3),
+        "coalesced_seconds": round(seconds["coalesced"], 3),
+        "coalesced_speedup_vs_stepped": round(
+            seconds["stepped"] / seconds["coalesced"], 2
+        ),
+        "coalesced_speedup_vs_batched": round(
+            seconds["batched"] / seconds["coalesced"], 2
+        ),
+        "results_identical": identical,
+    }
+
+
+def _table2_workload(config, cache):
+    workload = Workload.random(config.slots, seed=config.seed)
+
+    def build():
+        return WorkloadRun(workload, core2quad_amp(), cache=cache)
+
+    return build
+
+
+def _synthetic_workload(slots, cache):
+    """*slots* simultaneous processes on a 16-core AMP: per-core queues
+    dozens deep, so wall time is pure scheduling-turn throughput."""
+    workload = Workload.random(slots, seed=7, queue_length=64)
+    machine = many_core_amp(8, 8)
+
+    def build():
+        return WorkloadRun(workload, machine, cache=cache)
+
+    return build
+
+
+def _table2_stdout_bench() -> dict:
+    """End-to-end CLI byte-identity: table2 with and without
+    --no-coalesce must print the same bytes."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src")
+    env.pop(NO_COALESCE_ENV, None)
+    env.pop(NO_BATCH_ENV, None)
+    outputs = {}
+    seconds = {}
+    for name, extra in (("coalesced", []), ("per_quantum", ["--no-coalesce"])):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", *extra, "table2"],
+            capture_output=True,
+            env=env,
+            cwd=_REPO,
+            check=True,
+        )
+        seconds[name] = time.perf_counter() - start
+        outputs[name] = proc.stdout
+    return {
+        "per_quantum_seconds": round(seconds["per_quantum"], 2),
+        "coalesced_seconds": round(seconds["coalesced"], 2),
+        "speedup": round(seconds["per_quantum"] / seconds["coalesced"], 2),
+        "byte_identical": outputs["coalesced"] == outputs["per_quantum"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configuration (CI smoke): short interval, 200-process "
+        "synthetic, no CLI subprocess comparison",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(_REPO / "BENCH_sim.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        fairness = ExperimentConfig(slots=18, interval=120.0, seed=101)
+        synthetic_slots, synthetic_interval = 200, 300.0
+    else:
+        fairness = ExperimentConfig.fairness_paper()
+        synthetic_slots, synthetic_interval = 1000, 1500.0
+
+    report = {
+        "scale": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+    }
+    failures = []
+    cache = PipelineCache()
+
+    seconds, identical = _timed_modes(
+        _table2_workload(fairness, cache), fairness.interval
+    )
+    entry = _mode_entry(seconds, identical)
+    report["table2_workload"] = entry
+    print(
+        f"table2 workload  stepped {seconds['stepped']:6.2f}s   "
+        f"batched {seconds['batched']:6.2f}s   "
+        f"coalesced {seconds['coalesced']:6.2f}s "
+        f"(x{entry['coalesced_speedup_vs_stepped']} vs stepped)"
+    )
+    if not identical:
+        failures.append("table2 workload: executor modes disagree")
+
+    seconds, identical = _timed_modes(
+        _synthetic_workload(synthetic_slots, cache), synthetic_interval
+    )
+    entry = _mode_entry(seconds, identical)
+    report[f"synthetic_{synthetic_slots}"] = entry
+    print(
+        f"{synthetic_slots}-proc synth  stepped {seconds['stepped']:6.2f}s   "
+        f"batched {seconds['batched']:6.2f}s   "
+        f"coalesced {seconds['coalesced']:6.2f}s "
+        f"(x{entry['coalesced_speedup_vs_stepped']} vs stepped)"
+    )
+    if not identical:
+        failures.append(f"{synthetic_slots}-process synthetic: modes disagree")
+
+    if not args.quick:
+        stdout_entry = _table2_stdout_bench()
+        report["table2_cli_stdout"] = stdout_entry
+        print(
+            f"table2 CLI  per-quantum {stdout_entry['per_quantum_seconds']}s   "
+            f"coalesced {stdout_entry['coalesced_seconds']}s   "
+            f"byte-identical: {stdout_entry['byte_identical']}"
+        )
+        if not stdout_entry["byte_identical"]:
+            failures.append("table2 CLI stdout differs with --no-coalesce")
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments --cache-dir .repro-cache fig6   # disk cache
     python -m repro.experiments --trace-out traces fig6   # Chrome trace
     python -m repro.experiments --trace-out traces telemetry  # summary
+    python -m repro.experiments --no-coalesce table2   # per-quantum debug
 
 ``--jobs`` caps the harness worker pool (overriding ``REPRO_JOBS``;
 ``--jobs 1`` runs serially) and ``--log`` prints one progress line per
@@ -69,6 +70,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.sim.checkpoint import CHECKPOINT_INTERVAL_ENV
+from repro.sim.executor import NO_COALESCE_ENV
 from repro.telemetry import (
     TRACE_CATEGORIES_ENV,
     TRACE_DIR_ENV,
@@ -240,6 +242,14 @@ def _parse_args(argv):
         "excluding the high-volume quantum/segment spans)",
     )
     parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable macro-quantum coalescing and run every scheduling "
+        "quantum through the per-quantum path (debug escape hatch, "
+        f"parallel to the {NO_COALESCE_ENV} environment variable; the "
+        "output is byte-identical either way, only slower)",
+    )
+    parser.add_argument(
         "--run-dir",
         default=None,
         metavar="DIR",
@@ -304,6 +314,7 @@ _MANIFEST_KEYS = (
     "jobs",
     "log",
     "cache_dir",
+    "no_coalesce",
     "trace_out",
     "trace_categories",
     "checkpoint_interval",
@@ -350,6 +361,11 @@ def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
         # as well as forked — attach the same disk tier.
         os.environ[CACHE_DIR_ENV] = args.cache_dir
         default_cache().set_disk_dir(args.cache_dir)
+    if getattr(args, "no_coalesce", False):
+        # Same routing as --cache-dir: pool workers inherit the
+        # environment, so every simulation in the invocation steps its
+        # quanta individually.
+        os.environ[NO_COALESCE_ENV] = "1"
     if args.trace_categories:
         os.environ[TRACE_CATEGORIES_ENV] = args.trace_categories
     if args.trace_out:

@@ -3,16 +3,24 @@
 Events at equal times are delivered in insertion order (a monotonically
 increasing sequence number breaks ties), which keeps whole simulations
 bit-for-bit reproducible.
+
+The executor's run loop reads ``_heap``/``_seq`` directly (one heap
+operation per scheduling quantum); the ``push``/``pop`` wrappers are the
+public API for everything that runs off the hot path.  Both views see
+the same ``(time, seq, payload)`` tuples, so their ordering is
+identical by construction — a regression test pins this.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Optional
+from typing import Any
 
 
 class EventQueue:
     """Priority queue of (time, payload) events."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: list = []
@@ -27,13 +35,5 @@ class EventQueue:
         time, _, payload = heapq.heappop(self._heap)
         return time, payload
 
-    def peek_time(self) -> Optional[float]:
-        if not self._heap:
-            return None
-        return self._heap[0][0]
-
     def __len__(self) -> int:
         return len(self._heap)
-
-    def __bool__(self) -> bool:
-        return bool(self._heap)

@@ -152,6 +152,23 @@ class LinuxO1Scheduler(Scheduler):
     def queue_length(self, core_id: int) -> int:
         return len(self._queues[core_id])
 
+    def stability_horizon(self, core_id: int, now: float) -> float:
+        """Until the next periodic balance pass is due, this scheduler
+        touches a core's queue only through pick/requeue on that core
+        (stealing needs an *empty* queue, which the coalescing layer
+        rules out separately), so the horizon is the balance due time.
+
+        The executor treats a horizon at or below *now* as a refusal
+        and steps the next turn normally; a future horizon admits a
+        macro window, inside which the executor re-verifies the balance
+        guard per turn with the exact stepped comparison (so the
+        horizon only ever gates window *admission*, never replaces the
+        guard).
+        """
+        if core_id in self._offline:
+            return now
+        return self._last_balance + self.balance_interval
+
     def queued_processes(self) -> list:
         procs = []
         for queue in self._queues.values():
@@ -193,6 +210,22 @@ class LinuxO1Scheduler(Scheduler):
         if now - self._last_balance < self.balance_interval:
             return
         self._last_balance = now
+        if not self._offline:
+            # Cheap no-move exit: a move needs a length spread of at
+            # least 2, and this max/min over the deques is the same
+            # busiest-minus-idlest the loop below would compute (its
+            # tie-break keys only pick WHICH extreme core, not the
+            # extreme length), without building the load_map dict.
+            hi = -1
+            lo = 1 << 30
+            for queue in self._queues.values():
+                length = len(queue)
+                if length > hi:
+                    hi = length
+                if length < lo:
+                    lo = length
+            if hi - lo < 2:
+                return
         moved = True
         while moved:
             moved = False

@@ -1,0 +1,247 @@
+"""Exact-equality tests for the macro-quantum coalescing layer.
+
+``Simulation(coalesce=True)`` (the default) runs provably-stable
+stretches of core turns through a mini event loop with cached
+per-quantum commits; ``coalesce=False`` keeps the per-quantum outer
+loop, and ``batched=False`` forces the stepped tree-walking reference.
+All three must agree *exactly* — same floats, same switch counts, same
+telemetry spans — because the coalesced loop replays the reference
+event order and float arithmetic op for op.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import make_workload
+from repro.instrument import LoopStrategy, instrument
+from repro.instrument.marker import parse_strategy
+from repro.sim import SimProcess, Simulation, TraceGenerator
+from repro.sim.checkpoint import CheckpointManager
+from repro.sim.executor import NO_BATCH_ENV, NO_COALESCE_ENV
+from repro.sim.faults import DvfsEvent, FaultPlan, HotplugEvent
+from repro.sim.scheduler.base import Scheduler
+from repro.sim.scheduler.linux_o1 import LinuxO1Scheduler
+from repro.telemetry.context import set_recorder
+from repro.telemetry.recorder import TraceRecorder
+from repro.tuning import PhaseTuningRuntime
+from repro.tuning.pipeline import PipelineCache
+from repro.workloads.workload import WorkloadRun
+from tests.conftest import make_phased_program
+from tests.sim.test_batched_executor import _summary
+
+
+# -- the stability-horizon / fault-bound contracts -----------------------------
+
+
+class _MinimalScheduler(Scheduler):
+    def enqueue(self, proc, now):
+        raise NotImplementedError
+
+    def pick(self, core_id, now):
+        raise NotImplementedError
+
+    def requeue(self, proc, core_id, now):
+        raise NotImplementedError
+
+    def queue_length(self, core_id):
+        return 0
+
+
+def test_base_scheduler_gives_no_horizon():
+    """A scheduler that does not opt in reports ``now`` — "no
+    guarantee" — which keeps coalescing off for it."""
+    sched = _MinimalScheduler()
+    assert sched.stability_horizon(0, 12.5) == 12.5
+
+
+def test_linux_o1_horizon_is_balance_due(machine):
+    sched = LinuxO1Scheduler(balance_interval=0.2)
+    sched.attach(machine, lambda cid, now: None)
+    assert sched.stability_horizon(0, 0.05) == 0.2
+    sched._last_balance = 1.0
+    assert sched.stability_horizon(0, 1.1) == pytest.approx(1.2)
+
+
+def test_linux_o1_horizon_refuses_offline_core(machine):
+    sched = LinuxO1Scheduler()
+    sched.attach(machine, lambda cid, now: None)
+    sched.set_core_offline(1, True, 0.0)
+    assert sched.stability_horizon(1, 5.0) == 5.0
+
+
+def test_null_plan_has_no_fault_bound():
+    assert FaultPlan().next_event_after(0.0) == float("inf")
+
+
+def test_next_event_after_is_strict_and_spans_kinds():
+    plan = FaultPlan(
+        hotplug=(HotplugEvent(time=3.0, core_id=1, online=False),),
+        dvfs=(DvfsEvent(time=1.5, core_id=0, scale=0.8),),
+    )
+    assert plan.next_event_after(0.0) == 1.5
+    # Strictly after: an event at exactly `now` no longer bounds.
+    assert plan.next_event_after(1.5) == 3.0
+    assert plan.next_event_after(3.0) == float("inf")
+
+
+# -- three-way exact equality ---------------------------------------------------
+
+
+def _run(machine, *, batched=True, coalesce=None, strategy=None, faults=None):
+    # Iteration counts sized so each process runs for tens of simulated
+    # seconds (hundreds of quanta): long mark-free stretches are what
+    # actually open macro windows, and mid-run faults then land while
+    # work is in flight.
+    program, spec = make_phased_program(
+        compute_iters=5_000_000, memory_iters=5_000_000, outer=30
+    )
+    generator = TraceGenerator(machine)
+    if strategy is not None:
+        source = instrument(program, strategy)
+        runtime = PhaseTuningRuntime(machine, 0.12)
+    else:
+        source = program
+        runtime = None
+    sim = Simulation(
+        machine,
+        runtime=runtime,
+        faults=faults,
+        batched=batched,
+        coalesce=coalesce,
+    )
+    for pid in range(5):
+        proc = SimProcess(
+            pid,
+            f"p{pid}",
+            generator.generate(source, spec),
+            machine.all_cores_mask,
+            isolated_time=1.0,
+        )
+        sim.add_process(proc, 0.0)
+    return _summary(sim.run(60.0))
+
+
+def test_coalesced_matches_per_quantum_and_stepped(machine):
+    coalesced = _run(machine, coalesce=True)
+    assert coalesced == _run(machine, coalesce=False)
+    assert coalesced == _run(machine, batched=False, coalesce=False)
+
+
+def test_coalesced_matches_under_runtime(machine):
+    strategy = LoopStrategy(20)
+    coalesced = _run(machine, coalesce=True, strategy=strategy)
+    assert coalesced == _run(machine, coalesce=False, strategy=strategy)
+
+
+def test_coalesced_matches_with_faults(machine):
+    """A nonzero plan (hotplug + DVFS mid-run) forces windows to close
+    on the fault bound; results must still match exactly."""
+    span = _run(machine, coalesce=False)["time"]
+    plan = FaultPlan(
+        seed=5,
+        hotplug=(
+            HotplugEvent(time=span * 0.3, core_id=1, online=False),
+            HotplugEvent(time=span * 0.6, core_id=1, online=True),
+        ),
+        dvfs=(DvfsEvent(time=span * 0.5, core_id=0, scale=0.8),),
+    )
+    faulted = _run(machine, coalesce=True, faults=plan)
+    assert faulted == _run(machine, coalesce=False, faults=plan)
+    assert faulted != _run(machine, coalesce=True)  # the plan really bit
+
+
+# -- telemetry spans ------------------------------------------------------------
+
+
+def test_quantum_spans_identical_under_tracing(machine):
+    """With the high-volume ``quantum`` category on, the coalesced run
+    emits the same span events (same times, cores, durations, pids) in
+    the same order as the per-quantum loop."""
+
+    def traced(coalesce):
+        recorder = TraceRecorder(categories={"exec", "sched", "quantum"})
+        previous = set_recorder(recorder)
+        try:
+            summary = _run(machine, coalesce=coalesce)
+        finally:
+            set_recorder(previous)
+        # Scrub the recorder-assigned run id (field 3): it is an
+        # allocation counter, not simulation output.
+        events = [e[:3] + e[4:] for e in recorder.events]
+        return summary, events
+
+    c_summary, c_events = traced(True)
+    s_summary, s_events = traced(False)
+    assert c_summary == s_summary
+    assert c_events == s_events
+    assert any(e[1] == "quantum" for e in c_events)
+
+
+# -- environment kill-switches --------------------------------------------------
+
+
+def test_no_coalesce_env_disables_default(machine, monkeypatch):
+    monkeypatch.setenv(NO_COALESCE_ENV, "1")
+    assert Simulation(machine).coalesce is False
+    # An explicit argument beats the environment.
+    assert Simulation(machine, coalesce=True).coalesce is True
+    monkeypatch.delenv(NO_COALESCE_ENV)
+    assert Simulation(machine).coalesce is True
+
+
+def test_no_batch_env_forces_stepped_path(machine, monkeypatch):
+    monkeypatch.setenv(NO_BATCH_ENV, "1")
+    sim = Simulation(machine)
+    assert sim.batched is False
+    assert sim._coalescing is False  # coalescing rides on batching
+    assert Simulation(machine, batched=True).batched is True
+
+
+def test_custom_scheduler_disables_coalescing(machine):
+    class Subclassed(LinuxO1Scheduler):
+        pass
+
+    sim = Simulation(machine, scheduler=Subclassed())
+    assert sim.coalesce is True and sim._coalescing is False
+
+
+# -- checkpoint/resume mid-window ----------------------------------------------
+
+
+def _workload_summary(result):
+    return _summary(result)
+
+
+def _tuned_run(config, cache, coalesce, checkpoint=None, until=None):
+    run = WorkloadRun(
+        make_workload(config),
+        config.resolved_machine(),
+        parse_strategy("Loop[45]"),
+        cache=cache,
+    )
+    return run.run(
+        until if until is not None else config.interval,
+        runtime=config.make_runtime(None),
+        checkpoint=checkpoint,
+        coalesce=coalesce,
+    )
+
+
+def test_kill_resume_mid_window_matches_stepped(tmp_path):
+    """Snapshots cut windows at the checkpoint grid; a coalesced run
+    killed and resumed from such a snapshot still reproduces the
+    per-quantum run bit for bit."""
+    config = ExperimentConfig(slots=4, interval=20.0, seed=11)
+    cache = PipelineCache()
+    reference = _workload_summary(_tuned_run(config, cache, coalesce=False))
+
+    ckpt_dir = tmp_path / "ck"
+    partial = CheckpointManager(ckpt_dir, interval=3.0)
+    _tuned_run(config, cache, coalesce=True, checkpoint=partial, until=8.0)
+    assert partial.saves > 0
+
+    resumed_mgr = CheckpointManager(ckpt_dir, interval=3.0)
+    resumed = _workload_summary(
+        _tuned_run(config, cache, coalesce=True, checkpoint=resumed_mgr)
+    )
+    assert resumed == reference

@@ -1,5 +1,7 @@
 """Unit tests for the event queue."""
 
+import heapq
+
 from repro.sim.events import EventQueue
 
 
@@ -18,13 +20,35 @@ def test_fifo_within_equal_times():
     assert [q.pop()[1] for _ in range(5)] == [0, 1, 2, 3, 4]
 
 
-def test_peek_and_len():
+def test_len():
     q = EventQueue()
-    assert q.peek_time() is None
-    assert not q
+    assert len(q) == 0
     q.push(2.5, "x")
-    assert q.peek_time() == 2.5
     assert len(q) == 1
-    assert bool(q)
     q.pop()
     assert len(q) == 0
+
+
+def test_heap_fast_path_matches_wrapper_order():
+    """The executor reads ``_heap``/``_seq`` directly; the wrappers and
+    the raw heap must agree on delivery order for the same pushes,
+    including pushes made through the raw fast path itself."""
+    times = [3.0, 1.0, 1.0, 2.0, 1.0, 3.0, 0.5, 2.0]
+
+    wrapped = EventQueue()
+    for i, t in enumerate(times):
+        wrapped.push(t, i)
+    via_wrapper = [wrapped.pop() for _ in range(len(times))]
+
+    raw = EventQueue()
+    for i, t in enumerate(times):
+        # The run loop's inlined push: same tuple layout, same counter.
+        heapq.heappush(raw._heap, (t, raw._seq, i))
+        raw._seq += 1
+    via_heap = []
+    while raw._heap:
+        t, _, payload = heapq.heappop(raw._heap)
+        via_heap.append((t, payload))
+
+    assert via_wrapper == via_heap
+    assert [p for _, p in via_heap] == [6, 1, 2, 4, 3, 7, 0, 5]
