@@ -99,3 +99,20 @@ class ExperimentError(ReproError):
 class TaskTimeoutError(ExperimentError):
     """Raised when a harness task exceeds its per-task timeout and no
     retries remain."""
+
+
+class BrokerError(ExperimentError):
+    """Raised by :mod:`repro.experiments.broker` for invalid usage or a
+    broker directory that cannot be opened/created (the harness catches
+    this and degrades to the single-host pool backend)."""
+
+
+class LeaseLostError(BrokerError):
+    """A worker's lease on a task expired and was reclaimed (or the task
+    was completed by another worker) before the worker finished; raised
+    by heartbeat renewal so the worker can abandon the attempt."""
+
+
+class QuarantinedTaskError(BrokerError):
+    """A task exhausted its attempt budget and sits in quarantine; raised
+    when a caller needs the task's result and no rescue path remains."""

@@ -21,10 +21,12 @@ extras       §III ATOM comparison, §IV-C2 lookahead sweep, §IV-C4
 ==========  ==============================================================
 """
 
+from repro.experiments.broker import Broker, task_key, worker_loop
 from repro.experiments.config import (
     TABLE2_VARIANTS,
     ExperimentConfig,
 )
+from repro.experiments.results_db import GoldenDiff, ResultsDB
 from repro.experiments.runner import (
     TechniqueOutcome,
     run_baseline,
@@ -33,8 +35,13 @@ from repro.experiments.runner import (
 
 __all__ = [
     "TABLE2_VARIANTS",
+    "Broker",
     "ExperimentConfig",
+    "GoldenDiff",
+    "ResultsDB",
     "TechniqueOutcome",
     "run_baseline",
     "run_technique",
+    "task_key",
+    "worker_loop",
 ]

@@ -36,6 +36,30 @@ Crash-safe runs::
     # ... SIGKILL, power loss, OOM ...
     python -m repro.experiments resume run1
 
+Broker-backed sweeps (multi-worker, multi-host, fault-tolerant)::
+
+    python -m repro.experiments --broker-dir /shared/q fig6   # self-contained
+    python -m repro.experiments enqueue /shared/q fig6 &      # submit + wait
+    python -m repro.experiments work /shared/q                # on any host
+    python -m repro.experiments status /shared/q              # queue + drift
+    python -m repro.experiments bless /shared/q               # golden baseline
+
+``--broker-dir DIR`` (or ``REPRO_BROKER_DIR``) routes every sweep
+through the claim/lease task queue of :mod:`repro.experiments.broker`:
+tasks survive worker ``kill -9`` via lease reclamation, repeatedly
+crashing tasks are quarantined instead of failing the sweep, and
+results are recorded idempotently by content key.  ``enqueue`` submits
+without computing (workers elsewhere run ``work``, which sizes itself
+from *its own* host's ``REPRO_JOBS``/``--jobs``, never the submitter's);
+``status`` reports queue states, quarantines, sessions, and drift
+against the golden baseline recorded by ``bless``.
+
+Per-task retry knobs (all backends): ``--task-timeout SECONDS``,
+``--task-retries N``, ``--backoff-base SECONDS``, matching the
+``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES`` /
+``REPRO_BACKOFF_BASE`` environment variables (``--lease-ttl`` likewise
+matches ``REPRO_LEASE_TTL`` for broker leases).
+
 ``--run-dir DIR`` makes the invocation durable: the chosen experiments
 and options are written to ``DIR/manifest.json``, every sweep journals
 its completed tasks under ``DIR/sweep-NNNN/``, each task checkpoints
@@ -68,7 +92,15 @@ from repro.experiments import (
     table1,
     table2,
 )
+from repro.experiments.broker import (
+    BACKOFF_BASE_ENV,
+    BROKER_DIR_ENV,
+    LEASE_TTL_ENV,
+    Broker,
+    worker_loop,
+)
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.results_db import ResultsDB, format_diff
 from repro.sim.checkpoint import CHECKPOINT_INTERVAL_ENV
 from repro.sim.executor import NO_COALESCE_ENV
 from repro.telemetry import (
@@ -266,6 +298,55 @@ def _parse_args(argv):
         help="simulated seconds between task checkpoints under "
         "--run-dir (default: 10)",
     )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget (default: REPRO_TASK_TIMEOUT, "
+        "else none); over-budget pool workers are SIGKILLed and the task "
+        "resubmitted, broker workers let the lease lapse so the task is "
+        "re-offered",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per task (default: REPRO_TASK_RETRIES, else 0); "
+        "the broker backend always grants at least its quarantine "
+        "threshold of attempts",
+    )
+    parser.add_argument(
+        "--backoff-base",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exponential-backoff base between broker re-offers of a "
+        "failed task (default: REPRO_BACKOFF_BASE, else 0.5)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="broker lease TTL: how long a dead worker's task stays "
+        "claimed before reclamation (default: REPRO_LEASE_TTL, else 30)",
+    )
+    parser.add_argument(
+        "--broker-dir",
+        default=None,
+        metavar="DIR",
+        help="route sweeps through the fault-tolerant broker queue at DIR "
+        "(default: the REPRO_BROKER_DIR environment variable, if set); "
+        "see also the enqueue/work/status/bless verbs",
+    )
+    parser.add_argument(
+        "--forever",
+        action="store_true",
+        help="with the work verb: keep serving after the queue drains "
+        "(until interrupted)",
+    )
     return parser.parse_args(argv)
 
 
@@ -318,6 +399,11 @@ _MANIFEST_KEYS = (
     "trace_out",
     "trace_categories",
     "checkpoint_interval",
+    "task_timeout",
+    "task_retries",
+    "backoff_base",
+    "lease_ttl",
+    "broker_dir",
 )
 
 
@@ -366,6 +452,18 @@ def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
         # environment, so every simulation in the invocation steps its
         # quanta individually.
         os.environ[NO_COALESCE_ENV] = "1"
+    # Retry/broker knobs travel through the environment too, so pool
+    # workers, broker workers, and resumed invocations all see them.
+    if getattr(args, "task_timeout", None) is not None:
+        os.environ[harness.TASK_TIMEOUT_ENV] = str(args.task_timeout)
+    if getattr(args, "task_retries", None) is not None:
+        os.environ[harness.TASK_RETRIES_ENV] = str(args.task_retries)
+    if getattr(args, "backoff_base", None) is not None:
+        os.environ[BACKOFF_BASE_ENV] = str(args.backoff_base)
+    if getattr(args, "lease_ttl", None) is not None:
+        os.environ[LEASE_TTL_ENV] = str(args.lease_ttl)
+    if getattr(args, "broker_dir", None):
+        os.environ[BROKER_DIR_ENV] = args.broker_dir
     if args.trace_categories:
         os.environ[TRACE_CATEGORIES_ENV] = args.trace_categories
     if args.trace_out:
@@ -430,6 +528,144 @@ def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
     )
 
 
+def _verb_dir(args, verb: str) -> str:
+    if len(args.names) < 2:
+        raise SystemExit(
+            f"usage: python -m repro.experiments {verb} BROKERDIR"
+            + (" [experiment ...]" if verb == "enqueue" else "")
+        )
+    return args.names[1]
+
+
+def _cmd_enqueue(args) -> None:
+    """Submit experiments through the broker and wait for workers.
+
+    Spawns no local workers (``REPRO_BROKER_WORKERS=0``): the sweep is
+    claimable by ``work`` processes on any host sharing the directory,
+    and this invocation blocks until they finish, then prints the
+    experiment output exactly as a local run would.
+    """
+    os.environ[BROKER_DIR_ENV] = _verb_dir(args, "enqueue")
+    os.environ[harness.BROKER_WORKERS_ENV] = "0"
+    chosen = args.names[2:] or list(_EXPERIMENTS)
+    for name in chosen:
+        if name not in _EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(_EXPERIMENTS)}"
+            )
+    _execute(args, chosen, None)
+
+
+def _cmd_work(args) -> None:
+    """Serve tasks from a broker directory on this host.
+
+    The worker count comes from this host's ``--jobs``/``REPRO_JOBS``
+    (never from anything the enqueuing host wrote into the queue), so
+    every worker host honors its own core budget.
+    """
+    directory = _verb_dir(args, "work")
+    if getattr(args, "lease_ttl", None) is not None:
+        os.environ[LEASE_TTL_ENV] = str(args.lease_ttl)
+    if getattr(args, "backoff_base", None) is not None:
+        os.environ[BACKOFF_BASE_ENV] = str(args.backoff_base)
+    jobs = harness.worker_count(args.jobs)
+    log = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
+    timeout = harness.resolve_timeout(args.task_timeout)
+    if jobs == 1:
+        completed = worker_loop(
+            directory,
+            task_timeout=timeout,
+            timeout_kills=True,
+            drain=not args.forever,
+            log=log if args.log else None,
+        )
+        print(f"worker drained: {completed} task(s) completed")
+        return
+    import multiprocessing
+
+    procs = [
+        multiprocessing.Process(
+            target=worker_loop,
+            args=(directory,),
+            kwargs=dict(
+                task_timeout=timeout,
+                timeout_kills=True,
+                drain=not args.forever,
+            ),
+        )
+        for _ in range(jobs)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+    print(f"{jobs} worker(s) drained")
+
+
+def _cmd_status(args) -> None:
+    """Report queue states, workers, quarantines, sessions, and drift
+    against the golden baseline."""
+    directory = _verb_dir(args, "status")
+    broker = Broker(directory)
+    db = ResultsDB.for_broker(directory)
+    sweeps = broker.sweeps()
+    if not sweeps:
+        print(f"{directory}: empty broker (no sweeps enqueued)")
+        return
+    for sweep, fn, total, traced, _created in sweeps:
+        counts = broker.counts(sweep)
+        state = "settled" if broker.settled(sweep) else "running"
+        print(
+            f"{sweep} [{state}] {fn}: "
+            f"{counts['done']}/{total} done, {counts['pending']} pending, "
+            f"{counts['leased']} leased, {counts['quarantined']} quarantined"
+            + (" (traced)" if traced else "")
+        )
+        rows = broker.result_rows(sweep)
+        if rows or db.golden_for(fn):
+            print("  " + format_diff(db.diff(fn, rows)).replace("\n", "\n  "))
+    workers = broker.active_workers()
+    if workers:
+        print(f"active workers: {', '.join(workers)}")
+    for sweep, idx, label, attempts, reason in broker.quarantined():
+        print(f"QUARANTINED {sweep}[{idx}] {label}: {reason}")
+    sessions = db.sessions(limit=5)
+    if sessions:
+        print("recent sessions:")
+        for session, sweep, fn, total, host, _note, _created in sessions:
+            print(f"  #{session} {sweep} {fn} ({total} task(s)) from {host}")
+
+
+def _cmd_bless(args) -> None:
+    """Record every settled sweep's result digests as the golden
+    baseline future runs are diffed against."""
+    directory = _verb_dir(args, "bless")
+    broker = Broker(directory)
+    db = ResultsDB.for_broker(directory)
+    blessed = 0
+    for sweep, fn, _total, _traced, _created in broker.sweeps():
+        if not broker.settled(sweep):
+            print(f"skipping {sweep} ({fn}): still running")
+            continue
+        rows = broker.result_rows(sweep)
+        if not rows:
+            continue
+        count = db.bless(fn, rows, sweep=sweep)
+        blessed += count
+        print(f"blessed {count} result(s) of {sweep} ({fn})")
+    if not blessed:
+        print("nothing to bless (no settled sweeps with results)")
+
+
+_VERBS = {
+    "enqueue": _cmd_enqueue,
+    "work": _cmd_work,
+    "status": _cmd_status,
+    "bless": _cmd_bless,
+}
+
+
 def main(argv) -> None:
     args = _parse_args(argv)
     if args.names and args.names[0] == "resume":
@@ -439,12 +675,15 @@ def main(argv) -> None:
         merged, chosen = _merge_manifest(run_dir, args)
         _execute(merged, chosen, run_dir)
         return
+    if args.names and args.names[0] in _VERBS:
+        _VERBS[args.names[0]](args)
+        return
     chosen = args.names or list(_EXPERIMENTS)
     for name in chosen:
         if name not in _EXPERIMENTS and name != "telemetry":
             raise SystemExit(
                 f"unknown experiment {name!r}; choose from "
-                f"{sorted(_EXPERIMENTS) + ['resume', 'telemetry']}"
+                f"{sorted(_EXPERIMENTS) + sorted(_VERBS) + ['resume', 'telemetry']}"
             )
     run_dir = Path(args.run_dir) if args.run_dir else None
     if run_dir is not None:

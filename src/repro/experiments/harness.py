@@ -67,9 +67,10 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.errors import ExperimentError, TaskTimeoutError
+from repro.errors import BrokerError, ExperimentError, TaskTimeoutError
+from repro.experiments.broker import BROKER_DIR_ENV
 from repro.experiments.journal import MAX_TASK_CRASHES, RunJournal
-from repro.sim.checkpoint import TASK_CHECKPOINT_DIR_ENV
+from repro.sim.checkpoint import TASK_CHECKPOINT_DIR_ENV, task_checkpoint_dir
 from repro.telemetry.context import current_recorder, set_recorder
 from repro.telemetry.recorder import TraceRecorder
 
@@ -79,6 +80,19 @@ _UNSET = object()
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variables giving the per-task retry knobs defaults
+#: (CLI ``--task-timeout`` / ``--task-retries`` write them through, so
+#: pool workers and resumed runs see the same budgets).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+
+#: Local worker count for the broker backend.  Resolved on the host
+#: that runs the workers (``REPRO_JOBS``/``--jobs`` otherwise), never
+#: recorded in the queue — a worker host honors its own core budget,
+#: not the enqueuing host's.  ``0`` means "submit and wait": enqueue
+#: the sweep and block until workers elsewhere complete it.
+BROKER_WORKERS_ENV = "REPRO_BROKER_WORKERS"
 
 #: Run root installed by :func:`set_run_root`; when set, every
 #: ``run_tasks`` call without an explicit ``journal=`` gets one under
@@ -131,6 +145,35 @@ def worker_count(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
+def _env_number(name: str, cast, fallback):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return cast(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+
+
+def resolve_timeout(timeout: Optional[float]) -> Optional[float]:
+    """The effective per-task timeout: the explicit argument, else the
+    ``REPRO_TASK_TIMEOUT`` environment variable, else no timeout."""
+    if timeout is not None:
+        return timeout
+    value = _env_number(TASK_TIMEOUT_ENV, float, None)
+    return value if value and value > 0 else None
+
+
+def resolve_retries(retries: Optional[int]) -> int:
+    """The effective per-task retry budget: the explicit argument, else
+    the ``REPRO_TASK_RETRIES`` environment variable, else 0."""
+    if retries is not None:
+        return retries
+    return _env_number(TASK_RETRIES_ENV, int, 0)
+
+
 def derive_seed(base: int, *parts) -> int:
     """A stable 63-bit seed for one task of a sweep.
 
@@ -153,9 +196,11 @@ def run_tasks(
     log: Optional[Callable] = None,
     labels: Optional[Sequence[str]] = None,
     timeout: Optional[float] = None,
-    retries: int = 0,
+    retries: Optional[int] = None,
     start_method: Optional[str] = None,
     journal=None,
+    backend: Optional[str] = None,
+    broker_dir=None,
 ) -> list:
     """Evaluate ``fn(task)`` for every task, results in task order.
 
@@ -174,9 +219,17 @@ def run_tasks(
             behind a sibling).  A task over budget is abandoned — and
             its worker, identified through a per-task pid file, is
             SIGKILLed so the slot is reclaimed — then resubmitted to a
-            rebuilt pool while *retries* remain.  Only enforced on the
-            pool path — serial execution cannot interrupt a call.
-        retries: resubmissions allowed per task after a timeout.
+            rebuilt pool while *retries* remain.  Defaults to the
+            ``REPRO_TASK_TIMEOUT`` environment variable (no timeout
+            when unset).  Not enforced on the serial path, which
+            cannot interrupt a call; broker workers enforce it by
+            letting their lease lapse (and, as subprocesses, killing
+            themselves) so the task is re-offered.
+        retries: resubmissions allowed per task after a timeout;
+            defaults to the ``REPRO_TASK_RETRIES`` environment
+            variable, else 0.  The pool path resubmits immediately;
+            the broker backend re-offers with exponential backoff
+            (``REPRO_BACKOFF_BASE`` seconds, doubling per attempt).
         start_method: multiprocessing start method for the pool
             (``fork`` / ``spawn`` / ``forkserver``); the platform
             default when omitted.  Non-fork workers do not inherit the
@@ -189,6 +242,16 @@ def run_tasks(
             tasks that were running, and repeat offenders are demoted
             to serial-in-parent execution.  Defaults to the
             :func:`set_run_root` auto-journal, or no journaling.
+        backend: ``"pool"`` (the single-host ProcessPoolExecutor,
+            default) or ``"broker"`` (route the sweep through the
+            claim/lease queue of :mod:`repro.experiments.broker` —
+            multi-worker, multi-host, crash-safe).  ``None`` selects
+            the broker automatically when *broker_dir* or the
+            ``REPRO_BROKER_DIR`` environment variable names a broker
+            directory.  If that directory cannot be opened the sweep
+            degrades gracefully to the pool backend.
+        broker_dir: the broker directory for ``backend="broker"``;
+            defaults to ``REPRO_BROKER_DIR``.
 
     Raises:
         TaskTimeoutError: a task exceeded *timeout* on its last allowed
@@ -206,10 +269,19 @@ def run_tasks(
         raise ExperimentError(
             f"got {len(labels)} labels for {total} tasks"
         )
+    timeout = resolve_timeout(timeout)
+    retries = resolve_retries(retries)
     if timeout is not None and timeout <= 0:
         raise ExperimentError(f"timeout must be positive, got {timeout}")
     if retries < 0:
         raise ExperimentError(f"retries must be >= 0, got {retries}")
+    if backend is None:
+        has_broker = broker_dir or os.environ.get(BROKER_DIR_ENV, "").strip()
+        backend = "broker" if has_broker else "pool"
+    elif backend not in ("pool", "broker"):
+        raise ExperimentError(
+            f"backend must be 'pool' or 'broker', got {backend!r}"
+        )
     if journal is None:
         # Resolve the auto-journal before the empty-sweep return so the
         # sweep numbering consumed from set_run_root is identical in
@@ -220,9 +292,29 @@ def run_tasks(
     if total == 0:
         return []
 
-    jobs = min(worker_count(jobs), total)
     rec = current_recorder()
     rec = rec if rec.enabled else None
+    if backend == "broker":
+        resolved_dir = broker_dir or os.environ.get(BROKER_DIR_ENV)
+        if not resolved_dir:
+            raise ExperimentError(
+                "backend='broker' requires broker_dir= or the "
+                f"{BROKER_DIR_ENV} environment variable"
+            )
+        try:
+            return _run_broker(
+                fn, tasks, labels, jobs, log, timeout, retries, rec,
+                resolved_dir, start_method,
+            )
+        except BrokerError as exc:
+            # Graceful degradation: an unusable broker directory (read-
+            # only filesystem, missing mount, bad sqlite build) must
+            # not take the sweep down — fall through to the single-host
+            # pool, which needs nothing but this machine.
+            if log is not None:
+                log(f"broker unavailable ({exc}); using single-host pool")
+
+    jobs = min(worker_count(jobs), total)
     if jobs == 1:
         return _run_serial(fn, tasks, labels, log, rec, journal)
 
@@ -334,15 +426,8 @@ def _call_with_checkpoint_dir(fn: Callable, task, ckpt_dir) -> object:
     the task's checkpoint directory, so checkpoint-aware point functions
     (``runner.run_technique_point``) save there — and resume from there
     when the directory already holds a valid snapshot."""
-    previous = os.environ.get(TASK_CHECKPOINT_DIR_ENV)
-    os.environ[TASK_CHECKPOINT_DIR_ENV] = str(ckpt_dir)
-    try:
+    with task_checkpoint_dir(ckpt_dir):
         return fn(task)
-    finally:
-        if previous is None:
-            os.environ.pop(TASK_CHECKPOINT_DIR_ENV, None)
-        else:
-            os.environ[TASK_CHECKPOINT_DIR_ENV] = previous
 
 
 def _telemetry_task(fn, categories, task):
@@ -373,6 +458,232 @@ def _telemetry_task(fn, categories, task):
         recorder.incr("harness.task_seconds", elapsed)
         set_recorder(previous)
     return value, recorder.export_blob()
+
+
+def _broker_worker_entry(
+    directory, lease_ttl, max_attempts, task_timeout
+) -> None:
+    """Subprocess entry for one local broker worker.
+
+    Runs the claim loop until the queue drains.  ``timeout_kills=True``:
+    a task over its wall budget SIGKILLs this worker, the lease lapses,
+    and the task is re-offered (with backoff) until quarantined —
+    the broker analogue of the pool path's straggler SIGKILL.
+    """
+    from repro.experiments.broker import worker_loop
+
+    worker_loop(
+        directory,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+        task_timeout=task_timeout,
+        timeout_kills=True,
+        drain=True,
+    )
+
+
+def _broker_local_workers(jobs: Optional[int], total: int) -> int:
+    """How many local broker workers this host should run.
+
+    ``REPRO_BROKER_WORKERS`` wins (0 = submit-and-wait for workers on
+    other hosts); otherwise the usual :func:`worker_count` resolution —
+    of *this* host's environment, never anything recorded in the queue.
+    """
+    override = _env_number(BROKER_WORKERS_ENV, int, None)
+    if override is not None:
+        return max(0, min(override, total))
+    return min(worker_count(jobs), total)
+
+
+def _run_broker(
+    fn: Callable,
+    tasks: list,
+    labels: Sequence[str],
+    jobs: Optional[int],
+    log: Optional[Callable],
+    timeout: Optional[float],
+    retries: int,
+    rec,
+    broker_dir,
+    start_method: Optional[str] = None,
+) -> list:
+    """Broker backend of :func:`run_tasks`: enqueue, drive workers,
+    replay in task order.
+
+    The queue is the durable layer here (results are recorded
+    idempotently by content key), so the sweep journal is not used.
+    Tasks that end up quarantined — or whose results cannot be
+    verified — are rescued serially in-parent as the last resort, the
+    same demotion the journal applies to pool-killing tasks; a genuine
+    poison task then raises its real traceback in the caller.
+    """
+    from repro.experiments.broker import (
+        Broker,
+        DEFAULT_MAX_ATTEMPTS,
+        Lease,
+        task_key,
+    )
+    from repro.experiments.results_db import ResultsDB
+
+    traced = rec is not None
+    run_fn = fn
+    if traced:
+        # sorted() so the partial's pickle — and with it every task's
+        # content key and the sweep id — is deterministic across
+        # processes and invocations.
+        run_fn = functools.partial(
+            _telemetry_task, fn, tuple(sorted(rec.categories))
+        )
+    # Worker deaths must not instantly quarantine: grant the broker at
+    # least its own default budget even when the caller asked for zero
+    # timeout-retries.
+    max_attempts = max(retries + 1, DEFAULT_MAX_ATTEMPTS)
+    broker = Broker(broker_dir, max_attempts=max_attempts)
+    total = len(tasks)
+    sweep = broker.enqueue(run_fn, tasks, labels=labels, traced=traced)
+    try:
+        ResultsDB.for_broker(broker.directory).record_session(
+            sweep,
+            f"{getattr(fn, '__module__', '?')}."
+            f"{getattr(fn, '__qualname__', repr(fn))}",
+            total,
+        )
+    except BrokerError:
+        pass  # session log is advisory; the queue itself is intact
+    done = broker.replay(sweep, traced=traced)
+    if log is not None and done:
+        log(f"broker: {len(done)} of {total} task(s) already complete")
+    if len(done) < total:
+        _drive_broker_sweep(
+            broker, sweep, jobs, log, timeout, total - len(done),
+            start_method,
+        )
+        done = broker.replay(sweep, traced=traced)
+    missing = [index for index in range(total) if index not in done]
+    if missing:
+        quarantined = {
+            idx: reason
+            for _, idx, _, _, reason in broker.quarantined(sweep)
+        }
+        for count, index in enumerate(missing):
+            if log is not None:
+                why = quarantined.get(index, "result missing")
+                log(
+                    f"[rescue {count + 1}/{len(missing)}] {labels[index]} "
+                    f"serially in parent ({why})"
+                )
+            key = task_key(run_fn, tasks[index])
+            value = _call_with_checkpoint_dir(
+                run_fn, tasks[index], broker.checkpoint_dir(key)
+            )
+            broker.complete(
+                Lease(sweep, index, key, labels[index], b"", 0, 0.0,
+                      "parent-rescue"),
+                value,
+                traced=traced,
+            )
+            done[index] = value
+    results = [done[index] for index in range(total)]
+    if traced:
+        for index, wrapped in enumerate(results):
+            value, blob = wrapped
+            rec.absorb_blob(blob)
+            results[index] = value
+    return results
+
+
+def _drive_broker_sweep(
+    broker,
+    sweep: str,
+    jobs: Optional[int],
+    log: Optional[Callable],
+    timeout: Optional[float],
+    remaining: int,
+    start_method: Optional[str] = None,
+    poll_interval: float = 0.2,
+) -> None:
+    """Run local workers (and/or wait for remote ones) until *sweep*
+    settles — every task done or quarantined.
+
+    Dead local workers are respawned while runnable work remains, up to
+    a budget bounded by the per-task attempt limits (so a worker-killing
+    task ends in quarantine, not an infinite respawn loop).
+    """
+    from repro.experiments.broker import worker_loop
+
+    local = _broker_local_workers(jobs, remaining)
+    if local == 0:
+        if log is not None:
+            log(f"broker: waiting for remote workers to finish {sweep}")
+        while not broker.settled(sweep):
+            broker.reclaim_expired()
+            time.sleep(poll_interval)
+        return
+    if local == 1:
+        # In-process: deterministic, no subprocess to supervise.  A
+        # timeout here cannot kill the worker (it is us); the lease
+        # lapsing still re-offers the task to any other worker.
+        worker_loop(
+            broker.directory,
+            lease_ttl=broker.lease_ttl,
+            max_attempts=broker.max_attempts,
+            task_timeout=timeout,
+            timeout_kills=False,
+            poll_interval=poll_interval,
+            drain=True,
+            log=log,
+        )
+        return
+    context = multiprocessing.get_context(start_method)
+    entry_args = (
+        str(broker.directory), broker.lease_ttl, broker.max_attempts, timeout,
+    )
+
+    def spawn():
+        proc = context.Process(
+            target=_broker_worker_entry, args=entry_args, daemon=True
+        )
+        proc.start()
+        return proc
+
+    workers = [spawn() for _ in range(local)]
+    respawns = 0
+    respawn_budget = remaining * broker.max_attempts + local
+    try:
+        while not broker.settled(sweep):
+            broker.reclaim_expired()
+            alive = [proc for proc in workers if proc.is_alive()]
+            dead = len(workers) - len(alive)
+            if dead and log is not None:
+                log(f"broker: {dead} local worker(s) died")
+            workers = alive
+            counts = broker.counts()
+            runnable = counts["pending"] + counts["leased"]
+            while (
+                runnable > 0
+                and len(workers) < local
+                and respawns < respawn_budget
+            ):
+                workers.append(spawn())
+                respawns += 1
+                if log is not None:
+                    log("broker: respawned a local worker")
+            if not workers and respawns >= respawn_budget:
+                # Workers keep dying faster than the attempt budget
+                # burns down; stop supervising and let the parent
+                # rescue whatever is left.
+                if log is not None:
+                    log("broker: worker respawn budget exhausted")
+                return
+            time.sleep(poll_interval)
+    finally:
+        deadline = time.monotonic() + 5.0
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
 
 
 def _warm_spawned_worker(blob: bytes) -> None:

@@ -1,0 +1,255 @@
+"""Session records and the golden-baseline results DB.
+
+The broker's queue answers *"what ran and what is still running"*; this
+module answers *"what did it produce, and is that still what it should
+produce"* — the MITuna ``session.py`` / ``golden.py`` pair scaled to
+this repo.  One SQLite file (``results.db`` next to the broker's
+``queue.db``) holds:
+
+sessions
+    One row per sweep submission: which point function, how many
+    tasks, which host enqueued it and when.  ``status`` lists them, so
+    a broker directory doubles as a lab notebook of everything ever
+    submitted through it.
+
+golden
+    The blessed baseline: per ``(fn, label)`` the task's content key
+    and the SHA-256 of its recorded result, copied from a completed
+    sweep by the ``bless`` CLI verb.  Later runs diff against it with
+    :meth:`ResultsDB.diff`, which separates the two very different
+    kinds of drift:
+
+    * **result drift** — same task content key, different result
+      digest.  The same work produced different bytes: a determinism
+      regression, corruption, or a behavioral code change.  This is
+      the alarm the golden DB exists to ring.
+    * **task drift** — the content key itself changed.  The sweep was
+      reconfigured (new δ grid, different workload seed, new code in
+      the task tuple); results *should* differ, and the baseline wants
+      re-blessing once the new shape is vetted.
+
+Everything here is derivable bytes (digests, not result payloads), so
+the file is small, mergeable, and safe to commit to a results branch.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import BrokerError
+
+__all__ = ["GoldenDiff", "ResultsDB", "format_diff"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sessions (
+    session INTEGER PRIMARY KEY AUTOINCREMENT,
+    sweep   TEXT NOT NULL,
+    fn      TEXT NOT NULL,
+    total   INTEGER NOT NULL,
+    host    TEXT,
+    note    TEXT,
+    created REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS golden (
+    fn      TEXT NOT NULL,
+    label   TEXT NOT NULL,
+    key     TEXT NOT NULL,
+    sha256  TEXT NOT NULL,
+    sweep   TEXT,
+    blessed REAL NOT NULL,
+    PRIMARY KEY (fn, label)
+);
+"""
+
+
+@dataclass
+class GoldenDiff:
+    """One sweep compared against the golden baseline for its fn."""
+
+    fn: str
+    #: labels whose task key and result digest both match golden.
+    matched: list = field(default_factory=list)
+    #: ``(label, golden_sha, current_sha)`` — same task, different
+    #: result.  Determinism regression or behavior change.
+    drifted: list = field(default_factory=list)
+    #: ``(label, golden_key, current_key)`` — the task itself changed;
+    #: results are expected to differ and golden wants re-blessing.
+    task_changed: list = field(default_factory=list)
+    #: golden labels with no counterpart in the current sweep.
+    missing: list = field(default_factory=list)
+    #: current labels golden has never seen.
+    novel: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No result drift (task changes and novel points are not
+        failures — they mean "re-bless when vetted")."""
+        return not self.drifted
+
+    @property
+    def baselined(self) -> bool:
+        """Whether golden had anything to compare against at all."""
+        return bool(
+            self.matched or self.drifted or self.task_changed or self.missing
+        )
+
+
+def format_diff(diff: GoldenDiff) -> str:
+    """Human-readable drift report for ``status``."""
+    if not diff.baselined and not diff.novel:
+        return f"{diff.fn}: no golden baseline and no results"
+    if not diff.baselined:
+        return (
+            f"{diff.fn}: {len(diff.novel)} result(s), no golden baseline "
+            f"(run `bless` to record one)"
+        )
+    lines = [
+        f"{diff.fn}: {len(diff.matched)} match golden"
+        + ("" if diff.clean else f", {len(diff.drifted)} DRIFTED")
+    ]
+    for label, want, got in diff.drifted:
+        lines.append(
+            f"  DRIFT {label}: golden {want[:12]} != current {got[:12]} "
+            f"(same task, different result)"
+        )
+    if diff.task_changed:
+        labels = ", ".join(label for label, _, _ in diff.task_changed[:4])
+        more = len(diff.task_changed) - 4
+        lines.append(
+            f"  task definition changed: {labels}"
+            + (f" (+{more} more)" if more > 0 else "")
+        )
+    if diff.missing:
+        lines.append(f"  missing vs golden: {', '.join(diff.missing[:6])}")
+    if diff.novel:
+        lines.append(f"  not in golden yet: {len(diff.novel)} label(s)")
+    return "\n".join(lines)
+
+
+class ResultsDB:
+    """Sessions + golden baselines for one broker directory."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(
+                str(self.path), timeout=30.0, isolation_level=None
+            )
+            self._conn.execute("PRAGMA busy_timeout = 30000")
+            self._conn.executescript(_SCHEMA)
+        except (OSError, sqlite3.Error) as exc:
+            raise BrokerError(
+                f"cannot open results DB {path}: {exc}"
+            ) from exc
+
+    @classmethod
+    def for_broker(cls, broker_directory) -> "ResultsDB":
+        """The results DB living next to a broker's ``queue.db``."""
+        return cls(Path(broker_directory) / "results.db")
+
+    # -- sessions -----------------------------------------------------------
+
+    def record_session(
+        self,
+        sweep: str,
+        fn: str,
+        total: int,
+        note: Optional[str] = None,
+        host: Optional[str] = None,
+    ) -> int:
+        """Log one sweep submission; returns the session id.
+
+        Re-submissions of the same sweep id are collapsed (idempotent,
+        like the enqueue they mirror).
+        """
+        cur = self._conn.execute(
+            "SELECT session FROM sessions WHERE sweep = ? "
+            "ORDER BY session DESC LIMIT 1",
+            (sweep,),
+        ).fetchone()
+        if cur is not None:
+            return int(cur[0])
+        host = host or f"{socket.gethostname()}:{os.getpid()}"
+        row = self._conn.execute(
+            "INSERT INTO sessions (sweep, fn, total, host, note, created) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (sweep, fn, int(total), host, note, time.time()),
+        )
+        return int(row.lastrowid)
+
+    def sessions(self, limit: int = 50) -> list:
+        """``(session, sweep, fn, total, host, note, created)`` rows,
+        newest first."""
+        return self._conn.execute(
+            "SELECT session, sweep, fn, total, host, note, created "
+            "FROM sessions ORDER BY session DESC LIMIT ?",
+            (int(limit),),
+        ).fetchall()
+
+    # -- golden baseline ----------------------------------------------------
+
+    def bless(self, fn: str, rows, sweep: Optional[str] = None) -> int:
+        """Record *rows* (``(label, key, sha256)``) as the golden
+        baseline for *fn*, replacing any previous blessing of those
+        labels; returns how many were blessed."""
+        now = time.time()
+        count = 0
+        for label, key, sha in rows:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO golden "
+                "(fn, label, key, sha256, sweep, blessed) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (fn, str(label), key, sha, sweep, now),
+            )
+            count += 1
+        return count
+
+    def golden_for(self, fn: str) -> dict:
+        """``{label: (key, sha256)}`` currently blessed for *fn*."""
+        return {
+            label: (key, sha)
+            for label, key, sha in self._conn.execute(
+                "SELECT label, key, sha256 FROM golden WHERE fn = ?", (fn,)
+            ).fetchall()
+        }
+
+    def golden_fns(self) -> list:
+        """Point functions with any blessed baseline."""
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT DISTINCT fn FROM golden ORDER BY fn"
+            ).fetchall()
+        ]
+
+    def diff(self, fn: str, rows) -> GoldenDiff:
+        """Compare *rows* (``(label, key, sha256)``) against the golden
+        baseline for *fn*; see :class:`GoldenDiff` for the taxonomy."""
+        golden = self.golden_for(fn)
+        diff = GoldenDiff(fn)
+        seen = set()
+        for label, key, sha in rows:
+            label = str(label)
+            seen.add(label)
+            if label not in golden:
+                diff.novel.append(label)
+                continue
+            want_key, want_sha = golden[label]
+            if key != want_key:
+                diff.task_changed.append((label, want_key, key))
+            elif sha != want_sha:
+                diff.drifted.append((label, want_sha, sha))
+            else:
+                diff.matched.append(label)
+        diff.missing = sorted(set(golden) - seen)
+        return diff
+
+    def close(self) -> None:
+        self._conn.close()

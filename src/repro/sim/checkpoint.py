@@ -36,6 +36,7 @@ harness and the CLI without touching the executor.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import math
@@ -55,6 +56,7 @@ __all__ = [
     "TASK_CHECKPOINT_DIR_ENV",
     "load_checkpoint",
     "save_checkpoint",
+    "task_checkpoint_dir",
     "task_checkpoint_manager",
 ]
 
@@ -240,6 +242,29 @@ class CheckpointManager:
                 stale.unlink()
             except OSError:
                 pass
+
+
+@contextlib.contextmanager
+def task_checkpoint_dir(directory):
+    """Export *directory* as the running task's checkpoint directory.
+
+    While the context is active :data:`TASK_CHECKPOINT_DIR_ENV` points
+    at *directory*, so checkpoint-aware point functions (which call
+    :func:`task_checkpoint_manager`) save there — and resume from there
+    when it already holds a valid snapshot.  The previous value is
+    restored on exit, so nested scopes (a broker worker running a
+    journaled task) unwind cleanly.  Both the sweep harness and the
+    broker worker loop wrap each task in this scope.
+    """
+    previous = os.environ.get(TASK_CHECKPOINT_DIR_ENV)
+    os.environ[TASK_CHECKPOINT_DIR_ENV] = str(directory)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(TASK_CHECKPOINT_DIR_ENV, None)
+        else:
+            os.environ[TASK_CHECKPOINT_DIR_ENV] = previous
 
 
 def task_checkpoint_manager(

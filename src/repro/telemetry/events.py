@@ -35,6 +35,8 @@ category       events                                              default
 ``fault``      injected fault applications/restores/skips          on
 ``cache``      pipeline-cache hit/miss metrics (no timeline)       on
 ``task``       harness task lifecycle (wall clock)                 on
+``broker``     sweep-broker protocol: enqueue, claim, complete,    on
+               fail, reclaim, quarantine, dedupe (wall clock)
 ``quantum``    one span per scheduling quantum                     off
 ``segment``    per-trace-step counters                             off
 =============  ==================================================  ========
@@ -55,7 +57,7 @@ PROC_TID_BASE = 1000
 #: Categories recorded by default: the decision-level timeline, cheap
 #: enough that full-scale runs stay within the tracing overhead budget.
 DEFAULT_CATEGORIES = frozenset(
-    {"exec", "sched", "tuning", "phase", "fault", "cache", "task"}
+    {"exec", "sched", "tuning", "phase", "fault", "cache", "task", "broker"}
 )
 
 #: Every category, including the high-volume per-quantum/per-step ones.

@@ -1,8 +1,9 @@
 """Durable-sweep journal tests: crash-safe ``run_tasks`` progress.
 
 Covers the :class:`~repro.experiments.journal.RunJournal` record/replay
-contract (digest-verified result files, torn-tail tolerance, corrupt
-middle lines rejected), the ``run_tasks`` integration (journaled tasks
+contract (digest-verified result files, torn-line tolerance, records
+salvaged from concurrent-writer interleaving), the ``run_tasks``
+integration (journaled tasks
 skipped on rerun, pool deaths blamed through pid files, repeat
 offenders demoted to serial-in-parent), and the :func:`set_run_root`
 auto-journal numbering the ``resume`` CLI verb relies on.
@@ -14,9 +15,6 @@ import os
 import pathlib
 import signal
 
-import pytest
-
-from repro.errors import ExperimentError
 from repro.experiments import harness
 from repro.experiments.harness import run_tasks
 from repro.experiments.journal import MAX_TASK_CRASHES, RunJournal
@@ -94,15 +92,47 @@ def test_torn_tail_is_tolerated(tmp_path):
     assert RunJournal(tmp_path).completed_results() == {0: "ok"}
 
 
-def test_corrupt_middle_line_raises(tmp_path):
+def test_corrupt_middle_line_skipped(tmp_path):
+    """A torn record anywhere (not just the tail) is skipped, never
+    allowed to shadow the good records around it."""
     journal = RunJournal(tmp_path)
     journal.record(0, "a", "ok")
     journal.record(1, "b", "ok")
     lines = journal.journal_path.read_text().rstrip("\n").split("\n")
     lines[0] = lines[0][:10]
     journal.journal_path.write_text("\n".join(lines) + "\n")
-    with pytest.raises(ExperimentError, match="corrupt journal line"):
-        RunJournal(tmp_path).completed_results()
+    assert RunJournal(tmp_path).completed_results() == {1: "ok"}
+
+
+def test_interleaved_fragment_does_not_shadow_next_record(tmp_path):
+    """A concurrent writer dying mid-append leaves a fragment with no
+    newline; the next record lands on the same line.  The intact
+    suffix is salvaged — the fragment costs nothing."""
+    journal = RunJournal(tmp_path)
+    journal.record(0, "a", "first")
+    with open(journal.journal_path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind": "resu')  # torn, unterminated
+    journal.record(1, "b", "second")
+    assert RunJournal(tmp_path).completed_results() == {
+        0: "first",
+        1: "second",
+    }
+
+
+def test_garbage_line_skipped(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record(0, "a", "kept")
+    with open(journal.journal_path, "a", encoding="utf-8") as fh:
+        fh.write("not json at all\n")
+    journal.record(1, "b", "also kept")
+    assert journal.completed_results() == {0: "kept", 1: "also kept"}
+
+
+def test_fsync_off_still_records(tmp_path):
+    journal = RunJournal(tmp_path, fsync=False)
+    assert journal.fsync is False
+    journal.record(0, "a", 7)
+    assert RunJournal(tmp_path).completed_results() == {0: 7}
 
 
 def test_digest_mismatch_forces_rerun(tmp_path):
