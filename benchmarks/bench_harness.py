@@ -34,12 +34,14 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.experiments import extras, fig4, fig6, fig7, table1, table2
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import worker_count
+from repro.store import LocalStore
 from repro.tuning.pipeline import (
     PipelineCache,
     clear_default_cache,
@@ -122,6 +124,83 @@ def _static_pipeline_bench(config) -> dict:
     }
 
 
+def _store_bench(config, workdir) -> dict:
+    """Second-host cold start through a warm artifact store.
+
+    Three legs over the same static-pipeline workload:
+
+    * ``recompute``: empty everything — the cost a new host pays
+      without a store (this leg also leaves *workdir*/store warm);
+    * ``warm_store``: empty local cache + the warm store as a remote
+      tier — every entry is fetched and digest-verified, zero rebuilt;
+    * ``dead_remote``: empty local cache + an unreachable remote — the
+      breaker trips once and the host falls back to recompute with
+      identical results.
+    """
+    names = sorted(
+        Workload.random(config.slots, seed=config.seed).benchmark_names()
+    )
+    programs = [spec_benchmark(name).program for name in names]
+    store_dir = Path(workdir) / "store"
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_STORE_URL", "REPRO_STORE_TIMEOUT")
+    }
+
+    def _leg(url, disk_dir):
+        if url is None:
+            os.environ.pop("REPRO_STORE_URL", None)
+        else:
+            os.environ["REPRO_STORE_URL"] = url
+        cache = PipelineCache(disk_dir=disk_dir)
+        start = time.perf_counter()
+        for program in programs:
+            tune_program(program, cache=cache)
+        elapsed = time.perf_counter() - start
+        # Byte-level identity via the CAS itself: each leg leaves a
+        # ref -> sha256 map of every pipeline artifact it used, and the
+        # digest names the exact bytes.  Equal maps mean equal output.
+        return elapsed, cache.stats(), LocalStore(disk_dir).refs("pipeline")
+
+    try:
+        cold, _, baseline = _leg(None, store_dir)
+        warm, warm_stats, warm_refs = _leg(
+            str(store_dir), Path(workdir) / "second-host"
+        )
+        os.environ["REPRO_STORE_TIMEOUT"] = "0.2"
+        dead, dead_stats, dead_refs = _leg(
+            "http://127.0.0.1:9", Path(workdir) / "cut-off-host"
+        )
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    return {
+        "benchmarks": len(programs),
+        "recompute_seconds": round(cold, 3),
+        "warm_store_seconds": round(warm, 4),
+        "warm_store_speedup": round(cold / warm, 1) if warm else None,
+        "warm_store_misses": warm_stats["misses"],
+        "warm_store_hits": warm_stats["store_hits"],
+        "dead_remote_seconds": round(dead, 3),
+        "dead_remote_misses": dead_stats["misses"],
+        "_speedup_raw": (cold / warm) if warm else float("inf"),
+        # The warm host fetches only the entries it actually looks up
+        # (a top-level hit short-circuits the lower pipeline levels),
+        # so it holds a subset of the baseline's refs — every one of
+        # which must name the exact same bytes.  The cut-off host
+        # rebuilds everything and must reproduce the full map.
+        "_warm_identical": bool(warm_refs) and all(
+            baseline.get(name) == digest
+            for name, digest in warm_refs.items()
+        ),
+        "_dead_identical": bool(baseline) and dead_refs == baseline,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -184,6 +263,36 @@ def main(argv=None) -> int:
         failures.append(
             f"static-pipeline warm hit rate "
             f"{static['warm_hit_rate']:.0%} != 100%"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as workdir:
+        store = _store_bench(config, workdir)
+    store_speedup = store.pop("_speedup_raw")
+    warm_identical = store.pop("_warm_identical")
+    dead_identical = store.pop("_dead_identical")
+    report["artifact_store"] = store
+    print(
+        f"artifact store ({store['benchmarks']} benchmarks): "
+        f"recompute {store['recompute_seconds']:.2f}s   "
+        f"warm store {store['warm_store_seconds']:.4f}s "
+        f"(x{store['warm_store_speedup']})   "
+        f"dead remote {store['dead_remote_seconds']:.2f}s"
+    )
+    if store_speedup < 2.0:
+        failures.append(
+            f"warm-store cold start speedup {store_speedup:.2f}x is below "
+            f"the 2x gate"
+        )
+    if store["warm_store_misses"] != 0:
+        failures.append(
+            f"warm-store leg recomputed {store['warm_store_misses']} "
+            f"pipeline entries; expected 0"
+        )
+    if not warm_identical:
+        failures.append("warm-store leg produced different pipeline output")
+    if not dead_identical:
+        failures.append(
+            "dead-remote fallback produced different pipeline output"
         )
 
     for name, fn in _experiments(config, fairness, args.quick):

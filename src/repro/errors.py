@@ -77,6 +77,20 @@ class CheckpointError(SimulationError):
     into."""
 
 
+class StoreError(ReproError):
+    """Raised by :mod:`repro.store` for invalid usage (malformed digests
+    or ref names, an unusable store directory/URL).  Remote-tier
+    *transport* failures are never raised — a dead or slow tier degrades
+    to a miss — so a run can always fall back to local compute."""
+
+
+class StoreCorruptionError(StoreError):
+    """An object fetched from a store tier failed its digest
+    verification.  Local tiers quarantine the damaged file before
+    raising; readers treat the tier as a miss and fall through to the
+    next tier (or recompute)."""
+
+
 class CacheCorruptionError(ReproError):
     """Raised when a :class:`~repro.tuning.pipeline.PipelineCache`
     integrity check finds an entry whose stored key digest no longer

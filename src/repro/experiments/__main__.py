@@ -17,6 +17,18 @@ completed sweep point to stderr.  ``--cache-dir`` (or the
 cache to disk: a second invocation rebuilds nothing and reports a 100%
 pipeline-cache hit rate in the stats line printed at the end.
 
+``--store-url`` (or ``REPRO_STORE_URL``) adds shared artifact-store
+tiers — comma-separated ``http(s)://`` servers (``python -m
+repro.store serve``) and/or rsync-able directories — consulted on a
+local cache miss: a host that never ran the pipeline fetches every
+entry (digest-verified) instead of recomputing it.  ``--store-dir``
+(or ``REPRO_STORE_DIR``) names the local store directory used by
+broker results and checkpoint snapshots; the ``--cache-dir`` directory
+is itself a valid store, so it can be served or listed in another
+host's ``REPRO_STORE_URL`` directly.  A dead or slow remote tier costs
+one bounded timeout and the run falls back to local compute with
+byte-identical output.
+
 ``--trace-out DIR`` (or the ``REPRO_TRACE_DIR`` environment variable)
 enables :mod:`repro.telemetry`: every simulation and harness task is
 recorded and the run writes ``DIR/trace.json`` (Chrome ``trace_event``
@@ -115,6 +127,7 @@ from repro.telemetry import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.store import STORE_DIR_ENV, STORE_URL_ENV
 from repro.tuning.pipeline import CACHE_DIR_ENV, default_cache
 
 
@@ -257,6 +270,24 @@ def _parse_args(argv):
         "skip the whole static pipeline",
     )
     parser.add_argument(
+        "--store-url",
+        default=None,
+        metavar="URL[,URL...]",
+        help="read artifacts through shared store tiers on a cache miss: "
+        "http(s) servers (python -m repro.store serve) and/or plain "
+        "directories, consulted in order (default: the REPRO_STORE_URL "
+        "environment variable, if set)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="local artifact-store directory for broker results and "
+        "checkpoint snapshots (default: the REPRO_STORE_DIR environment "
+        "variable, if set); a --cache-dir directory is already a store "
+        "and needs no extra flag",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="DIR",
@@ -395,6 +426,8 @@ _MANIFEST_KEYS = (
     "jobs",
     "log",
     "cache_dir",
+    "store_url",
+    "store_dir",
     "no_coalesce",
     "trace_out",
     "trace_categories",
@@ -447,6 +480,12 @@ def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
         # as well as forked — attach the same disk tier.
         os.environ[CACHE_DIR_ENV] = args.cache_dir
         default_cache().set_disk_dir(args.cache_dir)
+    if getattr(args, "store_url", None):
+        # Same routing as --cache-dir: workers (fork or spawn) and the
+        # process-wide default_store() read the environment.
+        os.environ[STORE_URL_ENV] = args.store_url
+    if getattr(args, "store_dir", None):
+        os.environ[STORE_DIR_ENV] = args.store_dir
     if getattr(args, "no_coalesce", False):
         # Same routing as --cache-dir: pool workers inherit the
         # environment, so every simulation in the invocation steps its
@@ -523,7 +562,9 @@ def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
     print(
         f"pipeline cache: {stats['hits']} hits / {stats['misses']} misses "
         f"({stats['hit_rate']:.0%} hit rate, {stats['disk_hits']} from disk, "
-        f"{stats['corruptions']} corrupt)",
+        f"{stats['store_hits']} from store, {stats['corruptions']} corrupt, "
+        f"{stats['evicted_entries']} evicted / {stats['evicted_bytes']} "
+        f"bytes)",
         file=sys.stderr,
     )
 

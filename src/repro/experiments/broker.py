@@ -69,6 +69,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.errors import BrokerError, LeaseLostError
 from repro.sim.checkpoint import task_checkpoint_dir
+from repro.store import atomic_publish, default_store
 from repro.telemetry.context import current_recorder
 
 __all__ = [
@@ -560,6 +561,12 @@ class Broker:
                     fh.flush()
                     os.fsync(fh.fileno())
             os.replace(tmp, path)
+        # Mirror the result into the shared artifact store (if one is
+        # configured) so replays on other hosts can fetch it by digest.
+        # Best-effort: a dead store tier never fails a completion.
+        store = default_store()
+        if store is not None:
+            store.put_object(payload)
         with self._txn() as cur:
             recorded = cur.execute(
                 "INSERT OR IGNORE INTO results "
@@ -730,21 +737,39 @@ class Broker:
         Mirrors the journal contract: a result whose file is missing,
         truncated, or fails its digest check is treated as absent (the
         task re-runs) rather than returning silently wrong bytes, and
-        records of the other traced-ness are skipped.
+        records of the other traced-ness are skipped.  A missing or
+        damaged local file falls back to the shared artifact store
+        (fetched by the row's digest, verified, and republished
+        locally), so a second host can replay a sweep it never ran.
         """
         by_key = {}
         rows = self._conn().execute(
             "SELECT key, file, sha256, traced FROM results WHERE sweep = ?",
             (sweep,),
         ).fetchall()
+        store = default_store()
         for key, name, digest, rec_traced in rows:
             if bool(rec_traced) != bool(traced):
                 continue
             try:
                 payload = (self.results_dir / name).read_bytes()
             except OSError:
-                continue
-            if hashlib.sha256(payload).hexdigest() != digest:
+                payload = None
+            if payload is not None and (
+                hashlib.sha256(payload).hexdigest() != digest
+            ):
+                payload = None
+            if payload is None and store is not None:
+                payload = store.get_object(digest)
+                if payload is not None:
+                    # Promote the fetched result next to the queue so
+                    # later replays need no remote tier.
+                    try:
+                        atomic_publish(self.results_dir / name, payload,
+                                       fsync=self.fsync)
+                    except OSError:
+                        pass
+            if payload is None:
                 continue
             try:
                 by_key[key] = pickle.loads(payload)
@@ -808,6 +833,50 @@ class Broker:
     def checkpoint_dir(self, key: str) -> str:
         """Where the task with content key *key* checkpoints."""
         return str(self.directory / "ckpt" / key)
+
+    def gc_checkpoints(self) -> tuple:
+        """Remove ``ckpt/<key>`` dirs whose tasks all reached ``done``.
+
+        Checkpoints exist to resume interrupted work; once every task
+        row sharing a key is done, its directory is dead weight (it
+        used to accumulate forever).  Returns ``(dirs removed, bytes
+        freed)``.  Directories whose key is still pending, leased, or
+        quarantined — or not in the queue at all (another queue's keys,
+        a mid-write claim) — are left alone.
+        """
+        root = self.directory / "ckpt"
+        if not root.is_dir():
+            return 0, 0
+        states = {}
+        for key, state in self._conn().execute(
+            "SELECT key, state FROM tasks"
+        ).fetchall():
+            states.setdefault(key, set()).add(state)
+        removed = 0
+        freed = 0
+        for entry in sorted(root.iterdir()):
+            if not entry.is_dir() or states.get(entry.name) != {"done"}:
+                continue
+            size = 0
+            try:
+                for path in sorted(entry.rglob("*"), reverse=True):
+                    if path.is_file():
+                        size += path.stat().st_size
+                        path.unlink()
+                    elif path.is_dir():
+                        path.rmdir()
+                entry.rmdir()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        if removed:
+            with self._txn() as cur:
+                self._event(
+                    cur, "gc", detail=f"{removed} checkpoint dir(s), "
+                    f"{freed} bytes",
+                )
+        return removed, freed
 
     def close(self) -> None:
         conn = getattr(self._local, "conn", None)
@@ -904,6 +973,15 @@ def worker_loop(
         backoff_base=backoff_base,
     )
     worker = worker or default_worker_id()
+    # Warm the pipeline cache from the shared store (when configured)
+    # before claiming anything: a sweep point then reuses the fleet's
+    # static-pipeline products instead of recomputing them per worker.
+    from repro.tuning.pipeline import default_cache
+
+    prefetched = default_cache().warm_from_store()
+    if prefetched and log is not None:
+        log(f"worker {worker}: prefetched {prefetched} pipeline "
+            f"entries from the store")
     rec = current_recorder()
     completed = 0
     task_run = None
@@ -928,7 +1006,11 @@ def worker_loop(
         started = time.perf_counter()
         try:
             fn, task = lease.load()
-            with task_checkpoint_dir(broker.checkpoint_dir(lease.key)):
+            # The content key doubles as the snapshot's store ref, so a
+            # reclaimed task resumes from the fleet's last published
+            # checkpoint even on a host with an empty ckpt/ directory.
+            with task_checkpoint_dir(broker.checkpoint_dir(lease.key),
+                                     ref=lease.key):
                 value = fn(task)
         except BaseException as exc:
             heartbeat.stop()

@@ -292,6 +292,15 @@ def run_tasks(
     if total == 0:
         return []
 
+    # Warm-fetch published pipeline entries from the shared store (when
+    # one is configured) before any worker starts: fork workers inherit
+    # them through memory, spawn workers receive them via the pool
+    # initializer, and the sweep skips recomputing what the fleet
+    # already built.  A dead store degrades to fetching nothing.
+    from repro.tuning.pipeline import default_cache
+
+    default_cache().warm_from_store()
+
     rec = current_recorder()
     rec = rec if rec.enabled else None
     if backend == "broker":
@@ -421,12 +430,13 @@ def _run_serial(
     return results
 
 
-def _call_with_checkpoint_dir(fn: Callable, task, ckpt_dir) -> object:
+def _call_with_checkpoint_dir(fn: Callable, task, ckpt_dir, ref=None) -> object:
     """Run ``fn(task)`` with :data:`TASK_CHECKPOINT_DIR_ENV` pointing at
     the task's checkpoint directory, so checkpoint-aware point functions
     (``runner.run_technique_point``) save there — and resume from there
-    when the directory already holds a valid snapshot."""
-    with task_checkpoint_dir(ckpt_dir):
+    when the directory already holds a valid snapshot.  *ref* names the
+    snapshots in the shared artifact store (broker content key)."""
+    with task_checkpoint_dir(ckpt_dir, ref=ref):
         return fn(task)
 
 
@@ -574,7 +584,7 @@ def _run_broker(
                 )
             key = task_key(run_fn, tasks[index])
             value = _call_with_checkpoint_dir(
-                run_fn, tasks[index], broker.checkpoint_dir(key)
+                run_fn, tasks[index], broker.checkpoint_dir(key), ref=key
             )
             broker.complete(
                 Lease(sweep, index, key, labels[index], b"", 0, 0.0,

@@ -46,7 +46,7 @@ import re
 from pathlib import Path
 from typing import Optional
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StoreError
 
 __all__ = [
     "CHECKPOINT_INTERVAL_ENV",
@@ -54,7 +54,10 @@ __all__ = [
     "CheckpointManager",
     "DEFAULT_CHECKPOINT_INTERVAL",
     "TASK_CHECKPOINT_DIR_ENV",
+    "TASK_CHECKPOINT_REF_ENV",
+    "build_checkpoint_bytes",
     "load_checkpoint",
+    "parse_checkpoint",
     "save_checkpoint",
     "task_checkpoint_dir",
     "task_checkpoint_manager",
@@ -70,18 +73,21 @@ DEFAULT_CHECKPOINT_INTERVAL = 10.0
 TASK_CHECKPOINT_DIR_ENV = "REPRO_TASK_CHECKPOINT_DIR"
 CHECKPOINT_INTERVAL_ENV = "REPRO_CHECKPOINT_INTERVAL"
 
+#: Stable content name for the running task's snapshots in the shared
+#: artifact store (the broker exports its task content key here).  When
+#: set, :func:`task_checkpoint_manager` also publishes snapshots under
+#: ``ckpt/<name>`` refs and can resume from a snapshot another host
+#: published — a reclaimed task continues mid-simulation even on a
+#: machine whose local checkpoint directory is empty.
+TASK_CHECKPOINT_REF_ENV = "REPRO_TASK_CHECKPOINT_REF"
+
 _FILE_RE = re.compile(r"^ckpt-(\d{8})\.ckpt$")
 
 
-def save_checkpoint(state: dict, path) -> Path:
-    """Atomically write *state* (a snapshot dict) to *path*.
-
-    The file appears under its final name only after the payload has
-    been fully written and fsynced, so a crash mid-save leaves at worst
-    a stale ``*.tmp`` file behind, never a truncated checkpoint.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+def build_checkpoint_bytes(state: dict) -> bytes:
+    """The full checkpoint envelope (magic + header + payload) for
+    *state* — what :func:`save_checkpoint` writes and the shared store
+    publishes."""
     payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
     header = json.dumps(
         {
@@ -92,20 +98,85 @@ def save_checkpoint(state: dict, path) -> Path:
         },
         sort_keys=True,
     ).encode("ascii")
+    return MAGIC + len(header).to_bytes(4, "big") + header + payload
+
+
+def _write_envelope(envelope: bytes, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as fh:
-        fh.write(MAGIC)
-        fh.write(len(header).to_bytes(4, "big"))
-        fh.write(header)
-        fh.write(payload)
+        fh.write(envelope)
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
     return path
 
 
+def save_checkpoint(state: dict, path) -> Path:
+    """Atomically write *state* (a snapshot dict) to *path*.
+
+    The file appears under its final name only after the payload has
+    been fully written and fsynced, so a crash mid-save leaves at worst
+    a stale ``*.tmp`` file behind, never a truncated checkpoint.
+    """
+    return _write_envelope(build_checkpoint_bytes(state), path)
+
+
+def parse_checkpoint(raw: bytes, label: str = "<bytes>") -> dict:
+    """Verify a checkpoint envelope and return the snapshot dict.
+
+    *label* names the source in error messages (a path for files, a
+    ref for store fetches).
+
+    Raises:
+        CheckpointError: wrong magic or format version, truncation, a
+            payload whose SHA-256 digest does not match the header, or
+            a payload that does not unpickle to a snapshot dict.
+    """
+    if not raw.startswith(MAGIC):
+        raise CheckpointError(f"{label}: not a repro checkpoint (bad magic)")
+    body = raw[len(MAGIC):]
+    if len(body) < 4:
+        raise CheckpointError(f"{label}: truncated checkpoint (no header)")
+    header_len = int.from_bytes(body[:4], "big")
+    header_raw = body[4:4 + header_len]
+    if len(header_raw) < header_len:
+        raise CheckpointError(f"{label}: truncated checkpoint (short header)")
+    try:
+        header = json.loads(header_raw.decode("ascii"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(f"{label}: corrupt checkpoint header") from exc
+    if not isinstance(header, dict) or header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{label}: unsupported checkpoint version "
+            f"{header.get('version') if isinstance(header, dict) else header!r}"
+        )
+    payload = body[4 + header_len:]
+    if len(payload) != header.get("length"):
+        raise CheckpointError(
+            f"{label}: truncated checkpoint "
+            f"({len(payload)} of {header.get('length')} payload bytes)"
+        )
+    if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+        raise CheckpointError(
+            f"{label}: checkpoint digest mismatch (corrupt payload)"
+        )
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"{label}: checkpoint payload does not unpickle: {exc}"
+        ) from exc
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"{label}: checkpoint payload is not a snapshot dict"
+        )
+    return state
+
+
 def load_checkpoint(path) -> dict:
-    """Read and verify a checkpoint, returning the snapshot dict.
+    """Read and verify a checkpoint file, returning the snapshot dict.
 
     Raises:
         CheckpointError: if the file is unreadable, has the wrong
@@ -117,41 +188,7 @@ def load_checkpoint(path) -> dict:
         raw = path.read_bytes()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-    if not raw.startswith(MAGIC):
-        raise CheckpointError(f"{path}: not a repro checkpoint (bad magic)")
-    body = raw[len(MAGIC):]
-    if len(body) < 4:
-        raise CheckpointError(f"{path}: truncated checkpoint (no header)")
-    header_len = int.from_bytes(body[:4], "big")
-    header_raw = body[4:4 + header_len]
-    if len(header_raw) < header_len:
-        raise CheckpointError(f"{path}: truncated checkpoint (short header)")
-    try:
-        header = json.loads(header_raw.decode("ascii"))
-    except (UnicodeDecodeError, ValueError) as exc:
-        raise CheckpointError(f"{path}: corrupt checkpoint header") from exc
-    if not isinstance(header, dict) or header.get("version") != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"{path}: unsupported checkpoint version "
-            f"{header.get('version') if isinstance(header, dict) else header!r}"
-        )
-    payload = body[4 + header_len:]
-    if len(payload) != header.get("length"):
-        raise CheckpointError(
-            f"{path}: truncated checkpoint "
-            f"({len(payload)} of {header.get('length')} payload bytes)"
-        )
-    if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
-        raise CheckpointError(f"{path}: checkpoint digest mismatch (corrupt payload)")
-    try:
-        state = pickle.loads(payload)
-    except Exception as exc:
-        raise CheckpointError(
-            f"{path}: checkpoint payload does not unpickle: {exc}"
-        ) from exc
-    if not isinstance(state, dict):
-        raise CheckpointError(f"{path}: checkpoint payload is not a snapshot dict")
-    return state
+    return parse_checkpoint(raw, label=str(path))
 
 
 class CheckpointManager:
@@ -167,10 +204,18 @@ class CheckpointManager:
         keep: how many of the newest checkpoints to retain.  At least
             two, so a checkpoint corrupted on disk still leaves a valid
             predecessor to fall back to.
+        store: optional shared artifact store
+            (:class:`repro.store.TieredStore`).  With *ref* set, every
+            snapshot is also published there (newest wins) and
+            :meth:`latest_state` falls back to the store when no valid
+            local file exists — so a task reclaimed onto another host
+            resumes mid-simulation.  Always best-effort: a dead store
+            never fails a save or a resume.
+        ref: the store ref name snapshots publish under.
     """
 
     def __init__(self, directory, interval: float = DEFAULT_CHECKPOINT_INTERVAL,
-                 keep: int = 2):
+                 keep: int = 2, store=None, ref: Optional[str] = None):
         if not (interval > 0 and math.isfinite(interval)):
             raise CheckpointError(
                 f"checkpoint interval must be positive and finite, got {interval}"
@@ -180,10 +225,15 @@ class CheckpointManager:
         self.directory = Path(directory)
         self.interval = float(interval)
         self.keep = int(keep)
+        self.store = store if ref else None
+        self.ref = ref
         self.saves = 0
         #: Corrupt files skipped while looking for the latest valid
         #: snapshot (surfaced so callers can log the fallback).
         self.corrupt_skipped = 0
+        #: Whether the last :meth:`latest_state` came from the shared
+        #: store rather than a local file.
+        self.resumed_from_store = False
         self.next_due = self.interval
         existing = self.checkpoint_files()
         self._seq = (
@@ -213,7 +263,13 @@ class CheckpointManager:
         """
         state = sim.snapshot_state()
         path = self.directory / f"ckpt-{self._seq:08d}.ckpt"
-        save_checkpoint(state, path)
+        envelope = build_checkpoint_bytes(state)
+        _write_envelope(envelope, path)
+        if self.store is not None:
+            try:
+                self.store.publish(self.ref, envelope)
+            except (OSError, StoreError):
+                pass
         self._seq += 1
         self.saves += 1
         base = state.get("now", 0.0) if at is None else at
@@ -227,13 +283,38 @@ class CheckpointManager:
         Corrupt files are skipped (counted in ``corrupt_skipped``), so
         a damaged newest checkpoint falls back to its predecessor and a
         fully corrupt directory falls back to a clean start — never to
-        silently wrong state.
+        silently wrong state.  With a store ref configured, an empty or
+        fully corrupt directory additionally falls back to the snapshot
+        the fleet last published (digest-verified by the store, then
+        re-verified here), promoting it into the directory on success.
         """
+        self.resumed_from_store = False
         for path in reversed(self.checkpoint_files()):
             try:
                 return load_checkpoint(path)
             except CheckpointError:
                 self.corrupt_skipped += 1
+        if self.store is not None:
+            try:
+                envelope = self.store.fetch(self.ref)
+            except StoreError:
+                envelope = None
+            if envelope is not None:
+                try:
+                    state = parse_checkpoint(envelope, label=f"ref {self.ref}")
+                except CheckpointError:
+                    self.corrupt_skipped += 1
+                    return None
+                try:
+                    _write_envelope(
+                        envelope,
+                        self.directory / f"ckpt-{self._seq:08d}.ckpt",
+                    )
+                    self._seq += 1
+                except OSError:
+                    pass
+                self.resumed_from_store = True
+                return state
         return None
 
     def _prune(self) -> None:
@@ -245,19 +326,27 @@ class CheckpointManager:
 
 
 @contextlib.contextmanager
-def task_checkpoint_dir(directory):
+def task_checkpoint_dir(directory, ref: Optional[str] = None):
     """Export *directory* as the running task's checkpoint directory.
 
     While the context is active :data:`TASK_CHECKPOINT_DIR_ENV` points
     at *directory*, so checkpoint-aware point functions (which call
     :func:`task_checkpoint_manager`) save there — and resume from there
-    when it already holds a valid snapshot.  The previous value is
-    restored on exit, so nested scopes (a broker worker running a
-    journaled task) unwind cleanly.  Both the sweep harness and the
-    broker worker loop wrap each task in this scope.
+    when it already holds a valid snapshot.  *ref* additionally exports
+    :data:`TASK_CHECKPOINT_REF_ENV` — a stable content name (the
+    broker's task key) under which snapshots are shared through the
+    artifact store.  The previous values are restored on exit, so
+    nested scopes (a broker worker running a journaled task) unwind
+    cleanly.  Both the sweep harness and the broker worker loop wrap
+    each task in this scope.
     """
     previous = os.environ.get(TASK_CHECKPOINT_DIR_ENV)
+    previous_ref = os.environ.get(TASK_CHECKPOINT_REF_ENV)
     os.environ[TASK_CHECKPOINT_DIR_ENV] = str(directory)
+    if ref is not None:
+        os.environ[TASK_CHECKPOINT_REF_ENV] = str(ref)
+    else:
+        os.environ.pop(TASK_CHECKPOINT_REF_ENV, None)
     try:
         yield
     finally:
@@ -265,6 +354,10 @@ def task_checkpoint_dir(directory):
             os.environ.pop(TASK_CHECKPOINT_DIR_ENV, None)
         else:
             os.environ[TASK_CHECKPOINT_DIR_ENV] = previous
+        if previous_ref is None:
+            os.environ.pop(TASK_CHECKPOINT_REF_ENV, None)
+        else:
+            os.environ[TASK_CHECKPOINT_REF_ENV] = previous_ref
 
 
 def task_checkpoint_manager(
@@ -298,4 +391,14 @@ def task_checkpoint_manager(
             raise CheckpointError(
                 f"{CHECKPOINT_INTERVAL_ENV}={raw!r} is not a number"
             ) from exc
-    return CheckpointManager(directory, interval=interval)
+    store = None
+    ref = None
+    name = os.environ.get(TASK_CHECKPOINT_REF_ENV, "").strip()
+    if name:
+        from repro.store import default_store
+
+        store = default_store()
+        if store is not None:
+            ref = f"ckpt/{name}" + (f"/{subdir}" if subdir else "")
+    return CheckpointManager(directory, interval=interval, store=store,
+                             ref=ref)

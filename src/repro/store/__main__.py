@@ -1,0 +1,181 @@
+"""Command-line front door for the artifact store.
+
+::
+
+    python -m repro.store serve --dir STORE [--host H] [--port P]
+    python -m repro.store push  --dir STORE --url REMOTE [--prefix P]
+    python -m repro.store pull  --dir STORE --url REMOTE [--prefix P]
+    python -m repro.store gc    --dir STORE [--broker-dir DIR]
+    python -m repro.store stats --dir STORE [--url REMOTE]
+
+``push``/``pull`` synchronise refs (and the objects they point at)
+between a local store directory and one or more remote tiers; ``gc``
+drops unreferenced objects and, with ``--broker-dir``, the per-key
+checkpoint directories of broker tasks that already completed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError, StoreCorruptionError
+from repro.store import STORE_URL_ENV, LocalStore, parse_store_url
+from repro.store.server import serve
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Serve, sync, and maintain content-addressed "
+        "artifact stores.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    sp = sub.add_parser("serve", help="serve a store directory over HTTP")
+    sp.add_argument("--dir", required=True, help="store directory to serve")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8750,
+                    help="port to bind (0 = ephemeral)")
+    sp.add_argument("--verbose", action="store_true",
+                    help="log each request")
+
+    for verb, text in (("push", "upload local refs/objects to remotes"),
+                       ("pull", "download remote refs/objects locally")):
+        sp = sub.add_parser(verb, help=text)
+        sp.add_argument("--dir", required=True, help="local store directory")
+        sp.add_argument("--url", default=None,
+                        help=f"remote tiers (default: ${STORE_URL_ENV})")
+        sp.add_argument("--prefix", default="",
+                        help="only refs under this prefix")
+
+    sp = sub.add_parser("gc", help="drop unreferenced objects / done "
+                                   "broker checkpoints")
+    sp.add_argument("--dir", default=None, help="store directory to collect")
+    sp.add_argument("--broker-dir", default=None,
+                    help="also prune ckpt/ dirs of done broker tasks")
+
+    sp = sub.add_parser("stats", help="print tier statistics as JSON")
+    sp.add_argument("--dir", default=None, help="local store directory")
+    sp.add_argument("--url", default=None,
+                    help=f"remote tiers (default: ${STORE_URL_ENV})")
+
+    return parser.parse_args(argv)
+
+
+def _remotes(url: Optional[str]) -> list:
+    import os
+
+    text = url if url is not None else os.environ.get(STORE_URL_ENV, "")
+    tiers = parse_store_url(text)
+    if not tiers:
+        raise SystemExit(
+            f"no remote tiers: pass --url or set {STORE_URL_ENV}"
+        )
+    return tiers
+
+
+def _sync(source, targets, prefix: str) -> tuple:
+    """Copy every ref under *prefix* (and its object) from *source*
+    into each of *targets*; returns (refs copied, bytes copied)."""
+    copied = 0
+    moved_bytes = 0
+    for name, digest in sorted(source.refs(prefix).items()):
+        try:
+            data = source.get(digest)
+        except StoreCorruptionError:
+            print(f"skipping corrupt object for {name}", file=sys.stderr)
+            continue
+        if data is None:
+            continue
+        fresh = False
+        for target in targets:
+            if target.has(digest) and target.get_ref(name) == digest:
+                continue
+            # Object first, then the ref — file-before-index.
+            if target.put(data, digest) is None:
+                continue
+            target.set_ref(name, digest)
+            fresh = True
+        if fresh:
+            copied += 1
+            moved_bytes += len(data)
+    return copied, moved_bytes
+
+
+def _cmd_push(args) -> int:
+    local = LocalStore(args.dir)
+    copied, moved = _sync(local, _remotes(args.url), args.prefix)
+    print(f"pushed {copied} refs ({moved} bytes)")
+    return 0
+
+
+def _cmd_pull(args) -> int:
+    local = LocalStore(args.dir)
+    copied = 0
+    moved = 0
+    for remote in _remotes(args.url):
+        got, size = _sync(remote, [local], args.prefix)
+        copied += got
+        moved += size
+    print(f"pulled {copied} refs ({moved} bytes)")
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    if not args.dir and not args.broker_dir:
+        raise SystemExit("gc needs --dir and/or --broker-dir")
+    if args.dir:
+        removed, freed = LocalStore(args.dir).gc()
+        print(f"gc {args.dir}: removed {removed} objects ({freed} bytes)")
+    if args.broker_dir:
+        from repro.experiments.broker import Broker
+
+        broker = Broker(args.broker_dir)
+        dirs, freed = broker.gc_checkpoints()
+        print(
+            f"gc {args.broker_dir}: removed {dirs} done-task checkpoint "
+            f"dirs ({freed} bytes)"
+        )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    tiers = {}
+    if args.dir:
+        local = LocalStore(args.dir)
+        tiers[local.name] = local.stats_dict()
+    for remote in _remotes(args.url) if (args.url or not args.dir) else []:
+        if isinstance(remote, LocalStore):
+            tiers[remote.name] = remote.stats_dict()
+        else:
+            tiers[remote.name] = {
+                "refs": len(remote.refs()),
+                "tripped": remote.tripped,
+            }
+    print(json.dumps({"tiers": tiers}, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    try:
+        if args.verb == "serve":
+            serve(args.dir, host=args.host, port=args.port,
+                  verbose=args.verbose)
+            return 0
+        return {
+            "push": _cmd_push,
+            "pull": _cmd_pull,
+            "gc": _cmd_gc,
+            "stats": _cmd_stats,
+        }[args.verb](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

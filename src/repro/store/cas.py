@@ -1,0 +1,799 @@
+"""Content-addressed artifact store with tiered read-through caching.
+
+Every cache tier the repo grew so far was an island: the pipeline
+cache's disk tier, per-run checkpoint directories, digest-named broker
+result files.  This module gives them one shared substrate — a
+**content-addressed store** (CAS) keyed by the sha256 fingerprints the
+repo already computes everywhere — so CI matrix jobs, developer
+machines, and broker workers on other hosts can share one warm store
+instead of each paying the full cold-start recompute.
+
+Layout of one store directory (a :class:`LocalStore`)::
+
+    objects/<aa>/<sha256>     immutable blobs, named by their own digest
+    refs/<namespace>/<name>   mutable pointers: one hex digest per file
+    quarantine/               objects that failed verification on read
+
+The invariants every tier honors:
+
+object immutability
+    An object file's name *is* the sha256 of its bytes.  Two writers
+    racing to publish the same digest are by definition writing the
+    same bytes, so publication is a temp file + :func:`os.replace` and
+    any interleaving yields one canonical object.
+
+verification on read
+    Every object read from disk or from a remote tier is re-hashed and
+    compared against its name **before** it is used or promoted into a
+    faster tier.  A mismatch quarantines the local file (or
+    negative-caches the remote entry) and raises
+    :class:`~repro.errors.StoreCorruptionError`; callers treat that as
+    a miss and fall through — to the next tier, or to recompute.
+
+file before index
+    A ref is only ever written after the object it points to has been
+    published (the broker's file-before-row rule).  A crash between the
+    two leaves at worst an orphaned object for ``gc``, never a ref
+    pointing at missing bytes.
+
+graceful degradation
+    Remote tiers (:class:`HTTPStore`, or a :class:`LocalStore` over an
+    rsync-able directory) can die mid-run.  Transport errors are never
+    raised: a failing HTTP tier trips a cooldown breaker and every
+    operation degrades to an instant miss until it elapses, so a dead
+    store costs a bounded timeout once — not once per lookup — and the
+    run falls back to local compute, byte-identically.
+
+:class:`TieredStore` chains tiers fastest-first (in-process dict →
+local CAS directory → remotes) with read-through promotion: a remote
+hit is verified, then written into the local directory and the memory
+tier so the next lookup never leaves the process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.telemetry.context import current_recorder
+
+__all__ = [
+    "DEFAULT_COOLDOWN",
+    "DEFAULT_TIMEOUT",
+    "HTTPStore",
+    "LocalStore",
+    "TieredStore",
+    "atomic_publish",
+    "object_digest",
+    "parse_store_url",
+]
+
+#: Seconds an HTTP-tier request may take before the tier is declared
+#: slow and tripped into its cooldown (``REPRO_STORE_TIMEOUT``).
+DEFAULT_TIMEOUT = 2.0
+
+#: Seconds a failed remote tier stays tripped — every operation is an
+#: instant miss — before it is probed again (``REPRO_STORE_COOLDOWN``).
+#: Negative results (a digest or ref the tier did not have) are cached
+#: for the same window, so a cold remote is not re-asked per lookup.
+DEFAULT_COOLDOWN = 30.0
+
+STORE_TIMEOUT_ENV = "REPRO_STORE_TIMEOUT"
+STORE_COOLDOWN_ENV = "REPRO_STORE_COOLDOWN"
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+_REF_PART_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def object_digest(data: bytes) -> str:
+    """The store address of *data*: its sha256 hex digest."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _check_digest(digest: str) -> str:
+    if not _DIGEST_RE.match(digest or ""):
+        raise StoreError(f"not a sha256 hex digest: {digest!r}")
+    return digest
+
+
+def _check_ref(name: str) -> str:
+    """Validate a ref name: slash-separated path-safe segments."""
+    parts = (name or "").split("/")
+    if not parts or not all(
+        _REF_PART_RE.match(part) and part not in (".", "..")
+        for part in parts
+    ):
+        raise StoreError(f"invalid ref name {name!r}")
+    return name
+
+
+def atomic_publish(path, data: bytes, fsync: bool = False) -> None:
+    """Write *data* to *path* via a unique temp file + ``os.replace``.
+
+    The pid+thread-qualified temp name means two racing writers can
+    never tear each other's bytes; the replace publishes all-or-nothing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _incr(name: str, delta: float = 1.0) -> None:
+    rec = current_recorder()
+    if rec.enabled and rec.wants("store"):
+        rec.incr(name, delta)
+
+
+class _TierStats:
+    """Hit/miss/byte counters one tier keeps for the stats surfaces."""
+
+    __slots__ = ("hits", "misses", "fetched_bytes", "errors", "corruptions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fetched_bytes = 0
+        self.errors = 0
+        self.corruptions = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fetched_bytes": self.fetched_bytes,
+            "errors": self.errors,
+            "corruptions": self.corruptions,
+        }
+
+
+class LocalStore:
+    """One CAS directory: the local tier, and the rsync-able remote tier.
+
+    The same class serves both roles — a directory published over NFS
+    or synced with rsync *is* a remote tier, read through the identical
+    verification path as an HTTP one.
+
+    Args:
+        root: the store directory (created lazily on first write, so a
+            read-only consumer never needs write permission).
+        fsync: fsync object files before publishing (durability for
+            broker-grade writers; off by default).
+    """
+
+    def __init__(self, root, fsync: bool = False) -> None:
+        self.root = Path(root)
+        self.fsync = bool(fsync)
+        self.stats = _TierStats()
+
+    @property
+    def name(self) -> str:
+        return f"dir:{self.root}"
+
+    # -- objects ------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / digest
+
+    def has(self, digest: str) -> bool:
+        return self._object_path(_check_digest(digest)).is_file()
+
+    def put(self, data: bytes, digest: Optional[str] = None) -> str:
+        """Publish *data*; returns its digest.  Idempotent: an existing
+        object with the same digest is left untouched (same digest,
+        same bytes)."""
+        actual = object_digest(data)
+        if digest is not None and _check_digest(digest) != actual:
+            raise StoreError(
+                f"digest mismatch on put: claimed {digest[:12]}, "
+                f"bytes hash to {actual[:12]}"
+            )
+        path = self._object_path(actual)
+        if not path.exists():
+            atomic_publish(path, data, fsync=self.fsync)
+        return actual
+
+    def get(self, digest: str) -> Optional[bytes]:
+        """The verified bytes of *digest*, or ``None`` if absent.
+
+        Raises:
+            StoreCorruptionError: the stored bytes do not hash to their
+                name.  The damaged file is moved into ``quarantine/``
+                first (best-effort), so the next fetch re-resolves from
+                a slower tier or recomputes instead of re-tripping.
+        """
+        path = self._object_path(_check_digest(digest))
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        if object_digest(data) != digest:
+            self.stats.corruptions += 1
+            self.quarantine(digest)
+            raise StoreCorruptionError(
+                f"object {digest[:12]} in {self.root} failed verification "
+                f"(quarantined)"
+            )
+        self.stats.hits += 1
+        self.stats.fetched_bytes += len(data)
+        return data
+
+    def object_size(self, digest: str) -> int:
+        try:
+            return self._object_path(digest).stat().st_size
+        except OSError:
+            return 0
+
+    def quarantine(self, digest: str) -> None:
+        """Move a damaged object out of the addressable layout."""
+        path = self._object_path(digest)
+        target = (
+            self.root / "quarantine" / f"{digest}.{os.getpid()}.bad"
+        )
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # A read-only remote directory cannot be cleaned from here;
+            # the corruption error alone keeps the object unused.
+            pass
+
+    def delete(self, digest: str) -> int:
+        """Remove one object; returns the bytes freed."""
+        path = self._object_path(_check_digest(digest))
+        try:
+            size = path.stat().st_size
+            path.unlink()
+            return size
+        except OSError:
+            return 0
+
+    def objects(self) -> List[str]:
+        """Every stored object digest (sorted)."""
+        root = self.root / "objects"
+        if not root.is_dir():
+            return []
+        out = []
+        for shard in sorted(root.iterdir()):
+            if not shard.is_dir():
+                continue
+            out.extend(
+                entry.name
+                for entry in sorted(shard.iterdir())
+                if _DIGEST_RE.match(entry.name)
+            )
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(self.object_size(digest) for digest in self.objects())
+
+    # -- refs ---------------------------------------------------------------
+
+    def _ref_path(self, name: str) -> Path:
+        return self.root / "refs" / Path(*_check_ref(name).split("/"))
+
+    def set_ref(self, name: str, digest: str) -> None:
+        """Point *name* at *digest* (write the object FIRST — refs are
+        the index half of the file-before-index rule)."""
+        atomic_publish(
+            self._ref_path(name),
+            (_check_digest(digest) + "\n").encode("ascii"),
+            fsync=self.fsync,
+        )
+
+    def get_ref(self, name: str) -> Optional[str]:
+        try:
+            text = self._ref_path(name).read_text(encoding="ascii").strip()
+        except (OSError, UnicodeDecodeError):
+            return None
+        if not _DIGEST_RE.match(text):
+            # A torn or scribbled ref is dropped, not trusted.
+            self.delete_ref(name)
+            self.stats.corruptions += 1
+            return None
+        return text
+
+    def delete_ref(self, name: str) -> bool:
+        try:
+            self._ref_path(name).unlink()
+            return True
+        except OSError:
+            return False
+
+    def refs(self, prefix: str = "") -> Dict[str, str]:
+        """``{name: digest}`` for every valid ref under *prefix*."""
+        root = self.root / "refs"
+        if prefix:
+            _check_ref(prefix)
+            root = root / Path(*prefix.split("/"))
+        if not root.is_dir():
+            return {}
+        out: Dict[str, str] = {}
+        base = self.root / "refs"
+        for path in sorted(root.rglob("*")):
+            if not path.is_file() or path.name.endswith(".tmp"):
+                continue
+            name = "/".join(path.relative_to(base).parts)
+            try:
+                text = path.read_text(encoding="ascii").strip()
+            except (OSError, UnicodeDecodeError):
+                continue
+            if _DIGEST_RE.match(text):
+                out[name] = text
+        return out
+
+    def ref_mtimes(self, prefix: str = "") -> List[Tuple[float, str, str]]:
+        """``(mtime, name, digest)`` per ref — the eviction ordering."""
+        out = []
+        for name, digest in self.refs(prefix).items():
+            try:
+                mtime = self._ref_path(name).stat().st_mtime
+            except OSError:
+                continue
+            out.append((mtime, name, digest))
+        return out
+
+    # -- maintenance --------------------------------------------------------
+
+    def gc(self, keep: Iterable[str] = ()) -> Tuple[int, int]:
+        """Delete objects referenced by no ref (and not in *keep*).
+
+        Returns ``(objects removed, bytes freed)``.  Also sweeps stale
+        ``*.tmp`` files left by crashed writers.
+        """
+        live = set(self.refs().values()) | set(keep)
+        removed = 0
+        freed = 0
+        for digest in self.objects():
+            if digest not in live:
+                freed += self.delete(digest)
+                removed += 1
+        for sub in ("objects", "refs"):
+            root = self.root / sub
+            if not root.is_dir():
+                continue
+            for tmp in root.rglob("*.tmp"):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        return removed, freed
+
+    def stats_dict(self) -> dict:
+        counts = self.stats.as_dict()
+        counts.update(
+            objects=len(self.objects()),
+            refs=len(self.refs()),
+            bytes=self.size_bytes(),
+        )
+        return counts
+
+
+class HTTPStore:
+    """Client for one remote store served by :mod:`repro.store.server`.
+
+    All transport failures are swallowed into misses; the first failure
+    trips a cooldown breaker (the tier answers "miss" instantly, no
+    network) until *cooldown* elapses, so a dead server costs one
+    bounded *timeout*, not one per lookup.  Negative results — a digest
+    or ref the server answered 404 for — are remembered for the same
+    window.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: Optional[float] = None,
+        cooldown: Optional[float] = None,
+    ) -> None:
+        if not url.startswith(("http://", "https://")):
+            raise StoreError(f"not an http(s) store URL: {url!r}")
+        self.url = url.rstrip("/")
+        if timeout is None:
+            timeout = _env_float(STORE_TIMEOUT_ENV, DEFAULT_TIMEOUT)
+        if cooldown is None:
+            cooldown = _env_float(STORE_COOLDOWN_ENV, DEFAULT_COOLDOWN)
+        self.timeout = float(timeout)
+        self.cooldown = float(cooldown)
+        self.stats = _TierStats()
+        self._lock = threading.Lock()
+        self._dead_until = 0.0
+        self._negative: Dict[str, float] = {}
+
+    @property
+    def name(self) -> str:
+        return self.url
+
+    # -- breaker ------------------------------------------------------------
+
+    def _unavailable(self, key: str) -> bool:
+        now = time.monotonic()
+        with self._lock:
+            if now < self._dead_until:
+                return True
+            until = self._negative.get(key)
+            if until is not None:
+                if now < until:
+                    return True
+                del self._negative[key]
+        return False
+
+    def _trip(self) -> None:
+        self.stats.errors += 1
+        with self._lock:
+            self._dead_until = time.monotonic() + self.cooldown
+
+    def _remember_miss(self, key: str) -> None:
+        with self._lock:
+            self._negative[key] = time.monotonic() + self.cooldown
+
+    @property
+    def tripped(self) -> bool:
+        with self._lock:
+            return time.monotonic() < self._dead_until
+
+    def _request(self, method: str, path: str, data: Optional[bytes] = None):
+        req = urllib.request.Request(
+            f"{self.url}{path}", data=data, method=method
+        )
+        return urllib.request.urlopen(req, timeout=self.timeout)
+
+    def _fetch(self, kind: str, path: str, key: str) -> Optional[bytes]:
+        if self._unavailable(key):
+            self.stats.misses += 1
+            return None
+        try:
+            with self._request("GET", path) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            if exc.code == 404:
+                self._remember_miss(key)
+            else:
+                self._trip()
+            self.stats.misses += 1
+            return None
+        except (OSError, urllib.error.URLError, TimeoutError):
+            self._trip()
+            self.stats.misses += 1
+            return None
+
+    # -- store interface ----------------------------------------------------
+
+    def get(self, digest: str) -> Optional[bytes]:
+        data = self._fetch("obj", f"/obj/{_check_digest(digest)}", digest)
+        if data is None:
+            return None
+        if object_digest(data) != digest:
+            # The server shipped damaged bytes; never trust them, and
+            # never re-ask within the cooldown.
+            self.stats.corruptions += 1
+            self._remember_miss(digest)
+            raise StoreCorruptionError(
+                f"object {digest[:12]} from {self.url} failed verification"
+            )
+        self.stats.hits += 1
+        self.stats.fetched_bytes += len(data)
+        return data
+
+    def get_ref(self, name: str) -> Optional[str]:
+        data = self._fetch("ref", f"/ref/{_check_ref(name)}", f"ref:{name}")
+        if data is None:
+            return None
+        text = data.decode("ascii", "replace").strip()
+        if not _DIGEST_RE.match(text):
+            self.stats.corruptions += 1
+            return None
+        return text
+
+    def has(self, digest: str) -> bool:
+        if self._unavailable(digest):
+            return False
+        try:
+            with self._request("HEAD", f"/obj/{_check_digest(digest)}"):
+                return True
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            if exc.code == 404:
+                self._remember_miss(digest)
+            else:
+                self._trip()
+            return False
+        except (OSError, urllib.error.URLError, TimeoutError):
+            self._trip()
+            return False
+
+    def put(self, data: bytes, digest: Optional[str] = None) -> Optional[str]:
+        """Best-effort push; returns the digest, or ``None`` if the tier
+        is unavailable (never raises for transport failures)."""
+        actual = object_digest(data)
+        if digest is not None and _check_digest(digest) != actual:
+            raise StoreError(
+                f"digest mismatch on put: claimed {digest[:12]}, "
+                f"bytes hash to {actual[:12]}"
+            )
+        # Writes respect the breaker only, never the negative cache: a
+        # put is exactly how a remembered miss becomes a hit.
+        if self.tripped:
+            return None
+        try:
+            with self._request("PUT", f"/obj/{actual}", data=data):
+                pass
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            self._trip()
+            return None
+        except (OSError, urllib.error.URLError, TimeoutError):
+            self._trip()
+            return None
+        with self._lock:
+            self._negative.pop(actual, None)
+        return actual
+
+    def set_ref(self, name: str, digest: str) -> bool:
+        if self.tripped:
+            return False
+        try:
+            with self._request(
+                "PUT",
+                f"/ref/{_check_ref(name)}",
+                data=_check_digest(digest).encode("ascii"),
+            ):
+                pass
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            self._trip()
+            return False
+        except (OSError, urllib.error.URLError, TimeoutError):
+            self._trip()
+            return False
+        with self._lock:
+            self._negative.pop(f"ref:{name}", None)
+        return True
+
+    def refs(self, prefix: str = "") -> Dict[str, str]:
+        if prefix:
+            _check_ref(prefix)
+        data = self._fetch(
+            "refs", f"/refs/{prefix}".rstrip("/"), f"refs:{prefix}"
+        )
+        if data is None:
+            return {}
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self.stats.corruptions += 1
+            return {}
+        if not isinstance(parsed, dict):
+            return {}
+        return {
+            name: digest
+            for name, digest in parsed.items()
+            if isinstance(digest, str) and _DIGEST_RE.match(digest)
+        }
+
+    def stats_dict(self) -> dict:
+        counts = self.stats.as_dict()
+        counts["tripped"] = self.tripped
+        return counts
+
+
+def _env_float(name: str, fallback: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return float(raw)
+    except ValueError:
+        raise StoreError(f"{name} must be a number, got {raw!r}") from None
+
+
+def parse_store_url(text: str) -> list:
+    """Tier objects for a ``REPRO_STORE_URL`` value.
+
+    Comma-separated entries, each either an ``http(s)://`` server or a
+    filesystem path (the rsync-able directory tier); listed order is
+    consulted order.
+    """
+    tiers: list = []
+    for part in (text or "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.startswith(("http://", "https://")):
+            tiers.append(HTTPStore(part))
+        else:
+            tiers.append(LocalStore(part))
+    return tiers
+
+
+class TieredStore:
+    """A read-through chain of store tiers, fastest first.
+
+    ``memory → local CAS directory → remotes``, with digest-verified
+    promotion: a hit in a slow tier is written into every faster tier
+    before it is returned, so repeat lookups never leave the process.
+
+    Args:
+        local: optional :class:`LocalStore` persistent tier.
+        remotes: remote tiers (:class:`HTTPStore` / :class:`LocalStore`)
+            in consulted order.
+        push_remotes: also publish writes to the remote tiers
+            (best-effort; a dead remote never fails a publish).
+    """
+
+    def __init__(
+        self, local: Optional[LocalStore] = None, remotes=(),
+        push_remotes: bool = False,
+    ) -> None:
+        self.local = local
+        self.remotes = list(remotes)
+        self.push_remotes = bool(push_remotes)
+        self._mem_objects: Dict[str, bytes] = {}
+        self._mem_refs: Dict[str, str] = {}
+        self.memory_hits = 0
+
+    # -- objects ------------------------------------------------------------
+
+    def get_object(self, digest: str) -> Optional[bytes]:
+        """Verified bytes of *digest* from the fastest tier holding it."""
+        _check_digest(digest)
+        data = self._mem_objects.get(digest)
+        if data is not None:
+            self.memory_hits += 1
+            _incr("store.memory.hit")
+            return data
+        for tier in self._tiers():
+            try:
+                data = tier.get(digest)
+            except StoreCorruptionError:
+                _incr("store.corrupt")
+                continue
+            if data is None:
+                _incr(f"store.{_label(tier)}.miss")
+                continue
+            _incr(f"store.{_label(tier)}.hit")
+            _incr(f"store.{_label(tier)}.fetched_bytes", len(data))
+            self._promote(digest, data, tier)
+            return data
+        return None
+
+    def put_object(self, data: bytes) -> str:
+        """Publish *data* to every writable tier; returns its digest."""
+        digest = object_digest(data)
+        self._mem_objects[digest] = data
+        if self.local is not None:
+            try:
+                self.local.put(data, digest)
+            except OSError:
+                pass
+        if self.push_remotes:
+            for tier in self.remotes:
+                try:
+                    tier.put(data, digest)
+                except (OSError, StoreError):
+                    pass
+        return digest
+
+    # -- refs ---------------------------------------------------------------
+
+    def fetch(self, name: str) -> Optional[bytes]:
+        """Resolve ref *name* and return its object's verified bytes."""
+        _check_ref(name)
+        digest = self._mem_refs.get(name)
+        if digest is not None:
+            data = self._mem_objects.get(digest)
+            if data is not None:
+                self.memory_hits += 1
+                _incr("store.memory.hit")
+                return data
+        for tier in self._tiers():
+            digest = tier.get_ref(name)
+            if digest is None:
+                _incr(f"store.{_label(tier)}.miss")
+                continue
+            data = self.get_object(digest)
+            if data is None:
+                continue
+            self._mem_refs[name] = digest
+            if self.local is not None and self.local.get_ref(name) != digest:
+                try:
+                    # Object was promoted by get_object already:
+                    # file before index.
+                    self.local.set_ref(name, digest)
+                except OSError:
+                    pass
+            return data
+        return None
+
+    def publish(self, name: str, data: bytes) -> str:
+        """Publish *data* and point ref *name* at it, object first."""
+        _check_ref(name)
+        digest = self.put_object(data)
+        self._mem_refs[name] = digest
+        if self.local is not None:
+            try:
+                self.local.set_ref(name, digest)
+            except OSError:
+                pass
+        if self.push_remotes:
+            for tier in self.remotes:
+                try:
+                    tier.set_ref(name, digest)
+                except (OSError, StoreError):
+                    pass
+        return digest
+
+    def list_refs(self, prefix: str = "") -> Dict[str, str]:
+        """Merged ``{name: digest}`` across tiers; faster tiers win."""
+        out: Dict[str, str] = {}
+        for tier in reversed(self.remotes):
+            try:
+                out.update(tier.refs(prefix))
+            except StoreError:
+                continue
+        if self.local is not None:
+            out.update(self.local.refs(prefix))
+        for name, digest in self._mem_refs.items():
+            if not prefix or name.startswith(prefix.rstrip("/") + "/"):
+                out[name] = digest
+        return out
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _tiers(self) -> list:
+        tiers: list = []
+        if self.local is not None:
+            tiers.append(self.local)
+        tiers.extend(self.remotes)
+        return tiers
+
+    def _promote(self, digest: str, data: bytes, source) -> None:
+        self._mem_objects[digest] = data
+        if self.local is not None and source is not self.local:
+            try:
+                self.local.put(data, digest)
+            except OSError:
+                pass
+
+    def configured(self) -> bool:
+        """Whether any persistent/remote tier exists (the memory tier
+        alone is not worth routing through)."""
+        return self.local is not None or bool(self.remotes)
+
+    def stats(self) -> dict:
+        tiers = {"memory": {"hits": self.memory_hits,
+                            "objects": len(self._mem_objects)}}
+        if self.local is not None:
+            tiers[self.local.name] = self.local.stats_dict()
+        for tier in self.remotes:
+            tiers[tier.name] = tier.stats_dict()
+        return {"tiers": tiers}
+
+
+def _label(tier) -> str:
+    return "local" if isinstance(tier, LocalStore) else "remote"

@@ -1,0 +1,197 @@
+"""Stdlib HTTP front-end for one :class:`~repro.store.cas.LocalStore`.
+
+``python -m repro.store serve --dir STORE`` runs this server; any
+machine that can reach it adds ``http://host:port`` to
+``REPRO_STORE_URL`` and reads through it with :class:`HTTPStore`.
+
+Routes::
+
+    GET/HEAD /obj/<digest>   object bytes (404 if absent)
+    PUT      /obj/<digest>   publish an object; the body is re-hashed
+                             and must match <digest> (400 otherwise),
+                             so a client can never poison the store
+    GET      /ref/<name>     the digest a ref points at (text)
+    PUT      /ref/<name>     point a ref; the target object must
+                             already exist (409 otherwise), enforcing
+                             file-before-index across the wire
+    GET      /refs[/prefix]  JSON {name: digest} listing
+    GET      /stats          JSON tier counters
+
+The server is deliberately dumb: all verification and atomicity lives
+in :class:`LocalStore`, so a plain rsync of the served directory is an
+equally valid tier.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.store.cas import LocalStore
+
+__all__ = ["StoreRequestHandler", "make_server", "serve"]
+
+_OBJ_RE = re.compile(r"^/obj/([0-9a-f]{64})$")
+_REF_RE = re.compile(r"^/ref/([A-Za-z0-9._/-]+)$")
+_REFS_RE = re.compile(r"^/refs(?:/([A-Za-z0-9._/-]+))?/?$")
+
+#: Refuse request bodies above this size (defense against a confused
+#: client streaming junk at the store; real artifacts are far smaller).
+MAX_BODY = 256 * 1024 * 1024
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Maps the route table above onto one ``LocalStore`` instance
+    (``self.server.store``)."""
+
+    protocol_version = "HTTP/1.1"
+    #: Quiet by default; ``serve(verbose=True)`` restores request logs.
+    verbose = False
+
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib override
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    @property
+    def store(self) -> LocalStore:
+        return self.server.store
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _reply(self, code: int, body: bytes = b"",
+               content_type: str = "application/octet-stream") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _reply_json(self, code: int, payload) -> None:
+        self._reply(
+            code,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            content_type="application/json",
+        )
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length < 0 or length > MAX_BODY:
+            raise StoreError(f"request body of {length} bytes refused")
+        return self.rfile.read(length)
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        match = _OBJ_RE.match(self.path)
+        if match:
+            try:
+                data = self.store.get(match.group(1))
+            except StoreCorruptionError:
+                # The damaged file is already quarantined; to the
+                # client this object simply does not exist here.
+                self._reply(404)
+                return
+            if data is None:
+                self._reply(404)
+            else:
+                self._reply(200, data)
+            return
+        match = _REF_RE.match(self.path)
+        if match:
+            try:
+                digest = self.store.get_ref(match.group(1))
+            except StoreError:
+                self._reply(400)
+                return
+            if digest is None:
+                self._reply(404)
+            else:
+                self._reply(200, digest.encode("ascii"),
+                            content_type="text/plain")
+            return
+        match = _REFS_RE.match(self.path)
+        if match:
+            try:
+                refs = self.store.refs(match.group(1) or "")
+            except StoreError:
+                self._reply(400)
+                return
+            self._reply_json(200, refs)
+            return
+        if self.path == "/stats":
+            self._reply_json(200, self.store.stats_dict())
+            return
+        self._reply(404)
+
+    do_HEAD = do_GET  # noqa: N815 - stdlib naming
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        match = _OBJ_RE.match(self.path)
+        if match:
+            digest = match.group(1)
+            try:
+                body = self._read_body()
+                self.store.put(body, digest)
+            except StoreError:
+                self._reply(400)
+                return
+            except OSError:
+                self._reply(507)
+                return
+            self._reply(201)
+            return
+        match = _REF_RE.match(self.path)
+        if match:
+            name = match.group(1)
+            try:
+                body = self._read_body()
+                digest = body.decode("ascii", "replace").strip()
+                if not self.store.has(digest):
+                    # Never index an object the store does not hold.
+                    self._reply(409)
+                    return
+                self.store.set_ref(name, digest)
+            except StoreError:
+                self._reply(400)
+                return
+            except OSError:
+                self._reply(507)
+                return
+            self._reply(201)
+            return
+        self._reply(404)
+
+
+def make_server(directory, host: str = "127.0.0.1", port: int = 0,
+                verbose: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-run threading server over the store at *directory*.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — what the tests and the warm-store CI
+    job use.
+    """
+    handler = type(
+        "BoundStoreRequestHandler", (StoreRequestHandler,),
+        {"verbose": verbose},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    server.store = LocalStore(directory)
+    return server
+
+
+def serve(directory, host: str = "127.0.0.1", port: int = 8750,
+          verbose: bool = False) -> None:
+    """Serve *directory* until interrupted (the ``store serve`` verb)."""
+    server = make_server(directory, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving store {directory} on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

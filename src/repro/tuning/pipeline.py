@@ -34,13 +34,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Optional
 
-from repro.errors import CacheCorruptionError
+from repro.errors import CacheCorruptionError, StoreCorruptionError
+from repro.store import LocalStore, remote_tiers
 from repro.program.module import Program
 from repro.analysis.annotate import annotate_program
 from repro.analysis.block_typing import BlockTyping, StaticBlockTyper
@@ -157,22 +157,38 @@ class PipelineCache:
     rebuilt, or raised as :class:`~repro.errors.CacheCorruptionError`
     under ``strict=True``.
 
-    With ``disk_dir`` set the cache gains a persistent tier: every
-    build is also written to ``{level}-{digest}.pkl`` under that
-    directory (atomically, via a temp file + ``os.replace``), and a
-    memory miss falls back to the disk copy before rebuilding.  Disk
-    entries carry the same key digest and are verified — and the full
-    stored key compared against the lookup key — on every load, so a
-    damaged or foreign file is evicted (or raised under ``strict``)
-    exactly like a corrupt in-memory entry.  The directory is bounded
-    to ``max_disk_entries`` files, evicting oldest-mtime first.
+    With ``disk_dir`` set the cache gains a persistent tier: a
+    content-addressed store (:class:`repro.store.LocalStore`) in that
+    directory.  Each build is published as an object (the pickled
+    ``(key, value, key-digest)`` triple) behind a
+    ``pipeline/{level}-{digest}`` ref — object first, then the ref,
+    both atomically — and a memory miss falls back to the store copy
+    before rebuilding.  Loads re-hash the object bytes *and* compare
+    the full stored key against the lookup key, so a damaged or
+    foreign entry is quarantined/evicted (or raised under ``strict``)
+    exactly like a corrupt in-memory entry.  A pre-store directory of
+    flat ``{level}-{digest}.pkl`` files is migrated into the CAS
+    layout on attach.
+
+    When ``REPRO_STORE_URL`` names remote tiers, a local miss reads
+    through them: the entry is digest-verified, promoted into the
+    local store and memory, and counted in ``store_hits``.  Remote
+    tiers are read-only from here (publish with ``python -m
+    repro.store push``) and degrade to misses when unreachable, so a
+    dead store never fails a build.
+
+    The persistent tier is bounded by ``max_disk_entries`` files *and*
+    ``max_disk_bytes`` object bytes; eviction drops oldest-ref-mtime
+    first (name tie-break) until both budgets hold, and the evicted
+    totals are reported in :meth:`stats`.
 
     Args:
         strict: raise on a detected corruption instead of silently
             rebuilding the entry.
         disk_dir: directory for the persistent tier (created if
             missing); ``None`` keeps the cache memory-only.
-        max_disk_entries: cap on on-disk entry files.
+        max_disk_entries: cap on persisted entries (``None`` = no cap).
+        max_disk_bytes: cap on summed object bytes (``None`` = no cap).
     """
 
     def __init__(
@@ -180,15 +196,21 @@ class PipelineCache:
         strict: bool = False,
         disk_dir=None,
         max_disk_entries: int = 512,
+        max_disk_bytes: Optional[int] = None,
     ) -> None:
         self._entries: dict = {}
         self.strict = strict
         self.max_disk_entries = max_disk_entries
+        self.max_disk_bytes = max_disk_bytes
         self._disk_dir: Optional[Path] = None
+        self._store: Optional[LocalStore] = None
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.store_hits = 0
         self.corruptions = 0
+        self.evicted_entries = 0
+        self.evicted_bytes = 0
         if disk_dir is not None:
             self.set_disk_dir(disk_dir)
 
@@ -198,92 +220,173 @@ class PipelineCache:
     def disk_dir(self) -> Optional[Path]:
         return self._disk_dir
 
+    @property
+    def store(self) -> Optional[LocalStore]:
+        """The persistent tier's CAS view (``None`` when memory-only)."""
+        return self._store
+
     def set_disk_dir(self, disk_dir) -> None:
-        """Enable (or move) the persistent tier; creates the directory."""
+        """Enable (or move) the persistent tier; creates the directory
+        and migrates any pre-store flat ``*.pkl`` layout into the CAS."""
         path = Path(disk_dir)
         path.mkdir(parents=True, exist_ok=True)
         self._disk_dir = path
+        self._store = LocalStore(path)
+        self._migrate_legacy_layout()
 
-    def _disk_path(self, key: tuple) -> Path:
-        return self._disk_dir / f"{key[0]}-{_key_digest(key)}.pkl"
+    def _migrate_legacy_layout(self) -> None:
+        """Republish flat ``{level}-{digest}.pkl`` files (the disk-tier
+        layout before the shared store) as CAS objects + refs.
 
-    def _disk_load(self, key: tuple):
-        """The disk entry for *key*, or None.  Corrupt files are
-        unlinked (and raised under ``strict``)."""
-        path = self._disk_path(key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            return None
+        Each file is verified before migration; entries that fail
+        (damaged, foreign) are left in place and simply never served.
+        """
+        for stale in sorted(self._disk_dir.glob("*.pkl")):
+            try:
+                blob = stale.read_bytes()
+                stored_key, value, digest = pickle.loads(blob)
+                if digest != _key_digest(stored_key):
+                    continue
+                obj = self._store.put(blob)
+                self._store.set_ref(self._ref_name(stored_key), obj)
+                stale.unlink()
+            except Exception:
+                continue
+
+    def _ref_name(self, key: tuple) -> str:
+        return f"pipeline/{key[0]}-{_key_digest(key)}"
+
+    def _decode_entry(self, blob: bytes, key: tuple):
+        """``(value,)`` if *blob* is a valid entry for *key*, else None."""
         try:
             stored_key, value, digest = pickle.loads(blob)
-            ok = digest == _key_digest(key) and stored_key == key
+            if digest == _key_digest(key) and stored_key == key:
+                return (value,)
         except Exception:
-            ok = False
-        if not ok:
-            self.corruptions += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            if self.strict:
-                raise CacheCorruptionError(
-                    f"disk cache entry {path.name} failed its integrity check"
-                )
+            pass
+        return None
+
+    def _disk_load(self, key: tuple):
+        """The local-store entry for *key*, or None.  Corrupt entries
+        are quarantined/evicted (and raised under ``strict``)."""
+        name = self._ref_name(key)
+        digest = self._store.get_ref(name)
+        if digest is None:
             return None
-        return (value,)
+        corrupt = False
+        try:
+            blob = self._store.get(digest)
+        except StoreCorruptionError:
+            # The store already quarantined the damaged object.
+            blob = None
+            corrupt = True
+        if blob is not None:
+            entry = self._decode_entry(blob, key)
+            if entry is not None:
+                return entry
+            # The object verified (its bytes match its digest) but is
+            # not a valid entry for this key — a forged or foreign ref.
+            self._store.delete(digest)
+            corrupt = True
+        self._store.delete_ref(name)
+        if not corrupt:
+            # Ref without its object (interrupted publish, external
+            # gc): a plain miss, not a corruption.
+            return None
+        self.corruptions += 1
+        if self.strict:
+            raise CacheCorruptionError(
+                f"disk cache entry {name} failed its integrity check"
+            )
+        return None
+
+    def _remote_load(self, key: tuple):
+        """Read-through to the ``REPRO_STORE_URL`` tiers, promoting a
+        verified hit into the local store.  Transport failures and
+        corrupt remote objects degrade to a miss (the entry is then
+        recomputed locally), never an error."""
+        name = self._ref_name(key)
+        for tier in remote_tiers():
+            digest = tier.get_ref(name)
+            if digest is None:
+                continue
+            try:
+                blob = tier.get(digest)
+            except StoreCorruptionError:
+                self.corruptions += 1
+                continue
+            if blob is None:
+                continue
+            entry = self._decode_entry(blob, key)
+            if entry is None:
+                self.corruptions += 1
+                continue
+            self._promote(name, digest, blob)
+            return entry
+        return None
+
+    def _promote(self, name: str, digest: str, blob: bytes) -> None:
+        """Install a verified remote entry into the local store
+        (object before ref); best-effort."""
+        if self._store is None:
+            return
+        try:
+            self._store.put(blob, digest)
+            self._store.set_ref(name, digest)
+        except OSError:
+            pass
 
     def _disk_store(self, key: tuple, value) -> None:
-        """Atomically persist one entry, then enforce the size cap.
+        """Publish one entry into the local store, then enforce the
+        entry/byte budgets.
 
         Write failures (read-only directory, unpicklable value, disk
         full) leave the disk tier stale but never fail the build.
         """
-        path = self._disk_path(key)
         try:
             blob = pickle.dumps(
                 (key, value, _key_digest(key)), protocol=pickle.HIGHEST_PROTOCOL
             )
-            fd, tmp = tempfile.mkstemp(
-                dir=str(self._disk_dir), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            digest = self._store.put(blob)
+            self._store.set_ref(self._ref_name(key), digest)
         except (OSError, pickle.PicklingError, TypeError, AttributeError):
             return
         self._evict_disk_overflow()
 
     def _evict_disk_overflow(self) -> None:
-        if self.max_disk_entries is None:
+        if self.max_disk_entries is None and self.max_disk_bytes is None:
             return
         try:
-            files = [
-                (entry.stat().st_mtime, entry)
-                for entry in self._disk_dir.glob("*.pkl")
-            ]
+            entries = self._store.ref_mtimes("pipeline")
         except OSError:
             return
-        excess = len(files) - self.max_disk_entries
-        if excess <= 0:
-            return
-        # Tie-break equal mtimes by file name: coarse filesystem
-        # timestamps make same-mtime batches common, and glob order is
-        # filesystem-dependent — sorting on mtime alone would evict a
-        # nondeterministic subset.
-        files.sort(key=lambda pair: (pair[0], pair[1].name))
-        for _, stale in files[:excess]:
-            try:
-                stale.unlink()
-            except OSError:
-                pass
+        count = len(entries)
+        total = (
+            sum(self._store.object_size(digest) for _, _, digest in entries)
+            if self.max_disk_bytes is not None
+            else 0
+        )
+        # Tie-break equal mtimes by ref name: coarse filesystem
+        # timestamps make same-mtime batches common, and directory
+        # order is filesystem-dependent — sorting on mtime alone would
+        # evict a nondeterministic subset.
+        entries.sort(key=lambda item: (item[0], item[1]))
+        for _, name, digest in entries:
+            over_count = (
+                self.max_disk_entries is not None
+                and count > self.max_disk_entries
+            )
+            over_bytes = (
+                self.max_disk_bytes is not None and total > self.max_disk_bytes
+            )
+            if not (over_count or over_bytes):
+                break
+            self._store.delete_ref(name)
+            freed = self._store.delete(digest)
+            self.evicted_entries += 1
+            self.evicted_bytes += freed
+            count -= 1
+            total -= freed
 
     # -- lookup -------------------------------------------------------------
 
@@ -313,6 +416,14 @@ class PipelineCache:
                 _telemetry_incr("cache.disk_hit")
                 self._entries[key] = (value, _key_digest(key))
                 return value
+        loaded = self._remote_load(key) if remote_tiers() else None
+        if loaded is not None:
+            value = loaded[0]
+            self.hits += 1
+            self.store_hits += 1
+            _telemetry_incr("cache.store_hit")
+            self._entries[key] = (value, _key_digest(key))
+            return value
         self.misses += 1
         _telemetry_incr("cache.miss")
         value = build()
@@ -320,6 +431,45 @@ class PipelineCache:
         if self._disk_dir is not None:
             self._disk_store(key, value)
         return value
+
+    def warm_from_store(self) -> int:
+        """Prefetch every remotely-published pipeline entry not held
+        locally; returns how many were installed.
+
+        Broker workers call this once before executing claims so a
+        sweep point reuses the fleet's static-pipeline products instead
+        of recomputing them.  Invalid or corrupt remote entries are
+        skipped (counted in ``corruptions``); a dead tier contributes
+        nothing.  Prefetched entries are not counted as hits — they
+        only spare the misses that would have followed.
+        """
+        fetched = 0
+        for tier in remote_tiers():
+            for name, digest in sorted(tier.refs("pipeline").items()):
+                if self._store is not None and (
+                    self._store.get_ref(name) == digest
+                ):
+                    continue
+                try:
+                    blob = tier.get(digest)
+                except StoreCorruptionError:
+                    self.corruptions += 1
+                    continue
+                if blob is None:
+                    continue
+                try:
+                    stored_key, value, key_digest = pickle.loads(blob)
+                    ok = key_digest == _key_digest(stored_key)
+                except Exception:
+                    ok = False
+                if not ok:
+                    self.corruptions += 1
+                    continue
+                self._entries[stored_key] = (value, key_digest)
+                self._promote(name, digest, blob)
+                fetched += 1
+                _telemetry_incr("cache.prefetch")
+        return fetched
 
     # -- shipping (spawn-started workers) -----------------------------------
 
@@ -377,16 +527,16 @@ class PipelineCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.corruptions = 0
+        self.reset_stats()
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.store_hits = 0
         self.corruptions = 0
+        self.evicted_entries = 0
+        self.evicted_bytes = 0
 
     def stats(self) -> dict:
         total = self.hits + self.misses
@@ -396,7 +546,10 @@ class PipelineCache:
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
             "disk_hits": self.disk_hits,
+            "store_hits": self.store_hits,
             "corruptions": self.corruptions,
+            "evicted_entries": self.evicted_entries,
+            "evicted_bytes": self.evicted_bytes,
         }
 
 

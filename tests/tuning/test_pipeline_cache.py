@@ -249,7 +249,9 @@ def test_disk_roundtrip_serves_fresh_cache(tmp_path):
     program, spec, warm, tuned = _warm_disk(tmp_path)
     assert warm.misses > 0
     assert warm.disk_hits == 0
-    assert len(list(tmp_path.glob("*.pkl"))) == len(warm)
+    # The disk tier is a CAS: one ref (and one object) per entry.
+    assert len(warm.store.refs("pipeline")) == len(warm)
+    assert len(warm.store.objects()) == len(warm)
     cold = PipelineCache(disk_dir=tmp_path)
     again = tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
     assert cold.misses == 0
@@ -268,24 +270,34 @@ def test_set_disk_dir_creates_directory(tmp_path):
     assert cache.disk_dir == target
 
 
-def _smash_tuned_files(tmp_path):
-    smashed = list(tmp_path.glob("tuned-*.pkl"))
+def _smash_tuned_entries(tmp_path):
+    """Overwrite the object bytes behind every tuned-level ref."""
+    from repro.store import LocalStore
+
+    store = LocalStore(tmp_path)
+    smashed = {
+        name: digest
+        for name, digest in store.refs("pipeline").items()
+        if name.startswith("pipeline/tuned-")
+    }
     assert smashed, "expected a persisted tuned-level entry"
-    for path in smashed:
-        path.write_bytes(b"not a pickle")
+    for digest in smashed.values():
+        store._object_path(digest).write_bytes(b"not a pickle")
     return smashed
 
 
 def test_corrupt_disk_file_is_evicted_and_rebuilt(tmp_path):
     program, spec, _, tuned = _warm_disk(tmp_path)
-    smashed = _smash_tuned_files(tmp_path)
+    smashed = _smash_tuned_entries(tmp_path)
     cold = PipelineCache(disk_dir=tmp_path)
     rebuilt = tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
     assert cold.corruptions == len(smashed)
     assert cold.misses == len(smashed)  # only the smashed level rebuilt
     assert cold.disk_hits > 0  # the nested levels still came from disk
     assert rebuilt.mark_count == tuned.mark_count
-    # The rebuild re-persisted a valid file: the next process hits clean.
+    # The damaged object was quarantined, not deleted in place.
+    assert list((tmp_path / "quarantine").iterdir())
+    # The rebuild re-persisted a valid entry: the next process hits clean.
     fresh = PipelineCache(disk_dir=tmp_path)
     tune_program(program, LoopStrategy(20), spec=spec, cache=fresh)
     assert fresh.misses == 0
@@ -294,15 +306,15 @@ def test_corrupt_disk_file_is_evicted_and_rebuilt(tmp_path):
 
 def test_strict_cache_raises_on_disk_corruption(tmp_path):
     program, spec, _, _ = _warm_disk(tmp_path)
-    _smash_tuned_files(tmp_path)
+    _smash_tuned_entries(tmp_path)
     strict = PipelineCache(strict=True, disk_dir=tmp_path)
     with pytest.raises(CacheCorruptionError, match="integrity"):
         tune_program(program, LoopStrategy(20), spec=spec, cache=strict)
 
 
 def test_foreign_disk_file_rejected(tmp_path):
-    """A well-formed pickle whose stored key differs from the lookup key
-    (e.g. a file copied between cache directories) is treated as corrupt."""
+    """A well-formed object whose stored key differs from the lookup key
+    (e.g. a ref copied between cache directories) is treated as corrupt."""
     import pickle
 
     from repro.tuning.pipeline import _key_digest
@@ -311,19 +323,74 @@ def test_foreign_disk_file_rejected(tmp_path):
     key = next(k for k in warm._entries if k[0] == "tuned")
     value = warm._entries[key][0]
     forged = pickle.dumps((("forged",), value, _key_digest(key)))
-    warm._disk_path(key).write_bytes(forged)
+    digest = warm.store.put(forged)
+    warm.store.set_ref(warm._ref_name(key), digest)
     cold = PipelineCache(disk_dir=tmp_path)
     tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
     assert cold.corruptions == 1
     assert cold.misses == 1
 
 
+def test_legacy_disk_layout_migrated(tmp_path):
+    """Flat ``{level}-{digest}.pkl`` files from the pre-store layout are
+    republished into the CAS on attach and served without a rebuild."""
+    import pickle
+
+    from repro.tuning.pipeline import _key_digest
+
+    program, spec = make_phased_program(outer=4)
+    warm = PipelineCache()
+    tune_program(program, LoopStrategy(20), spec=spec, cache=warm)
+    for key, (value, digest) in warm._entries.items():
+        blob = pickle.dumps((key, value, digest))
+        (tmp_path / f"{key[0]}-{_key_digest(key)}.pkl").write_bytes(blob)
+    (tmp_path / "garbage-feedface.pkl").write_bytes(b"not a cache entry")
+    cold = PipelineCache(disk_dir=tmp_path)
+    assert len(cold.store.refs("pipeline")) == len(warm)
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
+    assert cold.misses == 0
+    assert cold.disk_hits > 0
+    # Migrated files are gone; the unverifiable impostor is left alone.
+    assert sorted(p.name for p in tmp_path.glob("*.pkl")) == [
+        "garbage-feedface.pkl"
+    ]
+
+
 def test_disk_eviction_respects_cap(tmp_path):
+    from repro.store import LocalStore
+
     program, spec = make_phased_program(outer=4)
     cache = PipelineCache(disk_dir=tmp_path, max_disk_entries=2)
     tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
     assert len(cache) > 2  # the pipeline stores more levels than the cap
-    assert len(list(tmp_path.glob("*.pkl"))) == 2
+    store = LocalStore(tmp_path)
+    assert len(store.refs("pipeline")) == 2
+    assert len(store.objects()) == 2  # evicted objects are collected too
+    assert cache.evicted_entries == len(cache) - 2
+    assert cache.stats()["evicted_bytes"] > 0
+
+
+def test_disk_eviction_respects_byte_budget(tmp_path):
+    """With a byte budget the tier evicts by size, not entry count."""
+    program, spec = make_phased_program(outer=4)
+    probe = PipelineCache(disk_dir=tmp_path / "probe")
+    tune_program(program, LoopStrategy(20), spec=spec, cache=probe)
+    total = probe.store.size_bytes()
+    largest = max(probe.store.object_size(d) for d in probe.store.objects())
+    budget = total - 1  # force at least one eviction, keep most entries
+
+    cache = PipelineCache(
+        disk_dir=tmp_path / "capped",
+        max_disk_entries=None,
+        max_disk_bytes=budget,
+    )
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    assert cache.evicted_entries >= 1
+    assert cache.evicted_bytes >= 1
+    assert cache.store.size_bytes() <= budget
+    assert cache.stats()["evicted_bytes"] == cache.evicted_bytes
+    # Sanity: the budget was binding on bytes, not on a count cap.
+    assert largest <= total
 
 
 def test_disk_write_failure_never_fails_the_build(tmp_path):
@@ -377,15 +444,67 @@ def test_install_drops_damaged_entries():
 
 def test_disk_eviction_deterministic_under_equal_mtimes(tmp_path):
     """Coarse filesystem timestamps produce same-mtime batches; eviction
-    must tie-break by name so every process drops the same subset."""
+    must tie-break by ref name so every process drops the same subset."""
     import os
 
     cache = PipelineCache(disk_dir=tmp_path, max_disk_entries=2)
-    names = ["d.pkl", "b.pkl", "c.pkl", "a.pkl", "e.pkl"]
-    for name in names:
-        (tmp_path / name).write_bytes(b"x")
-        os.utime(tmp_path / name, (1_000_000_000, 1_000_000_000))
+    store = cache.store
+    for name in ["d", "b", "c", "a", "e"]:
+        digest = store.put(f"entry-{name}".encode())
+        ref = f"pipeline/{name}"
+        store.set_ref(ref, digest)
+        os.utime(store._ref_path(ref), (1_000_000_000, 1_000_000_000))
     cache._evict_disk_overflow()
-    survivors = sorted(p.name for p in tmp_path.glob("*.pkl"))
     # Oldest-first with name tie-break: a, b, c evicted; d, e survive.
-    assert survivors == ["d.pkl", "e.pkl"]
+    assert sorted(store.refs("pipeline")) == ["pipeline/d", "pipeline/e"]
+    assert len(store.objects()) == 2
+    assert cache.evicted_entries == 3
+
+
+def test_remote_read_through_promotes(tmp_path, monkeypatch):
+    """A second host with an empty local cache serves everything from the
+    remote tier — and promotes it locally so the next run is offline."""
+    warm_dir = tmp_path / "shared"
+    local_dir = tmp_path / "local"
+    program, spec, _, tuned = _warm_disk(warm_dir)
+
+    monkeypatch.setenv("REPRO_STORE_URL", str(warm_dir))
+    cold = PipelineCache(disk_dir=local_dir)
+    again = tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
+    assert cold.misses == 0
+    assert cold.store_hits > 0
+    assert cold.disk_hits == 0
+    assert again.mark_count == tuned.mark_count
+    assert again.isolated_seconds == tuned.isolated_seconds
+
+    # Promotion: with the remote gone, the local tier now has it all.
+    monkeypatch.delenv("REPRO_STORE_URL")
+    offline = PipelineCache(disk_dir=local_dir)
+    tune_program(program, LoopStrategy(20), spec=spec, cache=offline)
+    assert offline.misses == 0
+    assert offline.disk_hits > 0
+
+
+def test_dead_remote_tier_degrades_to_recompute(tmp_path, monkeypatch):
+    """An unreachable remote tier must never fail a build."""
+    monkeypatch.setenv("REPRO_STORE_URL", "http://127.0.0.1:9")
+    monkeypatch.setenv("REPRO_STORE_TIMEOUT", "0.2")
+    program, spec = make_phased_program(outer=4)
+    cache = PipelineCache(disk_dir=tmp_path)
+    tuned = tune_program(program, LoopStrategy(20), spec=spec, cache=cache)
+    assert tuned.mark_count >= 0
+    assert cache.misses > 0
+    assert cache.store_hits == 0
+
+
+def test_warm_from_store_prefetches_remote_entries(tmp_path, monkeypatch):
+    warm_dir = tmp_path / "shared"
+    program, spec, warm, _ = _warm_disk(warm_dir)
+    monkeypatch.setenv("REPRO_STORE_URL", str(warm_dir))
+    cold = PipelineCache(disk_dir=tmp_path / "local")
+    assert cold.warm_from_store() == len(warm)
+    monkeypatch.delenv("REPRO_STORE_URL")
+    tune_program(program, LoopStrategy(20), spec=spec, cache=cold)
+    assert cold.misses == 0
+    # Prefetched entries landed in memory: no disk loads either.
+    assert cold.disk_hits == 0
