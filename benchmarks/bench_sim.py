@@ -9,7 +9,12 @@ writes ``BENCH_sim.json``:
   every mode runs against the same warm static pipeline and the timing
   is simulation wall time proper;
 * a 1000-process synthetic workload on a 16-core AMP, the
-  queue-pressure shape where per-turn overhead dominates.
+  queue-pressure shape where per-turn overhead dominates;
+* an equally sized open-system run (same core count, arrivals offered
+  over the same interval, plus cancellations and breakdown windows) —
+  gated to stay within 2x the closed coalesced time, so dynamic-event
+  churn provably degrades coalescing gracefully rather than
+  collapsing it.
 
 It also runs ``python -m repro.experiments table2`` end to end in
 subprocesses, with and without ``--no-coalesce``, and compares stdout.
@@ -44,6 +49,7 @@ from pathlib import Path
 from repro.experiments.config import ExperimentConfig
 from repro.sim.executor import NO_BATCH_ENV, NO_COALESCE_ENV
 from repro.sim.machine import core2quad_amp, many_core_amp
+from repro.sim.opensys import OpenSystemPlan, OpenSystemRun
 from repro.tuning.pipeline import PipelineCache
 from repro.workloads.workload import Workload, WorkloadRun
 
@@ -147,6 +153,46 @@ def _synthetic_workload(slots, cache):
     return build
 
 
+def _opensys_bench(arrivals, interval, cache) -> tuple:
+    """An open-system run sized like the synthetic closed scenario:
+    *arrivals* jobs offered over *interval* seconds on the 16-core AMP,
+    with cancellations and breakdown windows layered on — the
+    heavy-churn shape where every dynamic event bounds a coalescing
+    window.  Returns (per-mode seconds, summaries-identical)."""
+    machine = many_core_amp(8, 8)
+    plan = OpenSystemPlan(
+        seed=7,
+        rate=arrivals / interval,
+        horizon=interval,
+        classes=("164.gzip", "183.equake", "429.mcf"),
+        cancel_fraction=0.05,
+        breakdowns=2,
+    )
+    seconds = {}
+    summaries = {}
+    for name, env in _MODES:
+        saved = {key: os.environ.pop(key, None) for key in env}
+        for key, value in env.items():
+            if value:
+                os.environ[key] = value
+        try:
+            run = OpenSystemRun(plan, machine, cache=cache)
+            start = time.perf_counter()
+            result = run.run()
+            seconds[name] = time.perf_counter() - start
+            summaries[name] = json.dumps(result.to_dict(), sort_keys=True)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+    identical = (
+        summaries["stepped"] == summaries["batched"] == summaries["coalesced"]
+    )
+    return seconds, identical
+
+
 def _table2_stdout_bench() -> dict:
     """End-to-end CLI byte-identity: table2 with and without
     --no-coalesce must print the same bytes."""
@@ -231,6 +277,31 @@ def main(argv=None) -> int:
     )
     if not identical:
         failures.append(f"{synthetic_slots}-process synthetic: modes disagree")
+    closed_coalesced = seconds["coalesced"]
+
+    seconds, identical = _opensys_bench(
+        synthetic_slots, synthetic_interval, cache
+    )
+    entry = _mode_entry(seconds, identical)
+    ratio = seconds["coalesced"] / closed_coalesced
+    entry["open_vs_closed_coalesced_ratio"] = round(ratio, 2)
+    report[f"opensys_{synthetic_slots}"] = entry
+    print(
+        f"{synthetic_slots}-job opensys  stepped {seconds['stepped']:6.2f}s   "
+        f"batched {seconds['batched']:6.2f}s   "
+        f"coalesced {seconds['coalesced']:6.2f}s "
+        f"(x{ratio:.2f} vs closed coalesced)"
+    )
+    if not identical:
+        failures.append(
+            f"{synthetic_slots}-job open system: executor modes disagree"
+        )
+    # Dynamic-event churn bounds coalescing windows but must not
+    # collapse them: the open run stays within 2x the closed run.
+    if ratio > 2.0:
+        failures.append(
+            f"open-system coalesced run {ratio:.2f}x closed (budget 2.0x)"
+        )
 
     if not args.quick:
         stdout_entry = _table2_stdout_bench()

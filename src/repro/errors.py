@@ -106,6 +106,16 @@ class WorkloadError(ReproError):
     """Raised when a workload specification is invalid (e.g. empty queue)."""
 
 
+class MetricsError(ReproError):
+    """Raised by :mod:`repro.metrics` on invalid samples or queries
+    (negative latencies, out-of-range quantiles, unordered series)."""
+
+
+class OpenSystemError(SimulationError):
+    """Raised when an open-system plan is inconsistent (negative rates,
+    bad class mixes, malformed breakdown windows)."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is inconsistent."""
 

@@ -101,6 +101,7 @@ from repro.experiments import (
     fig7,
     fig8,
     harness,
+    open_system,
     table1,
     table2,
 )
@@ -225,6 +226,14 @@ def _run_extras(jobs, log):
     )
 
 
+def _run_open_system(jobs, log):
+    print(
+        open_system.format_result(
+            open_system.run(ExperimentConfig.paper(), jobs=jobs, log=log)
+        )
+    )
+
+
 _EXPERIMENTS = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
@@ -234,6 +243,7 @@ _EXPERIMENTS = {
     "table2": _run_table2,
     "faults": _run_faults,
     "extras": _run_extras,
+    "open_system": _run_open_system,
 }
 
 
@@ -377,6 +387,19 @@ def _parse_args(argv):
         action="store_true",
         help="with the work verb: keep serving after the queue drains "
         "(until interrupted)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="with the status verb: poll the broker and re-render the "
+        "report in place (plus the audit-event tail) until interrupted",
+    )
+    parser.add_argument(
+        "--watch-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between --watch refreshes (default: 2)",
     )
     return parser.parse_args(argv)
 
@@ -644,20 +667,20 @@ def _cmd_work(args) -> None:
     print(f"{jobs} worker(s) drained")
 
 
-def _cmd_status(args) -> None:
-    """Report queue states, workers, quarantines, sessions, and drift
-    against the golden baseline."""
-    directory = _verb_dir(args, "status")
+def _render_status(directory: str, events_tail: int = 0) -> str:
+    """One status snapshot as text: queue states, workers, quarantines,
+    sessions, drift against the golden baseline, and (for ``--watch``)
+    the tail of the broker's audit-trail ``events`` table."""
     broker = Broker(directory)
     db = ResultsDB.for_broker(directory)
+    lines = []
     sweeps = broker.sweeps()
     if not sweeps:
-        print(f"{directory}: empty broker (no sweeps enqueued)")
-        return
+        lines.append(f"{directory}: empty broker (no sweeps enqueued)")
     for sweep, fn, total, traced, _created in sweeps:
         counts = broker.counts(sweep)
         state = "settled" if broker.settled(sweep) else "running"
-        print(
+        lines.append(
             f"{sweep} [{state}] {fn}: "
             f"{counts['done']}/{total} done, {counts['pending']} pending, "
             f"{counts['leased']} leased, {counts['quarantined']} quarantined"
@@ -665,17 +688,63 @@ def _cmd_status(args) -> None:
         )
         rows = broker.result_rows(sweep)
         if rows or db.golden_for(fn):
-            print("  " + format_diff(db.diff(fn, rows)).replace("\n", "\n  "))
+            lines.append(
+                "  " + format_diff(db.diff(fn, rows)).replace("\n", "\n  ")
+            )
     workers = broker.active_workers()
     if workers:
-        print(f"active workers: {', '.join(workers)}")
+        lines.append(f"active workers: {', '.join(workers)}")
     for sweep, idx, label, attempts, reason in broker.quarantined():
-        print(f"QUARANTINED {sweep}[{idx}] {label}: {reason}")
+        lines.append(f"QUARANTINED {sweep}[{idx}] {label}: {reason}")
     sessions = db.sessions(limit=5)
     if sessions:
-        print("recent sessions:")
+        lines.append("recent sessions:")
         for session, sweep, fn, total, host, _note, _created in sessions:
-            print(f"  #{session} {sweep} {fn} ({total} task(s)) from {host}")
+            lines.append(
+                f"  #{session} {sweep} {fn} ({total} task(s)) from {host}"
+            )
+    if events_tail > 0:
+        lines.append("")
+        lines.append(f"last {events_tail} event(s):")
+        events = broker.events(limit=events_tail)
+        if not events:
+            lines.append("  (none)")
+        for ts, kind, sweep, idx, worker, detail in events:
+            where = f"{sweep}[{idx}]" if idx is not None else (sweep or "-")
+            lines.append(
+                f"  {ts:.2f} {kind:<12} {where}"
+                + (f" worker={worker}" if worker else "")
+                + (f" {detail}" if detail else "")
+            )
+    return "\n".join(lines)
+
+
+def _cmd_status(args) -> None:
+    """Report queue states, workers, quarantines, sessions, and drift
+    against the golden baseline; with ``--watch``, poll the broker DB
+    and re-render in place until interrupted."""
+    directory = _verb_dir(args, "status")
+    if not args.watch:
+        print(_render_status(directory))
+        return
+    import time as _time
+
+    interval = args.watch_interval
+    try:
+        while True:
+            snapshot = _render_status(directory, events_tail=10)
+            # Clear screen + home, then the snapshot: a cheap in-place
+            # re-render with no terminal library dependencies.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(
+                f"watching {directory} every {interval:g}s "
+                f"(ctrl-c to stop)\n\n"
+            )
+            sys.stdout.write(snapshot + "\n")
+            sys.stdout.flush()
+            _time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
 
 
 def _cmd_bless(args) -> None:

@@ -69,6 +69,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.errors import BrokerError, LeaseLostError
 from repro.sim.checkpoint import task_checkpoint_dir
+from repro.taxonomy import failed_reason, lease_expired_reason
 from repro.store import atomic_publish, default_store
 from repro.telemetry.context import current_recorder
 
@@ -496,9 +497,8 @@ class Broker:
         out = []
         for sweep, idx, label, attempts, owner in rows:
             if attempts >= self.max_attempts:
-                reason = (
-                    f"lease expired on attempt {attempts}/"
-                    f"{self.max_attempts} (worker {owner} died or hung)"
+                reason = lease_expired_reason(
+                    attempts, self.max_attempts, owner
                 )
                 cur.execute(
                     "UPDATE tasks SET state = 'quarantined', "
@@ -619,9 +619,7 @@ class Broker:
                 # live lease.
                 return state
             if attempts >= self.max_attempts:
-                reason = (
-                    f"failed attempt {attempts}/{self.max_attempts}: {detail}"
-                )
+                reason = failed_reason(attempts, self.max_attempts, detail)
                 cur.execute(
                     "UPDATE tasks SET state = 'quarantined', "
                     "lease_owner = NULL, lease_deadline = NULL, "

@@ -71,6 +71,7 @@ from repro.errors import BrokerError, ExperimentError, TaskTimeoutError
 from repro.experiments.broker import BROKER_DIR_ENV
 from repro.experiments.journal import MAX_TASK_CRASHES, RunJournal
 from repro.sim.checkpoint import TASK_CHECKPOINT_DIR_ENV, task_checkpoint_dir
+from repro.taxonomy import demotion_reason, pool_death_reason
 from repro.telemetry.context import current_recorder, set_recorder
 from repro.telemetry.recorder import TraceRecorder
 
@@ -824,11 +825,7 @@ def _run_pool(
                     # checkpoint directory, so even repeated deaths of
                     # the whole invocation make forward progress.
                     if log is not None:
-                        log(
-                            f"task {labels[index]} blamed for "
-                            f"{crash_counts[index]} pool death(s); "
-                            f"demoting to serial execution"
-                        )
+                        log(demotion_reason(labels[index], crash_counts[index]))
                     value = _call_with_checkpoint_dir(
                         fn, tasks[index], journal.checkpoint_dir(index)
                     )
@@ -867,8 +864,7 @@ def _run_pool(
                     crash_counts[index] = crash_counts.get(index, 0) + 1
                     journal.note_crash(index, labels[index])
                 if log is not None:
-                    blamed = ", ".join(labels[i] for i in exc.indices)
-                    log(f"worker pool died; blaming task(s): {blamed}")
+                    log(pool_death_reason(labels[i] for i in exc.indices))
     finally:
         if pid_dir is not None:
             shutil.rmtree(pid_dir, ignore_errors=True)

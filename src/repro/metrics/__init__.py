@@ -5,8 +5,17 @@ interval (Section IV-C), the max-flow / max-stretch fairness metrics of
 Bender, Chakrabarti & Muthukrishnan plus average process time
 (Section IV-D), and space/time overheads (Section IV-B).  This package
 computes all of them from simulation results.
+
+Open-system runs add a fourth family: streaming latency percentiles
+(p50/p95/p99 sojourn and wait time), queue-depth time series, and
+per-class throughput under offered load (:mod:`repro.metrics.latency`).
 """
 
+from repro.metrics.latency import (
+    LatencySketch,
+    QueueDepthSeries,
+    per_class_throughput,
+)
 from repro.metrics.stats import BoxPlot, box_plot, geometric_mean
 from repro.metrics.throughput import (
     throughput,
@@ -29,8 +38,11 @@ from repro.metrics.overhead import (
 
 __all__ = [
     "BoxPlot",
+    "LatencySketch",
+    "QueueDepthSeries",
     "box_plot",
     "geometric_mean",
+    "per_class_throughput",
     "throughput",
     "throughput_improvement",
     "throughput_series",

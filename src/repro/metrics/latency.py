@@ -1,0 +1,247 @@
+"""Streaming latency percentiles and queue-depth series.
+
+Open-system runs (:mod:`repro.sim.opensys`) retire thousands of jobs
+and need p50/p95/p99 sojourn and wait times without keeping every
+sample.  :class:`LatencySketch` is a DDSketch-style log-bucketed
+histogram: values land in geometrically spaced buckets sized so any
+reported quantile is within the configured *relative* error of the
+true sample quantile.
+
+Determinism contract: every quantile is a pure function of the
+*multiset* of added values — no RNG, no insertion-order dependence, no
+float accumulation in the quantile path (bucket counts are integers).
+Two runs of a deterministic simulation add the same values in the same
+order and therefore produce byte-identical ``to_dict()`` images (the
+one float accumulator, ``total``, sees the identical operation
+sequence).  That is what lets CI pin sketch output across seed-fixed
+reruns.
+
+:class:`QueueDepthSeries` is the companion time series: jobs-in-system
+sampled at every change point (arrival, completion, cancellation),
+with time-weighted means over any window.  :func:`per_class_throughput`
+turns per-class completion counts into jobs/second.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+from repro.errors import MetricsError
+
+__all__ = ["LatencySketch", "QueueDepthSeries", "per_class_throughput"]
+
+#: Values at or below this are folded into the zero bucket (reported
+#: back as 0.0): guards the log against 0/negative rounding dust.
+_MIN_TRACKABLE = 1e-12
+
+
+class LatencySketch:
+    """A deterministic streaming quantile sketch over durations.
+
+    Args:
+        relative_error: guaranteed bound on the relative error of any
+            reported quantile (default 1%).
+
+    The bucket for a value ``v`` is ``ceil(log(v) / log(gamma))`` with
+    ``gamma = (1 + e) / (1 - e)``; the bucket's representative value
+    ``2 * gamma**i / (gamma + 1)`` (its geometric midpoint) is then
+    within ``e`` of every value the bucket holds.
+    """
+
+    __slots__ = ("relative_error", "_gamma", "_inv_log_gamma", "_buckets",
+                 "count", "zero_count", "total", "min", "max")
+
+    def __init__(self, relative_error: float = 0.01):
+        if not 0.0 < relative_error < 1.0:
+            raise MetricsError(
+                f"relative_error must be in (0, 1), got {relative_error}"
+            )
+        self.relative_error = relative_error
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._inv_log_gamma = 1.0 / math.log(self._gamma)
+        self._buckets: dict = {}
+        self.count = 0
+        self.zero_count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one duration (seconds) into the sketch."""
+        if not math.isfinite(value) or value < 0.0:
+            raise MetricsError(f"latency samples must be finite >= 0: {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= _MIN_TRACKABLE:
+            self.zero_count += 1
+            return
+        index = math.ceil(math.log(value) * self._inv_log_gamma)
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (``q`` in [0, 1]) of everything added, within
+        the configured relative error; ``0.0`` on an empty sketch."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        # Rank of the order statistic to report (0-based, nearest-rank).
+        rank = min(self.count - 1, int(q * self.count))
+        if rank < self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        gamma = self._gamma
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                return 2.0 * gamma**index / (gamma + 1.0)
+        return self.max  # pragma: no cover - rank < count always lands
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencySketch") -> None:
+        """Fold *other* into this sketch (order-independent)."""
+        if not isinstance(other, LatencySketch):
+            raise MetricsError(f"cannot merge {type(other).__name__}")
+        if other.relative_error != self.relative_error:
+            raise MetricsError(
+                "cannot merge sketches with different relative errors: "
+                f"{self.relative_error} vs {other.relative_error}"
+            )
+        buckets = self._buckets
+        for index, n in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + n
+        self.count += other.count
+        self.zero_count += other.zero_count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def to_dict(self) -> dict:
+        """JSON-able image with a canonical (sorted) bucket order, so
+        equal sketches serialize byte-identically."""
+        return {
+            "relative_error": self.relative_error,
+            "count": self.count,
+            "zero_count": self.zero_count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [[i, self._buckets[i]] for i in sorted(self._buckets)],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencySketch":
+        sketch = cls(relative_error=data["relative_error"])
+        sketch.count = int(data["count"])
+        sketch.zero_count = int(data["zero_count"])
+        sketch.total = float(data["total"])
+        sketch.min = math.inf if data["min"] is None else float(data["min"])
+        sketch.max = -math.inf if data["max"] is None else float(data["max"])
+        sketch._buckets = {int(i): int(n) for i, n in data["buckets"]}
+        return sketch
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LatencySketch(count={self.count}, p50={self.quantile(0.5):.4f}, "
+            f"p95={self.quantile(0.95):.4f}, p99={self.quantile(0.99):.4f})"
+        )
+
+
+class QueueDepthSeries:
+    """Jobs-in-system over time, sampled at change points.
+
+    The depth is a step function: it holds its value between samples,
+    so time-weighted statistics integrate rectangles.  Samples must be
+    recorded in non-decreasing time order (event order guarantees it).
+    """
+
+    __slots__ = ("times", "depths")
+
+    def __init__(self):
+        self.times: list = []
+        self.depths: list = []
+
+    @classmethod
+    def from_events(cls, arrivals, departures) -> "QueueDepthSeries":
+        """Build the series from arrival times (+1 each) and departure
+        times (-1 each: completions and cancellations alike).
+
+        Ties are resolved departures-first, matching the executor's
+        dispatch of a completion before an arrival pushed at the same
+        instant can be enqueued behind it; any fixed rule would do —
+        what matters is that the rule is deterministic.
+        """
+        deltas = [(t, 1) for t in arrivals] + [(t, -1) for t in departures]
+        deltas.sort(key=lambda item: (item[0], item[1]))
+        series = cls()
+        depth = 0
+        for t, delta in deltas:
+            depth += delta
+            series.record(t, depth)
+        return series
+
+    def record(self, t: float, depth: int) -> None:
+        if self.times and t < self.times[-1]:
+            raise MetricsError(
+                f"queue-depth samples must be time-ordered: {t} after "
+                f"{self.times[-1]}"
+            )
+        self.times.append(t)
+        self.depths.append(depth)
+
+    def at(self, t: float) -> int:
+        """Depth in effect at time *t* (0 before the first sample)."""
+        i = bisect_right(self.times, t)
+        return self.depths[i - 1] if i else 0
+
+    def peak(self) -> int:
+        return max(self.depths, default=0)
+
+    def mean(self, start: float = 0.0, end: float = None) -> float:
+        """Time-weighted mean depth over ``[start, end]`` (defaults to
+        the full recorded span)."""
+        if not self.times:
+            return 0.0
+        if end is None:
+            end = self.times[-1]
+        if end <= start:
+            return float(self.at(start))
+        area = 0.0
+        t_prev = start
+        depth = self.at(start)
+        i = bisect_right(self.times, start)
+        while i < len(self.times) and self.times[i] < end:
+            area += depth * (self.times[i] - t_prev)
+            t_prev = self.times[i]
+            depth = self.depths[i]
+            i += 1
+        area += depth * (end - t_prev)
+        return area / (end - start)
+
+    def to_dict(self) -> dict:
+        return {"times": list(self.times), "depths": list(self.depths)}
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def per_class_throughput(completions: dict, horizon: float) -> dict:
+    """Per-class throughput in jobs/second: ``{class: count}`` over
+    *horizon* simulated seconds, in sorted class order."""
+    if horizon <= 0:
+        raise MetricsError(f"horizon must be positive, got {horizon}")
+    return {name: completions[name] / horizon for name in sorted(completions)}

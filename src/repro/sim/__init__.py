@@ -21,7 +21,9 @@ the process-affinity API.  This package simulates that whole substrate:
   plus a behaviour specification;
 * :mod:`scheduler` — the Linux-O(1)-like baseline scheduler and the
   affinity API;
-* :mod:`executor` — the discrete-event machine that runs workloads.
+* :mod:`executor` — the discrete-event machine that runs workloads;
+* :mod:`opensys` — the open-system engine layering dynamic arrivals,
+  cancellations, and breakdown windows over the executor's event heap.
 """
 
 from repro.sim.core import Core, CoreType
@@ -47,6 +49,15 @@ from repro.sim.process import (
 from repro.sim.tracegen import BehaviorSpec, TraceGenerator
 from repro.sim.executor import Simulation, SimulationResult
 from repro.sim.scheduler import LinuxO1Scheduler, Scheduler
+from repro.sim.opensys import (
+    LoadController,
+    LoadPoint,
+    LoadSweep,
+    OpenSystemPlan,
+    OpenSystemResult,
+    OpenSystemRun,
+    service_capacity,
+)
 
 __all__ = [
     "Core",
@@ -77,4 +88,11 @@ __all__ = [
     "SimulationResult",
     "LinuxO1Scheduler",
     "Scheduler",
+    "LoadController",
+    "LoadPoint",
+    "LoadSweep",
+    "OpenSystemPlan",
+    "OpenSystemResult",
+    "OpenSystemRun",
+    "service_capacity",
 ]

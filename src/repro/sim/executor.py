@@ -53,6 +53,7 @@ from repro.sim.process import Segment, SimProcess
 from repro.sim.scheduler.affinity import MIGRATION_CYCLES, validate_affinity
 from repro.sim.scheduler.base import Scheduler
 from repro.sim.scheduler.linux_o1 import LinuxO1Scheduler
+from repro.taxonomy import cancelled_reason
 from repro.telemetry.context import current_recorder
 from repro.telemetry.events import PROC_TID_BASE
 
@@ -114,6 +115,10 @@ class SimulationResult:
         time: simulation end time in seconds.
         completed: processes that ran to completion, in completion order.
         running: processes still live at the end.
+        cancelled: processes removed by cancellation events, in
+            cancellation order (open-system departures; empty for
+            closed runs).  Cancelled processes never appear in
+            ``completed`` or ``running``.
         throughput_buckets: instructions committed per 1-second bucket.
         idle_time_by_core: seconds each core spent idle.
     """
@@ -124,6 +129,7 @@ class SimulationResult:
     running: list = field(default_factory=list)
     throughput_buckets: dict = field(default_factory=dict)
     idle_time_by_core: dict = field(default_factory=dict)
+    cancelled: list = field(default_factory=list)
 
     def instructions_before(self, horizon: float) -> float:
         """Instructions committed in ``[0, horizon)``."""
@@ -161,6 +167,13 @@ class Simulation:
             neighbour's working set.
         on_complete: callback ``(process, now) -> Optional[SimProcess]``;
             a returned process is admitted immediately (job queues).
+        on_cancel: callback ``(process, now) -> None`` fired when a
+            :meth:`cancel_process` event lands; *process* is the
+            removed process, or ``None`` when the cancellation missed
+            (the job had already completed, never arrived, or the
+            scheduler could not remove it).  Open-system engines use
+            this for ledger bookkeeping; ``None`` (the default) costs
+            nothing.
         faults: optional :class:`~repro.sim.faults.FaultPlan` (or a
             prebuilt :class:`~repro.sim.faults.FaultInjector`).  ``None``
             — and a null plan — leave the run bit-identical to an
@@ -179,6 +192,7 @@ class Simulation:
         faults=None,
         batched: Optional[bool] = None,
         coalesce: Optional[bool] = None,
+        on_cancel: Optional[Callable] = None,
     ):
         self.machine = machine
         self.scheduler = scheduler or LinuxO1Scheduler()
@@ -188,6 +202,7 @@ class Simulation:
         self.pollution_beta = pollution_beta
         self.memory = memory or MemoryModel()
         self.on_complete = on_complete
+        self.on_cancel = on_cancel
         #: Segment-batched quantum execution over flat traces; disable
         #: to force the stepped reference path (golden-equality tests).
         #: ``None`` resolves the REPRO_NO_BATCH kill-switch, the
@@ -371,6 +386,7 @@ class Simulation:
             self._tr_phase = tr.wants("phase")
             self._tr_quantum = tr.wants("quantum")
             self._tr_fault = tr.wants("fault")
+            self._tr_opensys = tr.wants("opensys")
             self.scheduler.telemetry = tr if tr.wants("sched") else None
             attach_tr = getattr(runtime, "attach_telemetry", None)
             if attach_tr is not None:
@@ -379,6 +395,7 @@ class Simulation:
             self._tr_run = 0
             self._tr_exec = self._tr_phase = False
             self._tr_quantum = self._tr_fault = False
+            self._tr_opensys = False
 
     # -- admission -------------------------------------------------------------
 
@@ -386,6 +403,23 @@ class Simulation:
         """Admit *proc* at time *at*."""
         validate_affinity(proc.affinity, len(self.machine))
         self._events.push(at, ("arrive", proc))
+
+    def cancel_process(self, pid: int, at: float) -> None:
+        """Schedule cancellation of process *pid* at time *at*.
+
+        The cancellation enters the event heap like an arrival or a
+        fault, so it composes with macro-quantum coalescing the same
+        way: a pending cancellation bounds any stability window instead
+        of breaking it (DESIGN.md §12/§15).  When it fires, a job still
+        waiting in a runqueue is removed and torn down cleanly (runtime
+        notified, ledger updated); a job that already completed — or
+        one mid-quantum under a scheduler that cannot remove it — makes
+        the cancellation a miss, reported to ``on_cancel`` as ``None``.
+        Mid-run cancellations therefore take effect at the end of the
+        quantum in flight at *at*, which is when the process returns to
+        a runqueue.
+        """
+        self._events.push(at, ("cancel", pid))
 
     def _wake_core(self, core_id: int, now: float) -> None:
         if self._core_offline[core_id]:
@@ -450,6 +484,10 @@ class Simulation:
             ),
             "memory": self.memory,
             "on_complete": self.on_complete,
+            # Additive key: snapshots predating the open-system engine
+            # restore with .get() to None, which is exactly what closed
+            # runs (the only runs that existed) carried.
+            "on_cancel": self.on_cancel,
             "contention_alpha": self.contention_alpha,
             "pollution_beta": self.pollution_beta,
             "batched": self.batched,
@@ -494,6 +532,7 @@ class Simulation:
             contention_alpha=state["contention_alpha"],
             pollution_beta=state["pollution_beta"],
             on_complete=state["on_complete"],
+            on_cancel=state.get("on_cancel"),
             memory=state["memory"],
             faults=state["faults"],
             batched=state["batched"],
@@ -546,6 +585,7 @@ class Simulation:
         self._core_mem_pressure = list(core["mem_pressure"])
         self._core_freq_eff = list(core["freq_eff"])
         self.on_complete = state["on_complete"]
+        self.on_cancel = state.get("on_cancel")
         self.scheduler.restore_state(state["scheduler_state"])
         if self.faults is not None and state["faults_state"] is not None:
             self.faults.restore_state(state["faults_state"])
@@ -667,9 +707,27 @@ class Simulation:
                         run=self._tr_run,
                     )
                 self.scheduler.enqueue(proc, time)
+                if self._tr_opensys:
+                    self._tr.instant(
+                        "opensys",
+                        "arrival",
+                        time,
+                        tid=PROC_TID_BASE + proc.pid,
+                        args={"pid": proc.pid, "name": proc.name},
+                        run=self._tr_run,
+                    )
+                    self._tr.counter(
+                        "opensys",
+                        "jobs_in_system",
+                        time,
+                        float(len(self._live)),
+                        run=self._tr_run,
+                    )
                 # The new process's completion/mark bounds are not in
                 # the cached stability floor.
                 self._stability_floor = -math.inf
+            elif kind == "cancel":
+                self._do_cancel(payload[1], time)
             elif kind == "fault":
                 self._apply_fault(payload[1], time)
             else:  # pragma: no cover - defensive
@@ -1966,6 +2024,18 @@ class Simulation:
                 args=args,
                 run=self._tr_run,
             )
+        if self._tr_opensys and isinstance(event, HotplugEvent):
+            # Open-system breakdown/repair windows are hotplug events;
+            # mirror them into the opensys timeline so queue-depth and
+            # latency excursions line up with capacity losses.
+            self._tr.instant(
+                "opensys",
+                "breakdown" if not event.online else "repair",
+                now,
+                tid=event.core_id,
+                args={"core": event.core_id},
+                run=self._tr_run,
+            )
         if self._notify_machine is not None:
             self._notify_machine(event, now, tuple(self._core_freq_scale))
 
@@ -1974,6 +2044,61 @@ class Simulation:
         self._result.throughput_buckets[bucket] = (
             self._result.throughput_buckets.get(bucket, 0.0) + instrs
         )
+
+    def _do_cancel(self, pid: int, now: float) -> None:
+        """Dispatch one ``("cancel", pid)`` event (see
+        :meth:`cancel_process` for the semantics)."""
+        proc = None
+        if pid in self._live:
+            proc = self.scheduler.remove(pid, now)
+        if proc is None:
+            # The job completed before the cancellation fired, never
+            # arrived, or the scheduler cannot surgically remove it
+            # (the conservative base contract) — it runs to completion
+            # and the cancellation is a miss.
+            if self._tr_opensys:
+                self._tr.instant(
+                    "opensys",
+                    "cancel",
+                    now,
+                    tid=PROC_TID_BASE + pid,
+                    args={"pid": pid, "reason": cancelled_reason("missed")},
+                    run=self._tr_run,
+                )
+            if self.on_cancel is not None:
+                self.on_cancel(None, now)
+            return
+        self._live.discard(pid)
+        self._result.cancelled.append(proc)
+        if self._tr_opensys:
+            self._tr.instant(
+                "opensys",
+                "cancel",
+                now,
+                tid=PROC_TID_BASE + proc.pid,
+                args={
+                    "pid": proc.pid,
+                    "name": proc.name,
+                    "reason": cancelled_reason("queued"),
+                },
+                run=self._tr_run,
+            )
+            self._tr.counter(
+                "opensys",
+                "jobs_in_system",
+                now,
+                float(len(self._live)),
+                run=self._tr_run,
+            )
+        if self.runtime is not None:
+            # Same teardown as completion: the runtime releases any
+            # open measurement session for the departing process.
+            self.runtime.on_process_end(proc, now)
+        # The removal shrank a runqueue the cached stability floor was
+        # computed against; reset it like an arrival does.
+        self._stability_floor = -math.inf
+        if self.on_cancel is not None:
+            self.on_cancel(proc, now)
 
     def _finish(self, proc: SimProcess, now: float) -> None:
         proc.completion = now
@@ -1996,6 +2121,14 @@ class Simulation:
                     "mark_overhead_cycles": stats.mark_overhead_cycles,
                     "cycles_by_type": dict(stats.cycles_by_type),
                 },
+                run=self._tr_run,
+            )
+        if self._tr_opensys:
+            self._tr.counter(
+                "opensys",
+                "jobs_in_system",
+                now,
+                float(len(self._live)),
                 run=self._tr_run,
             )
         if self.runtime is not None:

@@ -108,6 +108,19 @@ class Scheduler(abc.ABC):
         """
         return now
 
+    def remove(self, pid: int, now: float) -> Optional[SimProcess]:
+        """Remove and return the queued process with *pid* (open-system
+        cancellation), or ``None`` when it is not queued.
+
+        The conservative default supports no removal at all: the
+        executor then treats the cancellation as a miss and lets the
+        job run to completion, which keeps the job ledger conserved
+        (the job still retires exactly once).  Implementations with
+        inspectable runqueues should override this together with
+        :meth:`queued_processes`.
+        """
+        return None
+
     def queued_processes(self) -> list:
         """All ready processes currently sitting in runqueues, in a
         deterministic (core-id, queue-position) order.

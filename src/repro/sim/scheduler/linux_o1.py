@@ -152,6 +152,23 @@ class LinuxO1Scheduler(Scheduler):
     def queue_length(self, core_id: int) -> int:
         return len(self._queues[core_id])
 
+    def remove(self, pid: int, now: float) -> Optional[SimProcess]:
+        """Surgically pull a queued process out by pid (open-system
+        cancellation), scanning queues in machine order like
+        :meth:`queued_processes` enumerates them."""
+        for cid, queue in self._queues.items():
+            for i, proc in enumerate(queue):
+                if proc.pid == pid:
+                    del queue[i]
+                    tr = self.telemetry
+                    if tr is not None:
+                        tr.events.append(
+                            ("I", "sched", "remove", tr.run, now, cid,
+                             None, {"pid": pid, "from": cid})
+                        )
+                    return proc
+        return None
+
     def stability_horizon(self, core_id: int, now: float) -> float:
         """Until the next periodic balance pass is due, this scheduler
         touches a core's queue only through pick/requeue on that core

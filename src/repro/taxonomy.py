@@ -1,0 +1,99 @@
+"""One taxonomy of terminal job states.
+
+Three subsystems retire jobs for reasons other than success, and before
+this module each invented its own prose: the sweep broker reclaimed
+expired leases and quarantined poison tasks, the harness blamed tasks
+for worker-pool deaths and demoted them to serial execution, and the
+open-system engine cancels simulated jobs while they wait or run.  The
+strings land in durable places — the broker's ``events`` audit table,
+``RunJournal`` records, telemetry args — so drift between them makes
+post-mortems needlessly hard ("lease expired" vs "worker died" vs
+"blamed").
+
+Every terminal reason is now ``"<state>: <detail>"`` where ``<state>``
+is one of the :data:`TERMINAL_STATES` below, and every emitter builds
+the string through the helpers here.  :func:`state_of` recovers the
+state from a stored reason, so audits can bucket historic rows without
+parsing prose.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CANCELLED",
+    "FAILED",
+    "LEASE_EXPIRED",
+    "POOL_DEATH",
+    "TERMINAL_STATES",
+    "cancelled_reason",
+    "demotion_reason",
+    "failed_reason",
+    "lease_expired_reason",
+    "pool_death_reason",
+    "state_of",
+]
+
+#: A job was cancelled by an external request (open-system departures).
+CANCELLED = "cancelled"
+
+#: A task attempt raised; it may be retried up to its attempt limit.
+FAILED = "failed"
+
+#: A worker's lease on a task expired — the worker died or hung and the
+#: broker reclaimed the task for re-offer (or quarantine).
+LEASE_EXPIRED = "lease-expired"
+
+#: A worker pool died underneath a task; the harness blames the tasks
+#: that were in flight and may demote them to serial execution.
+POOL_DEATH = "pool-death"
+
+#: Every terminal state a reason string may carry.
+TERMINAL_STATES = frozenset({CANCELLED, FAILED, LEASE_EXPIRED, POOL_DEATH})
+
+
+def lease_expired_reason(attempts: int, limit: int, owner: str) -> str:
+    """Reason for a broker task reclaimed from a dead or hung worker."""
+    return (
+        f"{LEASE_EXPIRED}: attempt {attempts}/{limit} "
+        f"(worker {owner} died or hung)"
+    )
+
+
+def failed_reason(attempts: int, limit: int, detail: str) -> str:
+    """Reason for a broker task attempt that raised."""
+    return f"{FAILED}: attempt {attempts}/{limit}: {detail}"
+
+
+def cancelled_reason(scope: str) -> str:
+    """Reason for an open-system job cancellation.
+
+    *scope* says where the cancellation landed: ``"queued"`` (removed
+    from a runqueue before completion) or ``"missed"`` (the job
+    completed, never arrived, or could not be removed before the
+    cancellation fired).
+    """
+    return f"{CANCELLED}: {scope}"
+
+
+def pool_death_reason(blamed) -> str:
+    """Reason logged when a worker pool dies with tasks in flight."""
+    names = ", ".join(str(label) for label in blamed)
+    return f"{POOL_DEATH}: worker pool died; blaming task(s): {names}"
+
+
+def demotion_reason(label, crashes: int) -> str:
+    """Reason logged when a repeatedly-blamed task is demoted to serial
+    execution."""
+    return (
+        f"{POOL_DEATH}: task {label} blamed for {crashes} pool death(s); "
+        f"demoting to serial execution"
+    )
+
+
+def state_of(reason: str) -> str:
+    """The terminal state a reason string was built with, or ``""``
+    for strings predating (or outside) the taxonomy."""
+    state, sep, _ = (reason or "").partition(":")
+    if sep and state in TERMINAL_STATES:
+        return state
+    return ""

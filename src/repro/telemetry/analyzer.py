@@ -62,6 +62,12 @@ class RunTimeline:
     decisions: list = field(default_factory=list)
     degradations: list = field(default_factory=list)
     fault_events: list = field(default_factory=list)
+    #: Open-system dynamics: ``(ts, name, args)`` for arrival, cancel,
+    #: breakdown, and repair instants (``opensys`` category).
+    opensys_events: list = field(default_factory=list)
+    #: Jobs-in-system counter samples ``(ts, value)`` from the
+    #: open-system engine, in event order.
+    queue_depth_samples: list = field(default_factory=list)
     sched_decisions: int = 0
     _phase_open: dict = field(default_factory=dict, repr=False)
     _max_ts: float = field(default=0.0, repr=False)
@@ -110,6 +116,11 @@ class RunTimeline:
                 self.degradations.append((ts, args))
         elif cat == "fault":
             self.fault_events.append((ts, name, args))
+        elif cat == "opensys":
+            if ph == "C" and name == "jobs_in_system":
+                self.queue_depth_samples.append((ts, value))
+            else:
+                self.opensys_events.append((ts, name, args))
         elif cat == "sched":
             self.sched_decisions += 1
         elif cat == "quantum" and ph == "X":
@@ -201,6 +212,12 @@ class TimelineAnalyzer:
     def phase_residency(self, run: int, pid: int) -> dict:
         """Per-phase residency seconds of one process."""
         return dict(self.timelines[run].phase_residency.get(pid, {}))
+
+    def queue_depth(self, run: int) -> list:
+        """Jobs-in-system ``(ts, value)`` samples of one run, in event
+        order (recorded by open-system engine runs under the
+        ``opensys`` category)."""
+        return list(self.timelines[run].queue_depth_samples)
 
     def stall_attribution(self, run: int, pid: int) -> dict:
         """Overhead attribution from the process-end stats payload:

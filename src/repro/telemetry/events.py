@@ -37,15 +37,24 @@ category       events                                              default
 ``task``       harness task lifecycle (wall clock)                 on
 ``broker``     sweep-broker protocol: enqueue, claim, complete,    on
                fail, reclaim, quarantine, dedupe (wall clock)
+``opensys``    open-system dynamics: arrivals, cancellations,      off
+               breakdown/repair windows, jobs-in-system samples
 ``quantum``    one span per scheduling quantum                     off
 ``segment``    per-trace-step counters                             off
 =============  ==================================================  ========
 
-The two off-by-default categories are the high-volume ones: a paper
-scale run executes hundreds of thousands of quanta, and recording each
-costs far more than the <5% tracing budget.  Enable them explicitly
-(``REPRO_TRACE_CATEGORIES=all`` or ``...=exec,quantum``) for short runs
-that need the full timeline.
+The off-by-default categories either cost too much for the <5% tracing
+budget (a paper-scale run executes hundreds of thousands of quanta) or
+only mean something for a specific run shape (``opensys`` events fire
+only when an open-system engine drives the run; keeping the category
+opt-in leaves every closed-run trace byte-identical to before it
+existed).  Enable them explicitly (``REPRO_TRACE_CATEGORIES=all`` or
+``...=exec,opensys``) when needed.
+
+For the high-volume categories there is a second lever: deterministic
+sampling.  ``TraceRecorder(sample={"quantum": 1/16})`` keeps a seeded
+hash-chosen subset of a category's events instead of all or none —
+see :class:`~repro.telemetry.recorder.TraceRecorder`.
 """
 
 from __future__ import annotations
@@ -61,8 +70,9 @@ DEFAULT_CATEGORIES = frozenset(
      "store"}
 )
 
-#: Every category, including the high-volume per-quantum/per-step ones.
-ALL_CATEGORIES = DEFAULT_CATEGORIES | {"quantum", "segment"}
+#: Every category, including the high-volume per-quantum/per-step ones
+#: and the open-system dynamics timeline.
+ALL_CATEGORIES = DEFAULT_CATEGORIES | {"quantum", "segment", "opensys"}
 
 
 def parse_categories(text: str) -> frozenset:

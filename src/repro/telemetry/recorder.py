@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import pickle
 from pathlib import Path
+from zlib import crc32
 
 from repro.telemetry.events import DEFAULT_CATEGORIES
 from repro.telemetry.export import chrome_event, run_meta_event
@@ -105,6 +106,48 @@ class _StreamedEvents(list):
             self.append(ev)
 
 
+class _SampledEvents(_StreamedEvents):
+    """Event list applying a deterministic per-event keep decision to
+    sampled categories before storing (and streaming) the event.
+
+    The filter lives on the list rather than in the ``instant``/
+    ``span``/``counter`` methods because the hottest instrumentation
+    sites (executor quantum spans, scheduler dispatch decisions) append
+    raw event tuples directly — the container is the one choke point
+    every event passes through.
+
+    The keep decision is a pure function of the event's category, lane,
+    and timestamp (hashed via CRC-32 with the recorder's sample seed,
+    never Python's randomized ``hash``), so two runs of a
+    deterministic simulation keep exactly the same subset, events
+    sharing (category, lane, timestamp) keep or drop together, and
+    re-appending an event — e.g. a worker blob absorbed into a parent
+    recorder with the same sampling config — decides identically.
+    """
+
+    __slots__ = ("_thresholds", "_seed")
+
+    def __init__(self, recorder, thresholds, seed):
+        super().__init__(recorder)
+        self._thresholds = thresholds
+        self._seed = seed
+
+    def append(self, ev) -> None:
+        threshold = self._thresholds.get(ev[1])
+        if threshold is not None:
+            key = f"{self._seed}|{ev[1]}|{ev[5]}|{ev[4]!r}"
+            # CRC-32 is linear over GF(2): two keys differing in one
+            # byte hash to values a *constant* XOR apart, so without a
+            # finalizer two seeds would keep nearly identical subsets.
+            # The odd-multiplier mix (Fibonacci hashing) breaks the
+            # linearity; it is still a pure function of the key.
+            h = (crc32(key.encode()) * 0x9E3779B1) & 0xFFFFFFFF
+            if (h ^ (h >> 16)) >= threshold:
+                return
+        list.append(self, ev)
+        self._recorder._stream_event(ev)
+
+
 class TraceRecorder(Recorder):
     """In-memory collector of typed events and flat metrics.
 
@@ -119,14 +162,42 @@ class TraceRecorder(Recorder):
             drops under ``tolerant_tail=True`` — so the trace of a
             crashed run is recoverable up to the last flush.
         stream_flush_every: events between stream flushes.
+        sample: optional ``{category: keep_rate}`` with rates in
+            ``(0, 1]``; events of a sampled category are kept with a
+            deterministic seeded-hash decision (see
+            :class:`_SampledEvents`), so the high-volume categories
+            (``quantum``, ``segment``) are no longer all-or-nothing on
+            1000-process runs.  A rate of ``1.0`` keeps everything —
+            byte-identical to not listing the category.  Sampling a
+            category does not enable it: it must still be in
+            *categories*.
+        sample_seed: seed for the keep decision; the same seed keeps
+            the same subset across runs.
     """
 
     enabled = True
 
-    def __init__(self, categories=None, stream_to=None, stream_flush_every=256):
+    def __init__(
+        self,
+        categories=None,
+        stream_to=None,
+        stream_flush_every=256,
+        sample=None,
+        sample_seed=0,
+    ):
         self.categories = (
             frozenset(categories) if categories is not None else DEFAULT_CATEGORIES
         )
+        self.sample = dict(sample) if sample else None
+        self.sample_seed = int(sample_seed)
+        if self.sample is not None:
+            from repro.errors import TelemetryError
+
+            for cat, rate in self.sample.items():
+                if not 0.0 < rate <= 1.0:
+                    raise TelemetryError(
+                        f"sample rate for {cat!r} must be in (0, 1], got {rate}"
+                    )
         #: Flat event tuples: ``(ph, cat, name, run, ts, tid, value, args)``.
         self.events: list = []
         #: Flat metrics: name -> accumulated value.
@@ -144,6 +215,15 @@ class TraceRecorder(Recorder):
             path.parent.mkdir(parents=True, exist_ok=True)
             self._stream = open(path, "w", encoding="utf-8")
             self.events = _StreamedEvents(self)
+        if self.sample is not None:
+            # CRC-32 yields 32-bit values; a rate of 1.0 maps to 2**32,
+            # which every hash is strictly below, i.e. keep-all.
+            thresholds = {
+                cat: int(rate * 2**32) for cat, rate in self.sample.items()
+            }
+            sampled = _SampledEvents(self, thresholds, self.sample_seed)
+            sampled.extend(self.events)
+            self.events = sampled
 
     # -- run management -----------------------------------------------------
 

@@ -1,0 +1,152 @@
+"""LatencySketch / QueueDepthSeries / per-class throughput."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics.latency import (
+    LatencySketch,
+    QueueDepthSeries,
+    per_class_throughput,
+)
+
+
+def test_quantiles_within_relative_error():
+    rng = random.Random(42)
+    samples = [rng.expovariate(0.2) for _ in range(5000)]
+    sketch = LatencySketch(relative_error=0.01)
+    for value in samples:
+        sketch.add(value)
+    samples.sort()
+    for q in (0.5, 0.9, 0.95, 0.99):
+        exact = samples[min(len(samples) - 1, int(q * len(samples)))]
+        got = sketch.quantile(q)
+        assert got == pytest.approx(exact, rel=0.011)
+
+
+def test_empty_and_single_value():
+    sketch = LatencySketch()
+    assert sketch.quantile(0.5) == 0.0
+    assert len(sketch) == 0
+    sketch.add(3.0)
+    assert sketch.quantile(0.0) == pytest.approx(3.0, rel=0.011)
+    assert sketch.quantile(1.0) == pytest.approx(3.0, rel=0.011)
+    assert sketch.mean == 3.0
+
+
+def test_zero_values_report_zero():
+    sketch = LatencySketch()
+    for _ in range(10):
+        sketch.add(0.0)
+    sketch.add(5.0)
+    assert sketch.quantile(0.5) == 0.0
+    assert sketch.quantile(1.0) == pytest.approx(5.0, rel=0.011)
+
+
+def test_rejects_bad_samples():
+    sketch = LatencySketch()
+    with pytest.raises(MetricsError):
+        sketch.add(-1.0)
+    with pytest.raises(MetricsError):
+        sketch.add(float("nan"))
+    with pytest.raises(MetricsError):
+        sketch.quantile(1.5)
+    with pytest.raises(MetricsError):
+        LatencySketch(relative_error=0.0)
+
+
+def test_insertion_order_independent_and_serialization_canonical():
+    rng = random.Random(7)
+    samples = [rng.uniform(0.001, 100.0) for _ in range(1000)]
+    a, b = LatencySketch(), LatencySketch()
+    for value in samples:
+        a.add(value)
+    for value in reversed(samples):
+        b.add(value)
+    da, db = a.to_dict(), b.to_dict()
+    # `total` is a float accumulator and so insertion-order sensitive;
+    # everything feeding the quantile path is exactly order-free.
+    da.pop("total"), db.pop("total")
+    assert json.dumps(da, sort_keys=True) == json.dumps(db, sort_keys=True)
+    for q in (0.5, 0.95, 0.99):
+        assert a.quantile(q) == b.quantile(q)
+
+
+def test_merge_equals_union():
+    rng = random.Random(3)
+    left = [rng.expovariate(1.0) for _ in range(500)]
+    right = [rng.expovariate(3.0) for _ in range(700)]
+    merged, union = LatencySketch(), LatencySketch()
+    other = LatencySketch()
+    for value in left:
+        merged.add(value)
+        union.add(value)
+    for value in right:
+        other.add(value)
+        union.add(value)
+    merged.merge(other)
+    dm, du = merged.to_dict(), union.to_dict()
+    assert dm.pop("total") == pytest.approx(du.pop("total"))
+    assert dm == du
+    with pytest.raises(MetricsError):
+        merged.merge(LatencySketch(relative_error=0.05))
+
+
+def test_roundtrip():
+    sketch = LatencySketch()
+    for value in (0.0, 0.5, 2.0, 2.0, 9.75):
+        sketch.add(value)
+    clone = LatencySketch.from_dict(
+        json.loads(json.dumps(sketch.to_dict()))
+    )
+    assert clone.to_dict() == sketch.to_dict()
+    assert clone.quantile(0.5) == sketch.quantile(0.5)
+    empty = LatencySketch.from_dict(json.loads(json.dumps(LatencySketch().to_dict())))
+    assert empty.quantile(0.9) == 0.0
+
+
+def test_depth_series_from_events():
+    series = QueueDepthSeries.from_events(
+        arrivals=[1.0, 2.0, 3.0], departures=[2.5, 4.0]
+    )
+    assert series.at(0.5) == 0
+    assert series.at(1.0) == 1
+    assert series.at(2.2) == 2
+    assert series.at(2.7) == 1
+    assert series.at(3.5) == 2
+    assert series.at(10.0) == 1
+    assert series.peak() == 2
+
+
+def test_depth_series_tie_is_departure_first():
+    series = QueueDepthSeries.from_events(arrivals=[1.0, 2.0], departures=[2.0])
+    # At t=2.0 the departure folds in before the arrival: depth never
+    # reads 2.
+    assert series.peak() == 1
+    assert series.at(2.0) == 1
+
+
+def test_depth_series_time_weighted_mean():
+    series = QueueDepthSeries()
+    series.record(0.0, 1)
+    series.record(2.0, 3)
+    series.record(4.0, 0)
+    # [0,2): 1, [2,4): 3 -> mean over [0,4] = (2*1 + 2*3)/4 = 2.0
+    assert series.mean(0.0, 4.0) == pytest.approx(2.0)
+    assert series.mean(2.0, 4.0) == pytest.approx(3.0)
+    assert series.mean() == pytest.approx(2.0)
+    assert QueueDepthSeries().mean(0.0, 5.0) == 0.0
+    with pytest.raises(MetricsError):
+        series.record(1.0, 2)  # out of order
+
+
+def test_per_class_throughput():
+    out = per_class_throughput({"b": 4, "a": 2}, 10.0)
+    assert out == {"a": 0.2, "b": 0.4}
+    assert list(out) == ["a", "b"]
+    with pytest.raises(MetricsError):
+        per_class_throughput({}, 0.0)

@@ -1,0 +1,88 @@
+"""Property-based tests for the open-system engine.
+
+The load-bearing invariant: under ANY interleaving of arrivals,
+cancellations, and machine breakdowns, the job ledger is conserved —
+``arrived == completed + cancelled + in_flight`` — and the run is a
+pure function of its plan (byte-identical metrics on replay).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import core2quad_amp
+from repro.sim.opensys import OpenSystemPlan, OpenSystemRun
+from repro.workloads.workload import Workload, WorkloadRun
+
+CLASSES = ("164.gzip", "429.mcf")
+
+plans = st.builds(
+    OpenSystemPlan,
+    seed=st.integers(min_value=0, max_value=2**16),
+    rate=st.floats(min_value=0.05, max_value=1.5),
+    horizon=st.floats(min_value=5.0, max_value=45.0),
+    process=st.sampled_from(("poisson", "uniform")),
+    classes=st.just(CLASSES),
+    cancel_fraction=st.floats(min_value=0.0, max_value=1.0),
+    breakdowns=st.integers(min_value=0, max_value=3),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(plan=plans)
+def test_ledger_conserved_under_any_interleaving(plan):
+    machine = core2quad_amp()
+    result = OpenSystemRun(plan, machine).run()
+    assert result.arrived == (
+        result.completed + result.cancelled + result.in_flight
+    )
+    assert result.in_flight >= 0
+    # Every completion contributed exactly one sojourn and wait sample.
+    assert len(result.sojourn) == result.completed
+    assert len(result.wait) == result.completed
+    # The depth series saw one delta per arrival and per retirement.
+    assert len(result.depth) == (
+        result.arrived + result.completed + result.cancelled
+    )
+    # The cancellation schedule fully accounts for cancels: every
+    # scheduled cancel either removed its job or was a miss.
+    scheduled = len(plan.cancellations(plan.arrivals()))
+    assert result.cancelled + result.cancel_misses <= scheduled
+
+
+@settings(max_examples=6, deadline=None)
+@given(plan=plans)
+def test_replay_is_byte_identical(plan):
+    machine = core2quad_amp()
+    first = OpenSystemRun(plan, machine).run()
+    second = OpenSystemRun(plan, machine).run()
+    assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+        second.to_dict(), sort_keys=True
+    )
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    slots=st.integers(min_value=1, max_value=5),
+    horizon=st.floats(min_value=5.0, max_value=20.0),
+)
+def test_zero_arrival_open_run_is_the_closed_run(seed, slots, horizon):
+    machine = core2quad_amp()
+    workload = Workload.random(slots, seed=seed, queue_length=64)
+    closed = WorkloadRun(workload, machine).run(horizon)
+    opened = OpenSystemRun(
+        OpenSystemPlan(seed=seed, rate=0.0, horizon=horizon),
+        machine,
+        closed_workload=workload,
+    ).run()
+    assert [
+        (p.pid, p.name, p.completion, p.stats.cpu_time, p.stats.switches)
+        for p in closed.completed
+    ] == [
+        (p.pid, p.name, p.completion, p.stats.cpu_time, p.stats.switches)
+        for p in opened.sim_result.completed
+    ]
+    assert opened.arrived == 0 and opened.cancelled == 0

@@ -1,0 +1,87 @@
+"""Deterministic sampling of hot telemetry categories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.recorder import TraceRecorder
+
+
+def _fill(recorder, n=400):
+    for i in range(n):
+        recorder.span("quantum", "turn", ts=i * 0.01, dur=0.01, tid=i % 4)
+        recorder.instant("exec", "migrate", ts=i * 0.01, tid=1000 + i % 8)
+
+
+def test_sampled_category_keeps_deterministic_subset():
+    a = TraceRecorder(
+        categories={"quantum", "exec"}, sample={"quantum": 0.25}, sample_seed=7
+    )
+    b = TraceRecorder(
+        categories={"quantum", "exec"}, sample={"quantum": 0.25}, sample_seed=7
+    )
+    _fill(a)
+    _fill(b)
+    assert a.events == b.events
+    kept = [ev for ev in a.events if ev[1] == "quantum"]
+    # Roughly a quarter survive; the bound is loose, the determinism is
+    # the contract.
+    assert 0 < len(kept) < 400
+    assert len(kept) == pytest.approx(100, abs=40)
+    # Unsampled categories are untouched.
+    assert sum(1 for ev in a.events if ev[1] == "exec") == 400
+
+
+def test_different_seed_keeps_different_subset():
+    a = TraceRecorder(categories={"quantum"}, sample={"quantum": 0.5}, sample_seed=1)
+    b = TraceRecorder(categories={"quantum"}, sample={"quantum": 0.5}, sample_seed=2)
+    _fill(a)
+    _fill(b)
+    assert a.events != b.events
+
+
+def test_rate_one_is_identity():
+    sampled = TraceRecorder(
+        categories={"quantum", "exec"}, sample={"quantum": 1.0}
+    )
+    plain = TraceRecorder(categories={"quantum", "exec"})
+    _fill(sampled)
+    _fill(plain)
+    assert list(sampled.events) == list(plain.events)
+
+
+def test_raw_appends_are_sampled_too():
+    """Hot sites append raw tuples, bypassing instant()/span(); the
+    keep decision must still apply."""
+    recorder = TraceRecorder(
+        categories={"quantum"}, sample={"quantum": 0.2}, sample_seed=3
+    )
+    for i in range(300):
+        recorder.events.append(
+            ("X", "quantum", "turn", 0, i * 0.01, i % 4, 0.01, None)
+        )
+    kept = len(recorder.events)
+    assert 0 < kept < 300
+
+
+def test_absorb_blob_redecides_identically():
+    """Re-appending an event decides the same way: absorbing a worker
+    blob into an equally-configured parent keeps it byte-identical."""
+    worker = TraceRecorder(
+        categories={"quantum"}, sample={"quantum": 0.3}, sample_seed=9
+    )
+    _fill(worker)
+    parent = TraceRecorder(
+        categories={"quantum"}, sample={"quantum": 0.3}, sample_seed=9
+    )
+    parent.absorb_blob(worker.export_blob())
+    # Same run ids (parent had none), so events land identical.
+    assert list(parent.events) == list(worker.events)
+
+
+def test_bad_rate_rejected():
+    with pytest.raises(TelemetryError):
+        TraceRecorder(sample={"quantum": 0.0})
+    with pytest.raises(TelemetryError):
+        TraceRecorder(sample={"quantum": 1.5})
