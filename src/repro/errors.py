@@ -131,6 +131,14 @@ class BrokerError(ExperimentError):
     this and degrades to the single-host pool backend)."""
 
 
+class BrokerUnavailableError(BrokerError):
+    """A networked broker server cannot be reached: the transport's
+    retry budget is spent (or its circuit breaker is open) and the
+    operation never happened.  ``run_tasks`` catches this (via
+    :class:`BrokerError`) and degrades to the single-host pool; workers
+    treat it as "poll again later" while their grace window lasts."""
+
+
 class LeaseLostError(BrokerError):
     """A worker's lease on a task expired and was reclaimed (or the task
     was completed by another worker) before the worker finished; raised

@@ -56,6 +56,26 @@ Broker-backed sweeps (multi-worker, multi-host, fault-tolerant)::
     python -m repro.experiments status /shared/q              # queue + drift
     python -m repro.experiments bless /shared/q               # golden baseline
 
+Networked sweeps (no shared filesystem; see
+:mod:`repro.experiments.broker_net`)::
+
+    python -m repro.experiments serve /srv/q --port 8751      # broker host
+    python -m repro.experiments enqueue http://host:8751 fig6 &
+    python -m repro.experiments work http://host:8751          # any machine
+    python -m repro.experiments status http://host:8751 --watch
+
+Every broker verb accepts an ``http(s)://`` URL wherever it accepts a
+directory (or ``--broker-url``/``REPRO_BROKER_URL`` instead of the
+positional target).  The transport retries with backoff and jitter,
+carries idempotency keys on every mutating request, and trips a
+cooldown circuit breaker when the server is down — workers poll
+through outages for ``REPRO_BROKER_GRACE`` seconds and results stay
+exactly-once through server crashes.  ``serve --token`` (or
+``REPRO_AUTH_TOKEN``, which clients also read) requires a bearer token
+on every request; ``--readonly`` serves status-only.  ``enqueue
+--priority N`` claims higher-priority sweeps first (FIFO within a
+band).
+
 ``--broker-dir DIR`` (or ``REPRO_BROKER_DIR``) routes every sweep
 through the claim/lease task queue of :mod:`repro.experiments.broker`:
 tasks survive worker ``kill -9`` via lease reclamation, repeatedly
@@ -108,10 +128,15 @@ from repro.experiments import (
 from repro.experiments.broker import (
     BACKOFF_BASE_ENV,
     BROKER_DIR_ENV,
+    BROKER_URL_ENV,
     LEASE_TTL_ENV,
+    PRIORITY_ENV,
     Broker,
+    connect,
     worker_loop,
 )
+from repro.errors import BrokerError
+from repro.net import AUTH_TOKEN_ENV
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results_db import ResultsDB, format_diff
 from repro.sim.checkpoint import CHECKPOINT_INTERVAL_ENV
@@ -383,6 +408,52 @@ def _parse_args(argv):
         "see also the enqueue/work/status/bless verbs",
     )
     parser.add_argument(
+        "--broker-url",
+        default=None,
+        metavar="URL",
+        help="route sweeps through a networked broker server "
+        "(python -m repro.experiments serve DIR) instead of a shared "
+        "directory (default: the REPRO_BROKER_URL environment variable, "
+        "if set); broker verbs also accept the URL positionally",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with enqueue (or any broker-backed sweep): claim this "
+        "sweep's tasks before lower-priority ones (default: "
+        "REPRO_SWEEP_PRIORITY, else 0; FIFO within a priority band)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token for networked broker/store servers; with the "
+        "serve verb, require it on every request (default: the "
+        "REPRO_AUTH_TOKEN environment variable, if set)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="with the serve verb: address to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8751,
+        metavar="N",
+        help="with the serve verb: port to bind (default: 8751; "
+        "0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--readonly",
+        action="store_true",
+        help="with the serve verb: reject mutating requests with 403 "
+        "(status-only mirror)",
+    )
+    parser.add_argument(
         "--forever",
         action="store_true",
         help="with the work verb: keep serving after the queue drains "
@@ -460,6 +531,8 @@ _MANIFEST_KEYS = (
     "backoff_base",
     "lease_ttl",
     "broker_dir",
+    "broker_url",
+    "priority",
 )
 
 
@@ -526,6 +599,14 @@ def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
         os.environ[LEASE_TTL_ENV] = str(args.lease_ttl)
     if getattr(args, "broker_dir", None):
         os.environ[BROKER_DIR_ENV] = args.broker_dir
+    if getattr(args, "broker_url", None):
+        os.environ[BROKER_URL_ENV] = args.broker_url
+    if getattr(args, "priority", None) is not None:
+        os.environ[PRIORITY_ENV] = str(args.priority)
+    if getattr(args, "token", None):
+        # The token is never written to manifests — it travels through
+        # the environment only.
+        os.environ[AUTH_TOKEN_ENV] = args.token
     if args.trace_categories:
         os.environ[TRACE_CATEGORIES_ENV] = args.trace_categories
     if args.trace_out:
@@ -592,26 +673,61 @@ def _execute(args, chosen: list, run_dir: Optional[Path]) -> None:
     )
 
 
+def _flag_target(args) -> str:
+    """The broker target from flags/environment (no positional)."""
+    return (
+        getattr(args, "broker_url", None)
+        or os.environ.get(BROKER_URL_ENV, "").strip()
+        or getattr(args, "broker_dir", None)
+        or os.environ.get(BROKER_DIR_ENV, "").strip()
+    )
+
+
 def _verb_dir(args, verb: str) -> str:
-    if len(args.names) < 2:
-        raise SystemExit(
-            f"usage: python -m repro.experiments {verb} BROKERDIR"
-            + (" [experiment ...]" if verb == "enqueue" else "")
-        )
-    return args.names[1]
+    """The verb's broker target: the positional argument, else
+    ``--broker-url``/``--broker-dir`` (or their environment variables).
+    Directories and ``http(s)://`` URLs are both valid everywhere."""
+    if len(args.names) >= 2:
+        return args.names[1]
+    target = _flag_target(args)
+    if target:
+        return target
+    raise SystemExit(
+        f"usage: python -m repro.experiments {verb} TARGET"
+        + (" [experiment ...]" if verb == "enqueue" else "")
+        + " (TARGET = broker directory or http(s):// URL;"
+        " or pass --broker-url)"
+    )
 
 
 def _cmd_enqueue(args) -> None:
     """Submit experiments through the broker and wait for workers.
 
     Spawns no local workers (``REPRO_BROKER_WORKERS=0``): the sweep is
-    claimable by ``work`` processes on any host sharing the directory,
-    and this invocation blocks until they finish, then prints the
-    experiment output exactly as a local run would.
+    claimable by ``work`` processes on any host sharing the directory
+    (or reaching the URL), and this invocation blocks until they
+    finish, then prints the experiment output exactly as a local run
+    would.
     """
-    os.environ[BROKER_DIR_ENV] = _verb_dir(args, "enqueue")
+    rest = args.names[1:]
+    if rest and rest[0] not in _EXPERIMENTS:
+        target, chosen = rest[0], rest[1:]
+    else:
+        # Every positional is an experiment name: the target must come
+        # from --broker-url/--broker-dir or the environment.
+        target = _flag_target(args)
+        chosen = rest
+        if not target:
+            raise SystemExit(
+                "usage: python -m repro.experiments enqueue TARGET "
+                "[experiment ...] (or pass --broker-url)"
+            )
+    if target.startswith(("http://", "https://")):
+        os.environ[BROKER_URL_ENV] = target
+    else:
+        os.environ[BROKER_DIR_ENV] = target
     os.environ[harness.BROKER_WORKERS_ENV] = "0"
-    chosen = args.names[2:] or list(_EXPERIMENTS)
+    chosen = list(chosen) or list(_EXPERIMENTS)
     for name in chosen:
         if name not in _EXPERIMENTS:
             raise SystemExit(
@@ -637,13 +753,16 @@ def _cmd_work(args) -> None:
     log = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
     timeout = harness.resolve_timeout(args.task_timeout)
     if jobs == 1:
-        completed = worker_loop(
-            directory,
-            task_timeout=timeout,
-            timeout_kills=True,
-            drain=not args.forever,
-            log=log if args.log else None,
-        )
+        try:
+            completed = worker_loop(
+                directory,
+                task_timeout=timeout,
+                timeout_kills=True,
+                drain=not args.forever,
+                log=log if args.log else None,
+            )
+        except BrokerError as exc:
+            raise SystemExit(f"work: {exc}")
         print(f"worker drained: {completed} task(s) completed")
         return
     import multiprocessing
@@ -667,12 +786,20 @@ def _cmd_work(args) -> None:
     print(f"{jobs} worker(s) drained")
 
 
-def _render_status(directory: str, events_tail: int = 0) -> str:
+def _render_status(directory: str, events_tail: int = 0,
+                   broker=None) -> str:
     """One status snapshot as text: queue states, workers, quarantines,
     sessions, drift against the golden baseline, and (for ``--watch``)
-    the tail of the broker's audit-trail ``events`` table."""
-    broker = Broker(directory)
-    db = ResultsDB.for_broker(directory)
+    the tail of the broker's audit-trail ``events`` table.
+
+    *directory* may be a broker directory or an ``http(s)://`` URL;
+    ``--watch`` passes its long-lived *broker* back in so transport
+    state (the circuit breaker) survives across refreshes.
+    """
+    if broker is None:
+        broker = connect(directory)
+    http = broker.directory is None
+    db = None if http else ResultsDB.for_broker(directory)
     lines = []
     sweeps = broker.sweeps()
     if not sweeps:
@@ -686,17 +813,22 @@ def _render_status(directory: str, events_tail: int = 0) -> str:
             f"{counts['leased']} leased, {counts['quarantined']} quarantined"
             + (" (traced)" if traced else "")
         )
-        rows = broker.result_rows(sweep)
-        if rows or db.golden_for(fn):
-            lines.append(
-                "  " + format_diff(db.diff(fn, rows)).replace("\n", "\n  ")
-            )
+        if http:
+            # The results DB lives on the server; it renders the diff.
+            info = broker.diff_info(sweep)
+            show, text = info.get("show"), info.get("text", "")
+        else:
+            rows = broker.result_rows(sweep)
+            show = rows or db.golden_for(fn)
+            text = format_diff(db.diff(fn, rows)) if show else ""
+        if show:
+            lines.append("  " + text.replace("\n", "\n  "))
     workers = broker.active_workers()
     if workers:
         lines.append(f"active workers: {', '.join(workers)}")
     for sweep, idx, label, attempts, reason in broker.quarantined():
         lines.append(f"QUARANTINED {sweep}[{idx}] {label}: {reason}")
-    sessions = db.sessions(limit=5)
+    sessions = broker.sessions(limit=5) if http else db.sessions(limit=5)
     if sessions:
         lines.append("recent sessions:")
         for session, sweep, fn, total, host, _note, _created in sessions:
@@ -721,18 +853,44 @@ def _render_status(directory: str, events_tail: int = 0) -> str:
 
 def _cmd_status(args) -> None:
     """Report queue states, workers, quarantines, sessions, and drift
-    against the golden baseline; with ``--watch``, poll the broker DB
-    and re-render in place until interrupted."""
+    against the golden baseline; with ``--watch``, poll the broker
+    and re-render in place until interrupted.
+
+    An unreachable networked broker is a report, not a crash: without
+    ``--watch`` it exits with the transport's reason; with ``--watch``
+    the snapshot shows the outage and the circuit-breaker state and
+    polling continues — the display recovers by itself when the server
+    comes back.
+    """
     directory = _verb_dir(args, "status")
     if not args.watch:
-        print(_render_status(directory))
+        try:
+            print(_render_status(directory))
+        except BrokerError as exc:
+            raise SystemExit(f"status: {exc}")
         return
     import time as _time
 
     interval = args.watch_interval
+    broker = None
     try:
         while True:
-            snapshot = _render_status(directory, events_tail=10)
+            try:
+                if broker is None:
+                    broker = connect(directory)
+                snapshot = _render_status(
+                    directory, events_tail=10, broker=broker
+                )
+            except BrokerError as exc:
+                state = (
+                    broker.breaker_state()
+                    if broker is not None and hasattr(broker, "breaker_state")
+                    else "unreachable"
+                )
+                snapshot = (
+                    f"{directory}: broker unavailable ({exc})\n"
+                    f"transport breaker: {state}; still polling"
+                )
             # Clear screen + home, then the snapshot: a cheap in-place
             # re-render with no terminal library dependencies.
             sys.stdout.write("\x1b[2J\x1b[H")
@@ -749,8 +907,23 @@ def _cmd_status(args) -> None:
 
 def _cmd_bless(args) -> None:
     """Record every settled sweep's result digests as the golden
-    baseline future runs are diffed against."""
+    baseline future runs are diffed against.  Over HTTP the blessing
+    runs on the server, where the results DB lives."""
     directory = _verb_dir(args, "bless")
+    if directory.startswith(("http://", "https://")):
+        try:
+            out = connect(directory).bless_all()
+        except BrokerError as exc:
+            raise SystemExit(f"bless: {exc}")
+        for sweep, fn in out.get("skipped", []):
+            print(f"skipping {sweep} ({fn}): still running")
+        blessed = 0
+        for sweep, fn, count in out.get("blessed", []):
+            blessed += count
+            print(f"blessed {count} result(s) of {sweep} ({fn})")
+        if not blessed:
+            print("nothing to bless (no settled sweeps with results)")
+        return
     broker = Broker(directory)
     db = ResultsDB.for_broker(directory)
     blessed = 0
@@ -768,11 +941,32 @@ def _cmd_bless(args) -> None:
         print("nothing to bless (no settled sweeps with results)")
 
 
+def _cmd_serve(args) -> None:
+    """Serve a broker directory over HTTP (see
+    :mod:`repro.experiments.broker_net`)."""
+    from repro.experiments.broker_net import serve
+
+    directory = _verb_dir(args, "serve")
+    if directory.startswith(("http://", "https://")):
+        raise SystemExit("serve needs a broker *directory*, not a URL")
+    serve(
+        directory,
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        backoff_base=args.backoff_base,
+        token=args.token,
+        readonly=args.readonly,
+        verbose=args.log,
+    )
+
+
 _VERBS = {
     "enqueue": _cmd_enqueue,
     "work": _cmd_work,
     "status": _cmd_status,
     "bless": _cmd_bless,
+    "serve": _cmd_serve,
 }
 
 

@@ -67,7 +67,7 @@ import time
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.errors import BrokerError, LeaseLostError
+from repro.errors import BrokerError, BrokerUnavailableError, LeaseLostError
 from repro.sim.checkpoint import task_checkpoint_dir
 from repro.taxonomy import failed_reason, lease_expired_reason
 from repro.store import atomic_publish, default_store
@@ -76,12 +76,19 @@ from repro.telemetry.context import current_recorder
 __all__ = [
     "BACKOFF_BASE_ENV",
     "BROKER_DIR_ENV",
+    "BROKER_GRACE_ENV",
+    "BROKER_URL_ENV",
     "Broker",
     "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_DOWN_GRACE",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_MAX_ATTEMPTS",
     "LEASE_TTL_ENV",
     "Lease",
+    "PRIORITY_ENV",
+    "connect",
+    "prepare_enqueue",
+    "resolve_down_grace",
     "task_key",
     "worker_loop",
 ]
@@ -89,6 +96,22 @@ __all__ = [
 #: Environment variable naming the broker directory; ``run_tasks``
 #: routes sweeps through it when set (see ``backend="broker"``).
 BROKER_DIR_ENV = "REPRO_BROKER_DIR"
+
+#: Environment variable naming a networked broker server
+#: (``http(s)://host:port``); same routing as ``REPRO_BROKER_DIR`` but
+#: over the HTTP transport of :mod:`repro.experiments.broker_net`.
+BROKER_URL_ENV = "REPRO_BROKER_URL"
+
+#: Environment variable giving enqueued sweeps a default priority
+#: (``--priority``); higher claims first, 0 when unset.
+PRIORITY_ENV = "REPRO_SWEEP_PRIORITY"
+
+#: Environment variable bounding how long a worker or submitter keeps
+#: polling a hard-down networked broker before abandoning the wait.
+BROKER_GRACE_ENV = "REPRO_BROKER_GRACE"
+
+#: Default grace window (seconds) for ``REPRO_BROKER_GRACE``.
+DEFAULT_DOWN_GRACE = 60.0
 
 #: Environment variable overriding the retry backoff base (seconds).
 BACKOFF_BASE_ENV = "REPRO_BACKOFF_BASE"
@@ -153,7 +176,94 @@ CREATE TABLE IF NOT EXISTS events (
     worker TEXT,
     detail TEXT
 );
+CREATE TABLE IF NOT EXISTS idempotency (
+    key      TEXT PRIMARY KEY,
+    response TEXT NOT NULL,
+    ts       REAL NOT NULL
+);
 """
+
+#: Seconds a served idempotency-key response stays replayable.  Long
+#: enough to cover any client retry schedule, short enough that the
+#: table never grows past one sweep's worth of mutations.
+IDEMPOTENCY_TTL = 3600.0
+
+
+def resolve_down_grace(down_grace: Optional[float] = None) -> float:
+    """The effective grace window for polling an unreachable broker:
+    the explicit argument, else ``REPRO_BROKER_GRACE``, else 60 s."""
+    if down_grace is not None:
+        return float(down_grace)
+    raw = os.environ.get(BROKER_GRACE_ENV, "").strip()
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            raise BrokerError(
+                f"{BROKER_GRACE_ENV} must be a number, got {raw!r}"
+            ) from None
+    return DEFAULT_DOWN_GRACE
+
+
+def _resolve_priority(priority: Optional[int]) -> int:
+    if priority is not None:
+        return int(priority)
+    raw = os.environ.get(PRIORITY_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        return int(raw)
+    except ValueError:
+        raise BrokerError(
+            f"{PRIORITY_ENV} must be an integer, got {raw!r}"
+        ) from None
+
+
+def prepare_enqueue(
+    fn: Callable,
+    tasks: Sequence,
+    labels: Optional[Sequence[str]] = None,
+    traced: bool = False,
+) -> tuple:
+    """Shred a sweep into its wire form: ``(ref, sweep, items)`` where
+    *items* is ``[(key, label, payload), ...]``.
+
+    The pure half of :meth:`Broker.enqueue`, shared with the HTTP
+    transport so a sweep enqueued over the network derives the exact
+    same content keys and sweep id as a filesystem enqueue — the
+    foundation of cross-backend byte-identity.
+    """
+    tasks = list(tasks)
+    if labels is None:
+        labels = [repr(task) for task in tasks]
+    elif len(labels) != len(tasks):
+        raise BrokerError(
+            f"got {len(labels)} labels for {len(tasks)} tasks"
+        )
+    ref = (
+        f"{getattr(fn, '__module__', '?')}."
+        f"{getattr(fn, '__qualname__', repr(fn))}"
+    )
+    items = [
+        (
+            task_key(fn, task),
+            str(label),
+            pickle.dumps((fn, task), protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        for task, label in zip(tasks, labels)
+    ]
+    # Traced sweeps record (value, telemetry blob) wrappers — a
+    # different result shape, so a different sweep identity.  The
+    # priority is deliberately NOT part of the identity: re-submitting
+    # the same work at a new priority re-ranks it, never forks it.
+    h = hashlib.sha256(ref.encode("utf-8"))
+    if traced:
+        h.update(b"\x01traced")
+    for key, _label, _payload in items:
+        h.update(b"\x00")
+        h.update(key.encode("ascii"))
+    sweep = f"sweep-{h.hexdigest()[:12]}"
+    return ref, sweep, items
 
 
 def task_key(fn: Callable, task) -> str:
@@ -283,10 +393,24 @@ class Broker:
             self.results_dir.mkdir(exist_ok=True)
             # executescript commits on its own; keep it out of _txn.
             self._conn().executescript(_SCHEMA)
+            try:
+                # Migration for queues created before sweep priorities:
+                # CREATE TABLE IF NOT EXISTS never adds columns.
+                self._conn().execute(
+                    "ALTER TABLE tasks "
+                    "ADD COLUMN priority INTEGER NOT NULL DEFAULT 0"
+                )
+            except sqlite3.OperationalError:
+                pass  # column already present
         except (OSError, sqlite3.Error) as exc:
             raise BrokerError(
                 f"cannot open broker directory {directory}: {exc}"
             ) from exc
+
+    @property
+    def target(self) -> str:
+        """The string another process would :func:`connect` to."""
+        return str(self.directory)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -354,59 +478,64 @@ class Broker:
         labels: Optional[Sequence[str]] = None,
         sweep: Optional[str] = None,
         traced: bool = False,
+        priority: Optional[int] = None,
     ) -> str:
         """Shred a sweep into claimable tasks; returns the sweep id.
 
         Idempotent: the sweep id is derived from the content keys, so
         re-enqueueing the same work is a no-op that leaves existing
-        progress (done/quarantined states, recorded results) intact.
+        progress (done/quarantined states, recorded results) intact —
+        except the *priority* (``REPRO_SWEEP_PRIORITY`` when ``None``),
+        which re-ranks the sweep's still-pending tasks.
         """
-        tasks = list(tasks)
-        if labels is None:
-            labels = [repr(task) for task in tasks]
-        elif len(labels) != len(tasks):
-            raise BrokerError(
-                f"got {len(labels)} labels for {len(tasks)} tasks"
-            )
-        ref = (
-            f"{getattr(fn, '__module__', '?')}."
-            f"{getattr(fn, '__qualname__', repr(fn))}"
+        ref, derived, items = prepare_enqueue(
+            fn, tasks, labels=labels, traced=traced
         )
-        payloads = [
-            pickle.dumps((fn, task), protocol=pickle.HIGHEST_PROTOCOL)
-            for task in tasks
-        ]
-        keys = [task_key(fn, task) for task in tasks]
-        if sweep is None:
-            # Traced sweeps record (value, telemetry blob) wrappers —
-            # a different result shape, so a different sweep identity.
-            h = hashlib.sha256(ref.encode("utf-8"))
-            if traced:
-                h.update(b"\x01traced")
-            for key in keys:
-                h.update(b"\x00")
-                h.update(key.encode("ascii"))
-            sweep = f"sweep-{h.hexdigest()[:12]}"
+        return self.enqueue_raw(
+            ref, items, sweep=sweep or derived, traced=traced,
+            priority=_resolve_priority(priority),
+        )
+
+    def enqueue_raw(
+        self,
+        ref: str,
+        items: Sequence,
+        sweep: str,
+        traced: bool = False,
+        priority: int = 0,
+    ) -> str:
+        """Enqueue pre-shredded ``(key, label, payload)`` *items* under
+        *sweep* — the transaction half of :meth:`enqueue`, called
+        directly by the HTTP server with items shredded client-side."""
+        priority = int(priority)
         now = time.time()
         with self._txn() as cur:
             fresh = cur.execute(
                 "INSERT OR IGNORE INTO sweeps "
                 "(sweep, fn, total, traced, created) VALUES (?, ?, ?, ?, ?)",
-                (sweep, ref, len(tasks), int(bool(traced)), now),
+                (sweep, ref, len(items), int(bool(traced)), now),
             ).rowcount
-            for idx, (key, label, payload) in enumerate(
-                zip(keys, labels, payloads)
-            ):
+            for idx, (key, label, payload) in enumerate(items):
                 cur.execute(
                     "INSERT OR IGNORE INTO tasks "
-                    "(sweep, idx, key, label, payload) "
-                    "VALUES (?, ?, ?, ?, ?)",
-                    (sweep, idx, key, str(label), payload),
+                    "(sweep, idx, key, label, payload, priority) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (sweep, idx, key, str(label), payload, priority),
+                )
+            if not fresh:
+                # Re-submission at a new priority re-ranks whatever has
+                # not been claimed yet; settled rows keep their state.
+                cur.execute(
+                    "UPDATE tasks SET priority = ? "
+                    "WHERE sweep = ? AND priority != ?",
+                    (priority, sweep, priority),
                 )
             if fresh:
                 self._event(
                     cur, "enqueue", sweep=sweep,
-                    detail=f"{len(tasks)} task(s) fn={ref}", now=now,
+                    detail=f"{len(items)} task(s) fn={ref}"
+                    + (f" priority={priority}" if priority else ""),
+                    now=now,
                 )
         return sweep
 
@@ -427,10 +556,13 @@ class Broker:
         now = time.time() if now is None else now
         with self._txn() as cur:
             self._reclaim_locked(cur, now)
+            # Highest priority band first; FIFO within a band (rowid is
+            # insertion order, which re-offers keep — a retried task
+            # never loses its place in line).
             row = cur.execute(
                 "SELECT sweep, idx, key, label, payload, attempts "
                 "FROM tasks WHERE state = 'pending' AND not_before <= ? "
-                "ORDER BY sweep, idx LIMIT 1",
+                "ORDER BY priority DESC, rowid LIMIT 1",
                 (now,),
             ).fetchone()
             if row is None:
@@ -546,10 +678,31 @@ class Broker:
         racing writers can never corrupt each other (same digest means
         same bytes, different digests mean different files).
         """
-        now = time.time() if now is None else now
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return self.complete_raw(
+            lease.sweep, lease.index, lease.key, lease.label, lease.worker,
+            payload, traced=traced, now=now,
+        )
+
+    def complete_raw(
+        self,
+        sweep: str,
+        index: int,
+        key: str,
+        label: str,
+        worker: Optional[str],
+        payload: bytes,
+        traced: bool = False,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Record already-pickled result *payload* — the durable half
+        of :meth:`complete`, called directly by the HTTP server with
+        bytes pickled client-side (the digest discipline is identical,
+        so retried network completions converge the same way racing
+        local ones always have)."""
+        now = time.time() if now is None else now
         digest = hashlib.sha256(payload).hexdigest()
-        name = f"{lease.key}-{digest[:12]}.pkl"
+        name = f"{key}-{digest[:12]}.pkl"
         path = self.results_dir / name
         if not path.exists():
             tmp = path.with_name(
@@ -572,8 +725,8 @@ class Broker:
                 "INSERT OR IGNORE INTO results "
                 "(sweep, key, label, file, sha256, traced, worker, recorded) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                (lease.sweep, lease.key, lease.label, name, digest,
-                 int(bool(traced)), lease.worker, now),
+                (sweep, key, label, name, digest,
+                 int(bool(traced)), worker, now),
             ).rowcount == 1
             # Settle every task row sharing the key (duplicate content
             # within a sweep is computed once).
@@ -581,15 +734,44 @@ class Broker:
                 "UPDATE tasks SET state = 'done', lease_owner = NULL, "
                 "lease_deadline = NULL, quarantine_reason = NULL "
                 "WHERE sweep = ? AND key = ? AND state != 'done'",
-                (lease.sweep, lease.key),
+                (sweep, key),
             )
             self._event(
                 cur,
                 "complete" if recorded else "dedupe",
-                sweep=lease.sweep, idx=lease.index, worker=lease.worker,
+                sweep=sweep, idx=index, worker=worker,
                 detail=digest[:12], now=now,
             )
         return recorded
+
+    # -- idempotency keys (served transport) --------------------------------
+
+    def idempotent_response(self, key: str) -> Optional[str]:
+        """The response previously served for idempotency key *key*, or
+        ``None`` if this key has not been (durably) served yet."""
+        row = self._conn().execute(
+            "SELECT response FROM idempotency WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def store_idempotent(
+        self, key: str, response: str, now: Optional[float] = None
+    ) -> None:
+        """Durably record *response* for *key* so a client retry of the
+        same mutation (dropped response, torn connection) replays the
+        original outcome instead of re-executing it.  Entries expire
+        after :data:`IDEMPOTENCY_TTL` — far beyond any retry budget."""
+        now = time.time() if now is None else now
+        with self._txn() as cur:
+            cur.execute(
+                "INSERT OR REPLACE INTO idempotency (key, response, ts) "
+                "VALUES (?, ?, ?)",
+                (key, response, now),
+            )
+            cur.execute(
+                "DELETE FROM idempotency WHERE ts < ?",
+                (now - IDEMPOTENCY_TTL,),
+            )
 
     def fail(
         self, lease: Lease, error, now: Optional[float] = None
@@ -728,6 +910,48 @@ class Broker:
             "ORDER BY label",
             (sweep,),
         ).fetchall()
+
+    def replay_manifest(self, sweep: str) -> dict:
+        """What a remote replayer needs before fetching payloads:
+        ``{"rows": [(key, sha256, traced)], "index_keys": [(idx, key)]}``
+        — served by the broker HTTP server so clients can verify every
+        payload against its recorded digest."""
+        rows = self._conn().execute(
+            "SELECT key, sha256, traced FROM results WHERE sweep = ? "
+            "ORDER BY key",
+            (sweep,),
+        ).fetchall()
+        index_keys = self._conn().execute(
+            "SELECT idx, key FROM tasks WHERE sweep = ? ORDER BY idx",
+            (sweep,),
+        ).fetchall()
+        return {
+            "rows": [list(row) for row in rows],
+            "index_keys": [list(row) for row in index_keys],
+        }
+
+    def result_payload(self, sweep: str, key: str) -> Optional[bytes]:
+        """The verified pickled result bytes for ``(sweep, key)``, or
+        ``None`` — local file first (digest-checked), shared store as
+        the fallback, exactly like :meth:`replay` resolves them."""
+        row = self._conn().execute(
+            "SELECT file, sha256 FROM results WHERE sweep = ? AND key = ?",
+            (sweep, key),
+        ).fetchone()
+        if row is None:
+            return None
+        name, digest = row
+        try:
+            data = (self.results_dir / name).read_bytes()
+        except OSError:
+            data = None
+        if data is not None and hashlib.sha256(data).hexdigest() != digest:
+            data = None
+        if data is None:
+            store = default_store()
+            if store is not None:
+                data = store.get_object(digest)
+        return data
 
     def replay(self, sweep: str, traced: bool = False) -> dict:
         """``{task index: value}`` for every verified recorded result.
@@ -883,6 +1107,44 @@ class Broker:
             self._local.conn = None
 
 
+# -- transport resolution ----------------------------------------------------
+
+
+def connect(
+    target,
+    lease_ttl: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backoff_base: Optional[float] = None,
+    fsync: bool = True,
+):
+    """The broker transport for *target*: an ``http(s)://`` URL returns
+    an :class:`~repro.experiments.broker_net.HTTPBroker` client, any
+    other string or path opens the filesystem :class:`Broker` directly.
+
+    Both transports expose the same claim/lease surface, so callers —
+    :func:`worker_loop`, the harness's broker backend, the CLI verbs —
+    never branch on which one they got.
+    """
+    if isinstance(target, str) and target.startswith(
+        ("http://", "https://")
+    ):
+        from repro.experiments.broker_net import HTTPBroker
+
+        return HTTPBroker(
+            target,
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            backoff_base=backoff_base,
+        )
+    return Broker(
+        target,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+        backoff_base=backoff_base,
+        fsync=fsync,
+    )
+
+
 # -- worker loop ------------------------------------------------------------
 
 
@@ -941,8 +1203,10 @@ def worker_loop(
     drain: bool = True,
     max_tasks: Optional[int] = None,
     log: Optional[Callable] = None,
+    down_grace: Optional[float] = None,
 ) -> int:
-    """Claim and run tasks from the broker at *directory*.
+    """Claim and run tasks from the broker at *directory* (a path or an
+    ``http(s)://`` broker-server URL).
 
     The core of the ``work`` CLI verb and of the local workers the
     harness's broker backend spawns.  Each claimed task runs under a
@@ -950,6 +1214,14 @@ def worker_loop(
     its checkpoint directory exported; an exception inside the point
     function reports :meth:`Broker.fail` (backed-off re-offer, then
     quarantine) instead of killing the loop.
+
+    Over the HTTP transport the loop degrades instead of crashing: an
+    unreachable server is polled (cheaply — the transport's breaker
+    answers without touching the network inside its cooldown) until it
+    returns or *down_grace* (``REPRO_BROKER_GRACE``, 60 s) of
+    continuous unavailability passes while draining; a completion the
+    server never acknowledged is simply recomputed by a later claim
+    and deduped by content key.
 
     Args:
         worker: worker identity for leases (host:pid by default).
@@ -960,17 +1232,33 @@ def worker_loop(
         drain: return once no task is runnable or running anywhere in
             the queue; ``False`` keeps serving until interrupted.
         max_tasks: stop after this many completed claims (tests).
+        down_grace: seconds of continuous broker unavailability a
+            draining worker tolerates before giving up.
 
     Returns:
         the number of tasks this worker completed.
     """
-    broker = Broker(
-        directory,
-        lease_ttl=lease_ttl,
-        max_attempts=max_attempts,
-        backoff_base=backoff_base,
-    )
+    down_grace = resolve_down_grace(down_grace)
     worker = worker or default_worker_id()
+    started = time.monotonic()
+    while True:
+        # A worker may legitimately start before its broker server is
+        # up (CI launches both at once): keep trying to connect for the
+        # grace window instead of crashing on the first refused socket.
+        try:
+            broker = connect(
+                directory,
+                lease_ttl=lease_ttl,
+                max_attempts=max_attempts,
+                backoff_base=backoff_base,
+            )
+            break
+        except BrokerUnavailableError as exc:
+            if time.monotonic() - started > down_grace:
+                raise
+            if log is not None:
+                log(f"worker {worker}: {exc}; waiting for broker")
+            time.sleep(poll_interval)
     # Warm the pipeline cache from the shared store (when configured)
     # before claiming anything: a sweep point then reuses the fleet's
     # static-pipeline products instead of recomputing them per worker.
@@ -983,12 +1271,38 @@ def worker_loop(
     rec = current_recorder()
     completed = 0
     task_run = None
+    down_since = None
+    traced_cache: dict = {}
     while True:
         if max_tasks is not None and completed >= max_tasks:
             return completed
-        lease = broker.claim(worker)
+        try:
+            lease = broker.claim(worker)
+        except BrokerUnavailableError as exc:
+            # Hard-down server: keep polling (the breaker makes each
+            # poll an instant no-network raise) until it returns or the
+            # grace window closes.  Never a hung worker, never a crash.
+            now = time.monotonic()
+            if down_since is None:
+                down_since = now
+                if log is not None:
+                    log(f"worker {worker}: {exc}; polling")
+            if drain and now - down_since > down_grace:
+                if log is not None:
+                    log(
+                        f"worker {worker}: broker still unreachable "
+                        f"after {down_grace:g}s; giving up"
+                    )
+                return completed
+            time.sleep(poll_interval)
+            continue
+        down_since = None
         if lease is None:
-            counts = broker.counts()
+            try:
+                counts = broker.counts()
+            except BrokerUnavailableError:
+                time.sleep(poll_interval)
+                continue
             if counts["pending"] == 0 and counts["leased"] == 0:
                 if drain:
                     return completed
@@ -1012,16 +1326,35 @@ def worker_loop(
                 value = fn(task)
         except BaseException as exc:
             heartbeat.stop()
-            state = broker.fail(lease, exc)
+            try:
+                state = broker.fail(lease, exc)
+            except BrokerUnavailableError:
+                # The lease lapses on its own and the task is
+                # re-offered; losing the failure report costs nothing.
+                state = "unreported"
             if log is not None:
                 log(f"worker {worker}: {lease.label} failed ({exc!r}) -> {state}")
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             continue
         heartbeat.stop()
-        recorded = broker.complete(
-            lease, value, traced=broker.sweep_traced(lease.sweep)
-        )
+        try:
+            if lease.sweep not in traced_cache:
+                traced_cache[lease.sweep] = broker.sweep_traced(lease.sweep)
+            recorded = broker.complete(
+                lease, value, traced=traced_cache[lease.sweep]
+            )
+        except BrokerUnavailableError as exc:
+            # The completion was computed but could not be recorded
+            # past the transport's retries.  Safe to drop: the lease
+            # lapses, the task is re-offered, and the recomputed result
+            # dedupes by content key.
+            if log is not None:
+                log(
+                    f"worker {worker}: could not record {lease.label} "
+                    f"({exc}); it will be recomputed"
+                )
+            continue
         completed += 1
         if rec.enabled and rec.wants("task"):
             if task_run is None:

@@ -67,8 +67,13 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.errors import BrokerError, ExperimentError, TaskTimeoutError
-from repro.experiments.broker import BROKER_DIR_ENV
+from repro.errors import (
+    BrokerError,
+    BrokerUnavailableError,
+    ExperimentError,
+    TaskTimeoutError,
+)
+from repro.experiments.broker import BROKER_DIR_ENV, BROKER_URL_ENV
 from repro.experiments.journal import MAX_TASK_CRASHES, RunJournal
 from repro.sim.checkpoint import TASK_CHECKPOINT_DIR_ENV, task_checkpoint_dir
 from repro.taxonomy import demotion_reason, pool_death_reason
@@ -277,7 +282,11 @@ def run_tasks(
     if retries < 0:
         raise ExperimentError(f"retries must be >= 0, got {retries}")
     if backend is None:
-        has_broker = broker_dir or os.environ.get(BROKER_DIR_ENV, "").strip()
+        has_broker = (
+            broker_dir
+            or os.environ.get(BROKER_URL_ENV, "").strip()
+            or os.environ.get(BROKER_DIR_ENV, "").strip()
+        )
         backend = "broker" if has_broker else "pool"
     elif backend not in ("pool", "broker"):
         raise ExperimentError(
@@ -305,11 +314,17 @@ def run_tasks(
     rec = current_recorder()
     rec = rec if rec.enabled else None
     if backend == "broker":
-        resolved_dir = broker_dir or os.environ.get(BROKER_DIR_ENV)
+        # *broker_dir* may be a directory or an http(s):// URL — the
+        # broker's connect() factory picks the transport either way.
+        resolved_dir = (
+            broker_dir
+            or os.environ.get(BROKER_URL_ENV, "").strip()
+            or os.environ.get(BROKER_DIR_ENV)
+        )
         if not resolved_dir:
             raise ExperimentError(
                 "backend='broker' requires broker_dir= or the "
-                f"{BROKER_DIR_ENV} environment variable"
+                f"{BROKER_URL_ENV}/{BROKER_DIR_ENV} environment variable"
             )
         try:
             return _run_broker(
@@ -529,9 +544,9 @@ def _run_broker(
     poison task then raises its real traceback in the caller.
     """
     from repro.experiments.broker import (
-        Broker,
         DEFAULT_MAX_ATTEMPTS,
         Lease,
+        connect,
         task_key,
     )
     from repro.experiments.results_db import ResultsDB
@@ -549,16 +564,22 @@ def _run_broker(
     # least its own default budget even when the caller asked for zero
     # timeout-retries.
     max_attempts = max(retries + 1, DEFAULT_MAX_ATTEMPTS)
-    broker = Broker(broker_dir, max_attempts=max_attempts)
+    broker = connect(broker_dir, max_attempts=max_attempts)
     total = len(tasks)
     sweep = broker.enqueue(run_fn, tasks, labels=labels, traced=traced)
+    fn_name = (
+        f"{getattr(fn, '__module__', '?')}."
+        f"{getattr(fn, '__qualname__', repr(fn))}"
+    )
     try:
-        ResultsDB.for_broker(broker.directory).record_session(
-            sweep,
-            f"{getattr(fn, '__module__', '?')}."
-            f"{getattr(fn, '__qualname__', repr(fn))}",
-            total,
-        )
+        if broker.directory is None:
+            # Networked broker: the results DB lives next to the queue
+            # on the server, so the session is recorded over the wire.
+            broker.record_session(sweep, fn_name, total)
+        else:
+            ResultsDB.for_broker(broker.directory).record_session(
+                sweep, fn_name, total
+            )
     except BrokerError:
         pass  # session log is advisory; the queue itself is intact
     done = broker.replay(sweep, traced=traced)
@@ -587,12 +608,19 @@ def _run_broker(
             value = _call_with_checkpoint_dir(
                 run_fn, tasks[index], broker.checkpoint_dir(key), ref=key
             )
-            broker.complete(
-                Lease(sweep, index, key, labels[index], b"", 0, 0.0,
-                      "parent-rescue"),
-                value,
-                traced=traced,
-            )
+            try:
+                broker.complete(
+                    Lease(sweep, index, key, labels[index], b"", 0, 0.0,
+                          "parent-rescue"),
+                    value,
+                    traced=traced,
+                )
+            except BrokerUnavailableError as exc:
+                # Recording the rescue is best-effort: the value is in
+                # hand and the sweep must not fail because the broker
+                # went away after the compute finished.
+                if log is not None:
+                    log(f"broker: could not record rescue ({exc})")
             done[index] = value
     results = [done[index] for index in range(total)]
     if traced:
@@ -619,23 +647,51 @@ def _drive_broker_sweep(
     Dead local workers are respawned while runnable work remains, up to
     a budget bounded by the per-task attempt limits (so a worker-killing
     task ends in quarantine, not an infinite respawn loop).
+
+    A networked broker may drop out mid-sweep: the supervision loops
+    here poll through outages for the down-grace window
+    (``REPRO_BROKER_GRACE``) and only then let
+    :class:`BrokerUnavailableError` propagate — which ``run_tasks``
+    turns into the single-host pool fallback.
     """
-    from repro.experiments.broker import worker_loop
+    from repro.experiments.broker import resolve_down_grace, worker_loop
+
+    grace = resolve_down_grace(None)
+    down_since = None
+
+    def outage(exc) -> bool:
+        """Track one outage tick; ``True`` while inside the grace
+        window, raises the original error once it is spent."""
+        nonlocal down_since
+        now = time.monotonic()
+        if down_since is None:
+            down_since = now
+            if log is not None:
+                log(f"broker: {exc}; waiting up to {grace:.0f}s")
+        if now - down_since > grace:
+            raise exc
+        return True
 
     local = _broker_local_workers(jobs, remaining)
     if local == 0:
         if log is not None:
             log(f"broker: waiting for remote workers to finish {sweep}")
-        while not broker.settled(sweep):
-            broker.reclaim_expired()
+        while True:
+            try:
+                if broker.settled(sweep):
+                    return
+                broker.reclaim_expired()
+            except BrokerUnavailableError as exc:
+                outage(exc)
+            else:
+                down_since = None
             time.sleep(poll_interval)
-        return
     if local == 1:
         # In-process: deterministic, no subprocess to supervise.  A
         # timeout here cannot kill the worker (it is us); the lease
         # lapsing still re-offers the task to any other worker.
         worker_loop(
-            broker.directory,
+            broker.target,
             lease_ttl=broker.lease_ttl,
             max_attempts=broker.max_attempts,
             task_timeout=timeout,
@@ -647,7 +703,7 @@ def _drive_broker_sweep(
         return
     context = multiprocessing.get_context(start_method)
     entry_args = (
-        str(broker.directory), broker.lease_ttl, broker.max_attempts, timeout,
+        broker.target, broker.lease_ttl, broker.max_attempts, timeout,
     )
 
     def spawn():
@@ -661,14 +717,22 @@ def _drive_broker_sweep(
     respawns = 0
     respawn_budget = remaining * broker.max_attempts + local
     try:
-        while not broker.settled(sweep):
-            broker.reclaim_expired()
+        while True:
+            try:
+                if broker.settled(sweep):
+                    return
+                broker.reclaim_expired()
+                counts = broker.counts()
+            except BrokerUnavailableError as exc:
+                outage(exc)
+                time.sleep(poll_interval)
+                continue
+            down_since = None
             alive = [proc for proc in workers if proc.is_alive()]
             dead = len(workers) - len(alive)
             if dead and log is not None:
                 log(f"broker: {dead} local worker(s) died")
             workers = alive
-            counts = broker.counts()
             runnable = counts["pending"] + counts["leased"]
             while (
                 runnable > 0

@@ -3,15 +3,22 @@
 ::
 
     python -m repro.store serve --dir STORE [--host H] [--port P]
+                                [--token T] [--readonly]
     python -m repro.store push  --dir STORE --url REMOTE [--prefix P]
     python -m repro.store pull  --dir STORE --url REMOTE [--prefix P]
     python -m repro.store gc    --dir STORE [--broker-dir DIR]
+                                [--url REMOTE] [--max-age S] [--max-bytes N]
     python -m repro.store stats --dir STORE [--url REMOTE]
 
 ``push``/``pull`` synchronise refs (and the objects they point at)
 between a local store directory and one or more remote tiers; ``gc``
 drops unreferenced objects and, with ``--broker-dir``, the per-key
-checkpoint directories of broker tasks that already completed.
+checkpoint directories of broker tasks that already completed.  With
+``--max-age``/``--max-bytes`` it becomes an age/LRU *prune* — refs
+idle past the age (or least-recently-touched while over the byte
+budget) are dropped first, then unreferenced objects collected — and
+with ``--url`` the prune runs on remote tiers (auth applies: export
+``REPRO_AUTH_TOKEN`` for a token-protected server).
 """
 
 from __future__ import annotations
@@ -41,6 +48,11 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                     help="port to bind (0 = ephemeral)")
     sp.add_argument("--verbose", action="store_true",
                     help="log each request")
+    sp.add_argument("--token", default=None,
+                    help="require this bearer token on every request "
+                    "(default: $REPRO_AUTH_TOKEN; unset = open)")
+    sp.add_argument("--readonly", action="store_true",
+                    help="reject mutating requests with 403")
 
     for verb, text in (("push", "upload local refs/objects to remotes"),
                        ("pull", "download remote refs/objects locally")):
@@ -52,10 +64,17 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                         help="only refs under this prefix")
 
     sp = sub.add_parser("gc", help="drop unreferenced objects / done "
-                                   "broker checkpoints")
+                                   "broker checkpoints / prune by age-LRU")
     sp.add_argument("--dir", default=None, help="store directory to collect")
     sp.add_argument("--broker-dir", default=None,
                     help="also prune ckpt/ dirs of done broker tasks")
+    sp.add_argument("--url", default=None,
+                    help="prune remote tiers instead of (or as well as) "
+                    f"--dir (default when set: ${STORE_URL_ENV})")
+    sp.add_argument("--max-age", type=float, default=None, metavar="S",
+                    help="drop refs not touched for S seconds")
+    sp.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="LRU-drop refs while referenced bytes exceed N")
 
     sp = sub.add_parser("stats", help="print tier statistics as JSON")
     sp.add_argument("--dir", default=None, help="local store directory")
@@ -125,11 +144,44 @@ def _cmd_pull(args) -> int:
 
 
 def _cmd_gc(args) -> int:
-    if not args.dir and not args.broker_dir:
-        raise SystemExit("gc needs --dir and/or --broker-dir")
+    if not args.dir and not args.broker_dir and not args.url:
+        raise SystemExit("gc needs --dir, --broker-dir, and/or --url")
+    pruning = args.max_age is not None or args.max_bytes is not None
     if args.dir:
-        removed, freed = LocalStore(args.dir).gc()
-        print(f"gc {args.dir}: removed {removed} objects ({freed} bytes)")
+        local = LocalStore(args.dir)
+        if pruning:
+            dropped, removed, freed = local.prune(
+                max_age=args.max_age, max_bytes=args.max_bytes
+            )
+            print(
+                f"prune {args.dir}: dropped {dropped} refs, removed "
+                f"{removed} objects ({freed} bytes)"
+            )
+        else:
+            removed, freed = local.gc()
+            print(
+                f"gc {args.dir}: removed {removed} objects ({freed} bytes)"
+            )
+    if args.url:
+        for remote in _remotes(args.url):
+            if isinstance(remote, LocalStore):
+                dropped, removed, freed = remote.prune(
+                    max_age=args.max_age, max_bytes=args.max_bytes
+                )
+                out = {"refs_dropped": dropped, "objects_removed": removed,
+                       "bytes_freed": freed}
+            else:
+                out = remote.prune(
+                    max_age=args.max_age, max_bytes=args.max_bytes
+                )
+            if out is None:
+                print(f"prune {remote.name}: unavailable", file=sys.stderr)
+                continue
+            print(
+                f"prune {remote.name}: dropped {out['refs_dropped']} refs, "
+                f"removed {out['objects_removed']} objects "
+                f"({out['bytes_freed']} bytes)"
+            )
     if args.broker_dir:
         from repro.experiments.broker import Broker
 
@@ -164,7 +216,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.verb == "serve":
             serve(args.dir, host=args.host, port=args.port,
-                  verbose=args.verbose)
+                  verbose=args.verbose, token=args.token,
+                  readonly=args.readonly)
             return 0
         return {
             "push": _cmd_push,

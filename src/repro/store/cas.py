@@ -64,6 +64,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import StoreCorruptionError, StoreError
+from repro.net import CooldownBreaker, bearer_headers, resolve_token
 from repro.telemetry.context import current_recorder
 
 __all__ = [
@@ -359,6 +360,62 @@ class LocalStore:
 
     # -- maintenance --------------------------------------------------------
 
+    def prune(
+        self,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, int, int]:
+        """Age/LRU eviction: drop refs, then gc unreferenced objects.
+
+        Two independent policies compose (either may be ``None``):
+
+        * *max_age*: refs not touched for more than this many seconds
+          are dropped.
+        * *max_bytes*: while referenced bytes exceed this budget, drop
+          the least-recently-touched surviving refs (object sizes are
+          counted once however many refs share a digest).
+
+        Only *refs* are evicted directly; objects leave through the
+        ordinary ref-reachability :meth:`gc`, so a digest still named
+        by any surviving ref keeps its bytes.  A pruned object is not
+        special afterwards — re-fetching it from another tier runs the
+        same digest verification as any cold read.
+
+        Returns ``(refs dropped, objects removed, bytes freed)``.
+        """
+        if now is None:
+            now = time.time()
+        entries = sorted(self.ref_mtimes())  # oldest first
+        dropped = 0
+        if max_age is not None:
+            cutoff = now - float(max_age)
+            keep = []
+            for mtime, name, digest in entries:
+                if mtime < cutoff:
+                    dropped += self.delete_ref(name)
+                else:
+                    keep.append((mtime, name, digest))
+            entries = keep
+        if max_bytes is not None:
+            sizes = {
+                digest: self.object_size(digest)
+                for _mtime, _name, digest in entries
+            }
+            live: Dict[str, int] = {}
+            for _mtime, _name, digest in entries:
+                live[digest] = live.get(digest, 0) + 1
+            total = sum(sizes.values())
+            for _mtime, name, digest in entries:
+                if total <= int(max_bytes):
+                    break
+                dropped += self.delete_ref(name)
+                live[digest] -= 1
+                if live[digest] == 0:
+                    total -= sizes[digest]
+        removed, freed = self.gc()
+        return dropped, removed, freed
+
     def gc(self, keep: Iterable[str] = ()) -> Tuple[int, int]:
         """Delete objects referenced by no ref (and not in *keep*).
 
@@ -409,6 +466,7 @@ class HTTPStore:
         url: str,
         timeout: Optional[float] = None,
         cooldown: Optional[float] = None,
+        token: Optional[str] = None,
     ) -> None:
         if not url.startswith(("http://", "https://")):
             raise StoreError(f"not an http(s) store URL: {url!r}")
@@ -420,46 +478,35 @@ class HTTPStore:
         self.timeout = float(timeout)
         self.cooldown = float(cooldown)
         self.stats = _TierStats()
-        self._lock = threading.Lock()
-        self._dead_until = 0.0
-        self._negative: Dict[str, float] = {}
+        self._breaker = CooldownBreaker(self.cooldown)
+        self._headers = bearer_headers(resolve_token(token))
 
     @property
     def name(self) -> str:
         return self.url
 
-    # -- breaker ------------------------------------------------------------
+    # -- breaker (shared implementation in :mod:`repro.net`) ----------------
 
     def _unavailable(self, key: str) -> bool:
-        now = time.monotonic()
-        with self._lock:
-            if now < self._dead_until:
-                return True
-            until = self._negative.get(key)
-            if until is not None:
-                if now < until:
-                    return True
-                del self._negative[key]
-        return False
+        return self._breaker.unavailable(key)
 
     def _trip(self) -> None:
         self.stats.errors += 1
-        with self._lock:
-            self._dead_until = time.monotonic() + self.cooldown
+        self._breaker.trip()
 
     def _remember_miss(self, key: str) -> None:
-        with self._lock:
-            self._negative[key] = time.monotonic() + self.cooldown
+        self._breaker.remember_miss(key)
 
     @property
     def tripped(self) -> bool:
-        with self._lock:
-            return time.monotonic() < self._dead_until
+        return self._breaker.tripped
 
     def _request(self, method: str, path: str, data: Optional[bytes] = None):
         req = urllib.request.Request(
             f"{self.url}{path}", data=data, method=method
         )
+        for name, value in self._headers.items():
+            req.add_header(name, value)
         return urllib.request.urlopen(req, timeout=self.timeout)
 
     def _fetch(self, kind: str, path: str, key: str) -> Optional[bytes]:
@@ -550,8 +597,7 @@ class HTTPStore:
         except (OSError, urllib.error.URLError, TimeoutError):
             self._trip()
             return None
-        with self._lock:
-            self._negative.pop(actual, None)
+        self._breaker.forget(actual)
         return actual
 
     def set_ref(self, name: str, digest: str) -> bool:
@@ -571,8 +617,7 @@ class HTTPStore:
         except (OSError, urllib.error.URLError, TimeoutError):
             self._trip()
             return False
-        with self._lock:
-            self._negative.pop(f"ref:{name}", None)
+        self._breaker.forget(f"ref:{name}")
         return True
 
     def refs(self, prefix: str = "") -> Dict[str, str]:
@@ -595,6 +640,44 @@ class HTTPStore:
             for name, digest in parsed.items()
             if isinstance(digest, str) and _DIGEST_RE.match(digest)
         }
+
+    def prune(
+        self,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Optional[dict]:
+        """Ask the server to run :meth:`LocalStore.prune` (a mutating
+        request — rejected on readonly servers, and requires the bearer
+        token when one is configured).  Returns the server's summary
+        ``{"refs_dropped", "objects_removed", "bytes_freed"}``, or
+        ``None`` if the tier is unavailable.
+
+        Raises:
+            StoreError: the server refused the request (401/403/400) —
+                a policy failure, not a transport one, so it is NOT
+                swallowed into a miss.
+        """
+        if self.tripped:
+            return None
+        body = json.dumps({
+            "max_age": max_age, "max_bytes": max_bytes,
+        }).encode("utf-8")
+        try:
+            with self._request("POST", "/gc", data=body) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            code = exc.code
+            exc.close()
+            if code in (400, 401, 403):
+                raise StoreError(
+                    f"store {self.url} refused gc: HTTP {code}"
+                ) from None
+            self._trip()
+            return None
+        except (OSError, urllib.error.URLError, TimeoutError,
+                UnicodeDecodeError, ValueError):
+            self._trip()
+            return None
 
     def stats_dict(self) -> dict:
         counts = self.stats.as_dict()

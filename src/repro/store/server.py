@@ -16,10 +16,17 @@ Routes::
                              file-before-index across the wire
     GET      /refs[/prefix]  JSON {name: digest} listing
     GET      /stats          JSON tier counters
+    POST     /gc             age/LRU prune (JSON {max_age, max_bytes})
 
 The server is deliberately dumb: all verification and atomicity lives
 in :class:`LocalStore`, so a plain rsync of the served directory is an
 equally valid tier.
+
+Auth: ``serve(token=...)`` (or ``REPRO_AUTH_TOKEN``) requires
+``Authorization: Bearer <token>`` on every request — unauthenticated
+requests get 401; ``serve(readonly=True)`` rejects every mutating verb
+(PUT, POST) with 403.  Both are enforced through the same
+:class:`~repro.net.AuthPolicy` as the networked broker server.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import StoreCorruptionError, StoreError
+from repro.net import AuthPolicy, resolve_token
 from repro.store.cas import LocalStore
 
 __all__ = ["StoreRequestHandler", "make_server", "serve"]
@@ -58,7 +66,23 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     def store(self) -> LocalStore:
         return self.server.store
 
+    @property
+    def auth(self) -> AuthPolicy:
+        return self.server.auth
+
     # -- plumbing -----------------------------------------------------------
+
+    def _guard(self, mutating: bool) -> bool:
+        """Enforce bearer-token auth and readonly mode; replies and
+        returns ``False`` when the request must not proceed."""
+        verdict = self.auth.check(
+            self.headers.get("Authorization"), mutating
+        )
+        if verdict is None:
+            return True
+        code, why = verdict
+        self._reply_json(code, {"error": why})
+        return False
 
     def _reply(self, code: int, body: bytes = b"",
                content_type: str = "application/octet-stream") -> None:
@@ -85,6 +109,8 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     # -- verbs --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if not self._guard(mutating=False):
+            return
         match = _OBJ_RE.match(self.path)
         if match:
             try:
@@ -129,6 +155,8 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     do_HEAD = do_GET  # noqa: N815 - stdlib naming
 
     def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        if not self._guard(mutating=True):
+            return
         match = _OBJ_RE.match(self.path)
         if match:
             digest = match.group(1)
@@ -164,14 +192,45 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             return
         self._reply(404)
 
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if not self._guard(mutating=True):
+            return
+        if self.path.rstrip("/") != "/gc":
+            self._reply(404)
+            return
+        try:
+            body = self._read_body()
+            params = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(params, dict):
+                raise ValueError("not an object")
+            max_age = params.get("max_age")
+            max_bytes = params.get("max_bytes")
+            dropped, removed, freed = self.store.prune(
+                max_age=None if max_age is None else float(max_age),
+                max_bytes=None if max_bytes is None else int(max_bytes),
+            )
+        except (StoreError, UnicodeDecodeError, ValueError, TypeError):
+            self._reply(400)
+            return
+        except OSError:
+            self._reply(507)
+            return
+        self._reply_json(200, {
+            "refs_dropped": dropped,
+            "objects_removed": removed,
+            "bytes_freed": freed,
+        })
+
 
 def make_server(directory, host: str = "127.0.0.1", port: int = 0,
-                verbose: bool = False) -> ThreadingHTTPServer:
+                verbose: bool = False, token=None,
+                readonly: bool = False) -> ThreadingHTTPServer:
     """A ready-to-run threading server over the store at *directory*.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``) — what the tests and the warm-store CI
-    job use.
+    job use.  *token* defaults to ``REPRO_AUTH_TOKEN`` (``None`` leaves
+    the server open); *readonly* rejects mutating verbs with 403.
     """
     handler = type(
         "BoundStoreRequestHandler", (StoreRequestHandler,),
@@ -180,15 +239,22 @@ def make_server(directory, host: str = "127.0.0.1", port: int = 0,
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
     server.store = LocalStore(directory)
+    server.auth = AuthPolicy(token=resolve_token(token), readonly=readonly)
     return server
 
 
 def serve(directory, host: str = "127.0.0.1", port: int = 8750,
-          verbose: bool = False) -> None:
+          verbose: bool = False, token=None,
+          readonly: bool = False) -> None:
     """Serve *directory* until interrupted (the ``store serve`` verb)."""
-    server = make_server(directory, host=host, port=port, verbose=verbose)
+    server = make_server(directory, host=host, port=port, verbose=verbose,
+                         token=token, readonly=readonly)
     bound_host, bound_port = server.server_address[:2]
-    print(f"serving store {directory} on http://{bound_host}:{bound_port}")
+    print(
+        f"serving store {directory} on http://{bound_host}:{bound_port}"
+        + (" (readonly)" if readonly else ""),
+        flush=True,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

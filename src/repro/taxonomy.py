@@ -20,11 +20,13 @@ parsing prose.
 from __future__ import annotations
 
 __all__ = [
+    "BROKER_DOWN",
     "CANCELLED",
     "FAILED",
     "LEASE_EXPIRED",
     "POOL_DEATH",
     "TERMINAL_STATES",
+    "broker_down_reason",
     "cancelled_reason",
     "demotion_reason",
     "failed_reason",
@@ -32,6 +34,11 @@ __all__ = [
     "pool_death_reason",
     "state_of",
 ]
+
+#: A networked broker server stayed unreachable past the transport's
+#: retry budget and grace window; the operation was abandoned (and the
+#: sweep degraded), never left hanging.
+BROKER_DOWN = "broker-down"
 
 #: A job was cancelled by an external request (open-system departures).
 CANCELLED = "cancelled"
@@ -48,7 +55,15 @@ LEASE_EXPIRED = "lease-expired"
 POOL_DEATH = "pool-death"
 
 #: Every terminal state a reason string may carry.
-TERMINAL_STATES = frozenset({CANCELLED, FAILED, LEASE_EXPIRED, POOL_DEATH})
+TERMINAL_STATES = frozenset(
+    {BROKER_DOWN, CANCELLED, FAILED, LEASE_EXPIRED, POOL_DEATH}
+)
+
+
+def broker_down_reason(target: str, detail: str) -> str:
+    """Reason for an operation abandoned because the broker at
+    *target* (URL or directory) stayed unreachable."""
+    return f"{BROKER_DOWN}: broker {target} unreachable ({detail})"
 
 
 def lease_expired_reason(attempts: int, limit: int, owner: str) -> str:

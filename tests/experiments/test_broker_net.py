@@ -1,0 +1,358 @@
+"""Networked broker transport: protocol, parity, auth, breaker,
+priority.
+
+The fault-injection and process-level chaos drills live in
+``test_broker_net_faults.py`` and ``test_broker_net_chaos.py``; this
+file pins the sunny-day contract — an HTTP sweep is byte-identical to
+a filesystem sweep of the same tasks, auth and readonly are enforced,
+and a dead server costs one bounded timeout per cooldown window.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import BrokerError, BrokerUnavailableError, LeaseLostError
+from repro.experiments.broker import Broker, connect, worker_loop
+from repro.experiments.broker_net import HTTPBroker, make_broker_server
+from repro.experiments.harness import run_tasks
+from repro.taxonomy import BROKER_DOWN, state_of
+
+
+def double(x):
+    return x * 2
+
+
+def _serve(directory, **kwargs):
+    server = make_broker_server(directory, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, f"http://{host}:{port}"
+
+
+@pytest.fixture()
+def served(tmp_path):
+    server, url = _serve(tmp_path / "q", lease_ttl=5)
+    yield server, url, tmp_path / "q"
+    server.shutdown()
+    server.server_close()
+
+
+def _fast_client(url, **kwargs):
+    kwargs.setdefault("timeout", 2.0)
+    kwargs.setdefault("retries", 2)
+    kwargs.setdefault("cooldown", 0.3)
+    return HTTPBroker(url, **kwargs)
+
+
+# -- transport basics --------------------------------------------------------
+
+
+def test_connect_picks_transport_by_target(served, tmp_path):
+    _server, url, directory = served
+    assert isinstance(connect(url), HTTPBroker)
+    assert isinstance(connect(str(tmp_path / "fsq")), Broker)
+    assert connect(url).target == url
+
+
+def test_client_adopts_server_lease_semantics(tmp_path):
+    server, url = _serve(tmp_path / "q", lease_ttl=7.5, max_attempts=4)
+    try:
+        client = _fast_client(url)
+        assert client.lease_ttl == 7.5
+        assert client.max_attempts == 4
+        assert client.readonly is False
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_full_lease_lifecycle_over_http(served):
+    _server, url, _directory = served
+    client = _fast_client(url)
+    sweep = client.enqueue(double, [1, 2], labels=["a", "b"])
+    lease = client.claim("w1")
+    assert lease is not None and lease.worker == "w1"
+    fn, task = lease.load()
+    assert fn(task) == task * 2
+    deadline = client.heartbeat(lease)
+    assert deadline > time.time()
+    assert client.complete(lease, fn(task)) is True
+    second = client.claim("w1")
+    assert client.complete(second, second.load()[0](second.load()[1]))
+    assert client.claim("w1") is None
+    assert client.settled(sweep)
+    assert client.replay(sweep) == {0: 2, 1: 4}
+
+
+def test_http_sweep_byte_identical_to_filesystem(served, tmp_path):
+    """The tentpole parity claim: same tasks through the HTTP transport
+    and through a filesystem broker produce identical sweep ids and
+    identical result digests."""
+    _server, url, _directory = served
+    net = _fast_client(url)
+    net_sweep = net.enqueue(double, [3, 4, 5])
+    while True:
+        lease = net.claim("w")
+        if lease is None:
+            break
+        fn, task = lease.load()
+        net.complete(lease, fn(task))
+
+    fs = Broker(tmp_path / "fsq")
+    fs_sweep = fs.enqueue(double, [3, 4, 5])
+    while True:
+        lease = fs.claim("w")
+        if lease is None:
+            break
+        fn, task = lease.load()
+        fs.complete(lease, fn(task))
+
+    assert net_sweep == fs_sweep
+    assert net.result_digests(net_sweep) == fs.result_digests(fs_sweep)
+    assert net.replay(net_sweep) == fs.replay(fs_sweep)
+
+
+def test_run_tasks_over_http_broker(served):
+    _server, url, _directory = served
+    out = run_tasks(double, [1, 2, 3], jobs=1, backend="broker",
+                    broker_dir=url)
+    assert out == [2, 4, 6]
+
+
+def test_run_tasks_shares_results_across_transports(served):
+    """A sweep completed over HTTP replays instantly through a
+    filesystem broker on the same queue directory (and vice versa):
+    content keys and sweep ids are transport-independent."""
+    _server, url, directory = served
+    assert run_tasks(double, [7, 8], jobs=1, backend="broker",
+                     broker_dir=url) == [14, 16]
+    logs = []
+    assert run_tasks(double, [7, 8], jobs=1, backend="broker",
+                     broker_dir=str(directory),
+                     log=logs.append) == [14, 16]
+    assert any("2 of 2 task(s) already complete" in line for line in logs)
+
+
+def test_worker_loop_drains_http_queue(served):
+    _server, url, _directory = served
+    client = _fast_client(url)
+    sweep = client.enqueue(double, [10, 11, 12])
+    completed = worker_loop(url, worker="loop-w", poll_interval=0.05)
+    assert completed == 3
+    assert client.settled(sweep)
+
+
+def test_dead_server_raises_broker_down_taxonomy():
+    with pytest.raises(BrokerUnavailableError) as err:
+        HTTPBroker("http://127.0.0.1:1", timeout=0.5, retries=1,
+                   cooldown=0.2)
+    assert state_of(str(err.value)) == BROKER_DOWN
+
+
+def test_run_tasks_degrades_to_pool_on_dead_broker():
+    logs = []
+    out = run_tasks(double, [5, 6], jobs=1, backend="broker",
+                    broker_dir="http://127.0.0.1:1", log=logs.append)
+    assert out == [10, 12]
+    assert any("single-host pool" in line for line in logs)
+
+
+# -- idempotency -------------------------------------------------------------
+
+
+def test_retried_mutation_replays_not_reexecutes(served):
+    """Sending the same Idempotency-Key twice must return the recorded
+    response, not run the mutation again: the second claim replay hands
+    back the same lease instead of double-leasing a second task."""
+    import json
+    import urllib.request
+
+    _server, url, _directory = served
+    client = _fast_client(url)
+    client.enqueue(double, [1, 2])
+
+    def post(path, payload, key):
+        req = urllib.request.Request(
+            url + path, data=json.dumps(payload).encode(), method="POST"
+        )
+        req.add_header("Idempotency-Key", key)
+        with urllib.request.urlopen(req, timeout=2.0) as resp:
+            return json.loads(resp.read().decode())
+
+    first = post("/api/claim", {"worker": "w"}, "idem-abc")
+    replay = post("/api/claim", {"worker": "w"}, "idem-abc")
+    assert replay == first
+    fresh = post("/api/claim", {"worker": "w"}, "idem-def")
+    assert fresh["lease"]["key"] != first["lease"]["key"]
+
+
+# -- auth --------------------------------------------------------------------
+
+
+def test_unauthenticated_request_rejected_401(tmp_path):
+    server, url = _serve(tmp_path / "q", token="sekrit")
+    try:
+        with pytest.raises(BrokerError) as err:
+            _fast_client(url)
+        assert "401" in str(err.value)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_bearer_token_admits_and_bad_token_rejected(tmp_path):
+    server, url = _serve(tmp_path / "q", token="sekrit")
+    try:
+        good = _fast_client(url, token="sekrit")
+        sweep = good.enqueue(double, [1])
+        assert good.counts(sweep)["pending"] == 1
+        with pytest.raises(BrokerError) as err:
+            _fast_client(url, token="wrong")
+        assert "401" in str(err.value)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_readonly_server_rejects_mutations_403(tmp_path):
+    server, url = _serve(tmp_path / "q", readonly=True)
+    try:
+        client = _fast_client(url)
+        assert client.readonly is True
+        assert client.sweeps() == []  # reads stay open
+        with pytest.raises(BrokerError) as err:
+            client.enqueue(double, [1])
+        assert "403" in str(err.value)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+
+def test_breaker_one_timeout_per_cooldown_window(served):
+    """Acceptance criterion: once the server is gone, exactly one call
+    pays the network probe per cooldown window — every other call fails
+    instantly off the open breaker."""
+    server, url, _directory = served
+    client = HTTPBroker(url, timeout=0.5, retries=1, cooldown=30.0)
+    server.shutdown()
+    server.server_close()
+
+    with pytest.raises(BrokerUnavailableError):
+        client.counts()  # pays the probe, trips the breaker
+    start = time.monotonic()
+    for _ in range(20):
+        with pytest.raises(BrokerUnavailableError) as err:
+            client.counts()
+        assert "circuit breaker" in str(err.value)
+    assert time.monotonic() - start < 0.5  # no network was touched
+    assert client.breaker_state().startswith("open")
+
+
+def test_breaker_closes_after_cooldown_and_recovers(tmp_path):
+    server, url = _serve(tmp_path / "q", lease_ttl=5)
+    host, port = server.server_address[:2]
+    client = HTTPBroker(url, timeout=0.5, retries=1, cooldown=0.3)
+    server.shutdown()
+    server.server_close()
+    with pytest.raises(BrokerUnavailableError):
+        client.counts()
+    # Restart on the same port; the breaker re-probes after cooldown.
+    server2, _url2 = _serve(tmp_path / "q", host=host, port=port,
+                            lease_ttl=5)
+    try:
+        time.sleep(0.4)
+        assert client.breaker_state() == "closed"
+        assert client.counts()["pending"] == 0
+    finally:
+        server2.shutdown()
+        server2.server_close()
+
+
+# -- priority ----------------------------------------------------------------
+
+
+def test_priority_bands_claim_order_and_fifo_within_band(tmp_path):
+    """Higher priority claims first; within a band, enqueue (FIFO)
+    order is preserved."""
+    broker = Broker(tmp_path / "q")
+    broker.enqueue(double, [1, 2], labels=["lo-1", "lo-2"], priority=0)
+    broker.enqueue(str, ["x", "y"], labels=["hi-1", "hi-2"], priority=5)
+    order = []
+    while True:
+        lease = broker.claim("w")
+        if lease is None:
+            break
+        order.append(lease.label)
+        fn, task = lease.load()
+        broker.complete(lease, fn(task))
+    assert order == ["hi-1", "hi-2", "lo-1", "lo-2"]
+
+
+def test_priority_over_http_and_resubmission_rerank(served):
+    _server, url, _directory = served
+    client = _fast_client(url)
+    low = client.enqueue(double, [1], priority=0)
+    high = client.enqueue(str, ["a"], priority=3)
+    assert client.claim("w").sweep == high
+    # Resubmitting an existing sweep with a new priority re-ranks it.
+    boosted = client.enqueue(double, [1], priority=9)
+    assert boosted == low
+    lease = client.claim("w2")
+    assert lease.sweep == low
+
+
+def test_priority_env_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_PRIORITY", "4")
+    broker = Broker(tmp_path / "q")
+    broker.enqueue(double, [1])
+    monkeypatch.delenv("REPRO_SWEEP_PRIORITY")
+    broker.enqueue(str, ["x"])
+    lease = broker.claim("w")
+    fn, _task = lease.load()
+    assert fn is double  # priority-4 sweep claims before priority-0
+
+
+# -- status surfaces ---------------------------------------------------------
+
+
+def test_http_status_render_and_sessions(served):
+    from repro.experiments.__main__ import _render_status
+
+    _server, url, _directory = served
+    assert "empty broker" in _render_status(url)
+    run_tasks(double, [1, 2], jobs=1, backend="broker", broker_dir=url)
+    text = _render_status(url)
+    assert "2/2 done" in text
+    assert "recent sessions:" in text
+
+
+def test_http_bless_and_golden_diff(served):
+    _server, url, _directory = served
+    run_tasks(double, [1, 2], jobs=1, backend="broker", broker_dir=url)
+    client = _fast_client(url)
+    out = client.bless_all()
+    assert sum(count for _s, _f, count in out["blessed"]) == 2
+    sweep = client.sweeps()[0][0]
+    info = client.diff_info(sweep)
+    assert info["show"] and "match golden" in info["text"]
+
+
+def test_lease_lost_over_http_maps_to_exception(served):
+    _server, url, directory = served
+    client = _fast_client(url)
+    client.enqueue(double, [1])
+    lease = client.claim("w1")
+    # Another path completes the task; the heartbeat must now 409.
+    fs = Broker(directory)
+    fs.reclaim_expired(now=time.time() + 3600)  # lease expired
+    done = fs.claim("thief", now=time.time() + 7200)  # past the backoff
+    fn, task = done.load()
+    fs.complete(done, fn(task))
+    with pytest.raises(LeaseLostError):
+        client.heartbeat(lease)

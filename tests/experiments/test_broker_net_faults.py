@@ -1,0 +1,223 @@
+"""Injected network faults against the HTTP broker transport.
+
+Each test wires a misbehaving handler subclass into
+``make_broker_server(handler_base=...)`` and asserts the two invariants
+the transport exists to protect: **no lost tasks** (a dropped reply
+never strands a lease until TTL — the idempotency-key retry recovers
+it) and **no duplicate results** (a retried ``complete`` lands exactly
+one payload file and one result row).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import BrokerUnavailableError
+from repro.experiments.broker import worker_loop
+from repro.experiments.broker_net import (
+    BrokerRequestHandler,
+    HTTPBroker,
+    make_broker_server,
+)
+from repro.taxonomy import BROKER_DOWN, state_of
+
+
+def double(x):
+    return x * 2
+
+
+class FaultyHandler(BrokerRequestHandler):
+    """Consumes one fault budget per matching POST from
+    ``server.faults`` (``{path: remaining}``) in ``server.fault_mode``:
+
+    - ``torn``  — send headers for the full body, write half, cut the
+      socket (client sees a truncated/undecodable response)
+    - ``drop``  — cut the socket without any reply at all
+    - ``slow``  — stall ``server.fault_delay`` seconds before replying
+      (past the client timeout, the request still executes)
+    """
+
+    def _reply(self, code, body=b"", content_type="application/json"):
+        if self.command == "POST" and self._take_fault():
+            mode = self.server.fault_mode
+            if mode == "torn":
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body[: max(1, len(body) // 2)])
+                self.wfile.flush()
+            self.close_connection = True
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return
+        BrokerRequestHandler._reply(self, code, body, content_type)
+
+    def _take_fault(self) -> bool:
+        faults = getattr(self.server, "faults", None) or {}
+        path = self.path.partition("?")[0]
+        with self.server.fault_lock:
+            if faults.get(path, 0) > 0:
+                faults[path] -= 1
+                return True
+        return False
+
+
+class SlowHandler(FaultyHandler):
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        if self._take_fault():
+            time.sleep(self.server.fault_delay)
+        FaultyHandler.do_POST(self)
+
+
+def _serve_faulty(directory, mode, faults, handler=FaultyHandler,
+                  delay=0.0):
+    server = make_broker_server(directory, lease_ttl=5,
+                                handler_base=handler)
+    server.fault_mode = mode
+    server.faults = dict(faults)
+    server.fault_lock = threading.Lock()
+    server.fault_delay = delay
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, f"http://{host}:{port}"
+
+
+def _client(url, **kwargs):
+    kwargs.setdefault("timeout", 2.0)
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("cooldown", 0.3)
+    return HTTPBroker(url, **kwargs)
+
+
+def _drain(client, worker="w"):
+    order = []
+    while True:
+        lease = client.claim(worker)
+        if lease is None:
+            break
+        fn, task = lease.load()
+        client.complete(lease, fn(task))
+        order.append(lease.key)
+    return order
+
+
+def _assert_exactly_once(server, sweep, n):
+    """Every task done, no quarantine, one payload file and one result
+    row per task."""
+    broker = server.broker
+    counts = broker.counts(sweep)
+    assert counts["done"] == n
+    assert counts["pending"] == counts["leased"] == 0
+    assert counts["quarantined"] == 0
+    assert len(broker.result_digests(sweep)) == n
+    payloads = list(broker.results_dir.glob("*.pkl"))
+    assert len(payloads) == n
+
+
+def test_torn_complete_response_retry_converges(tmp_path):
+    server, url = _serve_faulty(tmp_path / "q", "torn",
+                                {"/api/complete": 2})
+    try:
+        client = _client(url)
+        sweep = client.enqueue(double, [1, 2, 3])
+        _drain(client)
+        _assert_exactly_once(server, sweep, 3)
+        assert client.replay(sweep) == {0: 2, 1: 4, 2: 6}
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_dropped_complete_reply_replays_from_idempotency_log(tmp_path):
+    """The first ``complete`` executes server-side but its reply never
+    arrives; the client's retry carries the same Idempotency-Key and
+    must get the *recorded* response back — one result, not two."""
+    server, url = _serve_faulty(tmp_path / "q", "drop",
+                                {"/api/complete": 1})
+    try:
+        client = _client(url)
+        sweep = client.enqueue(double, [5])
+        lease = client.claim("w")
+        fn, task = lease.load()
+        assert client.complete(lease, fn(task)) is True
+        _assert_exactly_once(server, sweep, 1)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_dropped_claim_reply_does_not_strand_the_lease(tmp_path):
+    """A claim whose reply is lost must not leave the task leased to
+    nobody until the TTL runs out: the retry replays the same lease and
+    the worker proceeds immediately."""
+    server, url = _serve_faulty(tmp_path / "q", "drop",
+                                {"/api/claim": 1})
+    try:
+        client = _client(url)
+        sweep = client.enqueue(double, [1, 2])
+        started = time.monotonic()
+        keys = _drain(client)
+        assert time.monotonic() - started < 5.0  # never waited out a TTL
+        assert len(keys) == len(set(keys)) == 2
+        _assert_exactly_once(server, sweep, 2)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_slow_complete_times_out_then_lands_exactly_once(tmp_path):
+    """The original request stalls past the client timeout but still
+    executes; the retry races it.  Content-keyed completion makes the
+    collision harmless: one payload file, one row."""
+    server, url = _serve_faulty(tmp_path / "q", "slow",
+                                {"/api/complete": 1},
+                                handler=SlowHandler, delay=2.0)
+    try:
+        client = _client(url, timeout=0.5)
+        sweep = client.enqueue(double, [9])
+        lease = client.claim("w")
+        fn, task = lease.load()
+        assert client.complete(lease, fn(task)) is True
+        time.sleep(2.2)  # let the stalled original finish server-side
+        _assert_exactly_once(server, sweep, 1)
+        assert client.replay(sweep) == {0: 18}
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_connection_refused_surfaces_broker_down(tmp_path):
+    server, url = _serve_faulty(tmp_path / "q", "drop", {})
+    client = _client(url, retries=1, timeout=0.5)
+    client.enqueue(double, [1])
+    server.shutdown()
+    server.server_close()
+    with pytest.raises(BrokerUnavailableError) as err:
+        client.claim("w")
+    assert state_of(str(err.value)) == BROKER_DOWN
+
+
+def test_worker_loop_drains_through_fault_storm(tmp_path):
+    """A worker loop pointed at a server that tears, drops, and delays
+    a handful of replies still completes every task exactly once with
+    nothing quarantined."""
+    server, url = _serve_faulty(
+        tmp_path / "q", "torn",
+        {"/api/claim": 2, "/api/complete": 2, "/api/heartbeat": 1},
+    )
+    try:
+        client = _client(url)
+        sweep = client.enqueue(double, list(range(8)))
+        completed = worker_loop(url, worker="stormy", poll_interval=0.05)
+        assert completed == 8
+        _assert_exactly_once(server, sweep, 8)
+        assert client.replay(sweep) == {i: 2 * i for i in range(8)}
+    finally:
+        server.shutdown()
+        server.server_close()
